@@ -1,0 +1,95 @@
+#ifndef TRIGGERMAN_BENCH_BENCH_COMMON_H_
+#define TRIGGERMAN_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "db/database.h"
+#include "expr/eval.h"
+#include "parser/parser.h"
+#include "predindex/predicate_index.h"
+#include "util/random.h"
+
+namespace tman::bench {
+
+inline Schema QuoteSchema() {
+  return Schema({{"symbol", DataType::kVarchar},
+                 {"price", DataType::kFloat},
+                 {"volume", DataType::kInt}});
+}
+
+inline UpdateDescriptor QuoteTick(Random* rng, int num_symbols,
+                                  DataSourceId ds = 1) {
+  std::string symbol =
+      "SYM" + std::to_string(rng->Uniform(static_cast<uint64_t>(num_symbols)));
+  return UpdateDescriptor::Insert(
+      ds, Tuple({Value::String(symbol),
+                 Value::Float(static_cast<double>(rng->Uniform(200))),
+                 Value::Int(static_cast<int64_t>(rng->Uniform(10000)))}));
+}
+
+inline ExprPtr MustParse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return *r;
+}
+
+inline void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// The baseline every trigger system without a predicate index pays
+/// (§8: "the cost of this is always at least linear in the number of
+/// triggers"): test every trigger's condition against each token.
+class NaiveTester {
+ public:
+  explicit NaiveTester(Schema schema) : schema_(std::move(schema)) {}
+
+  void Add(TriggerId id, OpCode op, ExprPtr predicate) {
+    triggers_.push_back({id, op, std::move(predicate)});
+  }
+
+  size_t Match(const UpdateDescriptor& token,
+               std::vector<TriggerId>* out) const {
+    const Tuple& tuple = token.EffectiveTuple();
+    for (const auto& t : triggers_) {
+      if (!OpMatches(t.op, token.op)) continue;
+      Bindings b;
+      b.Bind("t", &schema_, &tuple);
+      auto pass = EvalPredicate(t.predicate, b);
+      if (pass.ok() && *pass) out->push_back(t.id);
+    }
+    return out->size();
+  }
+
+  size_t size() const { return triggers_.size(); }
+
+ private:
+  struct Entry {
+    TriggerId id;
+    OpCode op;
+    ExprPtr predicate;
+  };
+  Schema schema_;
+  std::vector<Entry> triggers_;
+};
+
+}  // namespace tman::bench
+
+#endif  // TRIGGERMAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,119 @@
+// Ablation: Gator (materialized beta memories, [Hans97b]) vs A-TREAT
+// (recompute joins from alpha memories) on a stream join workload — the
+// discrimination-network upgrade §3 of the paper plans. Gator trades
+// memory (beta rows) for per-token time; the crossover depends on join
+// fan-in and prefix reuse.
+
+#include "bench/bench_common.h"
+
+#include "network/atreat.h"
+#include "network/gator.h"
+
+namespace tman::bench {
+namespace {
+
+struct JoinSetup {
+  std::vector<TupleVarInfo> vars = {
+      {"o", "orders", 11, OpCode::kInsertOrUpdate},
+      {"s", "shipments", 12, OpCode::kInsertOrUpdate},
+      {"i", "invoices", 13, OpCode::kInsertOrUpdate},
+  };
+  std::vector<Schema> schemas = {
+      Schema({{"oid", DataType::kInt}, {"cust", DataType::kInt}}),
+      Schema({{"oid", DataType::kInt}, {"status", DataType::kVarchar}}),
+      Schema({{"oid", DataType::kInt}, {"total", DataType::kFloat}}),
+  };
+
+  ConditionGraph graph;
+
+  JoinSetup() {
+    auto cnf = ToCnf(MustParse("o.oid = s.oid and s.oid = i.oid"));
+    auto g = ConditionGraph::Build(vars, *cnf);
+    graph = *g;
+  }
+
+  Tuple Make(size_t var, int64_t oid, Random* rng) {
+    switch (var) {
+      case 0:
+        return Tuple({Value::Int(oid),
+                      Value::Int(rng->UniformRange(0, 100))});
+      case 1:
+        return Tuple({Value::Int(oid), Value::String("s")});
+      default:
+        return Tuple({Value::Int(oid),
+                      Value::Float(static_cast<double>(rng->Uniform(100)))});
+    }
+  }
+};
+
+// `prefill` tuples per variable over `keys` join keys establish the
+// steady-state memories; we then time token arrivals at the last
+// variable (invoices), where Gator reuses the materialized o ⋈ s prefix.
+void BM_GatorTokenArrival(benchmark::State& state) {
+  JoinSetup setup;
+  int64_t prefill = state.range(0);
+  int64_t keys = prefill;  // ~1 tuple per key per variable
+  auto net = GatorNetwork::Build(setup.graph, setup.schemas);
+  Check(net.status(), "build");
+  Random rng(5);
+  auto ignore = [](const std::vector<Tuple>&) {};
+  for (int64_t i = 0; i < prefill; ++i) {
+    for (size_t v = 0; v < 2; ++v) {
+      Check((*net)->AddTuple(static_cast<NetworkNodeId>(v),
+                             setup.Make(v, i % keys, &rng), ignore),
+            "prefill");
+    }
+  }
+  int64_t oid = 0;
+  for (auto _ : state) {
+    Tuple t = setup.Make(2, oid % keys, &rng);
+    Check((*net)->AddTuple(2, t, ignore), "add");
+    Check((*net)->RemoveTuple(2, t), "remove");
+    ++oid;
+  }
+  state.counters["prefill_per_var"] = static_cast<double>(prefill);
+  state.counters["beta_rows"] = static_cast<double>((*net)->total_beta_rows());
+}
+BENCHMARK(BM_GatorTokenArrival)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ATreatTokenArrival(benchmark::State& state) {
+  JoinSetup setup;
+  int64_t prefill = state.range(0);
+  int64_t keys = prefill;
+  ATreatOptions opts;
+  opts.prefer_virtual = false;
+  auto net = ATreatNetwork::Build(setup.graph, nullptr, opts, setup.schemas);
+  Check(net.status(), "build");
+  Random rng(5);
+  for (int64_t i = 0; i < prefill; ++i) {
+    for (size_t v = 0; v < 2; ++v) {
+      Check((*net)->AddTuple(static_cast<NetworkNodeId>(v),
+                             setup.Make(v, i % keys, &rng)),
+            "prefill");
+    }
+  }
+  auto ignore = [](const std::vector<Tuple>&) {};
+  int64_t oid = 0;
+  for (auto _ : state) {
+    Tuple t = setup.Make(2, oid % keys, &rng);
+    Check((*net)->AddTuple(2, t), "add");
+    Check((*net)->MatchJoins(2, t, ignore), "match");
+    Check((*net)->RemoveTuple(2, t), "remove");
+    ++oid;
+  }
+  state.counters["prefill_per_var"] = static_cast<double>(prefill);
+}
+BENCHMARK(BM_ATreatTokenArrival)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tman::bench
+
+BENCHMARK_MAIN();

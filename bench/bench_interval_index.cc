@@ -1,0 +1,104 @@
+// Experiment E5: range-predicate indexing. The paper (and [Hans96b])
+// motivates an interval index for inequality selection predicates; the
+// alternative is testing every range predicate in the class. Stabbing
+// cost with the interval index is O(log n + matches); the list is O(n).
+
+#include "bench/bench_common.h"
+
+#include "predindex/interval_index.h"
+
+namespace tman::bench {
+namespace {
+
+// Narrow intervals: few matches per stab, where the index shines.
+void SetupIntervals(IntervalIndex* index, int64_t n, Random* rng,
+                    int64_t domain, int64_t width) {
+  for (int64_t i = 0; i < n; ++i) {
+    IntervalIndex::Interval iv;
+    int64_t lo = rng->UniformRange(0, domain);
+    iv.lo = Value::Int(lo);
+    iv.hi = Value::Int(lo + width);
+    iv.id = static_cast<uint64_t>(i);
+    index->Insert(iv);
+  }
+}
+
+void BM_IntervalIndexStab(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Random rng(3);
+  IntervalIndex index;
+  SetupIntervals(&index, n, &rng, 1000000, 100);
+  Random probe_rng(7);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    uint64_t count = 0;
+    index.Stab(Value::Int(probe_rng.UniformRange(0, 1000000)),
+               [&count](const IntervalIndex::Interval&) { ++count; });
+    matches += count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["intervals"] = static_cast<double>(n);
+  state.counters["matches_per_stab"] =
+      static_cast<double>(matches) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_IntervalIndexStab)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Baseline: test every interval (what a main-memory list organization
+// does for a range signature).
+void BM_IntervalListScan(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Random rng(3);
+  std::vector<IntervalIndex::Interval> list;
+  for (int64_t i = 0; i < n; ++i) {
+    IntervalIndex::Interval iv;
+    int64_t lo = rng.UniformRange(0, 1000000);
+    iv.lo = Value::Int(lo);
+    iv.hi = Value::Int(lo + 100);
+    iv.id = static_cast<uint64_t>(i);
+    list.push_back(iv);
+  }
+  Random probe_rng(7);
+  for (auto _ : state) {
+    Value v = Value::Int(probe_rng.UniformRange(0, 1000000));
+    uint64_t count = 0;
+    for (const auto& iv : list) {
+      if (iv.Contains(v)) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["intervals"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IntervalListScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Insert cost (amortized rebuilds).
+void BM_IntervalIndexInsert(benchmark::State& state) {
+  Random rng(3);
+  IntervalIndex index;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    IntervalIndex::Interval iv;
+    int64_t lo = rng.UniformRange(0, 1000000);
+    iv.lo = Value::Int(lo);
+    iv.hi = Value::Int(lo + 100);
+    iv.id = id++;
+    index.Insert(iv);
+  }
+  state.counters["final_size"] = static_cast<double>(index.size());
+}
+BENCHMARK(BM_IntervalIndexInsert)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tman::bench
+
+BENCHMARK_MAIN();

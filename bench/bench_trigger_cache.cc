@@ -1,0 +1,114 @@
+// Experiment E2 (§5.1): the trigger cache. More triggers exist than fit
+// in main memory; matched triggers are pinned, loading their descriptions
+// from the catalog on a miss. With a skewed (Zipf) match distribution the
+// working set stays cached and throughput approaches the all-in-memory
+// case; a uniform distribution over more triggers than capacity thrashes.
+
+#include "bench/bench_common.h"
+
+#include "cache/trigger_cache.h"
+#include "catalog/trigger_catalog.h"
+#include "core/trigger_manager.h"
+
+namespace tman::bench {
+namespace {
+
+constexpr int kTriggers = 4096;
+
+struct CacheFixture {
+  Database db;
+  std::unique_ptr<TriggerManager> tman;
+  DataSourceId ds = 0;
+
+  explicit CacheFixture(size_t cache_capacity) {
+    TriggerManagerOptions options;
+    options.trigger_cache_capacity = cache_capacity;
+    tman = std::make_unique<TriggerManager>(&db, options);
+    Check(tman->Open(), "open");
+    ds = Check(tman->DefineStreamSource("quotes", QuoteSchema()),
+               "define source");
+    for (int i = 0; i < kTriggers; ++i) {
+      // One trigger per symbol id: a token picks exactly one trigger.
+      std::string cmd = "create trigger t" + std::to_string(i) +
+                        " from quotes when quotes.symbol = 'SYM" +
+                        std::to_string(i) +
+                        "' do raise event E(quotes.price)";
+      Check(tman->ExecuteCommand(cmd).status(), "create trigger");
+    }
+  }
+};
+
+void RunCacheBenchmark(benchmark::State& state, double zipf_theta) {
+  size_t capacity = static_cast<size_t>(state.range(0));
+  CacheFixture fx(capacity);
+  fx.tman->cache().ResetStats();
+  ZipfGenerator zipf(kTriggers, zipf_theta, 99);
+  for (auto _ : state) {
+    int sym = static_cast<int>(zipf.Next());
+    Check(fx.tman->SubmitUpdate(UpdateDescriptor::Insert(
+              fx.ds, Tuple({Value::String("SYM" + std::to_string(sym)),
+                            Value::Float(10), Value::Int(1)}))),
+          "submit");
+    Check(fx.tman->ProcessPending(), "process");
+  }
+  auto stats = fx.tman->cache().stats();
+  double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["cache_capacity"] = static_cast<double>(capacity);
+  state.counters["hit_ratio"] =
+      total > 0 ? static_cast<double>(stats.hits) / total : 0;
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+}
+
+void BM_CacheUniform(benchmark::State& state) {
+  RunCacheBenchmark(state, 0.0);
+}
+void BM_CacheZipf(benchmark::State& state) {
+  RunCacheBenchmark(state, 0.99);
+}
+
+BENCHMARK(BM_CacheUniform)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(kTriggers)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CacheZipf)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(kTriggers)
+    ->Unit(benchmark::kMicrosecond);
+
+// Pin cost in isolation: a hit is a hash probe; a miss re-parses the
+// trigger text and rebuilds the network (the paper's motivation for
+// keeping descriptions cached).
+void BM_PinHit(benchmark::State& state) {
+  CacheFixture fx(kTriggers);
+  auto warm = fx.tman->PinTrigger("t0");
+  Check(warm.status(), "pin");
+  TriggerId id = (*warm)->id;
+  for (auto _ : state) {
+    auto h = fx.tman->cache().Pin(id);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_PinHit)->Unit(benchmark::kNanosecond);
+
+void BM_PinMiss(benchmark::State& state) {
+  CacheFixture fx(kTriggers);
+  auto warm = fx.tman->PinTrigger("t0");
+  Check(warm.status(), "pin");
+  TriggerId id = (*warm)->id;
+  warm = Status::NotFound("released");
+  for (auto _ : state) {
+    fx.tman->cache().Invalidate(id);  // force a catalog load
+    auto h = fx.tman->cache().Pin(id);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_PinMiss)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tman::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// The TriggerMan console (Figure 1): an interactive program that lets a
+// user create triggers, drop them, run SQL against the embedded database,
+// and pump trigger processing.
+//
+// Commands:
+//   any TriggerMan command  (create trigger ..., drop trigger ...,
+//                            define data source ..., enable/disable ...)
+//   sql <statement>         run SQL against MiniDB
+//   process                 process staged updates now
+//   events                  show recently raised events
+//   stats                   show system statistics
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/trigger_manager.h"
+#include "db/sql.h"
+#include "util/string_util.h"
+
+using namespace tman;
+
+int main() {
+  Database db;
+  TriggerManager tman(&db);
+  if (auto s = tman.Open(); !s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("TriggerMan console. 'help' for commands, 'quit' to exit.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("tman> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::string lower = ToLower(trimmed);
+
+    if (lower == "quit" || lower == "exit") break;
+    if (lower == "help") {
+      std::printf(
+          "  create trigger <name> [in set] from ... [on ...] [when ...] do "
+          "...\n"
+          "  create trigger set <name> ['comments']\n"
+          "  drop trigger <name> | enable/disable trigger [set] <name>\n"
+          "  define data source <name> (<attr> <type>, ...)\n"
+          "  sql <statement>   process   triggers   events   stats   "
+          "quit\n");
+      continue;
+    }
+    if (lower == "process") {
+      if (auto s = tman.ProcessPending(); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("ok\n");
+      }
+      continue;
+    }
+    if (lower == "triggers") {
+      auto rows = tman.catalog().AllTriggers();
+      if (!rows.ok()) {
+        std::printf("error: %s\n", rows.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& row : *rows) {
+        std::printf("  [%llu] %s (%s) %s\n",
+                    static_cast<unsigned long long>(row.trigger_id),
+                    row.name.c_str(),
+                    row.is_enabled ? "enabled" : "disabled",
+                    row.creation_date.c_str());
+      }
+      continue;
+    }
+    if (lower == "events") {
+      for (const Event& e : tman.events().History()) {
+        std::printf("  %s\n", e.ToString().c_str());
+      }
+      continue;
+    }
+    if (lower == "stats") {
+      auto st = tman.stats();
+      std::printf(
+          "  updates=%llu tokens=%llu firings=%llu actions=%llu\n"
+          "  signatures=%llu predicates=%llu\n"
+          "  cache: hits=%llu misses=%llu evictions=%llu\n",
+          static_cast<unsigned long long>(st.updates_submitted),
+          static_cast<unsigned long long>(st.tokens_processed),
+          static_cast<unsigned long long>(st.rule_firings),
+          static_cast<unsigned long long>(st.actions.actions_executed),
+          static_cast<unsigned long long>(st.predicates.num_signatures),
+          static_cast<unsigned long long>(st.predicates.num_predicates),
+          static_cast<unsigned long long>(st.cache.hits),
+          static_cast<unsigned long long>(st.cache.misses),
+          static_cast<unsigned long long>(st.cache.evictions));
+      continue;
+    }
+    if (StartsWith(lower, "sql ")) {
+      auto r = ExecuteSql(&db, trimmed.substr(4));
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      if (!r->column_names.empty()) {
+        std::printf("  %s\n", Join(r->column_names, " | ").c_str());
+        for (const Tuple& row : r->rows) {
+          std::printf("  %s\n", row.ToString().c_str());
+        }
+      }
+      std::printf("ok (%llu rows)\n",
+                  static_cast<unsigned long long>(r->rows_affected));
+      // `define data source` needs the table to exist first; remind the
+      // user triggers see updates after `process`.
+      continue;
+    }
+
+    auto r = tman.ExecuteCommand(trimmed);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else {
+      std::printf("%s\n", r->c_str());
+    }
+  }
+  return 0;
+}

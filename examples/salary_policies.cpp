@@ -1,0 +1,114 @@
+// HR-policy triggers with execSQL actions, exercising :NEW/:OLD macro
+// substitution and asynchronous processing with driver threads: salary
+// changes are audited into a table, and a mirror rule keeps a summary
+// table in sync — all through trigger actions running SQL against the
+// embedded database.
+
+#include <cstdio>
+
+#include "core/trigger_manager.h"
+#include "db/sql.h"
+
+using namespace tman;
+
+namespace {
+
+Status Run() {
+  Database db;
+  TMAN_RETURN_IF_ERROR(
+      db.CreateTable("emp", Schema({{"name", DataType::kVarchar},
+                                    {"salary", DataType::kFloat},
+                                    {"dept", DataType::kInt}}))
+          .status());
+  TMAN_RETURN_IF_ERROR(
+      db.CreateTable("salary_audit",
+                     Schema({{"who", DataType::kVarchar},
+                             {"old_salary", DataType::kFloat},
+                             {"new_salary", DataType::kFloat}}))
+          .status());
+  TMAN_RETURN_IF_ERROR(
+      db.CreateTable("vip", Schema({{"name", DataType::kVarchar},
+                                    {"salary", DataType::kFloat}}))
+          .status());
+
+  TriggerManagerOptions options;
+  options.driver_config.num_drivers = 2;
+  options.driver_config.period = std::chrono::milliseconds(5);
+  TriggerManager tman(&db, options);
+  TMAN_RETURN_IF_ERROR(tman.Open());
+  TMAN_RETURN_IF_ERROR(tman.DefineLocalTableSource("emp").status());
+
+  // Policy 1: audit every salary change with before/after images.
+  TMAN_RETURN_IF_ERROR(
+      tman.ExecuteCommand(
+              "create trigger auditSalary from emp on update(emp.salary) "
+              "do execSQL 'insert into salary_audit values "
+              "(:NEW.emp.name, :OLD.emp.salary, :NEW.emp.salary)'")
+          .status());
+
+  // Policy 2: anyone crossing 200k enters the VIP roster.
+  TMAN_RETURN_IF_ERROR(
+      tman.ExecuteCommand(
+              "create trigger vipWatch from emp "
+              "when emp.salary > 200000 "
+              "do execSQL 'insert into vip values "
+              "(:NEW.emp.name, :NEW.emp.salary)'")
+          .status());
+
+  // Policy 3: alert on suspicious raises (>50%) — uses arithmetic on the
+  // old and new images inside the action arguments.
+  TMAN_RETURN_IF_ERROR(
+      tman.ExecuteCommand(
+              "create trigger bigRaise from emp on update(emp.salary) "
+              "do raise event SuspiciousRaise(emp.name, emp.salary)")
+          .status());
+  tman.events().Register("SuspiciousRaise", [](const Event& e) {
+    std::printf("  >> suspicious raise: %s\n", e.ToString().c_str());
+  });
+
+  TMAN_RETURN_IF_ERROR(tman.Start());
+
+  // Seed some employees and run salary changes through SQL.
+  TMAN_RETURN_IF_ERROR(
+      ExecuteSql(&db, "insert into emp values ('bob', 100000, 1), "
+                      "('ann', 180000, 1), ('joe', 90000, 2)")
+          .status());
+  TMAN_RETURN_IF_ERROR(
+      ExecuteSql(&db, "update emp set salary = 220000 where name = 'ann'")
+          .status());
+  TMAN_RETURN_IF_ERROR(
+      ExecuteSql(&db, "update emp set salary = 120000 where name = 'bob'")
+          .status());
+  tman.Drain();
+  tman.Stop();
+
+  auto audit = ExecuteSql(&db, "select * from salary_audit");
+  TMAN_RETURN_IF_ERROR(audit.status());
+  std::printf("salary_audit rows:\n");
+  for (const Tuple& row : audit->rows) {
+    std::printf("  %s\n", row.ToString().c_str());
+  }
+  auto vip = ExecuteSql(&db, "select * from vip");
+  TMAN_RETURN_IF_ERROR(vip.status());
+  std::printf("vip rows:\n");
+  for (const Tuple& row : vip->rows) {
+    std::printf("  %s\n", row.ToString().c_str());
+  }
+
+  auto stats = tman.stats();
+  std::printf("firings=%llu sql-actions=%llu\n",
+              static_cast<unsigned long long>(stats.rule_firings),
+              static_cast<unsigned long long>(stats.actions.sql_statements));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status s = Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The paper's motivating web scenario: a large number of users create
+// triggers interactively ("notify me when XYZ crosses my price"), so the
+// system must scale to very many triggers. This example creates 100,000
+// threshold triggers over a quote stream and processes ticks through the
+// predicate index — per-tick cost stays flat because matching is driven
+// by expression signatures and constant sets, not by trigger count.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/trigger_manager.h"
+#include "util/random.h"
+
+using namespace tman;
+
+namespace {
+
+constexpr int kSymbols = 500;
+constexpr int kTriggers = 100000;
+constexpr int kTicks = 2000;
+
+std::string SymbolName(int i) { return "SYM" + std::to_string(i); }
+
+Status Run() {
+  Database db;
+  TriggerManager tman(&db);
+  TMAN_RETURN_IF_ERROR(tman.Open());
+
+  Schema quotes({{"symbol", DataType::kVarchar},
+                 {"price", DataType::kFloat}});
+  DataSourceId ds;
+  TMAN_ASSIGN_OR_RETURN(ds, tman.DefineStreamSource("quotes", quotes));
+
+  Random rng(11);
+  std::printf("creating %d price-alert triggers over %d symbols...\n",
+              kTriggers, kSymbols);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTriggers; ++i) {
+    std::string symbol = SymbolName(static_cast<int>(rng.Uniform(kSymbols)));
+    int threshold = static_cast<int>(50 + rng.Uniform(100));
+    std::string cmd = "create trigger sub" + std::to_string(i) +
+                      " from quotes when quotes.symbol = '" + symbol +
+                      "' and quotes.price > " + std::to_string(threshold) +
+                      " do raise event PriceAlert(quotes.symbol, "
+                      "quotes.price)";
+    TMAN_RETURN_IF_ERROR(tman.ExecuteCommand(cmd).status());
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double create_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("created in %.1fs (%.0f triggers/s)\n", create_s,
+              kTriggers / create_s);
+
+  auto pstats = tman.predicate_index().stats();
+  std::printf("distinct expression signatures: %llu (for %llu predicates)\n",
+              static_cast<unsigned long long>(pstats.num_signatures),
+              static_cast<unsigned long long>(pstats.num_predicates));
+
+  uint64_t alerts = 0;
+  tman.events().Register("PriceAlert", [&alerts](const Event&) { ++alerts; });
+
+  std::printf("streaming %d ticks...\n", kTicks);
+  auto t2 = std::chrono::steady_clock::now();
+  for (int t = 0; t < kTicks; ++t) {
+    std::string symbol = SymbolName(static_cast<int>(rng.Uniform(kSymbols)));
+    double price = 40 + static_cast<double>(rng.Uniform(120));
+    TMAN_RETURN_IF_ERROR(tman.SubmitUpdate(UpdateDescriptor::Insert(
+        ds, Tuple({Value::String(symbol), Value::Float(price)}))));
+  }
+  TMAN_RETURN_IF_ERROR(tman.ProcessPending());
+  auto t3 = std::chrono::steady_clock::now();
+  double tick_s = std::chrono::duration<double>(t3 - t2).count();
+
+  auto stats = tman.stats();
+  std::printf("%d ticks in %.2fs (%.0f ticks/s); %llu alerts fired\n",
+              kTicks, tick_s, kTicks / tick_s,
+              static_cast<unsigned long long>(alerts));
+  std::printf("cache: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status s = Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# experiment in EXPERIMENTS.md, leaving raw logs in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done. See test_output.txt and bench_output.txt."

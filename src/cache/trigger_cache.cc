@@ -1,0 +1,103 @@
+#include "cache/trigger_cache.h"
+
+namespace tman {
+
+TriggerCache::TriggerCache(size_t capacity, TriggerLoader loader)
+    : capacity_(capacity == 0 ? 1 : capacity), loader_(std::move(loader)) {}
+
+Result<TriggerHandle> TriggerCache::Pin(TriggerId id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(id);
+    if (it != slots_.end()) {
+      ++stats_.hits;
+      Touch(id);
+      return it->second.handle;
+    }
+    ++stats_.misses;
+  }
+  // Load outside the lock: catalog loads parse trigger text and may do
+  // I/O; concurrent pins of different triggers must not serialize on it.
+  auto loaded = loader_(id);
+  if (!loaded.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.loads_failed;
+    return loaded.status();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(id);
+  if (it != slots_.end()) {
+    // Another thread raced the load; keep the resident copy.
+    Touch(id);
+    return it->second.handle;
+  }
+  Slot slot;
+  slot.handle = *loaded;
+  slot.lru_pos = lru_.insert(lru_.end(), id);
+  slots_[id] = std::move(slot);
+  EvictIfNeeded();
+  return *loaded;
+}
+
+void TriggerCache::Put(TriggerId id, TriggerHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(id);
+  if (it != slots_.end()) {
+    it->second.handle = std::move(handle);
+    Touch(id);
+    return;
+  }
+  Slot slot;
+  slot.handle = std::move(handle);
+  slot.lru_pos = lru_.insert(lru_.end(), id);
+  slots_[id] = std::move(slot);
+  EvictIfNeeded();
+}
+
+void TriggerCache::Invalidate(TriggerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  slots_.erase(it);
+}
+
+void TriggerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+  lru_.clear();
+}
+
+size_t TriggerCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+TriggerCacheStats TriggerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TriggerCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = TriggerCacheStats();
+}
+
+void TriggerCache::Touch(TriggerId id) {
+  auto it = slots_.find(id);
+  lru_.erase(it->second.lru_pos);
+  it->second.lru_pos = lru_.insert(lru_.end(), id);
+}
+
+void TriggerCache::EvictIfNeeded() {
+  while (slots_.size() > capacity_ && !lru_.empty()) {
+    TriggerId victim = lru_.front();
+    lru_.pop_front();
+    slots_.erase(victim);
+    ++stats_.evictions;
+    // Pinned handles stay alive through their shared_ptr even after the
+    // slot is gone — eviction only drops the cache's reference.
+  }
+}
+
+}  // namespace tman

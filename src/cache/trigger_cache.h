@@ -1,0 +1,86 @@
+#ifndef TRIGGERMAN_CACHE_TRIGGER_CACHE_H_
+#define TRIGGERMAN_CACHE_TRIGGER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "predindex/predicate_entry.h"
+#include "util/result.h"
+
+namespace tman {
+
+struct TriggerRuntime;
+
+/// Shared handle to a cached trigger description. Holding the handle is
+/// the "pin": the description cannot be destroyed while any handle is
+/// live, even if the cache evicts its slot (§5.4 — the pin operation is
+/// analogous to a buffer-pool pin).
+using TriggerHandle = std::shared_ptr<const TriggerRuntime>;
+
+/// Loads a trigger description from the on-disk trigger catalog (parse the
+/// stored text, rebuild syntax tree + network skeleton). Installed by the
+/// TriggerManager.
+using TriggerLoader =
+    std::function<Result<TriggerHandle>(TriggerId trigger_id)>;
+
+struct TriggerCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t loads_failed = 0;
+};
+
+/// The trigger cache (§5.1): complete descriptions of recently accessed
+/// triggers, kept in main memory with LRU replacement. Sized in number of
+/// triggers (the paper's arithmetic: ~4 KB per description, 16,384
+/// descriptions in a 64 MB cache).
+class TriggerCache {
+ public:
+  TriggerCache(size_t capacity, TriggerLoader loader);
+
+  TriggerCache(const TriggerCache&) = delete;
+  TriggerCache& operator=(const TriggerCache&) = delete;
+
+  /// Pins a trigger: returns the cached description, loading it through
+  /// the catalog loader on a miss (possibly evicting the LRU entry).
+  Result<TriggerHandle> Pin(TriggerId id);
+
+  /// Inserts/refreshes a description directly (used right after create
+  /// trigger, so the first firing does not re-load it).
+  void Put(TriggerId id, TriggerHandle handle);
+
+  /// Drops a trigger from the cache (drop trigger / disable).
+  void Invalidate(TriggerId id);
+
+  /// Drops everything (e.g. after bulk catalog changes).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  TriggerCacheStats stats() const;
+  void ResetStats();
+
+ private:
+  void Touch(TriggerId id);    // requires mutex_ held
+  void EvictIfNeeded();        // requires mutex_ held
+
+  const size_t capacity_;
+  TriggerLoader loader_;
+
+  mutable std::mutex mutex_;
+  struct Slot {
+    TriggerHandle handle;
+    std::list<TriggerId>::iterator lru_pos;
+  };
+  std::unordered_map<TriggerId, Slot> slots_;
+  std::list<TriggerId> lru_;  // front = least recently used
+  TriggerCacheStats stats_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CACHE_TRIGGER_CACHE_H_

@@ -1,0 +1,76 @@
+#include "core/client.h"
+
+#include "parser/parser.h"
+#include "util/string_util.h"
+
+namespace tman {
+
+ClientConnection::ClientConnection(TriggerManager* tman,
+                                   std::string client_name)
+    : tman_(tman), name_(std::move(client_name)) {}
+
+ClientConnection::~ClientConnection() { Close(); }
+
+Result<std::string> ClientConnection::Command(std::string_view text) {
+  if (closed_) return Status::Aborted("connection closed");
+  // Peek at the command type to record trigger creations for cleanup.
+  auto parsed = ParseCommand(text);
+  TMAN_ASSIGN_OR_RETURN(std::string msg, tman_->ExecuteCommand(text));
+  if (parsed.ok()) {
+    if (auto* create = std::get_if<CreateTriggerCmd>(&*parsed)) {
+      created_triggers_.push_back(create->name);
+    } else if (auto* drop = std::get_if<DropTriggerCmd>(&*parsed)) {
+      for (auto it = created_triggers_.begin();
+           it != created_triggers_.end(); ++it) {
+        if (EqualsIgnoreCase(*it, drop->name)) {
+          created_triggers_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  return msg;
+}
+
+uint64_t ClientConnection::RegisterForEvent(const std::string& event_name,
+                                            EventConsumer consumer) {
+  uint64_t id = tman_->events().Register(event_name, std::move(consumer));
+  registrations_.push_back(id);
+  return id;
+}
+
+void ClientConnection::Unregister(uint64_t registration_id) {
+  tman_->events().Unregister(registration_id);
+  for (auto it = registrations_.begin(); it != registrations_.end(); ++it) {
+    if (*it == registration_id) {
+      registrations_.erase(it);
+      return;
+    }
+  }
+}
+
+Status ClientConnection::SubmitUpdate(const UpdateDescriptor& token) {
+  if (closed_) return Status::Aborted("connection closed");
+  return tman_->SubmitUpdate(token);
+}
+
+Status ClientConnection::DropMyTriggers() {
+  Status first = Status::OK();
+  for (const std::string& name : created_triggers_) {
+    Status s = tman_->DropTrigger(name);
+    if (!s.ok() && first.ok() && !s.IsNotFound()) first = s;
+  }
+  created_triggers_.clear();
+  return first;
+}
+
+void ClientConnection::Close() {
+  if (closed_) return;
+  for (uint64_t id : registrations_) {
+    tman_->events().Unregister(id);
+  }
+  registrations_.clear();
+  closed_ = true;
+}
+
+}  // namespace tman

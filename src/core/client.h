@@ -1,0 +1,64 @@
+#ifndef TRIGGERMAN_CORE_CLIENT_H_
+#define TRIGGERMAN_CORE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trigger_manager.h"
+
+namespace tman {
+
+/// The TriggerMan client API (Figure 1): "client applications ... connect
+/// to TriggerMan, issue commands, register for events, and so forth."
+/// A ClientConnection scopes a client's event registrations and tracks
+/// the triggers it created, so disconnecting (or Close()) cleans up
+/// registrations — the in-process analogue of the client library that
+/// shipped with TriggerMan.
+class ClientConnection {
+ public:
+  /// Connects a named client to a TriggerMan instance.
+  ClientConnection(TriggerManager* tman, std::string client_name);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Issues one TriggerMan command; create-trigger commands are recorded
+  /// so DropMyTriggers() can undo this client's work.
+  Result<std::string> Command(std::string_view text);
+
+  /// Registers this client for an event ("*" = all). The registration
+  /// lives until Unregister/Close/destruction.
+  uint64_t RegisterForEvent(const std::string& event_name,
+                            EventConsumer consumer);
+  void Unregister(uint64_t registration_id);
+
+  /// Submits an update descriptor on behalf of a data source program
+  /// (the data source API shares the transport in this in-process build).
+  Status SubmitUpdate(const UpdateDescriptor& token);
+
+  /// Drops every trigger this connection created (best effort; returns
+  /// the first error but keeps going).
+  Status DropMyTriggers();
+
+  /// Unregisters all event consumers. Called by the destructor.
+  void Close();
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& created_triggers() const {
+    return created_triggers_;
+  }
+  bool closed() const { return closed_; }
+
+ private:
+  TriggerManager* tman_;
+  std::string name_;
+  std::vector<uint64_t> registrations_;
+  std::vector<std::string> created_triggers_;
+  bool closed_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CORE_CLIENT_H_

@@ -1,0 +1,75 @@
+#include "core/data_source.h"
+
+#include "util/string_util.h"
+
+namespace tman {
+
+Result<DataSourceId> DataSourceRegistry::DefineLocalTable(
+    Database* db, const std::string& table) {
+  std::string name = ToLower(table);
+  TMAN_ASSIGN_OR_RETURN(TableId id, db->TableIdOf(name));
+  TMAN_ASSIGN_OR_RETURN(Schema schema, db->SchemaOf(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("data source already defined: " + name);
+  }
+  DataSourceInfo info;
+  info.id = id;
+  info.name = name;
+  info.schema = std::move(schema);
+  info.kind = DataSourceKind::kLocalTable;
+  by_name_[name] = info;
+  name_by_id_[info.id] = name;
+  return info.id;
+}
+
+Result<DataSourceId> DataSourceRegistry::DefineStream(
+    const std::string& name_in, const Schema& schema) {
+  std::string name = ToLower(name_in);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("data source already defined: " + name);
+  }
+  DataSourceInfo info;
+  info.id = next_stream_id_++;
+  info.name = name;
+  info.schema = schema;
+  info.kind = DataSourceKind::kStream;
+  by_name_[name] = info;
+  name_by_id_[info.id] = name;
+  return info.id;
+}
+
+Result<DataSourceInfo> DataSourceRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such data source: " + name);
+  }
+  return it->second;
+}
+
+Result<DataSourceInfo> DataSourceRegistry::LookupById(DataSourceId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = name_by_id_.find(id);
+  if (it == name_by_id_.end()) {
+    return Status::NotFound("no data source with id " + std::to_string(id));
+  }
+  return by_name_.at(it->second);
+}
+
+bool DataSourceRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_name_.count(ToLower(name)) > 0;
+}
+
+std::vector<DataSourceInfo> DataSourceRegistry::All() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DataSourceInfo> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) out.push_back(info);
+  return out;
+}
+
+}  // namespace tman

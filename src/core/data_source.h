@@ -1,0 +1,59 @@
+#ifndef TRIGGERMAN_CORE_DATA_SOURCE_H_
+#define TRIGGERMAN_CORE_DATA_SOURCE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "db/database.h"
+#include "types/schema.h"
+#include "types/update_descriptor.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Kinds of data sources (§3): local tables captured through
+/// automatically-installed triggers, or generic data source programs
+/// (streams) feeding updates through the data source API.
+enum class DataSourceKind { kLocalTable, kStream };
+
+struct DataSourceInfo {
+  DataSourceId id = 0;
+  std::string name;
+  Schema schema;
+  DataSourceKind kind = DataSourceKind::kLocalTable;
+};
+
+/// Registry of defined data sources. Local tables reuse their MiniDB
+/// TableId as DataSourceId; stream sources get ids in a disjoint range.
+class DataSourceRegistry {
+ public:
+  DataSourceRegistry() = default;
+
+  /// Registers a local MiniDB table as a data source (the `define data
+  /// source` command against the default connection).
+  Result<DataSourceId> DefineLocalTable(Database* db,
+                                        const std::string& table);
+
+  /// Registers an external stream source with an explicit schema.
+  Result<DataSourceId> DefineStream(const std::string& name,
+                                    const Schema& schema);
+
+  Result<DataSourceInfo> Lookup(const std::string& name) const;
+  Result<DataSourceInfo> LookupById(DataSourceId id) const;
+  bool Has(const std::string& name) const;
+
+  std::vector<DataSourceInfo> All() const;
+
+ private:
+  static constexpr DataSourceId kStreamIdBase = 1u << 20;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, DataSourceInfo> by_name_;
+  std::map<DataSourceId, std::string> name_by_id_;
+  DataSourceId next_stream_id_ = kStreamIdBase;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CORE_DATA_SOURCE_H_

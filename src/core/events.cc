@@ -1,0 +1,69 @@
+#include "core/events.h"
+
+#include "util/string_util.h"
+
+namespace tman {
+
+std::string Event::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t EventManager::Register(const std::string& event_name,
+                                EventConsumer consumer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_id_++;
+  consumers_.push_back({id, ToLower(event_name), std::move(consumer)});
+  return id;
+}
+
+void EventManager::Unregister(uint64_t registration_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = consumers_.begin(); it != consumers_.end(); ++it) {
+    if (it->id == registration_id) {
+      consumers_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventManager::Raise(Event event) {
+  std::vector<EventConsumer> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++raised_;
+    std::string lname = ToLower(event.name);
+    for (const Registration& r : consumers_) {
+      if (r.event_name == "*" || r.event_name == lname) {
+        to_notify.push_back(r.consumer);
+      }
+    }
+    history_.push_back(event);
+    while (history_.size() > history_capacity_) history_.pop_front();
+  }
+  // Deliver outside the lock: consumers may re-enter (e.g. create
+  // triggers or raise further events).
+  for (const EventConsumer& c : to_notify) c(event);
+}
+
+uint64_t EventManager::num_raised() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return raised_;
+}
+
+std::vector<Event> EventManager::History() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Event>(history_.begin(), history_.end());
+}
+
+void EventManager::ClearHistory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_.clear();
+}
+
+}  // namespace tman

@@ -1,0 +1,851 @@
+#include "core/trigger_manager.h"
+
+#include <algorithm>
+
+#include "expr/rewrite.h"
+#include "parser/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tman {
+
+namespace {
+
+constexpr char kMetaTable[] = "tman_meta";
+constexpr char kQueueMetaKey[] = "update_queue_meta_page";
+constexpr char kDefaultSetName[] = "default";
+
+}  // namespace
+
+TriggerManager::TriggerManager(Database* db, TriggerManagerOptions options)
+    : db_(db), options_(options) {
+  catalog_ = std::make_unique<TriggerCatalog>(db_);
+  pindex_ = std::make_unique<PredicateIndex>(db_, options_.org_policy);
+  cache_ = std::make_unique<TriggerCache>(
+      options_.trigger_cache_capacity,
+      [this](TriggerId id) { return LoadTrigger(id); });
+  actions_ = std::make_unique<ActionExecutor>(db_, &events_);
+  drivers_ = std::make_unique<DriverPool>(&task_queue_, options_.driver_config);
+}
+
+TriggerManager::~TriggerManager() { Stop(); }
+
+Status TriggerManager::Open() {
+  TMAN_RETURN_IF_ERROR(catalog_->Open());
+
+  // Default trigger set.
+  TMAN_ASSIGN_OR_RETURN(auto def, catalog_->GetTriggerSet(kDefaultSetName));
+  if (def.has_value()) {
+    default_ts_id_ = def->ts_id;
+  } else {
+    TMAN_ASSIGN_OR_RETURN(
+        default_ts_id_,
+        catalog_->CreateTriggerSet(kDefaultSetName, "default trigger set"));
+  }
+
+  // Persistent update queue: its metadata page id is remembered in a tiny
+  // meta table so staged updates survive a reopen.
+  if (!db_->HasTable(kMetaTable)) {
+    TMAN_RETURN_IF_ERROR(
+        db_->CreateTable(kMetaTable, Schema({{"meta_key", DataType::kVarchar},
+                                             {"meta_value", DataType::kInt}}))
+            .status());
+  }
+  std::optional<PageId> queue_meta;
+  TMAN_RETURN_IF_ERROR(db_->Scan(kMetaTable, [&](const Rid&, const Tuple& t) {
+    if (t.at(0).as_string() == kQueueMetaKey) {
+      queue_meta = static_cast<PageId>(t.at(1).as_int());
+      return false;
+    }
+    return true;
+  }));
+  if (!queue_meta.has_value()) {
+    TMAN_ASSIGN_OR_RETURN(PageId page,
+                          TableQueue::Create(db_->buffer_pool()));
+    TMAN_RETURN_IF_ERROR(
+        db_->Insert(kMetaTable,
+                    Tuple({Value::String(kQueueMetaKey),
+                           Value::Int(static_cast<int64_t>(page))}))
+            .status());
+    queue_meta = page;
+  }
+  update_queue_ =
+      std::make_unique<TableQueue>(db_->buffer_pool(), *queue_meta);
+
+  // Restore cataloged data sources (the registry definitions survive in
+  // the tman_data_source table), then catalog any sources the caller
+  // defined before Open().
+  opened_ = true;
+  TMAN_ASSIGN_OR_RETURN(auto source_rows, catalog_->AllDataSources());
+  for (const TriggerCatalog::DataSourceRow& row : source_rows) {
+    if (registry_.Has(row.name)) continue;
+    if (row.is_local_table) {
+      TMAN_RETURN_IF_ERROR(RestoreLocalTableSource(row.name));
+    } else {
+      TMAN_ASSIGN_OR_RETURN(DataSourceId id,
+                            registry_.DefineStream(row.name, row.schema));
+      TMAN_RETURN_IF_ERROR(pindex_->RegisterDataSource(id, row.schema));
+    }
+  }
+  for (const DataSourceInfo& info : registry_.All()) {
+    bool cataloged = false;
+    for (const auto& row : source_rows) {
+      if (row.name == info.name) {
+        cataloged = true;
+        break;
+      }
+    }
+    if (cataloged) continue;
+    TriggerCatalog::DataSourceRow row;
+    row.name = info.name;
+    row.is_local_table = info.kind == DataSourceKind::kLocalTable;
+    row.schema = info.schema;
+    TMAN_RETURN_IF_ERROR(catalog_->InsertDataSource(row));
+  }
+
+  // Reload previously created triggers: rebuild the predicate index and
+  // prime their networks.
+  TMAN_ASSIGN_OR_RETURN(std::vector<TriggerRow> rows, catalog_->AllTriggers());
+  for (const TriggerRow& row : rows) {
+    TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommand(row.trigger_text));
+    auto* create = std::get_if<CreateTriggerCmd>(&cmd);
+    if (create == nullptr) {
+      return Status::Corruption("catalog trigger_text is not create trigger: " +
+                                row.name);
+    }
+    TMAN_RETURN_IF_ERROR(
+        InstallTrigger(*create, row.trigger_id, row.ts_id,
+                       /*catalog_write=*/false));
+    if (!row.is_enabled) {
+      std::unique_lock lock(meta_mutex_);
+      trigger_meta_[row.trigger_id].enabled = false;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Data sources
+// ---------------------------------------------------------------------------
+
+Status TriggerManager::RestoreLocalTableSource(const std::string& table) {
+  TMAN_ASSIGN_OR_RETURN(DataSourceId id,
+                        registry_.DefineLocalTable(db_, table));
+  TMAN_ASSIGN_OR_RETURN(DataSourceInfo info, registry_.LookupById(id));
+  TMAN_RETURN_IF_ERROR(pindex_->RegisterDataSource(id, info.schema));
+  // The auto-installed update-capture trigger of §3: every change to the
+  // table becomes an update descriptor submitted to TriggerMan.
+  return db_->SetUpdateHook(table, [this](const UpdateDescriptor& token) {
+    Status s = SubmitUpdate(token);
+    if (!s.ok()) {
+      TMAN_LOG(kError) << "update capture failed: " << s.ToString();
+    }
+  });
+}
+
+Result<DataSourceId> TriggerManager::DefineLocalTableSource(
+    const std::string& table) {
+  TMAN_RETURN_IF_ERROR(RestoreLocalTableSource(table));
+  TMAN_ASSIGN_OR_RETURN(DataSourceInfo info, registry_.Lookup(table));
+  if (opened_) {
+    TriggerCatalog::DataSourceRow row;
+    row.name = info.name;
+    row.is_local_table = true;
+    Status s = catalog_->InsertDataSource(row);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  return info.id;
+}
+
+Result<DataSourceId> TriggerManager::DefineStreamSource(
+    const std::string& name, const Schema& schema) {
+  TMAN_ASSIGN_OR_RETURN(DataSourceId id, registry_.DefineStream(name, schema));
+  TMAN_RETURN_IF_ERROR(pindex_->RegisterDataSource(id, schema));
+  if (opened_) {
+    TriggerCatalog::DataSourceRow row;
+    row.name = ToLower(name);
+    row.is_local_table = false;
+    row.schema = schema;
+    Status s = catalog_->InsertDataSource(row);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Trigger definition (§5.1)
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<TriggerRuntime>> TriggerManager::BuildRuntime(
+    const CreateTriggerCmd& cmd, TriggerId trigger_id, uint64_t ts_id) {
+  if ((!cmd.group_by.empty() || cmd.having != nullptr) &&
+      cmd.from.size() != 1) {
+    return Status::NotSupported(
+        "aggregate conditions over joins are future work (paper §9); "
+        "group by/having requires a single tuple variable");
+  }
+  if (cmd.having != nullptr && cmd.group_by.empty()) {
+    return Status::InvalidArgument("having requires a group by clause");
+  }
+
+  // Step 1 (validate): resolve the from-list against defined sources.
+  std::vector<TupleVarInfo> vars;
+  std::vector<Schema> schemas;
+  for (const TupleVarDecl& decl : cmd.from) {
+    TMAN_ASSIGN_OR_RETURN(DataSourceInfo info, registry_.Lookup(decl.source));
+    for (const TupleVarInfo& existing : vars) {
+      if (EqualsIgnoreCase(existing.var, decl.var)) {
+        return Status::InvalidArgument("duplicate tuple variable: " +
+                                       decl.var);
+      }
+    }
+    TupleVarInfo v;
+    v.var = decl.var;
+    v.source_name = info.name;
+    v.source_id = info.id;
+    v.event = OpCode::kInsertOrUpdate;
+    vars.push_back(std::move(v));
+    schemas.push_back(info.schema);
+  }
+
+  // Apply the on-clause to its target tuple variable.
+  std::vector<std::string> update_columns;
+  int event_var = -1;
+  if (cmd.on.has_value()) {
+    const EventSpec& spec = *cmd.on;
+    std::string target = spec.target;
+    if (target.empty() && vars.size() == 1) target = vars[0].var;
+    if (target.empty()) {
+      return Status::InvalidArgument(
+          "on-clause needs a target (e.g. 'on insert to house') when the "
+          "trigger has several tuple variables");
+    }
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (EqualsIgnoreCase(vars[i].var, target) ||
+          EqualsIgnoreCase(vars[i].source_name, target)) {
+        if (event_var >= 0) {
+          return Status::InvalidArgument("ambiguous event target: " + target);
+        }
+        event_var = static_cast<int>(i);
+      }
+    }
+    if (event_var < 0) {
+      return Status::InvalidArgument("event target not in from-list: " +
+                                     target);
+    }
+    vars[static_cast<size_t>(event_var)].event = spec.op;
+    for (const std::string& col : spec.columns) {
+      auto pieces = Split(col, '.');
+      update_columns.push_back(ToLower(pieces.back()));
+    }
+    std::sort(update_columns.begin(), update_columns.end());
+    update_columns.erase(
+        std::unique(update_columns.begin(), update_columns.end()),
+        update_columns.end());
+  }
+
+  // Step 2: qualify the when/group-by/having clauses and convert the
+  // when-clause to CNF.
+  auto resolver = [&](const std::string& attr) -> Result<std::string> {
+    int found = -1;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (schemas[i].FieldIndex(attr) >= 0) {
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous attribute: " + attr);
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found < 0) return Status::NotFound("no such attribute: " + attr);
+    return vars[static_cast<size_t>(found)].var;
+  };
+  auto validator = [&](const std::string& var,
+                       const std::string& attr) -> Status {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (EqualsIgnoreCase(vars[i].var, var)) {
+        if (schemas[i].FieldIndex(attr) < 0) {
+          return Status::NotFound("no attribute " + attr +
+                                  " in tuple variable " + var);
+        }
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("unknown tuple variable: " + var);
+  };
+  ExprPtr when = cmd.when;
+  if (when != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(when, QualifyColumnRefs(when, resolver, validator));
+  }
+  std::vector<ExprPtr> group_by;
+  for (const ExprPtr& g : cmd.group_by) {
+    TMAN_ASSIGN_OR_RETURN(ExprPtr q,
+                          QualifyColumnRefs(g, resolver, validator));
+    group_by.push_back(std::move(q));
+  }
+  ExprPtr having = cmd.having;
+  if (having != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(having,
+                          QualifyColumnRefs(having, resolver, validator));
+  }
+  std::vector<ExprPtr> cnf;
+  if (when != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(cnf, ToCnf(when));
+  }
+
+  // Step 3: trigger condition graph.
+  TMAN_ASSIGN_OR_RETURN(ConditionGraph graph,
+                        ConditionGraph::Build(vars, cnf));
+
+  // Step 4: A-TREAT network.
+  auto runtime = std::make_shared<TriggerRuntime>();
+  runtime->id = trigger_id;
+  runtime->ts_id = ts_id;
+  runtime->name = ToLower(cmd.name);
+  runtime->text = cmd.original_text;
+  runtime->cmd = cmd;
+  runtime->graph = graph;
+  // Stash the normalized update-columns and qualified aggregate clauses
+  // back into the command so later consumers see them uniformly.
+  if (runtime->cmd.on.has_value()) {
+    runtime->cmd.on->columns = update_columns;
+  }
+  runtime->cmd.group_by = std::move(group_by);
+  runtime->cmd.having = std::move(having);
+  // Qualify action event arguments as well, so aggregate extraction and
+  // evaluation see resolved column refs.
+  for (ExprPtr& arg : runtime->cmd.action.event_args) {
+    TMAN_ASSIGN_OR_RETURN(arg, QualifyColumnRefs(arg, resolver, validator));
+  }
+  TMAN_ASSIGN_OR_RETURN(
+      runtime->network,
+      ATreatNetwork::Build(runtime->graph, db_, options_.network_options,
+                           schemas));
+  return runtime;
+}
+
+Status TriggerManager::InstallTrigger(const CreateTriggerCmd& cmd,
+                                      TriggerId trigger_id, uint64_t ts_id,
+                                      bool catalog_write) {
+  TMAN_ASSIGN_OR_RETURN(std::shared_ptr<TriggerRuntime> runtime,
+                        BuildRuntime(cmd, trigger_id, ts_id));
+
+  // Step 5: register each node's selection predicate in the predicate
+  // index, creating signatures/constant tables as needed.
+  std::vector<ExprId> expr_ids;
+  for (size_t i = 0; i < runtime->graph.nodes().size(); ++i) {
+    const ConditionGraph::Node& node = runtime->graph.nodes()[i];
+    PredicateSpec spec;
+    spec.data_source = node.info.source_id;
+    spec.op = node.info.event;
+    if (runtime->cmd.on.has_value() &&
+        node.info.event == runtime->cmd.on->op) {
+      spec.update_columns = runtime->cmd.on->columns;
+    }
+    spec.predicate = node.SelectionPredicate();
+    spec.trigger_id = trigger_id;
+    spec.next_node = static_cast<NetworkNodeId>(i);
+    auto added = pindex_->AddPredicate(spec);
+    if (!added.ok()) {
+      // Roll back predicates registered so far.
+      for (ExprId id : expr_ids) (void)pindex_->RemovePredicate(id);
+      return added.status();
+    }
+    expr_ids.push_back(added->expr_id);
+    if (catalog_write) {
+      if (added->new_signature) {
+        SignatureRow row;
+        row.sig_id = added->sig_id;
+        row.data_src_id = spec.data_source;
+        row.signature_desc = added->signature_desc;
+        row.const_table_name =
+            added->constants.empty()
+                ? ""
+                : "const_table_" + std::to_string(added->sig_id);
+        row.constant_set_size = added->class_size;
+        row.constant_set_organization = added->org;
+        TMAN_RETURN_IF_ERROR(catalog_->InsertSignature(row));
+      } else {
+        TMAN_RETURN_IF_ERROR(catalog_->UpdateSignatureStats(
+            added->sig_id, added->class_size, added->org));
+      }
+    }
+  }
+  runtime->expr_ids = expr_ids;
+
+  // Aggregate triggers: create the group-by evaluator (kept outside the
+  // cache; reset on reopen — the paper leaves durable aggregate state as
+  // future work).
+  std::shared_ptr<GroupByEvaluator> aggregate;
+  if (!runtime->cmd.group_by.empty()) {
+    auto ev = GroupByEvaluator::Create(
+        runtime->graph.nodes()[0].info.var,
+        runtime->network->node_schema(0), runtime->cmd.group_by,
+        runtime->cmd.having, runtime->cmd.action.event_args);
+    if (!ev.ok()) {
+      for (ExprId id : expr_ids) (void)pindex_->RemovePredicate(id);
+      return ev.status();
+    }
+    aggregate = std::move(*ev);
+  }
+
+  // Prime stored alpha memories from current table contents.
+  TMAN_RETURN_IF_ERROR(runtime->network->Prime());
+
+  {
+    std::unique_lock lock(meta_mutex_);
+    TriggerMeta meta;
+    meta.id = trigger_id;
+    meta.ts_id = ts_id;
+    meta.enabled = true;
+    meta.multi_variable = runtime->multi_variable();
+    meta.is_aggregate = aggregate != nullptr;
+    trigger_meta_[trigger_id] = meta;
+    trigger_by_name_[runtime->name] = trigger_id;
+    if (set_enabled_.count(ts_id) == 0) set_enabled_[ts_id] = true;
+    if (meta.needs_maintenance()) {
+      for (const auto& node : runtime->graph.nodes()) {
+        ++maintenance_triggers_[node.info.source_id];
+      }
+    }
+    // Remember the expr ids for drop trigger even after cache eviction.
+    expr_ids_by_trigger_[trigger_id] = std::move(expr_ids);
+    if (aggregate != nullptr) aggregates_[trigger_id] = std::move(aggregate);
+  }
+
+  cache_->Put(trigger_id, TriggerHandle(runtime));
+  return Status::OK();
+}
+
+Status TriggerManager::CreateTrigger(const CreateTriggerCmd& cmd) {
+  uint64_t ts_id = default_ts_id_;
+  if (!cmd.set_name.empty()) {
+    TMAN_ASSIGN_OR_RETURN(auto set, catalog_->GetTriggerSet(cmd.set_name));
+    if (!set.has_value()) {
+      return Status::NotFound("no such trigger set: " + cmd.set_name);
+    }
+    ts_id = set->ts_id;
+  }
+  TMAN_ASSIGN_OR_RETURN(
+      TriggerId id,
+      catalog_->InsertTrigger(cmd.name, ts_id, "", cmd.original_text));
+  Status s = InstallTrigger(cmd, id, ts_id, /*catalog_write=*/true);
+  if (!s.ok()) {
+    (void)catalog_->DeleteTrigger(cmd.name);
+    return s;
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::DropTrigger(const std::string& name) {
+  std::string lname = ToLower(name);
+  TriggerId id = 0;
+  std::vector<ExprId> expr_ids;
+  {
+    std::unique_lock lock(meta_mutex_);
+    auto it = trigger_by_name_.find(lname);
+    if (it == trigger_by_name_.end()) {
+      return Status::NotFound("no such trigger: " + name);
+    }
+    id = it->second;
+    auto eit = expr_ids_by_trigger_.find(id);
+    if (eit != expr_ids_by_trigger_.end()) {
+      expr_ids = eit->second;
+      expr_ids_by_trigger_.erase(eit);
+    }
+    trigger_by_name_.erase(it);
+  }
+  // Fix per-source maintenance counts using the runtime if available.
+  auto pinned = cache_->Pin(id);
+  if (pinned.ok()) {
+    std::unique_lock lock(meta_mutex_);
+    if (trigger_meta_[id].needs_maintenance()) {
+      for (const auto& node : (*pinned)->graph.nodes()) {
+        auto mit = maintenance_triggers_.find(node.info.source_id);
+        if (mit != maintenance_triggers_.end() && mit->second > 0) {
+          --mit->second;
+        }
+      }
+    }
+  }
+  {
+    std::unique_lock lock(meta_mutex_);
+    trigger_meta_.erase(id);
+    aggregates_.erase(id);
+  }
+  for (ExprId eid : expr_ids) {
+    Status s = pindex_->RemovePredicate(eid);
+    if (!s.ok()) {
+      TMAN_LOG(kWarn) << "drop trigger: predicate removal failed: "
+                      << s.ToString();
+    }
+  }
+  cache_->Invalidate(id);
+  return catalog_->DeleteTrigger(lname);
+}
+
+Status TriggerManager::SetTriggerEnabled(const std::string& name,
+                                         bool enabled) {
+  std::string lname = ToLower(name);
+  TMAN_RETURN_IF_ERROR(catalog_->SetTriggerEnabled(lname, enabled));
+  std::unique_lock lock(meta_mutex_);
+  auto it = trigger_by_name_.find(lname);
+  if (it != trigger_by_name_.end()) {
+    trigger_meta_[it->second].enabled = enabled;
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::CreateTriggerSet(const std::string& name,
+                                        const std::string& comments) {
+  TMAN_ASSIGN_OR_RETURN(uint64_t ts_id,
+                        catalog_->CreateTriggerSet(name, comments));
+  std::unique_lock lock(meta_mutex_);
+  set_enabled_[ts_id] = true;
+  return Status::OK();
+}
+
+Status TriggerManager::SetTriggerSetEnabled(const std::string& name,
+                                            bool enabled) {
+  TMAN_RETURN_IF_ERROR(catalog_->SetTriggerSetEnabled(name, enabled));
+  TMAN_ASSIGN_OR_RETURN(auto set, catalog_->GetTriggerSet(name));
+  std::unique_lock lock(meta_mutex_);
+  set_enabled_[set->ts_id] = enabled;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Command interface
+// ---------------------------------------------------------------------------
+
+Result<std::string> TriggerManager::ExecuteCommand(std::string_view text) {
+  TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommand(text));
+  if (auto* create = std::get_if<CreateTriggerCmd>(&cmd)) {
+    TMAN_RETURN_IF_ERROR(CreateTrigger(*create));
+    return "trigger " + create->name + " created";
+  }
+  if (auto* drop = std::get_if<DropTriggerCmd>(&cmd)) {
+    TMAN_RETURN_IF_ERROR(DropTrigger(drop->name));
+    return "trigger " + drop->name + " dropped";
+  }
+  if (auto* set = std::get_if<CreateTriggerSetCmd>(&cmd)) {
+    TMAN_RETURN_IF_ERROR(CreateTriggerSet(set->name, set->comments));
+    return "trigger set " + set->name + " created";
+  }
+  if (auto* enable = std::get_if<EnableCmd>(&cmd)) {
+    Status s = enable->is_set
+                   ? SetTriggerSetEnabled(enable->name, enable->enable)
+                   : SetTriggerEnabled(enable->name, enable->enable);
+    TMAN_RETURN_IF_ERROR(s);
+    return std::string(enable->enable ? "enabled " : "disabled ") +
+           (enable->is_set ? "trigger set " : "trigger ") + enable->name;
+  }
+  if (auto* define = std::get_if<DefineDataSourceCmd>(&cmd)) {
+    if (db_->HasTable(define->name)) {
+      TMAN_RETURN_IF_ERROR(DefineLocalTableSource(define->name).status());
+      return "data source " + define->name + " defined (local table)";
+    }
+    TMAN_RETURN_IF_ERROR(
+        DefineStreamSource(define->name, define->schema).status());
+    return "data source " + define->name + " defined (stream)";
+  }
+  return Status::Internal("unhandled command");
+}
+
+Result<std::string> TriggerManager::ExecuteScript(std::string_view text) {
+  std::string out;
+  for (const std::string& piece : Split(std::string(text), ';')) {
+    std::string_view trimmed = Trim(piece);
+    if (trimmed.empty()) continue;
+    TMAN_ASSIGN_OR_RETURN(std::string msg, ExecuteCommand(trimmed));
+    if (!out.empty()) out += "\n";
+    out += msg;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token pipeline (§5.4 + §6)
+// ---------------------------------------------------------------------------
+
+Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
+  updates_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.persistent_queue && update_queue_ != nullptr) {
+    std::string record;
+    token.Serialize(&record);
+    TMAN_RETURN_IF_ERROR(update_queue_->Enqueue(record));
+    // One pump task per staged descriptor: consumes the head of the
+    // persistent queue on whichever driver runs first.
+    Task task;
+    task.kind = TaskKind::kProcessToken;
+    task.work = [this]() -> Status {
+      auto record = update_queue_->Dequeue();
+      if (!record.ok()) return Status::OK();  // already consumed
+      TMAN_ASSIGN_OR_RETURN(UpdateDescriptor t,
+                            UpdateDescriptor::Deserialize(*record));
+      return EnqueueTokenTasks(t);
+    };
+    task_queue_.Push(std::move(task));
+    return Status::OK();
+  }
+  return EnqueueTokenTasks(token);
+}
+
+Status TriggerManager::EnqueueTokenTasks(const UpdateDescriptor& token) {
+  uint32_t parts = options_.condition_partitions;
+  if (parts <= 1) {
+    // Called from a pump task or from SubmitUpdate (memory mode): process
+    // inline when already on a driver; otherwise queue a task.
+    Task task;
+    task.kind = TaskKind::kProcessToken;
+    UpdateDescriptor copy = token;
+    task.work = [this, copy]() { return ProcessToken(copy, 0, 1); };
+    task_queue_.Push(std::move(task));
+    return Status::OK();
+  }
+  for (uint32_t p = 0; p < parts; ++p) {
+    Task task;
+    task.kind = TaskKind::kProcessTokenPartition;
+    UpdateDescriptor copy = token;
+    task.work = [this, copy, p, parts]() {
+      return ProcessToken(copy, p, parts);
+    };
+    task_queue_.Push(std::move(task));
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::ProcessPending() {
+  Task task;
+  while (task_queue_.TryPop(&task)) {
+    Status s = task.work();
+    task_queue_.MarkDone();
+    if (!s.ok()) {
+      TMAN_LOG(kWarn) << "task failed: " << s.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status TriggerManager::Start() {
+  drivers_->Start();
+  return Status::OK();
+}
+
+void TriggerManager::Stop() {
+  if (drivers_ != nullptr) drivers_->Stop();
+}
+
+void TriggerManager::Drain() { task_queue_.WaitIdle(); }
+
+bool TriggerManager::IsEnabled(TriggerId id) const {
+  std::shared_lock lock(meta_mutex_);
+  auto it = trigger_meta_.find(id);
+  if (it == trigger_meta_.end()) return false;
+  if (!it->second.enabled) return false;
+  auto sit = set_enabled_.find(it->second.ts_id);
+  return sit == set_enabled_.end() || sit->second;
+}
+
+Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
+                                    uint32_t partition,
+                                    uint32_t num_partitions) {
+  if (partition == 0) {
+    tokens_processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Maintenance pass (only when some trigger on this source keeps state:
+  // stored alpha memories of multi-variable triggers, or aggregate
+  // groups). Matching here ignores event opcodes — state must track the
+  // selection result regardless of which events fire the trigger.
+  bool need_maintenance = false;
+  {
+    std::shared_lock lock(meta_mutex_);
+    auto it = maintenance_triggers_.find(token.data_source);
+    need_maintenance = it != maintenance_triggers_.end() && it->second > 0;
+  }
+  if (need_maintenance) {
+    auto maintain = [&](const Tuple& tuple, bool add) -> Status {
+      Status inner = Status::OK();
+      TMAN_RETURN_IF_ERROR(pindex_->MatchMaintenance(
+          token.data_source, tuple, partition, num_partitions,
+          [&](const PredicateMatch& m) {
+            if (!inner.ok()) return;
+            bool multi = false;
+            bool is_aggregate = false;
+            {
+              std::shared_lock lock(meta_mutex_);
+              auto it = trigger_meta_.find(m.trigger_id);
+              if (it != trigger_meta_.end()) {
+                multi = it->second.multi_variable;
+                is_aggregate = it->second.is_aggregate;
+              }
+            }
+            if (!multi && !is_aggregate) return;
+            auto pinned = cache_->Pin(m.trigger_id);
+            if (!pinned.ok()) {
+              inner = pinned.status();
+              return;
+            }
+            if (is_aggregate) {
+              std::shared_ptr<GroupByEvaluator> agg;
+              {
+                std::shared_lock lock(meta_mutex_);
+                auto ait = aggregates_.find(m.trigger_id);
+                if (ait != aggregates_.end()) agg = ait->second;
+              }
+              if (agg != nullptr && IsEnabled(m.trigger_id)) {
+                Status s = RunAggregateDelta(agg, *pinned, token, tuple, add,
+                                             m.next_node);
+                if (!s.ok()) inner = s;
+              }
+              return;
+            }
+            Status s = add
+                           ? (*pinned)->network->AddTuple(m.next_node, tuple)
+                           : (*pinned)->network->RemoveTuple(m.next_node,
+                                                             tuple);
+            if (!s.ok()) inner = s;
+          }));
+      return inner;
+    };
+    if (token.old_tuple.has_value() &&
+        (token.op == OpCode::kDelete || token.op == OpCode::kUpdate)) {
+      TMAN_RETURN_IF_ERROR(maintain(*token.old_tuple, /*add=*/false));
+    }
+    if (token.new_tuple.has_value() &&
+        (token.op == OpCode::kInsert || token.op == OpCode::kUpdate)) {
+      TMAN_RETURN_IF_ERROR(maintain(*token.new_tuple, /*add=*/true));
+    }
+  }
+
+  // Fire matching: event condition + selection predicate through the
+  // predicate index, then joins, then actions.
+  Status inner = Status::OK();
+  TMAN_RETURN_IF_ERROR(pindex_->MatchPartitioned(
+      token, partition, num_partitions, [&](const PredicateMatch& m) {
+        if (!inner.ok()) return;
+        if (!IsEnabled(m.trigger_id)) return;
+        auto pinned = cache_->Pin(m.trigger_id);
+        if (!pinned.ok()) {
+          inner = pinned.status();
+          return;
+        }
+        Status s = RunFiring(m, *pinned, token);
+        if (!s.ok()) inner = s;
+      }));
+  return inner;
+}
+
+Status TriggerManager::RunFiring(const PredicateMatch& match,
+                                 const TriggerHandle& trigger,
+                                 const UpdateDescriptor& token) {
+  // Aggregate triggers already consumed the token in the maintenance
+  // pass (their firing is an edge of the having condition, not a join
+  // result); nothing to do on the fire path.
+  {
+    std::shared_lock lock(meta_mutex_);
+    if (aggregates_.count(trigger->id) > 0) return Status::OK();
+  }
+  return trigger->network->MatchJoins(
+      match.next_node, token.EffectiveTuple(),
+      [&](const std::vector<Tuple>& bindings) {
+        rule_firings_.fetch_add(1, std::memory_order_relaxed);
+        ActionContext ctx;
+        ctx.trigger = trigger.get();
+        ctx.bindings = bindings;
+        ctx.token = token;
+        ctx.arrival_node = match.next_node;
+        if (options_.concurrent_actions) {
+          // Rule action concurrency (§6): actions run as their own tasks.
+          Task task;
+          task.kind = TaskKind::kRunAction;
+          TriggerHandle keep_alive = trigger;
+          auto ctx_ptr = std::make_shared<ActionContext>(std::move(ctx));
+          ctx_ptr->trigger = keep_alive.get();
+          task.work = [this, keep_alive, ctx_ptr]() {
+            return actions_->Execute(*ctx_ptr);
+          };
+          task_queue_.Push(std::move(task));
+          return;
+        }
+        Status s = actions_->Execute(ctx);
+        if (!s.ok()) {
+          TMAN_LOG(kWarn) << "action of trigger " << trigger->name
+                          << " failed: " << s.ToString();
+        }
+      });
+}
+
+Status TriggerManager::RunAggregateDelta(
+    const std::shared_ptr<GroupByEvaluator>& agg, const TriggerHandle& trigger,
+    const UpdateDescriptor& token, const Tuple& tuple, bool add,
+    NetworkNodeId arrival_node) {
+  TMAN_ASSIGN_OR_RETURN(auto firings, agg->ApplyDelta(tuple, add));
+  for (const GroupByEvaluator::Firing& firing : firings) {
+    rule_firings_.fetch_add(1, std::memory_order_relaxed);
+    ActionContext ctx;
+    ctx.trigger = trigger.get();
+    ctx.bindings = {tuple};
+    ctx.token = token;
+    ctx.arrival_node = arrival_node;
+    // Substitute the group's aggregate values into the action arguments.
+    ActionSpec spec = trigger->cmd.action;
+    for (size_t i = 0; i < spec.event_args.size(); ++i) {
+      TMAN_ASSIGN_OR_RETURN(spec.event_args[i],
+                            agg->InstantiateActionArg(i, firing));
+    }
+    Status s = actions_->ExecuteSpec(ctx, spec);
+    if (!s.ok()) {
+      TMAN_LOG(kWarn) << "aggregate action of trigger " << trigger->name
+                      << " failed: " << s.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Result<TriggerHandle> TriggerManager::LoadTrigger(TriggerId id) {
+  TMAN_ASSIGN_OR_RETURN(auto row, catalog_->GetTriggerById(id));
+  if (!row.has_value()) {
+    return Status::NotFound("trigger " + std::to_string(id) +
+                            " not in catalog");
+  }
+  TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommand(row->trigger_text));
+  auto* create = std::get_if<CreateTriggerCmd>(&cmd);
+  if (create == nullptr) {
+    return Status::Corruption("catalog trigger_text is not create trigger");
+  }
+  TMAN_ASSIGN_OR_RETURN(std::shared_ptr<TriggerRuntime> runtime,
+                        BuildRuntime(*create, id, row->ts_id));
+  // Re-prime stored memories from local tables. Stream-fed stored
+  // memories restart empty after eviction — replaying a stream is out of
+  // scope (the paper's persistent queue covers staged, not consumed,
+  // updates).
+  TMAN_RETURN_IF_ERROR(runtime->network->Prime());
+  return TriggerHandle(runtime);
+}
+
+Result<TriggerHandle> TriggerManager::PinTrigger(const std::string& name) {
+  TriggerId id = 0;
+  {
+    std::shared_lock lock(meta_mutex_);
+    auto it = trigger_by_name_.find(ToLower(name));
+    if (it == trigger_by_name_.end()) {
+      return Status::NotFound("no such trigger: " + name);
+    }
+    id = it->second;
+  }
+  return cache_->Pin(id);
+}
+
+TriggerManagerStats TriggerManager::stats() const {
+  TriggerManagerStats st;
+  st.updates_submitted = updates_submitted_.load(std::memory_order_relaxed);
+  st.tokens_processed = tokens_processed_.load(std::memory_order_relaxed);
+  st.rule_firings = rule_firings_.load(std::memory_order_relaxed);
+  st.actions = actions_->stats();
+  st.cache = cache_->stats();
+  st.predicates = pindex_->stats();
+  return st;
+}
+
+}  // namespace tman

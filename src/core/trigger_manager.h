@@ -1,0 +1,235 @@
+#ifndef TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
+#define TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cache/trigger_cache.h"
+#include "catalog/trigger_catalog.h"
+#include "core/actions.h"
+#include "core/aggregates.h"
+#include "core/data_source.h"
+#include "core/events.h"
+#include "core/trigger.h"
+#include "db/database.h"
+#include "predindex/predicate_index.h"
+#include "runtime/driver.h"
+#include "runtime/task_queue.h"
+#include "storage/table_queue.h"
+
+namespace tman {
+
+/// Configuration of a TriggerMan instance.
+struct TriggerManagerOptions {
+  /// Trigger cache capacity in trigger descriptions (§5.1's example:
+  /// 16,384 descriptions fit a 64 MB cache at ~4 KB each).
+  size_t trigger_cache_capacity = 16384;
+
+  /// Constant-set organization policy (thresholds / forcing).
+  OrgPolicy org_policy;
+
+  /// Driver/TmanTest configuration (§6).
+  DriverConfig driver_config;
+
+  /// A-TREAT construction policy.
+  ATreatOptions network_options;
+
+  /// Stage update descriptors through the persistent queue table (§3:
+  /// "the safety of persistent update queuing"); false = main-memory
+  /// delivery ("faster, but the safety ... will be lost").
+  bool persistent_queue = true;
+
+  /// Condition-level concurrency (Figure 5): fan each token into this
+  /// many partition tasks. 1 = token-level concurrency only.
+  uint32_t condition_partitions = 1;
+
+  /// Rule-action concurrency: run fired actions as separate tasks
+  /// instead of inline with condition testing.
+  bool concurrent_actions = false;
+};
+
+/// Aggregate statistics.
+struct TriggerManagerStats {
+  uint64_t updates_submitted = 0;
+  uint64_t tokens_processed = 0;
+  uint64_t rule_firings = 0;
+  ActionStats actions;
+  TriggerCacheStats cache;
+  PredicateIndexStats predicates;
+};
+
+/// TriggerMan: the asynchronous trigger processor. Owns the predicate
+/// index, trigger cache, catalogs, update queue, task queue and driver
+/// pool; exposes the command language plus programmatic APIs.
+///
+/// Typical use:
+///   Database db;
+///   ... create tables ...
+///   TriggerManager tman(&db);
+///   tman.Open();
+///   tman.ExecuteCommand("define data source emp (...)");  // or
+///   tman.DefineLocalTableSource("emp");
+///   tman.ExecuteCommand("create trigger t1 from emp when ... do ...");
+///   tman.Start();              // driver threads (or ProcessPending()
+///                              // for single-threaded operation)
+class TriggerManager {
+ public:
+  explicit TriggerManager(Database* db,
+                          TriggerManagerOptions options = {});
+  ~TriggerManager();
+
+  TriggerManager(const TriggerManager&) = delete;
+  TriggerManager& operator=(const TriggerManager&) = delete;
+
+  /// Opens catalogs and queues, and reloads previously created triggers
+  /// from the catalog (rebuilding the predicate index).
+  Status Open();
+
+  // --- command language ---------------------------------------------------
+
+  /// Parses and executes one command; returns a human-readable summary.
+  Result<std::string> ExecuteCommand(std::string_view text);
+
+  /// Executes a ';'-separated script.
+  Result<std::string> ExecuteScript(std::string_view text);
+
+  // --- data sources ---------------------------------------------------------
+
+  /// Registers a local MiniDB table as a data source and installs the
+  /// update-capture hook (the auto-created "one trigger per table per
+  /// update event" of §3).
+  Result<DataSourceId> DefineLocalTableSource(const std::string& table);
+
+  /// Registers a stream data source (data source API).
+  Result<DataSourceId> DefineStreamSource(const std::string& name,
+                                          const Schema& schema);
+
+  // --- triggers ----------------------------------------------------------
+
+  Status CreateTrigger(const CreateTriggerCmd& cmd);
+  Status DropTrigger(const std::string& name);
+  Status SetTriggerEnabled(const std::string& name, bool enabled);
+  Status CreateTriggerSet(const std::string& name,
+                          const std::string& comments);
+  Status SetTriggerSetEnabled(const std::string& name, bool enabled);
+
+  // --- update ingestion & processing -----------------------------------------
+
+  /// Data source API entry: stages an update descriptor for asynchronous
+  /// processing (persistent queue table or in-memory task).
+  Status SubmitUpdate(const UpdateDescriptor& token);
+
+  /// Synchronously processes everything currently staged (single-
+  /// threaded path used by tests and by callers not running drivers).
+  Status ProcessPending();
+
+  /// Starts / stops the driver pool (asynchronous processing).
+  Status Start();
+  void Stop();
+
+  /// Blocks until all staged work is processed (drivers must be running).
+  void Drain();
+
+  // --- introspection -----------------------------------------------------------
+
+  TriggerManagerStats stats() const;
+  EventManager& events() { return events_; }
+  PredicateIndex& predicate_index() { return *pindex_; }
+  TriggerCache& cache() { return *cache_; }
+  TriggerCatalog& catalog() { return *catalog_; }
+  DataSourceRegistry& sources() { return registry_; }
+  Database* database() { return db_; }
+
+  /// Pins a trigger (tests / tooling).
+  Result<TriggerHandle> PinTrigger(const std::string& name);
+
+ private:
+  struct TriggerMeta {
+    TriggerId id = 0;
+    uint64_t ts_id = 0;
+    bool enabled = true;
+    bool multi_variable = false;
+    bool is_aggregate = false;
+
+    /// True when tokens must run the maintenance pass for this trigger
+    /// (stored alpha memories or aggregate group state).
+    bool needs_maintenance() const { return multi_variable || is_aggregate; }
+  };
+
+  /// §5.1 steps 1–5 for an already-parsed statement. When `catalog_write`
+  /// is false the trigger is being reloaded and catalog rows already
+  /// exist.
+  Status InstallTrigger(const CreateTriggerCmd& cmd, TriggerId trigger_id,
+                        uint64_t ts_id, bool catalog_write);
+
+  /// Builds the TriggerRuntime (parse → condition graph → network).
+  Result<std::shared_ptr<TriggerRuntime>> BuildRuntime(
+      const CreateTriggerCmd& cmd, TriggerId trigger_id, uint64_t ts_id);
+
+  /// Token pipeline (§5.4): memory maintenance + fire matching + joins +
+  /// action execution for one partition of the predicate index.
+  Status ProcessToken(const UpdateDescriptor& token, uint32_t partition,
+                      uint32_t num_partitions);
+
+  Status RunFiring(const PredicateMatch& match, const TriggerHandle& trigger,
+                   const UpdateDescriptor& token);
+
+  /// Aggregate-trigger path (driven from token maintenance, so deletes
+  /// and updates reach group state regardless of the event clause): apply
+  /// one tuple delta to the group-by evaluator and run the action for
+  /// every group whose having condition just became true.
+  Status RunAggregateDelta(const std::shared_ptr<GroupByEvaluator>& agg,
+                           const TriggerHandle& trigger,
+                           const UpdateDescriptor& token, const Tuple& tuple,
+                           bool add, NetworkNodeId arrival_node);
+
+  /// Loader installed into the trigger cache.
+  Result<TriggerHandle> LoadTrigger(TriggerId id);
+
+  /// Registers a local table in the registry + predicate index and
+  /// installs the capture hook (no catalog write).
+  Status RestoreLocalTableSource(const std::string& table);
+
+  /// True if the trigger and its set are enabled.
+  bool IsEnabled(TriggerId id) const;
+
+  Status EnqueueTokenTasks(const UpdateDescriptor& token);
+
+  Database* db_;
+  TriggerManagerOptions options_;
+
+  std::unique_ptr<TriggerCatalog> catalog_;
+  std::unique_ptr<PredicateIndex> pindex_;
+  std::unique_ptr<TriggerCache> cache_;
+  std::unique_ptr<TableQueue> update_queue_;  // persistent staging
+  DataSourceRegistry registry_;
+  EventManager events_;
+  std::unique_ptr<ActionExecutor> actions_;
+  TaskQueue task_queue_;
+  std::unique_ptr<DriverPool> drivers_;
+
+  mutable std::shared_mutex meta_mutex_;
+  std::map<TriggerId, TriggerMeta> trigger_meta_;
+  std::map<std::string, TriggerId> trigger_by_name_;
+  std::map<TriggerId, std::vector<ExprId>> expr_ids_by_trigger_;
+  // Aggregate (group by/having) state lives outside the trigger cache so
+  // eviction cannot drop group counters.
+  std::map<TriggerId, std::shared_ptr<GroupByEvaluator>> aggregates_;
+  std::map<uint64_t, bool> set_enabled_;
+  // Per-source count of triggers needing the maintenance pass (multi-
+  // variable networks with stored memories, or aggregate group state).
+  std::map<DataSourceId, uint32_t> maintenance_triggers_;
+  uint64_t default_ts_id_ = 0;
+  bool opened_ = false;
+
+  std::atomic<uint64_t> updates_submitted_{0};
+  std::atomic<uint64_t> tokens_processed_{0};
+  std::atomic<uint64_t> rule_firings_{0};
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CORE_TRIGGER_MANAGER_H_

@@ -1,0 +1,356 @@
+#include "db/sql.h"
+
+#include <algorithm>
+
+#include "expr/eval.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "util/string_util.h"
+
+namespace tman {
+
+namespace {
+
+Status ExpectKw(Lexer* lex, std::string_view kw) {
+  if (!lex->Peek().IsKeyword(kw)) {
+    return Status::ParseError("expected '" + std::string(kw) + "' " +
+                              lex->Where());
+  }
+  return lex->Next().status();
+}
+
+Result<std::string> Ident(Lexer* lex, std::string_view what) {
+  if (!lex->Peek().Is(TokenKind::kIdentifier)) {
+    return Status::ParseError("expected " + std::string(what) + " " +
+                              lex->Where());
+  }
+  TMAN_ASSIGN_OR_RETURN(Token t, lex->Next());
+  return ToLower(t.text);
+}
+
+Status Expect(Lexer* lex, TokenKind kind, std::string_view what) {
+  if (!lex->Peek().Is(kind)) {
+    return Status::ParseError("expected " + std::string(what) + " " +
+                              lex->Where());
+  }
+  return lex->Next().status();
+}
+
+/// Evaluates an expression that may reference one bound row.
+Result<Value> EvalWithRow(const ExprPtr& e, const std::string& table,
+                          const Schema* schema, const Tuple* tuple) {
+  Bindings b;
+  if (schema != nullptr) b.Bind(table, schema, tuple);
+  return EvalExpr(e, b);
+}
+
+/// Collects RIDs of rows matching `where` (null = all). Uses an index if
+/// the where-clause contains an equality conjunct on an indexed attribute.
+Result<std::vector<Rid>> CollectMatches(Database* db,
+                                        const std::string& table,
+                                        const Schema& schema,
+                                        const ExprPtr& where) {
+  std::vector<Rid> out;
+  // Index route: find top-level eq conjuncts attr = <constant expr>.
+  if (where != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    std::vector<ExprPtr> stack{where};
+    while (!stack.empty()) {
+      ExprPtr e = stack.back();
+      stack.pop_back();
+      if (e->kind == ExprKind::kBinaryOp && e->bin_op == BinOp::kAnd) {
+        stack.push_back(e->children[0]);
+        stack.push_back(e->children[1]);
+      } else {
+        conjuncts.push_back(e);
+      }
+    }
+    for (const ExprPtr& c : conjuncts) {
+      if (c->kind != ExprKind::kBinaryOp || c->bin_op != BinOp::kEq) continue;
+      const ExprPtr* col = nullptr;
+      const ExprPtr* val = nullptr;
+      if (c->children[0]->kind == ExprKind::kColumnRef &&
+          ReferencedTupleVars(c->children[1]).empty()) {
+        col = &c->children[0];
+        val = &c->children[1];
+      } else if (c->children[1]->kind == ExprKind::kColumnRef &&
+                 ReferencedTupleVars(c->children[0]).empty()) {
+        col = &c->children[1];
+        val = &c->children[0];
+      } else {
+        continue;
+      }
+      auto index = db->FindIndexOn(table, {(*col)->attribute});
+      if (!index.ok()) continue;
+      TMAN_ASSIGN_OR_RETURN(Value key,
+                            EvalWithRow(*val, table, nullptr, nullptr));
+      TMAN_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                            db->IndexLookup(*index, {key}));
+      for (const Rid& rid : rids) {
+        TMAN_ASSIGN_OR_RETURN(Tuple row, db->Get(table, rid));
+        Bindings b;
+        b.Bind(table, &schema, &row);
+        TMAN_ASSIGN_OR_RETURN(bool match, EvalPredicate(where, b));
+        if (match) out.push_back(rid);
+      }
+      return out;
+    }
+  }
+  // Scan route.
+  Status inner = Status::OK();
+  TMAN_RETURN_IF_ERROR(db->Scan(
+      table, [&](const Rid& rid, const Tuple& row) {
+        if (where == nullptr) {
+          out.push_back(rid);
+          return true;
+        }
+        Bindings b;
+        b.Bind(table, &schema, &row);
+        auto match = EvalPredicate(where, b);
+        if (!match.ok()) {
+          inner = match.status();
+          return false;
+        }
+        if (*match) out.push_back(rid);
+        return true;
+      }));
+  TMAN_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Result<SqlResult> ExecCreate(Database* db, Lexer* lex) {
+  if (lex->Peek().IsKeyword("table")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(std::string name, Ident(lex, "table name"));
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kLParen, "'('"));
+    std::vector<Field> fields;
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(std::string attr, Ident(lex, "column name"));
+      TMAN_ASSIGN_OR_RETURN(std::string type_name, Ident(lex, "type"));
+      TMAN_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+      uint32_t width = 0;
+      if (lex->Peek().Is(TokenKind::kLParen)) {
+        (void)lex->Next();
+        if (!lex->Peek().Is(TokenKind::kIntLiteral)) {
+          return Status::ParseError("expected width " + lex->Where());
+        }
+        TMAN_ASSIGN_OR_RETURN(Token w, lex->Next());
+        width = static_cast<uint32_t>(w.int_value);
+        TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+      }
+      fields.emplace_back(attr, type, width);
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+    TMAN_RETURN_IF_ERROR(db->CreateTable(name, Schema(fields)).status());
+    return SqlResult{};
+  }
+  if (lex->Peek().IsKeyword("index")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(std::string name, Ident(lex, "index name"));
+    TMAN_RETURN_IF_ERROR(ExpectKw(lex, "on"));
+    TMAN_ASSIGN_OR_RETURN(std::string table, Ident(lex, "table name"));
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kLParen, "'('"));
+    std::vector<std::string> attrs;
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(std::string attr, Ident(lex, "column name"));
+      attrs.push_back(attr);
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+    TMAN_RETURN_IF_ERROR(db->CreateIndex(name, table, attrs));
+    return SqlResult{};
+  }
+  return Status::ParseError("expected TABLE or INDEX " + lex->Where());
+}
+
+Result<SqlResult> ExecInsert(Database* db, Lexer* lex) {
+  TMAN_RETURN_IF_ERROR(ExpectKw(lex, "into"));
+  TMAN_ASSIGN_OR_RETURN(std::string table, Ident(lex, "table name"));
+  TMAN_RETURN_IF_ERROR(ExpectKw(lex, "values"));
+  SqlResult result;
+  while (true) {
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kLParen, "'('"));
+    std::vector<Value> values;
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(lex));
+      TMAN_ASSIGN_OR_RETURN(Value v, EvalWithRow(e, table, nullptr, nullptr));
+      values.push_back(std::move(v));
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+    TMAN_RETURN_IF_ERROR(db->Insert(table, Tuple(values)).status());
+    ++result.rows_affected;
+    if (lex->Peek().Is(TokenKind::kComma)) {
+      (void)lex->Next();
+      continue;
+    }
+    break;
+  }
+  return result;
+}
+
+Result<SqlResult> ExecUpdate(Database* db, Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(std::string table, Ident(lex, "table name"));
+  TMAN_ASSIGN_OR_RETURN(Schema schema, db->SchemaOf(table));
+  TMAN_RETURN_IF_ERROR(ExpectKw(lex, "set"));
+  std::vector<std::pair<size_t, ExprPtr>> sets;
+  while (true) {
+    TMAN_ASSIGN_OR_RETURN(std::string attr, Ident(lex, "column name"));
+    // Accept qualified t.attr as well.
+    if (lex->Peek().Is(TokenKind::kDot)) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(attr, Ident(lex, "column name"));
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kEq, "'='"));
+    TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(lex));
+    TMAN_ASSIGN_OR_RETURN(size_t field, schema.RequireField(attr));
+    sets.emplace_back(field, std::move(e));
+    if (lex->Peek().Is(TokenKind::kComma)) {
+      (void)lex->Next();
+      continue;
+    }
+    break;
+  }
+  ExprPtr where;
+  if (lex->Peek().IsKeyword("where")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(where, ParseExpression(lex));
+  }
+  TMAN_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        CollectMatches(db, table, schema, where));
+  SqlResult result;
+  for (const Rid& rid : rids) {
+    TMAN_ASSIGN_OR_RETURN(Tuple row, db->Get(table, rid));
+    Tuple updated = row;
+    for (const auto& [field, e] : sets) {
+      TMAN_ASSIGN_OR_RETURN(Value v, EvalWithRow(e, table, &schema, &row));
+      updated.at(field) = std::move(v);
+    }
+    TMAN_RETURN_IF_ERROR(db->Update(table, rid, updated));
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+Result<SqlResult> ExecDelete(Database* db, Lexer* lex) {
+  TMAN_RETURN_IF_ERROR(ExpectKw(lex, "from"));
+  TMAN_ASSIGN_OR_RETURN(std::string table, Ident(lex, "table name"));
+  TMAN_ASSIGN_OR_RETURN(Schema schema, db->SchemaOf(table));
+  ExprPtr where;
+  if (lex->Peek().IsKeyword("where")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(where, ParseExpression(lex));
+  }
+  TMAN_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        CollectMatches(db, table, schema, where));
+  SqlResult result;
+  for (const Rid& rid : rids) {
+    TMAN_RETURN_IF_ERROR(db->Delete(table, rid));
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+Result<SqlResult> ExecSelect(Database* db, Lexer* lex) {
+  std::vector<std::string> cols;
+  bool star = false;
+  if (lex->Peek().Is(TokenKind::kStar)) {
+    (void)lex->Next();
+    star = true;
+  } else {
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(std::string col, Ident(lex, "column name"));
+      if (lex->Peek().Is(TokenKind::kDot)) {
+        (void)lex->Next();
+        TMAN_ASSIGN_OR_RETURN(col, Ident(lex, "column name"));
+      }
+      cols.push_back(col);
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+  }
+  TMAN_RETURN_IF_ERROR(ExpectKw(lex, "from"));
+  TMAN_ASSIGN_OR_RETURN(std::string table, Ident(lex, "table name"));
+  TMAN_ASSIGN_OR_RETURN(Schema schema, db->SchemaOf(table));
+  ExprPtr where;
+  if (lex->Peek().IsKeyword("where")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(where, ParseExpression(lex));
+  }
+  std::vector<size_t> fields;
+  SqlResult result;
+  if (star) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      fields.push_back(i);
+      result.column_names.push_back(schema.field(i).name);
+    }
+  } else {
+    for (const std::string& c : cols) {
+      TMAN_ASSIGN_OR_RETURN(size_t f, schema.RequireField(c));
+      fields.push_back(f);
+      result.column_names.push_back(c);
+    }
+  }
+  TMAN_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        CollectMatches(db, table, schema, where));
+  for (const Rid& rid : rids) {
+    TMAN_ASSIGN_OR_RETURN(Tuple row, db->Get(table, rid));
+    std::vector<Value> projected;
+    projected.reserve(fields.size());
+    for (size_t f : fields) projected.push_back(row.at(f));
+    result.rows.emplace_back(std::move(projected));
+  }
+  result.rows_affected = result.rows.size();
+  return result;
+}
+
+}  // namespace
+
+Result<SqlResult> ExecuteSql(Database* db, std::string_view sql) {
+  Lexer lex(sql);
+  if (!lex.init_status().ok()) return lex.init_status();
+  Result<SqlResult> result = Status::ParseError("empty statement");
+  if (lex.Peek().IsKeyword("create")) {
+    (void)lex.Next();
+    result = ExecCreate(db, &lex);
+  } else if (lex.Peek().IsKeyword("insert")) {
+    (void)lex.Next();
+    result = ExecInsert(db, &lex);
+  } else if (lex.Peek().IsKeyword("update")) {
+    (void)lex.Next();
+    result = ExecUpdate(db, &lex);
+  } else if (lex.Peek().IsKeyword("delete")) {
+    (void)lex.Next();
+    result = ExecDelete(db, &lex);
+  } else if (lex.Peek().IsKeyword("select")) {
+    (void)lex.Next();
+    result = ExecSelect(db, &lex);
+  } else {
+    return Status::ParseError("unknown SQL statement " + lex.Where());
+  }
+  if (!result.ok()) return result;
+  if (lex.Peek().Is(TokenKind::kSemicolon)) (void)lex.Next();
+  if (!lex.AtEnd()) {
+    return Status::ParseError("trailing input after statement " +
+                              lex.Where());
+  }
+  return result;
+}
+
+}  // namespace tman

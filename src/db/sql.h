@@ -1,0 +1,36 @@
+#ifndef TRIGGERMAN_DB_SQL_H_
+#define TRIGGERMAN_DB_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Result of ExecuteSql: row count for DML, result rows for SELECT.
+struct SqlResult {
+  uint64_t rows_affected = 0;
+  std::vector<std::string> column_names;  // SELECT only
+  std::vector<Tuple> rows;                // SELECT only
+};
+
+/// Executes one statement of the SQL subset TriggerMan's execSQL actions
+/// use (the paper runs these through Informix's SQL callbacks):
+///
+///   CREATE TABLE t (a int, b varchar(30), ...)
+///   CREATE INDEX i ON t (a, b)
+///   INSERT INTO t VALUES (e1, e2, ...)
+///   UPDATE t SET a = e1, b = e2 WHERE cond
+///   DELETE FROM t WHERE cond
+///   SELECT * | a, b FROM t WHERE cond
+///
+/// WHERE clauses with equality conjuncts on indexed attributes are
+/// answered through the index; everything else falls back to a scan.
+Result<SqlResult> ExecuteSql(Database* db, std::string_view sql);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_DB_SQL_H_

@@ -1,0 +1,98 @@
+#include "expr/cnf.h"
+
+#include <algorithm>
+
+namespace tman {
+
+namespace {
+
+/// Pushes NOT down to atoms. `negated` tracks an odd number of enclosing
+/// NOTs. Comparisons absorb the negation; AND/OR apply De Morgan;
+/// non-boolean atoms keep an explicit NOT node.
+ExprPtr PushNot(const ExprPtr& e, bool negated) {
+  if (e == nullptr) return e;
+  switch (e->kind) {
+    case ExprKind::kUnaryOp:
+      if (e->un_op == UnOp::kNot) {
+        return PushNot(e->children[0], !negated);
+      }
+      return negated ? MakeUnary(UnOp::kNot, e) : e;
+    case ExprKind::kBinaryOp: {
+      BinOp op = e->bin_op;
+      if (op == BinOp::kAnd || op == BinOp::kOr) {
+        BinOp out_op = op;
+        if (negated) {
+          out_op = (op == BinOp::kAnd) ? BinOp::kOr : BinOp::kAnd;
+        }
+        return MakeBinary(out_op, PushNot(e->children[0], negated),
+                          PushNot(e->children[1], negated));
+      }
+      if (IsComparison(op) && negated) {
+        return MakeBinary(NegateComparison(op), e->children[0],
+                          e->children[1]);
+      }
+      return negated ? MakeUnary(UnOp::kNot, e) : e;
+    }
+    default:
+      return negated ? MakeUnary(UnOp::kNot, e) : e;
+  }
+}
+
+/// Recursively converts a NOT-normalized expression into a list of
+/// conjuncts (CNF). Fails if the result would exceed kMaxConjuncts.
+Status CnfRec(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kBinaryOp && e->bin_op == BinOp::kAnd) {
+    TMAN_RETURN_IF_ERROR(CnfRec(e->children[0], out));
+    return CnfRec(e->children[1], out);
+  }
+  if (e->kind == ExprKind::kBinaryOp && e->bin_op == BinOp::kOr) {
+    std::vector<ExprPtr> left, right;
+    TMAN_RETURN_IF_ERROR(CnfRec(e->children[0], &left));
+    TMAN_RETURN_IF_ERROR(CnfRec(e->children[1], &right));
+    if (left.size() * right.size() + out->size() > kMaxConjuncts) {
+      return Status::ResourceExhausted(
+          "CNF expansion exceeds " + std::to_string(kMaxConjuncts) +
+          " conjuncts");
+    }
+    // (A1 AND A2) OR (B1 AND B2) => (A1 OR B1) AND (A1 OR B2) AND ...
+    for (const ExprPtr& l : left) {
+      for (const ExprPtr& r : right) {
+        out->push_back(MakeBinary(BinOp::kOr, l, r));
+      }
+    }
+    return Status::OK();
+  }
+  out->push_back(e);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ExprPtr>> ToCnf(const ExprPtr& expr) {
+  if (expr == nullptr) return std::vector<ExprPtr>{};
+  ExprPtr normalized = PushNot(expr, false);
+  std::vector<ExprPtr> out;
+  TMAN_RETURN_IF_ERROR(CnfRec(normalized, &out));
+  return out;
+}
+
+std::vector<ConjunctGroup> GroupConjuncts(const std::vector<ExprPtr>& cnf) {
+  std::vector<ConjunctGroup> groups;
+  for (const ExprPtr& conjunct : cnf) {
+    std::vector<std::string> vars = ReferencedTupleVars(conjunct);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&vars](const ConjunctGroup& g) {
+                             return g.vars == vars;
+                           });
+    if (it == groups.end()) {
+      groups.push_back(ConjunctGroup{vars, {conjunct}});
+    } else {
+      it->conjuncts.push_back(conjunct);
+    }
+  }
+  return groups;
+}
+
+}  // namespace tman

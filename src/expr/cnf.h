@@ -1,0 +1,37 @@
+#ifndef TRIGGERMAN_EXPR_CNF_H_
+#define TRIGGERMAN_EXPR_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Converts a boolean expression to conjunctive normal form and returns
+/// the list of conjuncts; each conjunct is an OR of atomic clauses (or a
+/// single clause). NOT is pushed down to atoms (comparisons are negated
+/// in place: NOT (a < b) becomes a >= b). Distribution is bounded — a
+/// pathological expression whose CNF would exceed `kMaxConjuncts` yields
+/// an error rather than an exponential blowup.
+Result<std::vector<ExprPtr>> ToCnf(const ExprPtr& expr);
+
+inline constexpr size_t kMaxConjuncts = 256;
+
+/// A group of conjuncts that all reference exactly the same set of tuple
+/// variables (paper §4): 1 variable = selection predicate, 2 = join
+/// predicate, 0 = trivial, >=3 = hyper-join.
+struct ConjunctGroup {
+  std::vector<std::string> vars;  // sorted, distinct
+  std::vector<ExprPtr> conjuncts;
+};
+
+/// Groups CNF conjuncts by the distinct sets of tuple variables they
+/// reference. Requires all column refs to be qualified (see
+/// QualifyColumnRefs in rewrite.h). Groups appear in first-seen order.
+std::vector<ConjunctGroup> GroupConjuncts(const std::vector<ExprPtr>& cnf);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_EXPR_CNF_H_

@@ -1,0 +1,261 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tman {
+
+Result<Value> Bindings::Lookup(const std::string& var,
+                               const std::string& attr) const {
+  if (!var.empty()) {
+    for (const Entry& e : entries_) {
+      if (EqualsIgnoreCase(e.var, var)) {
+        TMAN_ASSIGN_OR_RETURN(size_t idx, e.schema->RequireField(attr));
+        return e.tuple->at(idx);
+      }
+    }
+    return Status::NotFound("unbound tuple variable: " + var);
+  }
+  // Unqualified: must resolve to exactly one binding.
+  const Entry* found = nullptr;
+  int field = -1;
+  for (const Entry& e : entries_) {
+    int idx = e.schema->FieldIndex(attr);
+    if (idx >= 0) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("ambiguous attribute: " + attr);
+      }
+      found = &e;
+      field = idx;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("no such attribute: " + attr);
+  }
+  return found->tuple->at(static_cast<size_t>(field));
+}
+
+Result<std::string> Bindings::ResolveVar(const std::string& attr) const {
+  const Entry* found = nullptr;
+  for (const Entry& e : entries_) {
+    if (e.schema->FieldIndex(attr) >= 0) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("ambiguous attribute: " + attr);
+      }
+      found = &e;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("no such attribute: " + attr);
+  }
+  return found->var;
+}
+
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int()) return v.as_int() != 0;
+  if (v.is_float()) return v.as_float() != 0.0;
+  return !v.as_string().empty();
+}
+
+namespace {
+
+Result<Value> EvalComparison(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!Comparable(l.type(), r.type())) {
+    return Status::TypeError("cannot compare " +
+                             std::string(DataTypeName(l.type())) + " with " +
+                             std::string(DataTypeName(r.type())));
+  }
+  int c = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case BinOp::kEq:
+      result = c == 0;
+      break;
+    case BinOp::kNe:
+      result = c != 0;
+      break;
+    case BinOp::kLt:
+      result = c < 0;
+      break;
+    case BinOp::kLe:
+      result = c <= 0;
+      break;
+    case BinOp::kGt:
+      result = c > 0;
+      break;
+    case BinOp::kGe:
+      result = c >= 0;
+      break;
+    default:
+      return Status::Internal("not a comparison");
+  }
+  return Value::Int(result ? 1 : 0);
+}
+
+Result<Value> EvalArithmetic(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (op == BinOp::kAdd && l.is_string() && r.is_string()) {
+    return Value::String(l.as_string() + r.as_string());  // concatenation
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError("arithmetic on non-numeric operands");
+  }
+  if (l.is_int() && r.is_int()) {
+    int64_t a = l.as_int();
+    int64_t b = r.as_int();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(a + b);
+      case BinOp::kSub:
+        return Value::Int(a - b);
+      case BinOp::kMul:
+        return Value::Int(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::EvalError("integer division by zero");
+        return Value::Int(a / b);
+      default:
+        break;
+    }
+  }
+  double a = l.AsDouble();
+  double b = r.AsDouble();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Float(a + b);
+    case BinOp::kSub:
+      return Value::Float(a - b);
+    case BinOp::kMul:
+      return Value::Float(a * b);
+    case BinOp::kDiv:
+      if (b == 0.0) return Status::EvalError("division by zero");
+      return Value::Float(a / b);
+    default:
+      break;
+  }
+  return Status::Internal("not arithmetic");
+}
+
+Result<Value> EvalFunction(const std::string& name,
+                           const std::vector<Value>& args) {
+  std::string fn = ToLower(name);
+  auto arity = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument(fn + " expects " + std::to_string(n) +
+                                     " argument(s)");
+    }
+    return Status::OK();
+  };
+  if (fn == "abs") {
+    TMAN_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].is_int()) return Value::Int(std::llabs(args[0].as_int()));
+    if (args[0].is_float()) return Value::Float(std::fabs(args[0].as_float()));
+    return Status::TypeError("abs of non-numeric value");
+  }
+  if (fn == "length") {
+    TMAN_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    if (!args[0].is_string()) return Status::TypeError("length of non-string");
+    return Value::Int(static_cast<int64_t>(args[0].as_string().size()));
+  }
+  if (fn == "upper" || fn == "lower") {
+    TMAN_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    if (!args[0].is_string()) {
+      return Status::TypeError(fn + " of non-string");
+    }
+    return Value::String(fn == "upper" ? ToUpper(args[0].as_string())
+                                       : ToLower(args[0].as_string()));
+  }
+  if (fn == "round") {
+    TMAN_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    if (!args[0].is_numeric()) return Status::TypeError("round non-numeric");
+    return Value::Int(static_cast<int64_t>(std::llround(args[0].AsDouble())));
+  }
+  if (fn == "mod") {
+    TMAN_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    if (!args[0].is_int() || !args[1].is_int()) {
+      return Status::TypeError("mod expects integers");
+    }
+    if (args[1].as_int() == 0) return Status::EvalError("mod by zero");
+    return Value::Int(args[0].as_int() % args[1].as_int());
+  }
+  return Status::NotSupported("unknown function: " + name);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const ExprPtr& expr, const Bindings& bindings) {
+  if (expr == nullptr) return Value::Int(1);  // absent condition = TRUE
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return expr->literal;
+    case ExprKind::kColumnRef:
+      return bindings.Lookup(expr->tuple_var, expr->attribute);
+    case ExprKind::kPlaceholder:
+      return Status::EvalError(
+          "placeholder CONSTANT_" +
+          std::to_string(expr->placeholder_index) +
+          " cannot be evaluated (signatures are templates, not predicates)");
+    case ExprKind::kUnaryOp: {
+      TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(expr->children[0], bindings));
+      if (expr->un_op == UnOp::kNeg) {
+        if (v.is_null()) return Value::Null();
+        if (v.is_int()) return Value::Int(-v.as_int());
+        if (v.is_float()) return Value::Float(-v.as_float());
+        return Status::TypeError("negation of non-numeric value");
+      }
+      // NOT: SQL three-valued — NOT NULL is NULL.
+      if (v.is_null()) return Value::Null();
+      return Value::Int(Truthy(v) ? 0 : 1);
+    }
+    case ExprKind::kBinaryOp: {
+      BinOp op = expr->bin_op;
+      if (op == BinOp::kAnd || op == BinOp::kOr) {
+        TMAN_ASSIGN_OR_RETURN(Value l, EvalExpr(expr->children[0], bindings));
+        // Short-circuit where the result is already decided.
+        if (op == BinOp::kAnd && !l.is_null() && !Truthy(l)) {
+          return Value::Int(0);
+        }
+        if (op == BinOp::kOr && !l.is_null() && Truthy(l)) {
+          return Value::Int(1);
+        }
+        TMAN_ASSIGN_OR_RETURN(Value r, EvalExpr(expr->children[1], bindings));
+        if (op == BinOp::kAnd) {
+          if (!r.is_null() && !Truthy(r)) return Value::Int(0);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return Value::Int(1);
+        }
+        if (!r.is_null() && Truthy(r)) return Value::Int(1);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Int(0);
+      }
+      TMAN_ASSIGN_OR_RETURN(Value l, EvalExpr(expr->children[0], bindings));
+      TMAN_ASSIGN_OR_RETURN(Value r, EvalExpr(expr->children[1], bindings));
+      if (IsComparison(op)) return EvalComparison(op, l, r);
+      return EvalArithmetic(op, l, r);
+    }
+    case ExprKind::kFunctionCall: {
+      std::vector<Value> args;
+      args.reserve(expr->children.size());
+      for (const ExprPtr& c : expr->children) {
+        TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(c, bindings));
+        args.push_back(std::move(v));
+      }
+      return EvalFunction(expr->func_name, args);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalPredicate(const ExprPtr& expr, const Bindings& bindings) {
+  TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, bindings));
+  return Truthy(v);
+}
+
+}  // namespace tman

@@ -1,0 +1,56 @@
+#ifndef TRIGGERMAN_EXPR_EVAL_H_
+#define TRIGGERMAN_EXPR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Binds tuple variables to (schema, tuple) pairs for evaluation. Holds
+/// raw pointers; the bound objects must outlive the Bindings.
+class Bindings {
+ public:
+  void Bind(std::string var, const Schema* schema, const Tuple* tuple) {
+    entries_.push_back({std::move(var), schema, tuple});
+  }
+
+  /// Resolves var.attr. An empty var matches any binding that has the
+  /// attribute, provided exactly one does (otherwise the reference is
+  /// ambiguous).
+  Result<Value> Lookup(const std::string& var,
+                       const std::string& attr) const;
+
+  /// Resolves the tuple variable an unqualified attribute belongs to.
+  Result<std::string> ResolveVar(const std::string& attr) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string var;
+    const Schema* schema;
+    const Tuple* tuple;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Evaluates an expression to a Value. Comparisons and boolean operators
+/// yield Int 0/1; NULL operands propagate (SQL-style: any comparison with
+/// NULL is NULL; AND/OR treat NULL as unknown).
+Result<Value> EvalExpr(const ExprPtr& expr, const Bindings& bindings);
+
+/// Evaluates an expression as a predicate: true iff the result is non-NULL
+/// and nonzero/nonempty.
+Result<bool> EvalPredicate(const ExprPtr& expr, const Bindings& bindings);
+
+/// True iff `v` counts as SQL-true (non-NULL and nonzero).
+bool Truthy(const Value& v);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_EXPR_EVAL_H_

@@ -1,0 +1,269 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace tman {
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string_view UnOpName(UnOp op) {
+  return op == UnOp::kNot ? "not" : "-";
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+BinOp NegateComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return BinOp::kNe;
+    case BinOp::kNe:
+      return BinOp::kEq;
+    case BinOp::kLt:
+      return BinOp::kGe;
+    case BinOp::kLe:
+      return BinOp::kGt;
+    case BinOp::kGt:
+      return BinOp::kLe;
+    case BinOp::kGe:
+      return BinOp::kLt;
+    default:
+      return op;
+  }
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string tuple_var, std::string attribute) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->tuple_var = std::move(tuple_var);
+  e->attribute = std::move(attribute);
+  return e;
+}
+
+ExprPtr MakePlaceholder(int index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kPlaceholder;
+  e->placeholder_index = index;
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnaryOp;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinaryOp;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::string ExprToString(const ExprPtr& e) {
+  if (e == nullptr) return "<null>";
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      return e->literal.ToString();
+    case ExprKind::kColumnRef:
+      return e->tuple_var.empty() ? e->attribute
+                                  : e->tuple_var + "." + e->attribute;
+    case ExprKind::kPlaceholder:
+      return "CONSTANT_" + std::to_string(e->placeholder_index);
+    case ExprKind::kUnaryOp:
+      return std::string(UnOpName(e->un_op)) + "(" +
+             ExprToString(e->children[0]) + ")";
+    case ExprKind::kBinaryOp:
+      return "(" + ExprToString(e->children[0]) + " " +
+             std::string(BinOpName(e->bin_op)) + " " +
+             ExprToString(e->children[1]) + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = e->func_name + "(";
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(e->children[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kLiteral:
+      if (a->literal.is_null() != b->literal.is_null()) return false;
+      if (a->literal.is_string() != b->literal.is_string()) return false;
+      if (!a->literal.is_null() && a->literal != b->literal) return false;
+      return true;
+    case ExprKind::kColumnRef:
+      if (a->tuple_var != b->tuple_var || a->attribute != b->attribute) {
+        return false;
+      }
+      return true;
+    case ExprKind::kPlaceholder:
+      if (a->placeholder_index != b->placeholder_index) return false;
+      return true;
+    case ExprKind::kUnaryOp:
+      if (a->un_op != b->un_op) return false;
+      break;
+    case ExprKind::kBinaryOp:
+      if (a->bin_op != b->bin_op) return false;
+      break;
+    case ExprKind::kFunctionCall:
+      if (a->func_name != b->func_name) return false;
+      break;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!ExprEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+uint64_t ExprHash(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  uint64_t h = MixInt(static_cast<uint64_t>(e->kind) + 0x51);
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      h = HashCombine(h, e->literal.Hash());
+      break;
+    case ExprKind::kColumnRef:
+      h = HashCombine(h, HashString(e->tuple_var));
+      h = HashCombine(h, HashString(e->attribute));
+      break;
+    case ExprKind::kPlaceholder:
+      h = HashCombine(h, MixInt(static_cast<uint64_t>(e->placeholder_index)));
+      break;
+    case ExprKind::kUnaryOp:
+      h = HashCombine(h, static_cast<uint64_t>(e->un_op));
+      break;
+    case ExprKind::kBinaryOp:
+      h = HashCombine(h, static_cast<uint64_t>(e->bin_op));
+      break;
+    case ExprKind::kFunctionCall:
+      h = HashCombine(h, HashString(e->func_name));
+      break;
+  }
+  for (const ExprPtr& c : e->children) {
+    h = HashCombine(h, ExprHash(c));
+  }
+  return h;
+}
+
+namespace {
+void CollectVars(const ExprPtr& e, std::vector<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kColumnRef) {
+    if (std::find(out->begin(), out->end(), e->tuple_var) == out->end()) {
+      out->push_back(e->tuple_var);
+    }
+  }
+  for (const ExprPtr& c : e->children) CollectVars(c, out);
+}
+}  // namespace
+
+std::vector<std::string> ReferencedTupleVars(const ExprPtr& e) {
+  std::vector<std::string> out;
+  CollectVars(e, &out);
+  return out;
+}
+
+bool ContainsConstant(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kLiteral) return true;
+  for (const ExprPtr& c : e->children) {
+    if (ContainsConstant(c)) return true;
+  }
+  return false;
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& clauses) {
+  if (clauses.empty()) return MakeLiteral(Value::Int(1));
+  ExprPtr out = clauses[0];
+  for (size_t i = 1; i < clauses.size(); ++i) {
+    out = MakeBinary(BinOp::kAnd, out, clauses[i]);
+  }
+  return out;
+}
+
+}  // namespace tman

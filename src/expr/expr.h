@@ -1,0 +1,116 @@
+#ifndef TRIGGERMAN_EXPR_EXPR_H_
+#define TRIGGERMAN_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace tman {
+
+/// Expression node kinds. Placeholders (CONSTANT_x in the paper, Figure 2)
+/// appear only inside expression signatures, where they stand for the
+/// positions constants occupied in the original predicate.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kPlaceholder,
+  kUnaryOp,
+  kBinaryOp,
+  kFunctionCall,
+};
+
+enum class BinOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnOp { kNot, kNeg };
+
+std::string_view BinOpName(BinOp op);
+std::string_view UnOpName(UnOp op);
+
+/// True for =, <>, <, <=, >, >=.
+bool IsComparison(BinOp op);
+
+/// Mirrored comparison: a < b  <=>  b > a. Identity for non-comparisons.
+BinOp FlipComparison(BinOp op);
+
+/// Negated comparison: NOT (a < b) == a >= b.
+BinOp NegateComparison(BinOp op);
+
+struct Expr;
+/// Expressions are immutable trees shared by pointer. Transformations
+/// (CNF, signature generalization) build new nodes and share untouched
+/// subtrees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A node in an expression syntax tree.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: tuple_var may be empty when the attribute was written
+  // unqualified; binding resolves it during validation.
+  std::string tuple_var;
+  std::string attribute;
+
+  // kPlaceholder: 1-based constant number within the signature, as in the
+  // paper's CONSTANT_x notation.
+  int placeholder_index = 0;
+
+  // kUnaryOp / kBinaryOp
+  UnOp un_op = UnOp::kNot;
+  BinOp bin_op = BinOp::kAnd;
+
+  // kFunctionCall
+  std::string func_name;
+
+  // Operands: 1 for unary, 2 for binary, n for function calls.
+  std::vector<ExprPtr> children;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string tuple_var, std::string attribute);
+ExprPtr MakePlaceholder(int index);
+ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args);
+
+/// Canonical rendering with full parenthesization; used for signature
+/// descriptions, diagnostics and structural comparison in tests.
+std::string ExprToString(const ExprPtr& e);
+
+/// Structural equality (literals compared by value, names case-sensitively
+/// after parser lowercasing).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// Structural hash consistent with ExprEquals.
+uint64_t ExprHash(const ExprPtr& e);
+
+/// Collects the distinct tuple variables referenced, in first-seen order.
+std::vector<std::string> ReferencedTupleVars(const ExprPtr& e);
+
+/// True if any node is a literal (constant).
+bool ContainsConstant(const ExprPtr& e);
+
+/// AND of clauses (returns literal TRUE for an empty list).
+ExprPtr AndAll(const std::vector<ExprPtr>& clauses);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_EXPR_EXPR_H_

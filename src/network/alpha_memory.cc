@@ -1,0 +1,122 @@
+#include "network/alpha_memory.h"
+
+namespace tman {
+
+void AlphaMemory::Insert(const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = tuple;
+  } else {
+    slot = slots_.size();
+    slots_.push_back(tuple);
+  }
+  ++live_;
+  for (auto& [field, index] : indexes_) {
+    if (field < tuple.size()) {
+      index.emplace(tuple.at(field).Hash(), slot);
+    }
+  }
+}
+
+bool AlphaMemory::Remove(const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Locate a slot holding an equal tuple — through any existing index if
+  // possible, otherwise by scan.
+  size_t found = slots_.size();
+  if (!indexes_.empty()) {
+    auto& [field, index] = *indexes_.begin();
+    if (field < tuple.size()) {
+      auto range = index.equal_range(tuple.at(field).Hash());
+      for (auto it = range.first; it != range.second; ++it) {
+        const auto& slot = slots_[it->second];
+        if (slot.has_value() && *slot == tuple) {
+          found = it->second;
+          break;
+        }
+      }
+      if (found == slots_.size()) return false;
+    }
+  }
+  if (found == slots_.size()) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value() && *slots_[i] == tuple) {
+        found = i;
+        break;
+      }
+    }
+    if (found == slots_.size()) return false;
+  }
+  // Unhook from all indexes.
+  for (auto& [field, index] : indexes_) {
+    if (field >= tuple.size()) continue;
+    auto range = index.equal_range(tuple.at(field).Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == found) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+  slots_[found].reset();
+  free_.push_back(found);
+  --live_;
+  return true;
+}
+
+void AlphaMemory::ForEach(const std::function<bool(const Tuple&)>& fn) const {
+  // Copy out under the lock: callbacks may run joins that re-enter other
+  // memories; holding the lock through user code risks deadlock.
+  std::vector<Tuple> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(live_);
+    for (const auto& slot : slots_) {
+      if (slot.has_value()) snapshot.push_back(*slot);
+    }
+  }
+  for (const Tuple& t : snapshot) {
+    if (!fn(t)) return;
+  }
+}
+
+void AlphaMemory::ProbeEqual(size_t field, const Value& value,
+                             const std::function<bool(const Tuple&)>& fn)
+    const {
+  std::vector<Tuple> matches;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureIndex(field);
+    const auto& index = indexes_[field];
+    auto range = index.equal_range(value.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const auto& slot = slots_[it->second];
+      if (slot.has_value() && field < slot->size() &&
+          slot->at(field) == value) {
+        matches.push_back(*slot);
+      }
+    }
+  }
+  for (const Tuple& t : matches) {
+    if (!fn(t)) return;
+  }
+}
+
+size_t AlphaMemory::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+void AlphaMemory::EnsureIndex(size_t field) const {
+  if (indexes_.count(field) > 0) return;
+  auto& index = indexes_[field];
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value() && field < slots_[i]->size()) {
+      index.emplace(slots_[i]->at(field).Hash(), i);
+    }
+  }
+}
+
+}  // namespace tman

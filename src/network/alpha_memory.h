@@ -1,0 +1,58 @@
+#ifndef TRIGGERMAN_NETWORK_ALPHA_MEMORY_H_
+#define TRIGGERMAN_NETWORK_ALPHA_MEMORY_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace tman {
+
+/// A stored alpha memory of an A-TREAT network: the set of tuples from
+/// one data source that currently satisfy a trigger's selection predicate
+/// for one tuple variable. Supports equality probes on a field through
+/// lazily built hash indexes (used for equijoin conjuncts).
+///
+/// Thread-safe: concurrent token processing may read while another token
+/// mutates (token-level concurrency, §6).
+class AlphaMemory {
+ public:
+  AlphaMemory() = default;
+
+  AlphaMemory(const AlphaMemory&) = delete;
+  AlphaMemory& operator=(const AlphaMemory&) = delete;
+
+  void Insert(const Tuple& tuple);
+
+  /// Removes one tuple equal to `tuple`. Returns false if absent.
+  bool Remove(const Tuple& tuple);
+
+  /// Visits every tuple; `fn` returning false stops.
+  void ForEach(const std::function<bool(const Tuple&)>& fn) const;
+
+  /// Visits tuples whose `field` equals `value`, via a hash index built
+  /// on first use for that field.
+  void ProbeEqual(size_t field, const Value& value,
+                  const std::function<bool(const Tuple&)>& fn) const;
+
+  size_t size() const;
+
+ private:
+  void EnsureIndex(size_t field) const;  // requires mutex_ held
+
+  mutable std::mutex mutex_;
+  std::vector<std::optional<Tuple>> slots_;
+  std::vector<size_t> free_;
+  size_t live_ = 0;
+  // field -> (value hash -> slot indices)
+  mutable std::unordered_map<size_t,
+                             std::unordered_multimap<uint64_t, size_t>>
+      indexes_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_NETWORK_ALPHA_MEMORY_H_

@@ -1,0 +1,259 @@
+#include "network/gator.h"
+
+#include <algorithm>
+
+namespace tman {
+
+Result<std::unique_ptr<GatorNetwork>> GatorNetwork::Build(
+    const ConditionGraph& graph, std::vector<Schema> schemas) {
+  if (schemas.size() != graph.nodes().size()) {
+    return Status::InvalidArgument(
+        "schema count does not match condition graph nodes");
+  }
+  if (graph.nodes().empty()) {
+    return Status::InvalidArgument("empty condition graph");
+  }
+  std::unique_ptr<GatorNetwork> net(
+      new GatorNetwork(graph, std::move(schemas)));
+  size_t n = graph.nodes().size();
+  net->alphas_.resize(n);
+  net->betas_.resize(n);
+  net->probes_.resize(n);
+  // Static probe analysis: how does variable L equijoin the prefix? The
+  // chosen conjunct keys both the alpha memory of L (for delta
+  // propagation) and the beta memory of L-1 (for token arrival at L).
+  for (size_t level = 1; level < n; ++level) {
+    for (const ConditionGraph::Edge& e : graph.edges()) {
+      size_t hi = std::max(e.a, e.b);
+      size_t lo = std::min(e.a, e.b);
+      if (hi != level) continue;
+      for (const ExprPtr& c : e.join_conjuncts) {
+        if (c->kind != ExprKind::kBinaryOp || c->bin_op != BinOp::kEq) {
+          continue;
+        }
+        const ExprPtr& l = c->children[0];
+        const ExprPtr& r = c->children[1];
+        if (l->kind != ExprKind::kColumnRef ||
+            r->kind != ExprKind::kColumnRef) {
+          continue;
+        }
+        const std::string& hi_var = graph.nodes()[hi].info.var;
+        const Expr* hi_side;
+        const Expr* lo_side;
+        if (l->tuple_var == hi_var) {
+          hi_side = l.get();
+          lo_side = r.get();
+        } else if (r->tuple_var == hi_var) {
+          hi_side = r.get();
+          lo_side = l.get();
+        } else {
+          continue;
+        }
+        int cand_field = net->schemas_[hi].FieldIndex(hi_side->attribute);
+        int prefix_field = net->schemas_[lo].FieldIndex(lo_side->attribute);
+        if (cand_field < 0 || prefix_field < 0) continue;
+        Probe& p = net->probes_[level];
+        p.found = true;
+        p.prefix_var = lo;
+        p.prefix_field = static_cast<size_t>(prefix_field);
+        p.cand_field = static_cast<size_t>(cand_field);
+        break;
+      }
+      if (net->probes_[level].found) break;
+    }
+  }
+  return net;
+}
+
+uint64_t GatorNetwork::AlphaKey(size_t var, const Tuple& tuple) const {
+  const Probe& p = probes_[var];
+  if (var == 0 || !p.found || p.cand_field >= tuple.size()) return 0;
+  return tuple.at(p.cand_field).Hash();
+}
+
+uint64_t GatorNetwork::BetaKey(size_t level, const Row& row) const {
+  // betas_[level] is probed by arrivals at level+1.
+  if (level + 1 >= probes_.size()) return 0;
+  const Probe& p = probes_[level + 1];
+  if (!p.found || p.prefix_var >= row.size() ||
+      p.prefix_field >= row[p.prefix_var].size()) {
+    return 0;
+  }
+  return row[p.prefix_var].at(p.prefix_field).Hash();
+}
+
+Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
+                                          const Tuple& candidate) const {
+  Bindings b;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    b.Bind(graph_.nodes()[i].info.var, &schemas_[i], &prefix[i]);
+  }
+  b.Bind(graph_.nodes()[var].info.var, &schemas_[var], &candidate);
+  for (const ConditionGraph::Edge& e : graph_.edges()) {
+    size_t hi = std::max(e.a, e.b);
+    size_t lo = std::min(e.a, e.b);
+    if (hi != var || lo >= prefix.size()) continue;
+    for (const ExprPtr& conjunct : e.join_conjuncts) {
+      TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
+      if (!pass) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> GatorNetwork::CatchAllSatisfied(const Row& row) const {
+  if (graph_.catch_all().empty()) return true;
+  Bindings b;
+  for (size_t i = 0; i < row.size(); ++i) {
+    b.Bind(graph_.nodes()[i].info.var, &schemas_[i], &row[i]);
+  }
+  for (const ExprPtr& conjunct : graph_.catch_all()) {
+    TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Status GatorNetwork::Propagate(size_t node, const Tuple& tuple,
+                               const FiringFn& fn) {
+  size_t n = graph_.nodes().size();
+  std::vector<Row> delta;
+  if (node == 0) {
+    delta.push_back(Row{tuple});
+  } else {
+    const Probe& p = probes_[node];
+    auto try_row = [&](const Row& row) -> Status {
+      TMAN_ASSIGN_OR_RETURN(bool pass, JoinsSatisfied(row, node, tuple));
+      if (pass) {
+        Row extended = row;
+        extended.push_back(tuple);
+        delta.push_back(std::move(extended));
+      }
+      return Status::OK();
+    };
+    if (p.found && p.cand_field < tuple.size()) {
+      auto range =
+          betas_[node - 1].equal_range(tuple.at(p.cand_field).Hash());
+      for (auto it = range.first; it != range.second; ++it) {
+        TMAN_RETURN_IF_ERROR(try_row(it->second));
+      }
+    } else {
+      for (const auto& [key, row] : betas_[node - 1]) {
+        TMAN_RETURN_IF_ERROR(try_row(row));
+      }
+    }
+  }
+  for (const Row& row : delta) {
+    betas_[node].emplace(BetaKey(node, row), row);
+  }
+
+  for (size_t level = node + 1; level < n && !delta.empty(); ++level) {
+    const Probe& p = probes_[level];
+    std::vector<Row> next;
+    for (const Row& row : delta) {
+      auto try_cand = [&](const Tuple& cand) -> Status {
+        TMAN_ASSIGN_OR_RETURN(bool pass, JoinsSatisfied(row, level, cand));
+        if (pass) {
+          Row extended = row;
+          extended.push_back(cand);
+          next.push_back(std::move(extended));
+        }
+        return Status::OK();
+      };
+      if (p.found && p.prefix_var < row.size() &&
+          p.prefix_field < row[p.prefix_var].size()) {
+        auto range = alphas_[level].equal_range(
+            row[p.prefix_var].at(p.prefix_field).Hash());
+        for (auto it = range.first; it != range.second; ++it) {
+          TMAN_RETURN_IF_ERROR(try_cand(it->second));
+        }
+      } else {
+        for (const auto& [key, cand] : alphas_[level]) {
+          TMAN_RETURN_IF_ERROR(try_cand(cand));
+        }
+      }
+    }
+    for (const Row& row : next) {
+      betas_[level].emplace(BetaKey(level, row), row);
+    }
+    delta = std::move(next);
+  }
+
+  for (const Row& row : delta) {
+    if (row.size() != n) continue;
+    TMAN_ASSIGN_OR_RETURN(bool pass, CatchAllSatisfied(row));
+    if (pass && fn) fn(row);
+  }
+  return Status::OK();
+}
+
+Status GatorNetwork::AddTuple(NetworkNodeId node, const Tuple& tuple,
+                              const FiringFn& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= graph_.nodes().size()) {
+    return Status::InvalidArgument("bad network node id");
+  }
+  alphas_[node].emplace(AlphaKey(node, tuple), tuple);
+  return Propagate(node, tuple, fn);
+}
+
+Status GatorNetwork::RemoveTuple(NetworkNodeId node, const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = graph_.nodes().size();
+  if (node >= n) return Status::InvalidArgument("bad network node id");
+
+  // Remove one instance from the alpha memory.
+  auto& alpha = alphas_[node];
+  auto range = alpha.equal_range(AlphaKey(node, tuple));
+  bool erased = false;
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == tuple) {
+      alpha.erase(it);
+      erased = true;
+      break;
+    }
+  }
+  if (!erased) return Status::OK();
+  size_t remaining = 0;
+  range = alpha.equal_range(AlphaKey(node, tuple));
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == tuple) ++remaining;
+  }
+
+  // Drop every materialized row carrying the tuple at this position...
+  for (size_t level = node; level < n; ++level) {
+    auto& rows = betas_[level];
+    for (auto it = rows.begin(); it != rows.end();) {
+      if (it->second[node] == tuple) {
+        it = rows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // ...then re-derive the rows owed to identical duplicates still stored
+  // (duplicates are rare; correctness over cleverness).
+  for (size_t dup = 0; dup < remaining; ++dup) {
+    TMAN_RETURN_IF_ERROR(Propagate(node, tuple, nullptr));
+  }
+  return Status::OK();
+}
+
+size_t GatorNetwork::alpha_size(NetworkNodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < alphas_.size() ? alphas_[node].size() : 0;
+}
+
+size_t GatorNetwork::beta_size(size_t level) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level < betas_.size() ? betas_[level].size() : 0;
+}
+
+size_t GatorNetwork::total_beta_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (size_t i = 1; i < betas_.size(); ++i) total += betas_[i].size();
+  return total;
+}
+
+}  // namespace tman

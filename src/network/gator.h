@@ -1,0 +1,109 @@
+#ifndef TRIGGERMAN_NETWORK_GATOR_H_
+#define TRIGGERMAN_NETWORK_GATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/condition_graph.h"
+#include "expr/eval.h"
+#include "network/alpha_memory.h"
+#include "predindex/predicate_entry.h"
+
+namespace tman {
+
+/// A Gator-style discrimination network ([Hans97b]; §3 of the paper:
+/// "In the future, we plan to implement an optimized type of
+/// discrimination network called a Gator network in TriggerMan").
+///
+/// Where A-TREAT re-joins the arriving token against the other alpha
+/// memories from scratch, a Gator network materializes intermediate join
+/// results in beta memories. This implementation uses a left-deep chain
+/// over the condition-graph node order:
+///
+///   beta[1] = alpha[0] ⋈ alpha[1]
+///   beta[2] = beta[1] ⋈ alpha[2]
+///   ...
+///
+/// A +token at variable v joins the materialized prefix beta[v-1] once,
+/// then propagates the delta up through alphas v+1..n-1; complete rows at
+/// the top are rule firings. A -token deletes every beta row containing
+/// the tuple. Classic time/space tradeoff: per-token work shrinks (no
+/// prefix recomputation), beta memories cost space — the bench
+/// `bench_gator` quantifies both against A-TREAT.
+///
+/// Scope: all variables use stored memories (stream-style sources), and
+/// firings are emitted on tuple *arrival* — callers apply event-condition
+/// filtering before feeding tokens. This component is provided as the
+/// paper's planned extension; TriggerManager wires A-TREAT by default.
+class GatorNetwork {
+ public:
+  using FiringFn = std::function<void(const std::vector<Tuple>& bindings)>;
+
+  /// `schemas` must be aligned with the graph's nodes.
+  static Result<std::unique_ptr<GatorNetwork>> Build(
+      const ConditionGraph& graph, std::vector<Schema> schemas);
+
+  /// Inserts a tuple (which already passed its node's selection) at
+  /// `node`; emits a firing for every new complete join row.
+  Status AddTuple(NetworkNodeId node, const Tuple& tuple,
+                  const FiringFn& fn);
+
+  /// Removes a tuple; all join rows containing it disappear.
+  Status RemoveTuple(NetworkNodeId node, const Tuple& tuple);
+
+  size_t alpha_size(NetworkNodeId node) const;
+  /// Rows materialized at beta level i (1..n-1); level n-1 is the
+  /// complete-match memory.
+  size_t beta_size(size_t level) const;
+  /// Total tuples held in beta memories (the space cost vs A-TREAT).
+  size_t total_beta_rows() const;
+
+  const ConditionGraph& graph() const { return graph_; }
+
+ private:
+  GatorNetwork(ConditionGraph graph, std::vector<Schema> schemas)
+      : graph_(std::move(graph)), schemas_(std::move(schemas)) {}
+
+  /// A beta row: one tuple per variable 0..level.
+  using Row = std::vector<Tuple>;
+
+  /// Static equijoin probe for variable L against the prefix (analyzed at
+  /// Build): keys the alpha memory of L and the beta memory of L-1 so
+  /// delta joins are hash probes rather than scans.
+  struct Probe {
+    bool found = false;
+    size_t prefix_var = 0;
+    size_t prefix_field = 0;
+    size_t cand_field = 0;
+  };
+
+  uint64_t AlphaKey(size_t var, const Tuple& tuple) const;
+  uint64_t BetaKey(size_t level, const Row& row) const;
+
+  /// Joins `tuple` (just stored at `node`) with the materialized prefix
+  /// and propagates the delta to the top; complete rows are firings.
+  /// Requires mutex_ held.
+  Status Propagate(size_t node, const Tuple& tuple, const FiringFn& fn);
+
+  /// Tests the join edges between variable `var` and variables < `var`,
+  /// plus (at the top level) the catch-all conjuncts.
+  Result<bool> JoinsSatisfied(const Row& prefix, size_t var,
+                              const Tuple& candidate) const;
+  Result<bool> CatchAllSatisfied(const Row& row) const;
+
+  ConditionGraph graph_;
+  std::vector<Schema> schemas_;
+  std::vector<Probe> probes_;  // per variable; [0] unused
+
+  mutable std::mutex mutex_;
+  // Hash-keyed memories: alphas by their own probe field, beta level L by
+  // the field level L+1 probes with (0 when no equijoin exists).
+  std::vector<std::unordered_multimap<uint64_t, Tuple>> alphas_;
+  std::vector<std::unordered_multimap<uint64_t, Row>> betas_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_NETWORK_GATOR_H_

@@ -1,0 +1,88 @@
+#ifndef TRIGGERMAN_PARSER_AST_H_
+#define TRIGGERMAN_PARSER_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/schema.h"
+#include "types/update_descriptor.h"
+
+namespace tman {
+
+/// One entry of a from-clause: a data source usage, optionally renamed
+/// ("from salesperson s" binds tuple variable s). When no variable is
+/// given the source name doubles as the variable.
+struct TupleVarDecl {
+  std::string source;
+  std::string var;
+};
+
+/// An on-clause: operation, optional explicit target ("on insert to
+/// house"), and optional update column list ("on update(emp.salary)").
+/// When columns are given, the target is inferred from their qualifier.
+struct EventSpec {
+  OpCode op = OpCode::kInsert;
+  std::string target;
+  std::vector<std::string> columns;  // qualified "var.attr" spellings
+};
+
+/// Trigger actions. execSQL carries the raw SQL text (with :NEW/:OLD
+/// macros, substituted at firing time); raise event carries an event name
+/// and argument expressions over the trigger's tuple variables.
+enum class ActionKind { kExecSql, kRaiseEvent };
+
+struct ActionSpec {
+  ActionKind kind = ActionKind::kExecSql;
+  std::string sql;
+  std::string event_name;
+  std::vector<ExprPtr> event_args;
+};
+
+/// create trigger <name> [in setName] from ... [on ...] [when ...]
+/// [group by ...] [having ...] do <action>
+struct CreateTriggerCmd {
+  std::string name;
+  std::string set_name;  // empty = default trigger set
+  std::vector<TupleVarDecl> from;
+  std::optional<EventSpec> on;
+  ExprPtr when;  // null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // null when absent
+  ActionSpec action;
+  std::string original_text;  // stored in the trigger catalog
+};
+
+struct DropTriggerCmd {
+  std::string name;
+};
+
+struct CreateTriggerSetCmd {
+  std::string name;
+  std::string comments;
+};
+
+/// enable/disable trigger <name> | enable/disable trigger set <name>
+struct EnableCmd {
+  bool enable = true;
+  bool is_set = false;
+  std::string name;
+};
+
+/// define data source <name> (attr type, ...) — imports a schema. In the
+/// paper this reads the schema from a connection's database; MiniDB-backed
+/// sources may instead be registered programmatically.
+struct DefineDataSourceCmd {
+  std::string name;
+  Schema schema;
+};
+
+using Command = std::variant<CreateTriggerCmd, DropTriggerCmd,
+                             CreateTriggerSetCmd, EnableCmd,
+                             DefineDataSourceCmd>;
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PARSER_AST_H_

@@ -1,0 +1,272 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tman {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "<end>";
+    case TokenKind::kIdentifier:
+      return text;
+    case TokenKind::kIntLiteral:
+      return std::to_string(int_value);
+    case TokenKind::kFloatLiteral:
+      return std::to_string(float_value);
+    case TokenKind::kStringLiteral:
+      return "'" + text + "'";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kSemicolon:
+      return ";";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "<>";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kColon:
+      return ":";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view input) : input_(input) {
+  auto first = Scan();
+  if (first.ok()) {
+    current_ = *first;
+  } else {
+    init_status_ = first.status();
+    current_.kind = TokenKind::kEnd;
+  }
+}
+
+Result<Token> Lexer::Next() {
+  Token prev = current_;
+  auto next = Scan();
+  if (!next.ok()) {
+    // Sticky scan error: present end-of-input so parsers terminate, and
+    // surface the error to callers that check.
+    current_ = Token{};
+    init_status_ = next.status();
+    return next.status();
+  }
+  current_ = *next;
+  return prev;
+}
+
+std::string Lexer::Where() const {
+  size_t start = current_.offset;
+  size_t len = input_.size() - start;
+  if (len > 20) len = 20;
+  return "at offset " + std::to_string(start) + " near '" +
+         std::string(input_.substr(start, len)) + "'";
+}
+
+Result<Token> Lexer::Scan() {
+  // Skip whitespace and -- comments.
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+      continue;
+    }
+    if (c == '-' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '-') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      continue;
+    }
+    break;
+  }
+
+  Token t;
+  t.offset = pos_;
+  if (pos_ >= input_.size()) {
+    t.kind = TokenKind::kEnd;
+    return t;
+  }
+
+  char c = input_[pos_];
+  // Identifiers / keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    t.kind = TokenKind::kIdentifier;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    return t;
+  }
+
+  // Numbers: 123, 123.5, .5, 1e6.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < input_.size() &&
+       std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < input_.size() && input_[pos_] == '.' &&
+        pos_ + 1 < input_.size() &&
+        std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+      is_float = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < input_.size() &&
+        (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+      size_t exp = pos_ + 1;
+      if (exp < input_.size() &&
+          (input_[exp] == '+' || input_[exp] == '-')) {
+        ++exp;
+      }
+      if (exp < input_.size() &&
+          std::isdigit(static_cast<unsigned char>(input_[exp]))) {
+        is_float = true;
+        pos_ = exp;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+      }
+    }
+    std::string num(input_.substr(start, pos_ - start));
+    if (is_float) {
+      t.kind = TokenKind::kFloatLiteral;
+      t.float_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::kIntLiteral;
+      t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  // String literals: '...' with '' escaping a quote.
+  if (c == '\'') {
+    ++pos_;
+    std::string text;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated string literal " + Where());
+      }
+      char ch = input_[pos_];
+      if (ch == '\'') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+          text.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      text.push_back(ch);
+      ++pos_;
+    }
+    t.kind = TokenKind::kStringLiteral;
+    t.text = std::move(text);
+    return t;
+  }
+
+  // Operators and punctuation.
+  ++pos_;
+  switch (c) {
+    case '(':
+      t.kind = TokenKind::kLParen;
+      return t;
+    case ')':
+      t.kind = TokenKind::kRParen;
+      return t;
+    case ',':
+      t.kind = TokenKind::kComma;
+      return t;
+    case '.':
+      t.kind = TokenKind::kDot;
+      return t;
+    case ';':
+      t.kind = TokenKind::kSemicolon;
+      return t;
+    case '+':
+      t.kind = TokenKind::kPlus;
+      return t;
+    case '-':
+      t.kind = TokenKind::kMinus;
+      return t;
+    case '*':
+      t.kind = TokenKind::kStar;
+      return t;
+    case '/':
+      t.kind = TokenKind::kSlash;
+      return t;
+    case ':':
+      t.kind = TokenKind::kColon;
+      return t;
+    case '=':
+      t.kind = TokenKind::kEq;
+      return t;
+    case '!':
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        t.kind = TokenKind::kNe;
+        return t;
+      }
+      return Status::ParseError("unexpected '!' " + Where());
+    case '<':
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        t.kind = TokenKind::kLe;
+      } else if (pos_ < input_.size() && input_[pos_] == '>') {
+        ++pos_;
+        t.kind = TokenKind::kNe;
+      } else {
+        t.kind = TokenKind::kLt;
+      }
+      return t;
+    case '>':
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        t.kind = TokenKind::kGe;
+      } else {
+        t.kind = TokenKind::kGt;
+      }
+      return t;
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(t.offset));
+  }
+}
+
+}  // namespace tman

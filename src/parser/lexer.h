@@ -1,0 +1,89 @@
+#ifndef TRIGGERMAN_PARSER_LEXER_H_
+#define TRIGGERMAN_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace tman {
+
+/// Token kinds produced by the Lexer. Keywords are not distinguished here:
+/// the command language is keyword-delimited but identifiers and keywords
+/// share one token kind, and the parser matches keywords case-insensitively
+/// by spelling.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kColon,     // used by :NEW / :OLD macros inside execSQL text
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier spelling or string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;      // byte offset in the input, for error messages
+
+  bool Is(TokenKind k) const { return kind == k; }
+
+  /// Case-insensitive keyword match against an identifier token.
+  bool IsKeyword(std::string_view kw) const;
+
+  std::string ToString() const;
+};
+
+/// A hand-written scanner for the TriggerMan command language and its
+/// SQL-like sublanguage. Strings use single quotes with '' as the escape
+/// for an embedded quote. Comments: `--` to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// The current (look-ahead) token.
+  const Token& Peek() const { return current_; }
+
+  /// Consumes the current token and scans the next one.
+  Result<Token> Next();
+
+  /// Errors carry this context: "at offset N near '...'".
+  std::string Where() const;
+
+  /// True once the input is exhausted.
+  bool AtEnd() const { return current_.kind == TokenKind::kEnd; }
+
+  /// Status of the initial scan (the constructor scans the first token).
+  const Status& init_status() const { return init_status_; }
+
+ private:
+  Result<Token> Scan();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+  Status init_status_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PARSER_LEXER_H_

@@ -1,0 +1,522 @@
+#include "parser/parser.h"
+
+#include "types/data_type.h"
+#include "util/string_util.h"
+
+namespace tman {
+
+namespace {
+
+/// Clause keywords that terminate sub-parses inside create trigger.
+bool IsClauseKeyword(const Token& t) {
+  return t.IsKeyword("from") || t.IsKeyword("on") || t.IsKeyword("when") ||
+         t.IsKeyword("group") || t.IsKeyword("having") || t.IsKeyword("do") ||
+         t.IsKeyword("in");
+}
+
+Status Expect(Lexer* lex, TokenKind kind, std::string_view what) {
+  if (!lex->Peek().Is(kind)) {
+    return Status::ParseError("expected " + std::string(what) + " " +
+                              lex->Where());
+  }
+  return lex->Next().status();
+}
+
+Result<std::string> ExpectIdentifier(Lexer* lex, std::string_view what) {
+  if (!lex->Peek().Is(TokenKind::kIdentifier)) {
+    return Status::ParseError("expected " + std::string(what) + " " +
+                              lex->Where());
+  }
+  TMAN_ASSIGN_OR_RETURN(Token t, lex->Next());
+  return t.text;
+}
+
+Status ExpectKeyword(Lexer* lex, std::string_view kw) {
+  if (!lex->Peek().IsKeyword(kw)) {
+    return Status::ParseError("expected '" + std::string(kw) + "' " +
+                              lex->Where());
+  }
+  return lex->Next().status();
+}
+
+bool ConsumeKeyword(Lexer* lex, std::string_view kw) {
+  if (lex->Peek().IsKeyword(kw)) {
+    (void)lex->Next();
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Expression grammar (precedence climbing):
+//   or -> and (OR and)*
+//   and -> not (AND not)*
+//   not -> NOT not | cmp
+//   cmp -> add [(= | <> | < | <= | > | >=) add]
+//   add -> mul ((+|-) mul)*
+//   mul -> unary ((*|/) unary)*
+//   unary -> - unary | primary
+//   primary -> literal | ident[.ident] | ident(args) | (or)
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> ParseOr(Lexer* lex);
+
+Result<ExprPtr> ParsePrimary(Lexer* lex) {
+  const Token& t = lex->Peek();
+  switch (t.kind) {
+    case TokenKind::kIntLiteral: {
+      TMAN_ASSIGN_OR_RETURN(Token tok, lex->Next());
+      return MakeLiteral(Value::Int(tok.int_value));
+    }
+    case TokenKind::kFloatLiteral: {
+      TMAN_ASSIGN_OR_RETURN(Token tok, lex->Next());
+      return MakeLiteral(Value::Float(tok.float_value));
+    }
+    case TokenKind::kStringLiteral: {
+      TMAN_ASSIGN_OR_RETURN(Token tok, lex->Next());
+      return MakeLiteral(Value::String(tok.text));
+    }
+    case TokenKind::kLParen: {
+      TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kLParen, "'('"));
+      TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(lex));
+      TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+      return e;
+    }
+    case TokenKind::kIdentifier: {
+      // Clause keywords are reserved: a bare `do`/`when`/... here means a
+      // clause boundary was reached where an expression was required.
+      if (IsClauseKeyword(t)) {
+        return Status::ParseError("expected expression " + lex->Where());
+      }
+      if (t.IsKeyword("null")) {
+        (void)lex->Next();
+        return MakeLiteral(Value::Null());
+      }
+      if (t.IsKeyword("true")) {
+        (void)lex->Next();
+        return MakeLiteral(Value::Int(1));
+      }
+      if (t.IsKeyword("false")) {
+        (void)lex->Next();
+        return MakeLiteral(Value::Int(0));
+      }
+      TMAN_ASSIGN_OR_RETURN(Token name, lex->Next());
+      if (lex->Peek().Is(TokenKind::kLParen)) {
+        // Function call.
+        (void)lex->Next();
+        std::vector<ExprPtr> args;
+        if (!lex->Peek().Is(TokenKind::kRParen)) {
+          while (true) {
+            TMAN_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr(lex));
+            args.push_back(std::move(arg));
+            if (lex->Peek().Is(TokenKind::kComma)) {
+              (void)lex->Next();
+              continue;
+            }
+            break;
+          }
+        }
+        TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+        return MakeFunctionCall(ToLower(name.text), std::move(args));
+      }
+      if (lex->Peek().Is(TokenKind::kDot)) {
+        (void)lex->Next();
+        TMAN_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdentifier(lex, "attribute name"));
+        return MakeColumnRef(ToLower(name.text), ToLower(attr));
+      }
+      return MakeColumnRef("", ToLower(name.text));
+    }
+    default:
+      return Status::ParseError("expected expression " + lex->Where());
+  }
+}
+
+Result<ExprPtr> ParseUnary(Lexer* lex) {
+  if (lex->Peek().Is(TokenKind::kMinus)) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(lex));
+    // Fold negation of numeric literals so "-5" is a constant, not an op;
+    // signature extraction then treats it as one constant.
+    if (e->kind == ExprKind::kLiteral && e->literal.is_int()) {
+      return MakeLiteral(Value::Int(-e->literal.as_int()));
+    }
+    if (e->kind == ExprKind::kLiteral && e->literal.is_float()) {
+      return MakeLiteral(Value::Float(-e->literal.as_float()));
+    }
+    return MakeUnary(UnOp::kNeg, std::move(e));
+  }
+  return ParsePrimary(lex);
+}
+
+Result<ExprPtr> ParseMul(Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary(lex));
+  while (lex->Peek().Is(TokenKind::kStar) ||
+         lex->Peek().Is(TokenKind::kSlash)) {
+    TMAN_ASSIGN_OR_RETURN(Token op, lex->Next());
+    TMAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(lex));
+    lhs = MakeBinary(op.Is(TokenKind::kStar) ? BinOp::kMul : BinOp::kDiv,
+                     std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseAdd(Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul(lex));
+  while (lex->Peek().Is(TokenKind::kPlus) ||
+         lex->Peek().Is(TokenKind::kMinus)) {
+    TMAN_ASSIGN_OR_RETURN(Token op, lex->Next());
+    TMAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul(lex));
+    lhs = MakeBinary(op.Is(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub,
+                     std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseCmp(Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd(lex));
+  BinOp op;
+  switch (lex->Peek().kind) {
+    case TokenKind::kEq:
+      op = BinOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = BinOp::kNe;
+      break;
+    case TokenKind::kLt:
+      op = BinOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = BinOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = BinOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = BinOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  (void)lex->Next();
+  TMAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd(lex));
+  return MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> ParseNot(Lexer* lex) {
+  if (lex->Peek().IsKeyword("not")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseNot(lex));
+    return MakeUnary(UnOp::kNot, std::move(e));
+  }
+  return ParseCmp(lex);
+}
+
+Result<ExprPtr> ParseAnd(Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot(lex));
+  while (lex->Peek().IsKeyword("and")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot(lex));
+    lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseOr(Lexer* lex) {
+  TMAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(lex));
+  while (lex->Peek().IsKeyword("or")) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(lex));
+    lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+// ---------------------------------------------------------------------------
+// Command clauses
+// ---------------------------------------------------------------------------
+
+Result<std::vector<TupleVarDecl>> ParseFromList(Lexer* lex) {
+  std::vector<TupleVarDecl> out;
+  while (true) {
+    TMAN_ASSIGN_OR_RETURN(std::string source,
+                          ExpectIdentifier(lex, "data source name"));
+    TupleVarDecl decl;
+    decl.source = ToLower(source);
+    ConsumeKeyword(lex, "as");
+    if (lex->Peek().Is(TokenKind::kIdentifier) &&
+        !IsClauseKeyword(lex->Peek())) {
+      TMAN_ASSIGN_OR_RETURN(Token var, lex->Next());
+      decl.var = ToLower(var.text);
+    } else {
+      decl.var = decl.source;
+    }
+    out.push_back(std::move(decl));
+    if (lex->Peek().Is(TokenKind::kComma)) {
+      (void)lex->Next();
+      continue;
+    }
+    return out;
+  }
+}
+
+Result<EventSpec> ParseEventSpec(Lexer* lex) {
+  EventSpec spec;
+  TMAN_ASSIGN_OR_RETURN(std::string op,
+                        ExpectIdentifier(lex, "event operation"));
+  if (EqualsIgnoreCase(op, "insert")) {
+    spec.op = OpCode::kInsert;
+  } else if (EqualsIgnoreCase(op, "delete")) {
+    spec.op = OpCode::kDelete;
+  } else if (EqualsIgnoreCase(op, "update")) {
+    spec.op = OpCode::kUpdate;
+  } else {
+    return Status::ParseError("unknown event operation '" + op + "' " +
+                              lex->Where());
+  }
+  // Optional column list: on update(emp.salary, emp.name)
+  if (lex->Peek().Is(TokenKind::kLParen)) {
+    (void)lex->Next();
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(std::string first,
+                            ExpectIdentifier(lex, "column reference"));
+      std::string column = ToLower(first);
+      if (lex->Peek().Is(TokenKind::kDot)) {
+        (void)lex->Next();
+        TMAN_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdentifier(lex, "attribute"));
+        if (spec.target.empty()) spec.target = column;
+        column += "." + ToLower(attr);
+      }
+      spec.columns.push_back(column);
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+  }
+  // Optional explicit target: "to house" / "from house" / "of house".
+  if (lex->Peek().IsKeyword("to") || lex->Peek().IsKeyword("of") ||
+      (lex->Peek().IsKeyword("from") && spec.op == OpCode::kDelete)) {
+    (void)lex->Next();
+    TMAN_ASSIGN_OR_RETURN(std::string target,
+                          ExpectIdentifier(lex, "event target"));
+    spec.target = ToLower(target);
+  }
+  return spec;
+}
+
+Result<ActionSpec> ParseAction(Lexer* lex) {
+  ActionSpec action;
+  if (ConsumeKeyword(lex, "execsql")) {
+    action.kind = ActionKind::kExecSql;
+    if (!lex->Peek().Is(TokenKind::kStringLiteral)) {
+      return Status::ParseError("execSQL expects a string literal " +
+                                lex->Where());
+    }
+    TMAN_ASSIGN_OR_RETURN(Token sql, lex->Next());
+    action.sql = sql.text;
+    return action;
+  }
+  if (ConsumeKeyword(lex, "raise")) {
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "event"));
+    action.kind = ActionKind::kRaiseEvent;
+    TMAN_ASSIGN_OR_RETURN(std::string name,
+                          ExpectIdentifier(lex, "event name"));
+    action.event_name = name;  // event names keep their case
+    if (lex->Peek().Is(TokenKind::kLParen)) {
+      (void)lex->Next();
+      if (!lex->Peek().Is(TokenKind::kRParen)) {
+        while (true) {
+          TMAN_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr(lex));
+          action.event_args.push_back(std::move(arg));
+          if (lex->Peek().Is(TokenKind::kComma)) {
+            (void)lex->Next();
+            continue;
+          }
+          break;
+        }
+      }
+      TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+    }
+    return action;
+  }
+  return Status::ParseError(
+      "expected action (execSQL or raise event) " + lex->Where());
+}
+
+Result<Command> ParseCreateTrigger(Lexer* lex, std::string_view text) {
+  CreateTriggerCmd cmd;
+  cmd.original_text = std::string(Trim(text));
+  TMAN_ASSIGN_OR_RETURN(std::string name,
+                        ExpectIdentifier(lex, "trigger name"));
+  cmd.name = name;
+  bool saw_do = false;
+  while (!saw_do) {
+    const Token& t = lex->Peek();
+    if (t.IsKeyword("in")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(std::string set,
+                            ExpectIdentifier(lex, "trigger set name"));
+      cmd.set_name = set;
+    } else if (t.IsKeyword("from")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(cmd.from, ParseFromList(lex));
+    } else if (t.IsKeyword("on")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(EventSpec spec, ParseEventSpec(lex));
+      cmd.on = std::move(spec);
+    } else if (t.IsKeyword("when")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(cmd.when, ParseOr(lex));
+    } else if (t.IsKeyword("group")) {
+      (void)lex->Next();
+      TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "by"));
+      while (true) {
+        TMAN_ASSIGN_OR_RETURN(ExprPtr col, ParseOr(lex));
+        cmd.group_by.push_back(std::move(col));
+        if (lex->Peek().Is(TokenKind::kComma)) {
+          (void)lex->Next();
+          continue;
+        }
+        break;
+      }
+    } else if (t.IsKeyword("having")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(cmd.having, ParseOr(lex));
+    } else if (t.IsKeyword("do")) {
+      (void)lex->Next();
+      TMAN_ASSIGN_OR_RETURN(cmd.action, ParseAction(lex));
+      saw_do = true;
+    } else {
+      return Status::ParseError("unexpected token in create trigger " +
+                                lex->Where());
+    }
+  }
+  if (cmd.from.empty()) {
+    return Status::ParseError("create trigger requires a from clause");
+  }
+  return Command(std::move(cmd));
+}
+
+Result<Command> ParseCommandFromLexer(Lexer* lex, std::string_view text) {
+  if (!lex->init_status().ok()) return lex->init_status();
+  if (lex->Peek().IsKeyword("create")) {
+    (void)lex->Next();
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "trigger"));
+    // "create trigger set <name>" vs "create trigger <name>": a set
+    // creation has an identifier after the 'set' keyword.
+    if (lex->Peek().IsKeyword("set")) {
+      (void)lex->Next();
+      CreateTriggerSetCmd cmd;
+      TMAN_ASSIGN_OR_RETURN(cmd.name,
+                            ExpectIdentifier(lex, "trigger set name"));
+      if (lex->Peek().Is(TokenKind::kStringLiteral)) {
+        TMAN_ASSIGN_OR_RETURN(Token comments, lex->Next());
+        cmd.comments = comments.text;
+      }
+      return Command(std::move(cmd));
+    }
+    return ParseCreateTrigger(lex, text);
+  }
+  if (lex->Peek().IsKeyword("drop")) {
+    (void)lex->Next();
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "trigger"));
+    DropTriggerCmd cmd;
+    TMAN_ASSIGN_OR_RETURN(cmd.name, ExpectIdentifier(lex, "trigger name"));
+    return Command(std::move(cmd));
+  }
+  if (lex->Peek().IsKeyword("enable") || lex->Peek().IsKeyword("disable")) {
+    EnableCmd cmd;
+    cmd.enable = lex->Peek().IsKeyword("enable");
+    (void)lex->Next();
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "trigger"));
+    if (lex->Peek().IsKeyword("set")) {
+      (void)lex->Next();
+      cmd.is_set = true;
+    }
+    TMAN_ASSIGN_OR_RETURN(cmd.name, ExpectIdentifier(lex, "name"));
+    return Command(std::move(cmd));
+  }
+  if (lex->Peek().IsKeyword("define")) {
+    (void)lex->Next();
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "data"));
+    TMAN_RETURN_IF_ERROR(ExpectKeyword(lex, "source"));
+    DefineDataSourceCmd cmd;
+    TMAN_ASSIGN_OR_RETURN(std::string name,
+                          ExpectIdentifier(lex, "data source name"));
+    cmd.name = ToLower(name);
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kLParen, "'('"));
+    std::vector<Field> fields;
+    while (true) {
+      TMAN_ASSIGN_OR_RETURN(std::string attr,
+                            ExpectIdentifier(lex, "attribute name"));
+      TMAN_ASSIGN_OR_RETURN(std::string type_name,
+                            ExpectIdentifier(lex, "type name"));
+      TMAN_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+      uint32_t width = 0;
+      if (lex->Peek().Is(TokenKind::kLParen)) {
+        (void)lex->Next();
+        if (!lex->Peek().Is(TokenKind::kIntLiteral)) {
+          return Status::ParseError("expected width " + lex->Where());
+        }
+        TMAN_ASSIGN_OR_RETURN(Token w, lex->Next());
+        width = static_cast<uint32_t>(w.int_value);
+        TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+      }
+      fields.emplace_back(ToLower(attr), type, width);
+      if (lex->Peek().Is(TokenKind::kComma)) {
+        (void)lex->Next();
+        continue;
+      }
+      break;
+    }
+    TMAN_RETURN_IF_ERROR(Expect(lex, TokenKind::kRParen, "')'"));
+    cmd.schema = Schema(std::move(fields));
+    return Command(std::move(cmd));
+  }
+  return Status::ParseError("unknown command " + lex->Where());
+}
+
+}  // namespace
+
+Result<Command> ParseCommand(std::string_view text) {
+  Lexer lex(text);
+  TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommandFromLexer(&lex, text));
+  if (lex.Peek().Is(TokenKind::kSemicolon)) (void)lex.Next();
+  if (!lex.AtEnd()) {
+    return Status::ParseError("trailing input after command " + lex.Where());
+  }
+  return cmd;
+}
+
+Result<std::vector<Command>> ParseScript(std::string_view text) {
+  std::vector<Command> out;
+  for (const std::string& piece : Split(text, ';')) {
+    std::string_view trimmed = Trim(piece);
+    if (trimmed.empty()) continue;
+    TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommand(trimmed));
+    out.push_back(std::move(cmd));
+  }
+  return out;
+}
+
+Result<ExprPtr> ParseExpressionString(std::string_view text) {
+  Lexer lex(text);
+  if (!lex.init_status().ok()) return lex.init_status();
+  TMAN_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(&lex));
+  if (!lex.AtEnd()) {
+    return Status::ParseError("trailing input after expression " +
+                              lex.Where());
+  }
+  return e;
+}
+
+Result<ExprPtr> ParseExpression(Lexer* lex) {
+  if (!lex->init_status().ok()) return lex->init_status();
+  return ParseOr(lex);
+}
+
+}  // namespace tman

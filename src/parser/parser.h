@@ -1,0 +1,38 @@
+#ifndef TRIGGERMAN_PARSER_PARSER_H_
+#define TRIGGERMAN_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "parser/ast.h"
+#include "parser/lexer.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Parses one TriggerMan command:
+///   create trigger <name> [in <set>] from <src> [<var>], ...
+///       [on <event>] [when <cond>] [group by <cols>] [having <cond>]
+///       do <action>
+///   create trigger set <name> ['comments']
+///   drop trigger <name>
+///   enable|disable trigger [set] <name>
+///   define data source <name> (<attr> <type>[(n)], ...)
+/// Clauses of create trigger may appear in any order before `do` (the
+/// paper itself writes `on` both before and after `from`).
+Result<Command> ParseCommand(std::string_view text);
+
+/// Parses a semicolon-separated script of commands.
+Result<std::vector<Command>> ParseScript(std::string_view text);
+
+/// Parses a standalone scalar/boolean expression (used by tests and by
+/// MiniDB's SQL WHERE clauses).
+Result<ExprPtr> ParseExpressionString(std::string_view text);
+
+/// Expression parser entry over an existing lexer; consumes the tokens of
+/// one expression and leaves the lexer at the first token past it.
+Result<ExprPtr> ParseExpression(Lexer* lex);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PARSER_PARSER_H_

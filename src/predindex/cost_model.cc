@@ -1,0 +1,70 @@
+#include "predindex/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tman {
+
+OrgType OrgCostEstimate::best() const {
+  OrgType t = OrgType::kMemoryList;
+  double c = memory_list_ns;
+  if (memory_index_ns < c) {
+    c = memory_index_ns;
+    t = OrgType::kMemoryIndex;
+  }
+  if (db_table_ns < c) {
+    c = db_table_ns;
+    t = OrgType::kDbTable;
+  }
+  if (db_indexed_ns < c) {
+    c = db_indexed_ns;
+    t = OrgType::kDbIndexedTable;
+  }
+  return t;
+}
+
+std::string OrgCostEstimate::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "list=%.0fns mm-index=%.0fns db-table=%.0fns db-index=%.0fns",
+                memory_list_ns, memory_index_ns, db_table_ns, db_indexed_ns);
+  return buf;
+}
+
+OrgCostEstimate EstimateMatchCost(size_t class_size, double expected_matches,
+                                  double buffer_hit_ratio,
+                                  const CostModelParams& p) {
+  OrgCostEstimate est;
+  double n = static_cast<double>(std::max<size_t>(class_size, 1));
+  double k = std::max(expected_matches, 0.0);
+  double io = p.page_io_ns * (1.0 - buffer_hit_ratio);
+
+  // 1. Main-memory list: compare every entry.
+  est.memory_list_ns = n * p.compare_ns;
+
+  // 2. Main-memory index: one hash probe plus the matching triggerID set.
+  est.memory_index_ns = p.hash_probe_ns + k * p.compare_ns;
+
+  // 3. Non-indexed table: read and test every page of the table.
+  double pages = std::ceil(n / static_cast<double>(p.rows_per_page));
+  est.db_table_ns = pages * io + n * p.row_decode_ns;
+
+  // 4. Indexed table: descend the B+-tree, then read the clustered run of
+  // matching rows.
+  double height =
+      std::max(1.0, std::ceil(std::log(n) /
+                              std::log(static_cast<double>(p.btree_fanout))));
+  double match_pages =
+      std::ceil(std::max(k, 1.0) / static_cast<double>(p.rows_per_page));
+  est.db_indexed_ns =
+      (height + match_pages) * io + std::max(k, 1.0) * p.row_decode_ns;
+
+  return est;
+}
+
+double EstimateMemoryBytes(size_t class_size, const CostModelParams& p) {
+  return static_cast<double>(class_size) * p.memory_per_entry;
+}
+
+}  // namespace tman

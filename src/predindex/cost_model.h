@@ -1,0 +1,52 @@
+#ifndef TRIGGERMAN_PREDINDEX_COST_MODEL_H_
+#define TRIGGERMAN_PREDINDEX_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "predindex/organization.h"
+
+namespace tman {
+
+/// Calibration constants for the organization cost model ([Hans98b]
+/// presents the tradeoff analysis this reproduces). All costs in
+/// nanoseconds; defaults approximate a laptop-class machine with the
+/// simulated disk latency used by the benchmarks.
+struct CostModelParams {
+  double compare_ns = 12;        // one constant comparison in memory
+  double hash_probe_ns = 60;     // one hash-table probe
+  double page_io_ns = 20000;     // one page read reaching the disk
+  double row_decode_ns = 900;    // deserialize + test one table row
+  size_t rows_per_page = 64;     // constant-table rows per 4 KB page
+  size_t btree_fanout = 128;     // entries per index node
+  double memory_per_entry = 96;  // bytes of main memory per predicate
+};
+
+/// Estimated cost of matching one token against one signature's
+/// equivalence class of size n, per organization.
+struct OrgCostEstimate {
+  double memory_list_ns = 0;
+  double memory_index_ns = 0;
+  double db_table_ns = 0;
+  double db_indexed_ns = 0;
+
+  /// Cheapest organization under the estimate.
+  OrgType best() const;
+  std::string ToString() const;
+};
+
+/// Computes the per-token match cost estimates for an equivalence class
+/// of `class_size` predicates with `expected_matches` expected matching
+/// entries per probe. `buffer_hit_ratio` discounts page reads that hit
+/// the buffer pool.
+OrgCostEstimate EstimateMatchCost(size_t class_size, double expected_matches,
+                                  double buffer_hit_ratio,
+                                  const CostModelParams& params);
+
+/// Main-memory footprint of a class of `class_size` entries (used to
+/// argue when organizations 3/4 become mandatory).
+double EstimateMemoryBytes(size_t class_size, const CostModelParams& params);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_COST_MODEL_H_

@@ -1,0 +1,136 @@
+#include "predindex/interval_index.h"
+
+#include <algorithm>
+
+namespace tman {
+
+bool IntervalIndex::Interval::Contains(const Value& v) const {
+  if (lo.has_value()) {
+    int c = v.Compare(*lo);
+    if (c < 0 || (c == 0 && !lo_inclusive)) return false;
+  }
+  if (hi.has_value()) {
+    int c = v.Compare(*hi);
+    if (c > 0 || (c == 0 && !hi_inclusive)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Compares lower bounds; nullopt (= -inf) sorts first.
+bool LoLess(const IntervalIndex::Interval& a,
+            const IntervalIndex::Interval& b) {
+  if (!a.lo.has_value()) return b.lo.has_value();
+  if (!b.lo.has_value()) return false;
+  int c = a.lo->Compare(*b.lo);
+  if (c != 0) return c < 0;
+  return a.id < b.id;
+}
+
+/// Max of two upper bounds; nullopt (= +inf) dominates.
+std::optional<Value> MaxHi(const std::optional<Value>& a,
+                           const std::optional<Value>& b) {
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  return a->Compare(*b) >= 0 ? a : b;
+}
+
+/// True if bound `hi` (nullopt = +inf) is >= v.
+bool HiReaches(const std::optional<Value>& hi, const Value& v) {
+  return !hi.has_value() || hi->Compare(v) >= 0;
+}
+
+}  // namespace
+
+void IntervalIndex::Insert(Interval interval) {
+  dead_.erase(interval.id);
+  overflow_.push_back(std::move(interval));
+  ++live_count_;
+  if (overflow_.size() > 16 && overflow_.size() * 4 > sorted_.size()) {
+    Rebuild();
+  }
+}
+
+bool IntervalIndex::Remove(uint64_t id) {
+  auto contains = [id](const Interval& i) { return i.id == id; };
+  bool known = std::any_of(sorted_.begin(), sorted_.end(), contains) ||
+               std::any_of(overflow_.begin(), overflow_.end(), contains);
+  if (!known || dead_.count(id) > 0) return false;
+  dead_.insert(id);
+  --live_count_;
+  // Compact eagerly when most of the structure is tombstones.
+  if (dead_.size() > 16 && dead_.size() * 2 > sorted_.size() + overflow_.size()) {
+    Rebuild();
+  }
+  return true;
+}
+
+void IntervalIndex::Rebuild() const {
+  std::vector<Interval> all;
+  all.reserve(sorted_.size() + overflow_.size());
+  for (auto& i : sorted_) {
+    if (dead_.count(i.id) == 0) all.push_back(std::move(i));
+  }
+  for (auto& i : overflow_) {
+    if (dead_.count(i.id) == 0) all.push_back(std::move(i));
+  }
+  dead_.clear();
+  overflow_.clear();
+  std::sort(all.begin(), all.end(), LoLess);
+  sorted_ = std::move(all);
+  // Segment tree (1-based heap layout) of max hi over sorted_ positions.
+  size_t n = sorted_.size();
+  tree_.assign(n == 0 ? 0 : 4 * n, std::optional<Value>());
+  if (n == 0) return;
+  // Iterative bottom-up build via recursion-free post-order is fiddly;
+  // recursive build with an explicit lambda keeps it simple.
+  std::function<void(size_t, size_t, size_t)> build =
+      [&](size_t node, size_t lo, size_t hi) {
+        if (lo + 1 == hi) {
+          tree_[node] = sorted_[lo].hi;
+          return;
+        }
+        size_t mid = (lo + hi) / 2;
+        build(2 * node, lo, mid);
+        build(2 * node + 1, mid, hi);
+        tree_[node] = MaxHi(tree_[2 * node], tree_[2 * node + 1]);
+      };
+  build(1, 0, n);
+}
+
+void IntervalIndex::StabTree(
+    const Value& v, size_t node, size_t lo, size_t hi, size_t limit,
+    const std::function<void(const Interval&)>& fn) const {
+  // Only positions [0, limit) have lo <= v; prune subtrees whose max hi
+  // cannot reach v.
+  if (lo >= limit) return;
+  if (!HiReaches(tree_[node], v)) return;
+  if (lo + 1 == hi) {
+    const Interval& i = sorted_[lo];
+    if (dead_.count(i.id) == 0 && i.Contains(v)) fn(i);
+    return;
+  }
+  size_t mid = (lo + hi) / 2;
+  StabTree(v, 2 * node, lo, mid, limit, fn);
+  StabTree(v, 2 * node + 1, mid, hi, limit, fn);
+}
+
+void IntervalIndex::Stab(
+    const Value& v, const std::function<void(const Interval&)>& fn) const {
+  if (!sorted_.empty()) {
+    // limit = first position whose lo > v (lo == v may still contain v
+    // depending on inclusivity, which Contains rechecks).
+    Interval probe;
+    probe.lo = v;
+    probe.id = UINT64_MAX;
+    size_t limit = static_cast<size_t>(
+        std::upper_bound(sorted_.begin(), sorted_.end(), probe, LoLess) -
+        sorted_.begin());
+    StabTree(v, 1, 0, sorted_.size(), limit, fn);
+  }
+  for (const Interval& i : overflow_) {
+    if (dead_.count(i.id) == 0 && i.Contains(v)) fn(i);
+  }
+}
+
+}  // namespace tman

@@ -1,0 +1,66 @@
+#ifndef TRIGGERMAN_PREDINDEX_INTERVAL_INDEX_H_
+#define TRIGGERMAN_PREDINDEX_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "types/value.h"
+
+namespace tman {
+
+/// A dynamic stabbing-query index over (possibly half-open) intervals.
+///
+/// The paper cites Hanson & Johnson's interval skip list [Hans96b] as the
+/// main-memory index for range selection predicates. This implementation
+/// substitutes a structure with the same O(log n + k) expected stabbing
+/// cost and simpler invariants: intervals sorted by lower bound with a
+/// max-upper-bound segment tree on top, plus a small unsorted overflow
+/// buffer that is merged (and tombstones compacted) once it outgrows a
+/// fraction of the sorted part — so inserts are amortized O(log n).
+class IntervalIndex {
+ public:
+  struct Interval {
+    std::optional<Value> lo;  // nullopt = unbounded below
+    std::optional<Value> hi;  // nullopt = unbounded above
+    bool lo_inclusive = true;
+    bool hi_inclusive = true;
+    uint64_t id = 0;  // caller's handle (exprID)
+
+    /// True if `v` lies inside this interval.
+    bool Contains(const Value& v) const;
+  };
+
+  IntervalIndex() = default;
+
+  void Insert(Interval interval);
+
+  /// Marks the interval with `id` removed. Returns false if unknown.
+  bool Remove(uint64_t id);
+
+  /// Calls `fn` for every live interval containing `v`.
+  void Stab(const Value& v, const std::function<void(const Interval&)>& fn) const;
+
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+ private:
+  void Rebuild() const;
+  void StabTree(const Value& v, size_t node, size_t lo, size_t hi,
+                size_t limit, const std::function<void(const Interval&)>& fn)
+      const;
+
+  // Sorted-by-lo intervals plus segment tree of max hi (lazy-rebuilt, hence
+  // mutable: Stab may trigger a rebuild of the static part).
+  mutable std::vector<Interval> sorted_;
+  mutable std::vector<std::optional<Value>> tree_;  // max-hi segment tree
+  mutable std::vector<Interval> overflow_;
+  mutable std::unordered_set<uint64_t> dead_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_INTERVAL_INDEX_H_

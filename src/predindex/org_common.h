@@ -1,0 +1,38 @@
+#ifndef TRIGGERMAN_PREDINDEX_ORG_COMMON_H_
+#define TRIGGERMAN_PREDINDEX_ORG_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predindex/interval_index.h"
+#include "predindex/organization.h"
+
+namespace tman::predindex_internal {
+
+/// Projects an entry's constants onto the signature's equality
+/// placeholders: the composite key [const1..constK] of the paper.
+std::vector<Value> EqKeyOf(const SignatureContext& ctx,
+                           const PredicateEntry& entry);
+
+/// Builds the stabbing interval for a range signature from an entry's
+/// constants.
+IntervalIndex::Interval IntervalOf(const SignatureContext& ctx,
+                                   const PredicateEntry& entry);
+
+/// Full probe check against one entry (equality key / interval /
+/// trivially true for non-indexable signatures). This is what a list
+/// organization evaluates per element.
+bool EntryMatchesProbe(const SignatureContext& ctx,
+                       const PredicateEntry& entry, const Probe& probe);
+
+/// Order- and type-preserving binary encoding of a value vector, used as
+/// a hash-map key and as constant-table cell content.
+std::string EncodeValues(const std::vector<Value>& values);
+
+/// Inverse of EncodeValues.
+Result<std::vector<Value>> DecodeValues(std::string_view data);
+
+}  // namespace tman::predindex_internal
+
+#endif  // TRIGGERMAN_PREDINDEX_ORG_COMMON_H_

@@ -1,0 +1,183 @@
+#include "predindex/org_db.h"
+
+#include "expr/expr.h"
+#include "parser/parser.h"
+#include "predindex/org_common.h"
+
+namespace tman {
+
+using predindex_internal::DecodeValues;
+using predindex_internal::EncodeValues;
+using predindex_internal::EntryMatchesProbe;
+using predindex_internal::EqKeyOf;
+
+namespace {
+constexpr size_t kFixedCols = 3;  // expr_id, trigger_id, next_node
+}
+
+DbOrganizationBase::DbOrganizationBase(const SignatureContext* ctx,
+                                       Database* db)
+    : ctx_(ctx), db_(db), table_(ctx->ConstTableName()) {}
+
+Status DbOrganizationBase::Open() {
+  if (!db_->HasTable(table_)) {
+    std::vector<Field> fields;
+    fields.emplace_back("expr_id", DataType::kInt);
+    fields.emplace_back("trigger_id", DataType::kInt);
+    fields.emplace_back("next_node", DataType::kInt);
+    for (int i = 1; i <= ctx_->signature.num_constants; ++i) {
+      fields.emplace_back("const_" + std::to_string(i), DataType::kVarchar);
+    }
+    fields.emplace_back("rest", DataType::kVarchar);
+    TMAN_RETURN_IF_ERROR(db_->CreateTable(table_, Schema(fields)).status());
+    return Status::OK();
+  }
+  // Adopt an existing constant table (e.g. after migrating organizations
+  // or on restart): rebuild the exprID -> RID map.
+  rid_of_.clear();
+  return db_->Scan(table_, [this](const Rid& rid, const Tuple& row) {
+    rid_of_[static_cast<ExprId>(row.at(0).as_int())] = rid;
+    return true;
+  });
+}
+
+Status DbOrganizationBase::Insert(const PredicateEntry& entry) {
+  if (rid_of_.count(entry.expr_id) > 0) {
+    return Status::AlreadyExists("expr " + std::to_string(entry.expr_id) +
+                                 " already present");
+  }
+  std::vector<Value> row;
+  row.reserve(kFixedCols + entry.constants.size() + 1);
+  row.push_back(Value::Int(static_cast<int64_t>(entry.expr_id)));
+  row.push_back(Value::Int(static_cast<int64_t>(entry.trigger_id)));
+  row.push_back(Value::Int(static_cast<int64_t>(entry.next_node)));
+  for (int i = 0; i < ctx_->signature.num_constants; ++i) {
+    Value c = static_cast<size_t>(i) < entry.constants.size()
+                  ? entry.constants[static_cast<size_t>(i)]
+                  : Value::Null();
+    row.push_back(Value::String(EncodeValues({c})));
+  }
+  row.push_back(entry.rest == nullptr
+                    ? Value::Null()
+                    : Value::String(ExprToString(entry.rest)));
+  TMAN_ASSIGN_OR_RETURN(Rid rid, db_->Insert(table_, Tuple(std::move(row))));
+  rid_of_[entry.expr_id] = rid;
+  return Status::OK();
+}
+
+Status DbOrganizationBase::Remove(ExprId expr_id) {
+  auto it = rid_of_.find(expr_id);
+  if (it == rid_of_.end()) {
+    return Status::NotFound("expr " + std::to_string(expr_id) + " not found");
+  }
+  TMAN_RETURN_IF_ERROR(db_->Delete(table_, it->second));
+  rid_of_.erase(it);
+  return Status::OK();
+}
+
+Result<PredicateEntry> DbOrganizationBase::DecodeRow(const Tuple& row) const {
+  PredicateEntry e;
+  e.expr_id = static_cast<ExprId>(row.at(0).as_int());
+  e.trigger_id = static_cast<TriggerId>(row.at(1).as_int());
+  e.next_node = static_cast<NetworkNodeId>(row.at(2).as_int());
+  int m = ctx_->signature.num_constants;
+  e.constants.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const Value& cell = row.at(kFixedCols + static_cast<size_t>(i));
+    TMAN_ASSIGN_OR_RETURN(std::vector<Value> decoded,
+                          DecodeValues(cell.as_string()));
+    e.constants.push_back(decoded.empty() ? Value::Null()
+                                          : std::move(decoded[0]));
+  }
+  const Value& rest = row.at(kFixedCols + static_cast<size_t>(m));
+  if (!rest.is_null() && !rest.as_string().empty()) {
+    TMAN_ASSIGN_OR_RETURN(e.rest, ParseExpressionString(rest.as_string()));
+  }
+  return e;
+}
+
+Status DbOrganizationBase::ScanMatch(
+    const Probe& probe,
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  Status inner = Status::OK();
+  TMAN_RETURN_IF_ERROR(db_->Scan(table_, [&](const Rid&, const Tuple& row) {
+    auto entry = DecodeRow(row);
+    if (!entry.ok()) {
+      inner = entry.status();
+      return false;
+    }
+    if (EntryMatchesProbe(*ctx_, *entry, probe)) fn(*entry);
+    return true;
+  }));
+  return inner;
+}
+
+Status DbOrganizationBase::ForEach(
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  Status inner = Status::OK();
+  TMAN_RETURN_IF_ERROR(db_->Scan(table_, [&](const Rid&, const Tuple& row) {
+    auto entry = DecodeRow(row);
+    if (!entry.ok()) {
+      inner = entry.status();
+      return false;
+    }
+    fn(*entry);
+    return true;
+  }));
+  return inner;
+}
+
+Status DbTableOrganization::Match(
+    const Probe& probe,
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  return ScanMatch(probe, fn);
+}
+
+DbIndexedTableOrganization::DbIndexedTableOrganization(
+    const SignatureContext* ctx, Database* db)
+    : DbOrganizationBase(ctx, db),
+      index_name_("idx_" + ctx->ConstTableName()) {}
+
+Status DbIndexedTableOrganization::OpenIndexed() {
+  TMAN_RETURN_IF_ERROR(Open());
+  if (ctx_->split.eq.empty()) return Status::OK();  // nothing to index
+  std::vector<std::string> attrs;
+  attrs.reserve(ctx_->split.eq.size());
+  for (const EqConjunct& c : ctx_->split.eq) {
+    attrs.push_back("const_" + std::to_string(c.placeholder));
+  }
+  Status s = db_->CreateIndex(index_name_, table_, attrs);
+  if (s.ok() || s.IsAlreadyExists()) {
+    indexed_ = true;
+    return Status::OK();
+  }
+  return s;
+}
+
+Status DbIndexedTableOrganization::Match(
+    const Probe& probe,
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  if (!indexed_ || ctx_->split.eq.empty()) {
+    // Non-equality signatures: disk indexing for them is the paper's
+    // stated future work; scan instead.
+    return ScanMatch(probe, fn);
+  }
+  for (const Value& v : probe.eq_key) {
+    if (v.is_null()) return Status::OK();
+  }
+  std::vector<Value> key;
+  key.reserve(probe.eq_key.size());
+  for (const Value& v : probe.eq_key) {
+    key.push_back(Value::String(EncodeValues({v})));
+  }
+  TMAN_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        db_->IndexLookup(index_name_, key));
+  for (const Rid& rid : rids) {
+    TMAN_ASSIGN_OR_RETURN(Tuple row, db_->Get(table_, rid));
+    TMAN_ASSIGN_OR_RETURN(PredicateEntry entry, DecodeRow(row));
+    fn(entry);
+  }
+  return Status::OK();
+}
+
+}  // namespace tman

@@ -1,0 +1,166 @@
+#include "predindex/org_memory.h"
+
+#include <algorithm>
+
+#include "predindex/org_common.h"
+
+namespace tman {
+
+using predindex_internal::EncodeValues;
+using predindex_internal::EntryMatchesProbe;
+using predindex_internal::EqKeyOf;
+using predindex_internal::IntervalOf;
+
+// ---------------------------------------------------------------------------
+// MemoryListOrganization
+// ---------------------------------------------------------------------------
+
+Status MemoryListOrganization::Insert(const PredicateEntry& entry) {
+  for (const PredicateEntry& e : entries_) {
+    if (e.expr_id == entry.expr_id) {
+      return Status::AlreadyExists("expr " + std::to_string(entry.expr_id) +
+                                   " already present");
+    }
+  }
+  entries_.push_back(entry);
+  return Status::OK();
+}
+
+Status MemoryListOrganization::Remove(ExprId expr_id) {
+  auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [expr_id](const PredicateEntry& e) { return e.expr_id == expr_id; });
+  if (it == entries_.end()) {
+    return Status::NotFound("expr " + std::to_string(expr_id) + " not found");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Status MemoryListOrganization::Match(
+    const Probe& probe,
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  for (const PredicateEntry& e : entries_) {
+    if (EntryMatchesProbe(*ctx_, e, probe)) fn(e);
+  }
+  return Status::OK();
+}
+
+Status MemoryListOrganization::ForEach(
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  for (const PredicateEntry& e : entries_) fn(e);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MemoryIndexOrganization
+// ---------------------------------------------------------------------------
+
+Status MemoryIndexOrganization::Insert(const PredicateEntry& entry) {
+  if (!ctx_->split.eq.empty()) {
+    std::string key = EncodeValues(EqKeyOf(*ctx_, entry));
+    if (eq_key_of_.count(entry.expr_id) > 0) {
+      return Status::AlreadyExists("expr " + std::to_string(entry.expr_id) +
+                                   " already present");
+    }
+    eq_buckets_[key].push_back(entry);
+    eq_key_of_[entry.expr_id] = std::move(key);
+  } else if (ctx_->split.has_range) {
+    if (by_id_.count(entry.expr_id) > 0) {
+      return Status::AlreadyExists("expr " + std::to_string(entry.expr_id) +
+                                   " already present");
+    }
+    intervals_.Insert(IntervalOf(*ctx_, entry));
+    by_id_[entry.expr_id] = entry;
+  } else {
+    for (const PredicateEntry& e : plain_) {
+      if (e.expr_id == entry.expr_id) {
+        return Status::AlreadyExists("expr " + std::to_string(entry.expr_id) +
+                                     " already present");
+      }
+    }
+    plain_.push_back(entry);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status MemoryIndexOrganization::Remove(ExprId expr_id) {
+  if (!ctx_->split.eq.empty()) {
+    auto it = eq_key_of_.find(expr_id);
+    if (it == eq_key_of_.end()) {
+      return Status::NotFound("expr " + std::to_string(expr_id) +
+                              " not found");
+    }
+    auto bucket = eq_buckets_.find(it->second);
+    if (bucket != eq_buckets_.end()) {
+      auto& vec = bucket->second;
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [expr_id](const PredicateEntry& e) {
+                                 return e.expr_id == expr_id;
+                               }),
+                vec.end());
+      if (vec.empty()) eq_buckets_.erase(bucket);
+    }
+    eq_key_of_.erase(it);
+  } else if (ctx_->split.has_range) {
+    auto it = by_id_.find(expr_id);
+    if (it == by_id_.end()) {
+      return Status::NotFound("expr " + std::to_string(expr_id) +
+                              " not found");
+    }
+    intervals_.Remove(expr_id);
+    by_id_.erase(it);
+  } else {
+    auto it = std::find_if(
+        plain_.begin(), plain_.end(),
+        [expr_id](const PredicateEntry& e) { return e.expr_id == expr_id; });
+    if (it == plain_.end()) {
+      return Status::NotFound("expr " + std::to_string(expr_id) +
+                              " not found");
+    }
+    plain_.erase(it);
+  }
+  --size_;
+  return Status::OK();
+}
+
+Status MemoryIndexOrganization::Match(
+    const Probe& probe,
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  if (!ctx_->split.eq.empty()) {
+    for (const Value& v : probe.eq_key) {
+      if (v.is_null()) return Status::OK();
+    }
+    auto it = eq_buckets_.find(EncodeValues(probe.eq_key));
+    if (it != eq_buckets_.end()) {
+      for (const PredicateEntry& e : it->second) fn(e);
+    }
+    return Status::OK();
+  }
+  if (ctx_->split.has_range) {
+    if (!probe.has_range_value || probe.range_value.is_null()) {
+      return Status::OK();
+    }
+    intervals_.Stab(probe.range_value,
+                    [this, &fn](const IntervalIndex::Interval& iv) {
+                      auto it = by_id_.find(iv.id);
+                      if (it != by_id_.end()) fn(it->second);
+                    });
+    return Status::OK();
+  }
+  for (const PredicateEntry& e : plain_) fn(e);
+  return Status::OK();
+}
+
+Status MemoryIndexOrganization::ForEach(
+    const std::function<void(const PredicateEntry&)>& fn) const {
+  for (const auto& [key, bucket] : eq_buckets_) {
+    for (const PredicateEntry& e : bucket) fn(e);
+  }
+  for (const auto& [id, e] : by_id_) fn(e);
+  for (const PredicateEntry& e : plain_) fn(e);
+  return Status::OK();
+}
+
+}  // namespace tman

@@ -1,0 +1,78 @@
+#ifndef TRIGGERMAN_PREDINDEX_ORG_MEMORY_H_
+#define TRIGGERMAN_PREDINDEX_ORG_MEMORY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "predindex/interval_index.h"
+#include "predindex/organization.h"
+
+namespace tman {
+
+/// Organization 1: a plain main-memory list. O(n) match, near-zero
+/// constant factors and memory overhead — the paper's choice for tiny
+/// equivalence classes.
+class MemoryListOrganization : public ConstantSetOrganization {
+ public:
+  explicit MemoryListOrganization(const SignatureContext* ctx) : ctx_(ctx) {}
+
+  OrgType type() const override { return OrgType::kMemoryList; }
+  Status Insert(const PredicateEntry& entry) override;
+  Status Remove(ExprId expr_id) override;
+  Status Match(const Probe& probe,
+               const std::function<void(const PredicateEntry&)>& fn)
+      const override;
+  Status ForEach(const std::function<void(const PredicateEntry&)>& fn)
+      const override;
+  size_t size() const override { return entries_.size(); }
+
+ private:
+  const SignatureContext* ctx_;
+  std::vector<PredicateEntry> entries_;
+};
+
+/// Organization 2: a main-memory index. Equality signatures hash the
+/// composite constant key to its triggerID set — the fully normalized
+/// constant-set / triggerID-set structure of Figure 4, which also gives
+/// common sub-expression elimination (each distinct constant is stored
+/// and probed once no matter how many triggers share it). Range
+/// signatures use the interval index. Non-indexable signatures degrade
+/// to the list behavior.
+class MemoryIndexOrganization : public ConstantSetOrganization {
+ public:
+  explicit MemoryIndexOrganization(const SignatureContext* ctx) : ctx_(ctx) {}
+
+  OrgType type() const override { return OrgType::kMemoryIndex; }
+  Status Insert(const PredicateEntry& entry) override;
+  Status Remove(ExprId expr_id) override;
+  Status Match(const Probe& probe,
+               const std::function<void(const PredicateEntry&)>& fn)
+      const override;
+  Status ForEach(const std::function<void(const PredicateEntry&)>& fn)
+      const override;
+  size_t size() const override { return size_; }
+
+  /// Number of distinct constant keys (size of the constant set proper);
+  /// exposed for the Figure-4 common-sub-expression experiments.
+  size_t num_distinct_constants() const { return eq_buckets_.size(); }
+
+ private:
+  const SignatureContext* ctx_;
+  size_t size_ = 0;
+
+  // Equality: encoded constant key -> triggerID set (the entries sharing
+  // that constant tuple).
+  std::unordered_map<std::string, std::vector<PredicateEntry>> eq_buckets_;
+  std::unordered_map<ExprId, std::string> eq_key_of_;
+
+  // Range: stabbing index + payload by exprID.
+  IntervalIndex intervals_;
+  std::unordered_map<ExprId, PredicateEntry> by_id_;
+
+  // Non-indexable fallback.
+  std::vector<PredicateEntry> plain_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_ORG_MEMORY_H_

@@ -1,0 +1,147 @@
+#include "predindex/predicate_index.h"
+
+#include "expr/rewrite.h"
+
+namespace tman {
+
+PredicateIndex::PredicateIndex(Database* db, OrgPolicy policy)
+    : db_(db), policy_(policy) {}
+
+Status PredicateIndex::RegisterDataSource(DataSourceId id,
+                                          const Schema& schema) {
+  std::unique_lock lock(mutex_);
+  if (sources_.count(id) > 0) {
+    return Status::AlreadyExists("data source " + std::to_string(id) +
+                                 " already registered");
+  }
+  sources_[id] = std::make_unique<DataSourcePredicateIndex>(id, schema, db_,
+                                                            policy_);
+  return Status::OK();
+}
+
+bool PredicateIndex::HasDataSource(DataSourceId id) const {
+  std::shared_lock lock(mutex_);
+  return sources_.count(id) > 0;
+}
+
+Result<AddPredicateInfo> PredicateIndex::AddPredicate(
+    const PredicateSpec& spec) {
+  std::unique_lock lock(mutex_);
+  auto it = sources_.find(spec.data_source);
+  if (it == sources_.end()) {
+    return Status::NotFound("data source " +
+                            std::to_string(spec.data_source) +
+                            " not registered");
+  }
+  DataSourcePredicateIndex* src = it->second.get();
+
+  // §5.1 step 5: generalize the predicate into (signature, constants).
+  GeneralizedPredicate gen;
+  if (spec.predicate != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(
+        gen, GeneralizePredicate(spec.data_source, spec.op, spec.predicate));
+  } else {
+    gen.signature.data_source = spec.data_source;
+    gen.signature.op = spec.op;
+    gen.signature.generalized = nullptr;  // unconditional
+    gen.signature.num_constants = 0;
+  }
+  gen.signature.update_columns = spec.update_columns;
+
+  IndexableSplit split = SplitIndexable(gen.signature.generalized);
+
+  bool created = false;
+  TMAN_ASSIGN_OR_RETURN(
+      SignatureIndexEntry * entry,
+      src->FindOrCreate(gen.signature, split, next_sig_id_, &created));
+  if (created) ++next_sig_id_;
+
+  PredicateEntry pe;
+  pe.expr_id = next_expr_id_++;
+  pe.trigger_id = spec.trigger_id;
+  pe.next_node = spec.next_node;
+  pe.constants = gen.constants;
+  if (entry->context().split.rest != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(
+        pe.rest, BindPlaceholders(entry->context().split.rest, pe.constants));
+  }
+  TMAN_RETURN_IF_ERROR(entry->Insert(pe));
+  predicate_home_[pe.expr_id] = {spec.data_source, entry};
+
+  AddPredicateInfo info;
+  info.expr_id = pe.expr_id;
+  info.sig_id = entry->context().sig_id;
+  info.new_signature = created;
+  info.org = entry->org_type();
+  info.class_size = entry->size();
+  info.signature_desc = entry->context().signature.Description();
+  info.constants = std::move(gen.constants);
+  return info;
+}
+
+Status PredicateIndex::RemovePredicate(ExprId expr_id) {
+  std::unique_lock lock(mutex_);
+  auto it = predicate_home_.find(expr_id);
+  if (it == predicate_home_.end()) {
+    return Status::NotFound("predicate " + std::to_string(expr_id) +
+                            " not found");
+  }
+  TMAN_RETURN_IF_ERROR(it->second.second->Remove(expr_id));
+  predicate_home_.erase(it);
+  return Status::OK();
+}
+
+Status PredicateIndex::Match(const UpdateDescriptor& token,
+                             std::vector<PredicateMatch>* out) const {
+  return MatchPartitioned(token, 0, 1, [out](const PredicateMatch& m) {
+    out->push_back(m);
+  });
+}
+
+Status PredicateIndex::MatchPartitioned(
+    const UpdateDescriptor& token, uint32_t partition,
+    uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  tokens_processed_.fetch_add(1, std::memory_order_relaxed);
+  auto it = sources_.find(token.data_source);
+  if (it == sources_.end()) return Status::OK();  // no triggers here
+  uint64_t emitted = 0;
+  Status s = it->second->Match(token, partition, num_partitions,
+                               [&](const PredicateMatch& m) {
+                                 ++emitted;
+                                 fn(m);
+                               });
+  matches_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+  return s;
+}
+
+Status PredicateIndex::MatchMaintenance(
+    DataSourceId data_source, const Tuple& tuple, uint32_t partition,
+    uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  auto it = sources_.find(data_source);
+  if (it == sources_.end()) return Status::OK();
+  return it->second->MatchTuple(tuple, partition, num_partitions, fn);
+}
+
+PredicateIndexStats PredicateIndex::stats() const {
+  std::shared_lock lock(mutex_);
+  PredicateIndexStats st;
+  st.tokens_processed = tokens_processed_.load(std::memory_order_relaxed);
+  st.matches_emitted = matches_emitted_.load(std::memory_order_relaxed);
+  for (const auto& [id, src] : sources_) {
+    st.num_signatures += src->entries().size();
+    for (const auto& e : src->entries()) st.num_predicates += e->size();
+  }
+  return st;
+}
+
+const DataSourcePredicateIndex* PredicateIndex::source(DataSourceId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = sources_.find(id);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace tman

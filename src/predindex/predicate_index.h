@@ -1,0 +1,112 @@
+#ifndef TRIGGERMAN_PREDINDEX_PREDICATE_INDEX_H_
+#define TRIGGERMAN_PREDINDEX_PREDICATE_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "predindex/signature_index.h"
+
+namespace tman {
+
+/// Counters exposed by the predicate index.
+struct PredicateIndexStats {
+  uint64_t tokens_processed = 0;
+  uint64_t matches_emitted = 0;
+  uint64_t num_signatures = 0;
+  uint64_t num_predicates = 0;
+};
+
+/// What to register for one selection predicate of a trigger (§5.1 step 5).
+struct PredicateSpec {
+  DataSourceId data_source = 0;
+  OpCode op = OpCode::kInsertOrUpdate;
+  std::vector<std::string> update_columns;  // sorted lowercase, may be empty
+  ExprPtr predicate;                        // may be null (no condition)
+  TriggerId trigger_id = 0;
+  NetworkNodeId next_node = 0;
+};
+
+/// Outcome of AddPredicate, used to maintain the trigger catalogs.
+struct AddPredicateInfo {
+  ExprId expr_id = 0;
+  uint64_t sig_id = 0;
+  bool new_signature = false;
+  OrgType org = OrgType::kMemoryList;
+  size_t class_size = 0;
+  std::string signature_desc;
+  std::vector<Value> constants;
+};
+
+/// The root of the selection predicate index (Figure 3): a hash table on
+/// data source ID leading to per-source signature lists, constant sets
+/// and triggerID sets. Takes an update descriptor and identifies all
+/// predicates matching it.
+///
+/// Thread-safe: matching takes a shared lock, trigger creation/removal an
+/// exclusive one — multiple driver threads match tokens concurrently
+/// (token-level concurrency, §6).
+class PredicateIndex {
+ public:
+  /// `db` hosts constant tables for organizations 3/4; may be null when
+  /// the policy never selects them.
+  explicit PredicateIndex(Database* db = nullptr,
+                          OrgPolicy policy = OrgPolicy());
+
+  PredicateIndex(const PredicateIndex&) = delete;
+  PredicateIndex& operator=(const PredicateIndex&) = delete;
+
+  Status RegisterDataSource(DataSourceId id, const Schema& schema);
+  bool HasDataSource(DataSourceId id) const;
+
+  /// Generalizes the predicate, dedupes its signature, stores the
+  /// constants + rest, and returns catalog bookkeeping info.
+  Result<AddPredicateInfo> AddPredicate(const PredicateSpec& spec);
+
+  /// Removes one predicate instance (by the exprID AddPredicate assigned).
+  Status RemovePredicate(ExprId expr_id);
+
+  /// Finds every predicate matching the token; appends PredicateMatches.
+  Status Match(const UpdateDescriptor& token,
+               std::vector<PredicateMatch>* out) const;
+
+  /// Streaming + partitioned variant (condition-level concurrency).
+  Status MatchPartitioned(
+      const UpdateDescriptor& token, uint32_t partition,
+      uint32_t num_partitions,
+      const std::function<void(const PredicateMatch&)>& fn) const;
+
+  /// Maintenance matching: selection predicates only (no event filters),
+  /// against a bare tuple of the given source. Drives A-TREAT alpha
+  /// memory upkeep for updates and deletes.
+  Status MatchMaintenance(
+      DataSourceId data_source, const Tuple& tuple, uint32_t partition,
+      uint32_t num_partitions,
+      const std::function<void(const PredicateMatch&)>& fn) const;
+
+  PredicateIndexStats stats() const;
+
+  /// Per-source access for tests, benches and the catalog.
+  const DataSourcePredicateIndex* source(DataSourceId id) const;
+
+ private:
+  Database* db_;
+  OrgPolicy policy_;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<DataSourceId, std::unique_ptr<DataSourcePredicateIndex>>
+      sources_;
+  std::unordered_map<ExprId, std::pair<DataSourceId, SignatureIndexEntry*>>
+      predicate_home_;
+  uint64_t next_expr_id_ = 1;
+  uint64_t next_sig_id_ = 1;
+
+  mutable std::atomic<uint64_t> tokens_processed_{0};
+  mutable std::atomic<uint64_t> matches_emitted_{0};
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_PREDICATE_INDEX_H_

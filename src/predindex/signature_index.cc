@@ -1,0 +1,180 @@
+#include "predindex/signature_index.h"
+
+#include "expr/eval.h"
+
+namespace tman {
+
+SignatureIndexEntry::SignatureIndexEntry(SignatureContext ctx, Database* db,
+                                         OrgPolicy policy)
+    : ctx_(std::move(ctx)), db_(db), policy_(policy) {}
+
+Status SignatureIndexEntry::Open(const Schema& schema) {
+  schema_ = schema;
+  for (const EqConjunct& c : ctx_.split.eq) {
+    TMAN_ASSIGN_OR_RETURN(size_t f, schema_.RequireField(c.attribute));
+    eq_fields_.push_back(f);
+  }
+  if (ctx_.split.has_range) {
+    TMAN_ASSIGN_OR_RETURN(size_t f,
+                          schema_.RequireField(ctx_.split.range.attribute));
+    range_field_ = static_cast<int>(f);
+  }
+  for (const std::string& col : ctx_.signature.update_columns) {
+    TMAN_ASSIGN_OR_RETURN(size_t f, schema_.RequireField(col));
+    update_col_fields_.push_back(f);
+  }
+  OrgType initial =
+      policy_.forced ? policy_.forced_type : PickOrgType(0);
+  TMAN_ASSIGN_OR_RETURN(org_, CreateOrganization(initial, &ctx_, db_));
+  return Status::OK();
+}
+
+OrgType SignatureIndexEntry::PickOrgType(size_t size) const {
+  if (policy_.forced) return policy_.forced_type;
+  if (size <= policy_.list_max) return OrgType::kMemoryList;
+  if (size <= policy_.memory_max) return OrgType::kMemoryIndex;
+  return policy_.use_db_index ? OrgType::kDbIndexedTable : OrgType::kDbTable;
+}
+
+Status SignatureIndexEntry::MigrateTo(OrgType type) {
+  TMAN_ASSIGN_OR_RETURN(std::unique_ptr<ConstantSetOrganization> fresh,
+                        CreateOrganization(type, &ctx_, db_));
+  Status inner = Status::OK();
+  TMAN_RETURN_IF_ERROR(org_->ForEach([&](const PredicateEntry& e) {
+    if (!inner.ok()) return;
+    Status s = fresh->Insert(e);
+    // AlreadyExists can legitimately occur when migrating *to* a database
+    // organization that adopted a pre-existing constant table.
+    if (!s.ok() && !s.IsAlreadyExists()) inner = s;
+  }));
+  TMAN_RETURN_IF_ERROR(inner);
+  org_ = std::move(fresh);
+  return Status::OK();
+}
+
+Status SignatureIndexEntry::Insert(const PredicateEntry& entry) {
+  OrgType wanted = PickOrgType(org_->size() + 1);
+  if (wanted != org_->type()) {
+    TMAN_RETURN_IF_ERROR(MigrateTo(wanted));
+  }
+  return org_->Insert(entry);
+}
+
+Status SignatureIndexEntry::Remove(ExprId expr_id) {
+  return org_->Remove(expr_id);
+  // Organizations are not downgraded on shrink: migration down would buy
+  // little (the class already paid the upgrade) and churns on workloads
+  // that hover near a threshold.
+}
+
+Status SignatureIndexEntry::Match(
+    const UpdateDescriptor& token, uint32_t partition,
+    uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  // Event condition: opcode.
+  if (!OpMatches(ctx_.signature.op, token.op)) return Status::OK();
+  // Event condition: "on update(col, ...)" requires a listed column to
+  // have actually changed.
+  if (!update_col_fields_.empty() && token.op == OpCode::kUpdate) {
+    if (!token.old_tuple.has_value() || !token.new_tuple.has_value()) {
+      return Status::OK();
+    }
+    bool changed = false;
+    for (size_t f : update_col_fields_) {
+      if (f < token.old_tuple->size() && f < token.new_tuple->size() &&
+          token.old_tuple->at(f) != token.new_tuple->at(f)) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) return Status::OK();
+  }
+
+  return MatchTuple(token.EffectiveTuple(), partition, num_partitions, fn);
+}
+
+Status SignatureIndexEntry::MatchTuple(
+    const Tuple& tuple, uint32_t partition, uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  Probe probe;
+  for (size_t f : eq_fields_) {
+    if (f >= tuple.size()) return Status::OK();
+    probe.eq_key.push_back(tuple.at(f));
+  }
+  if (range_field_ >= 0) {
+    size_t f = static_cast<size_t>(range_field_);
+    if (f >= tuple.size()) return Status::OK();
+    probe.range_value = tuple.at(f);
+    probe.has_range_value = true;
+  }
+
+  Status inner = Status::OK();
+  auto test = [&](const PredicateEntry& e) {
+    if (!inner.ok()) return;
+    candidates_tested_.fetch_add(1, std::memory_order_relaxed);
+    if (e.rest != nullptr) {
+      Bindings b;
+      b.Bind(std::string(SignatureVarName()), &schema_, &tuple);
+      auto pass = EvalPredicate(e.rest, b);
+      if (!pass.ok()) {
+        inner = pass.status();
+        return;
+      }
+      if (!*pass) return;
+    }
+    fn(PredicateMatch{e.trigger_id, e.expr_id, e.next_node});
+  };
+  TMAN_RETURN_IF_ERROR(num_partitions <= 1
+                           ? org_->Match(probe, test)
+                           : org_->MatchPartition(probe, partition,
+                                                  num_partitions, test));
+  return inner;
+}
+
+Result<SignatureIndexEntry*> DataSourcePredicateIndex::FindOrCreate(
+    const ExpressionSignature& signature, const IndexableSplit& split,
+    uint64_t sig_id, bool* created) {
+  uint64_t h = signature.Hash();
+  auto it = by_hash_.find(h);
+  if (it != by_hash_.end()) {
+    for (size_t idx : it->second) {
+      if (entries_[idx]->context().signature.Equals(signature)) {
+        *created = false;
+        return entries_[idx].get();
+      }
+    }
+  }
+  SignatureContext ctx;
+  ctx.signature = signature;
+  ctx.split = split;
+  ctx.sig_id = sig_id;
+  auto entry =
+      std::make_unique<SignatureIndexEntry>(std::move(ctx), db_, policy_);
+  TMAN_RETURN_IF_ERROR(entry->Open(schema_));
+  entries_.push_back(std::move(entry));
+  by_hash_[h].push_back(entries_.size() - 1);
+  *created = true;
+  return entries_.back().get();
+}
+
+Status DataSourcePredicateIndex::Match(
+    const UpdateDescriptor& token, uint32_t partition,
+    uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  for (const auto& entry : entries_) {
+    TMAN_RETURN_IF_ERROR(entry->Match(token, partition, num_partitions, fn));
+  }
+  return Status::OK();
+}
+
+Status DataSourcePredicateIndex::MatchTuple(
+    const Tuple& tuple, uint32_t partition, uint32_t num_partitions,
+    const std::function<void(const PredicateMatch&)>& fn) const {
+  for (const auto& entry : entries_) {
+    TMAN_RETURN_IF_ERROR(
+        entry->MatchTuple(tuple, partition, num_partitions, fn));
+  }
+  return Status::OK();
+}
+
+}  // namespace tman

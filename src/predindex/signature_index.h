@@ -1,0 +1,137 @@
+#ifndef TRIGGERMAN_PREDINDEX_SIGNATURE_INDEX_H_
+#define TRIGGERMAN_PREDINDEX_SIGNATURE_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "predindex/organization.h"
+#include "predindex/predicate_entry.h"
+#include "types/schema.h"
+#include "types/update_descriptor.h"
+
+namespace tman {
+
+/// Policy for choosing (and migrating) a signature's constant-set
+/// organization by equivalence-class size. The defaults mirror the
+/// paper's guidance: low-overhead main-memory structures for the common
+/// case, database tables (mandatory for scalability) once the class is
+/// too large to pin in memory.
+struct OrgPolicy {
+  size_t list_max = 16;        // beyond this: main-memory index
+  size_t memory_max = 100000;  // beyond this: indexed database table
+  bool use_db_index = true;    // false: organization 3 instead of 4
+  bool forced = false;         // pin `forced_type` regardless of size
+  OrgType forced_type = OrgType::kMemoryList;
+};
+
+/// One entry of a data source's expression signature list (Figure 3):
+/// the signature, its indexable split resolved against the source schema,
+/// and the organization holding its equivalence class.
+class SignatureIndexEntry {
+ public:
+  SignatureIndexEntry(SignatureContext ctx, Database* db, OrgPolicy policy);
+
+  /// Resolves attribute positions and creates the initial organization.
+  Status Open(const Schema& schema);
+
+  /// Adds one predicate instance, migrating the organization if the
+  /// class outgrew the current one.
+  Status Insert(const PredicateEntry& entry);
+
+  Status Remove(ExprId expr_id);
+
+  /// Matches a token: computes the probe from the token's effective
+  /// tuple, filters the event condition (opcode + changed columns),
+  /// consults the organization, tests rest-of-predicate, and emits a
+  /// PredicateMatch per fully matched predicate. `partition` of
+  /// `num_partitions` restricts to a triggerID-set partition (Figure 5);
+  /// pass (0, 1) for unpartitioned matching.
+  Status Match(const UpdateDescriptor& token, uint32_t partition,
+               uint32_t num_partitions,
+               const std::function<void(const PredicateMatch&)>& fn) const;
+
+  /// Maintenance matching: tests only the selection predicate (no event
+  /// opcode or changed-column filtering) against a bare tuple. Used to
+  /// decide which alpha memories a tuple enters or leaves when tokens
+  /// update stored A-TREAT memories.
+  Status MatchTuple(const Tuple& tuple, uint32_t partition,
+                    uint32_t num_partitions,
+                    const std::function<void(const PredicateMatch&)>& fn)
+      const;
+
+  const SignatureContext& context() const { return ctx_; }
+  const ConstantSetOrganization* organization() const { return org_.get(); }
+  size_t size() const { return org_ == nullptr ? 0 : org_->size(); }
+  OrgType org_type() const { return org_->type(); }
+
+  /// Candidate entries produced by the last Match calls (monotonic
+  /// counter; used by tests/benches to observe selectivity).
+  uint64_t candidates_tested() const {
+    return candidates_tested_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  OrgType PickOrgType(size_t size) const;
+  Status MigrateTo(OrgType type);
+
+  SignatureContext ctx_;
+  Database* db_;
+  OrgPolicy policy_;
+  Schema schema_;
+  std::unique_ptr<ConstantSetOrganization> org_;
+
+  // Resolved positions in the source schema.
+  std::vector<size_t> eq_fields_;
+  int range_field_ = -1;
+  std::vector<size_t> update_col_fields_;
+
+  mutable std::atomic<uint64_t> candidates_tested_{0};
+};
+
+/// Per-data-source predicate index: the expression signature list of
+/// Figure 3, reached from the root by hashing the data source ID.
+class DataSourcePredicateIndex {
+ public:
+  DataSourcePredicateIndex(DataSourceId id, Schema schema, Database* db,
+                           OrgPolicy policy)
+      : id_(id), schema_(std::move(schema)), db_(db), policy_(policy) {}
+
+  /// Finds the entry with this signature, creating it (and assigning
+  /// `sig_id` via the callback) if unseen. `created` reports novelty.
+  Result<SignatureIndexEntry*> FindOrCreate(
+      const ExpressionSignature& signature, const IndexableSplit& split,
+      uint64_t sig_id, bool* created);
+
+  /// Matches a token against every signature in the list.
+  Status Match(const UpdateDescriptor& token, uint32_t partition,
+               uint32_t num_partitions,
+               const std::function<void(const PredicateMatch&)>& fn) const;
+
+  /// Maintenance matching (see SignatureIndexEntry::MatchTuple).
+  Status MatchTuple(const Tuple& tuple, uint32_t partition,
+                    uint32_t num_partitions,
+                    const std::function<void(const PredicateMatch&)>& fn)
+      const;
+
+  const std::vector<std::unique_ptr<SignatureIndexEntry>>& entries() const {
+    return entries_;
+  }
+  const Schema& schema() const { return schema_; }
+  DataSourceId id() const { return id_; }
+
+ private:
+  DataSourceId id_;
+  Schema schema_;
+  Database* db_;
+  OrgPolicy policy_;
+  std::vector<std::unique_ptr<SignatureIndexEntry>> entries_;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_SIGNATURE_INDEX_H_

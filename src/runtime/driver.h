@@ -1,0 +1,91 @@
+#ifndef TRIGGERMAN_RUNTIME_DRIVER_H_
+#define TRIGGERMAN_RUNTIME_DRIVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "runtime/task_queue.h"
+
+namespace tman {
+
+/// Configuration of the concurrent processing architecture (§6).
+struct DriverConfig {
+  /// NUM_CPUS. 0 = hardware_concurrency().
+  uint32_t num_cpus = 0;
+
+  /// TMAN_CONCURRENCY_LEVEL: the fraction of CPUs devoted to TriggerMan,
+  /// in (0, 1]. Default 100% as in the paper.
+  double concurrency_level = 1.0;
+
+  /// T: how long a driver waits after TmanTest reports an empty queue.
+  /// The paper proposes 250 ms; drivers here wake early when work arrives.
+  std::chrono::milliseconds period{250};
+
+  /// THRESHOLD: maximum time one TmanTest invocation keeps executing
+  /// tasks before returning to its driver (bounds lost work on rollback
+  /// and keeps UDR executions short, per the paper).
+  std::chrono::milliseconds threshold{250};
+
+  /// Explicit driver count override (0 = use the paper's formula
+  /// N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)).
+  uint32_t num_drivers = 0;
+};
+
+/// Computes N = ⌈NUM_CPUS · TMAN_CONCURRENCY_LEVEL⌉.
+uint32_t ComputeNumDrivers(const DriverConfig& config);
+
+/// Return code of TmanTest(), as in the paper's pseudocode.
+enum class TmanTestResult { kTaskQueueEmpty, kTasksRemaining };
+
+struct ExecutorStats {
+  uint64_t invocations = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t task_errors = 0;
+};
+
+/// One invocation of the TmanTest() UDR (§6): executes queued tasks until
+/// THRESHOLD elapses or the queue drains, yielding between tasks (the
+/// paper calls Informix's mi_yield; here std::this_thread::yield).
+TmanTestResult TmanTest(TaskQueue* queue, std::chrono::milliseconds threshold,
+                        ExecutorStats* stats);
+
+/// The pool of driver "processes": each periodically invokes TmanTest()
+/// and calls back immediately when work remains.
+class DriverPool {
+ public:
+  DriverPool(TaskQueue* queue, DriverConfig config);
+  ~DriverPool();
+
+  DriverPool(const DriverPool&) = delete;
+  DriverPool& operator=(const DriverPool&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Blocks until the queue is empty and no task is executing (tests and
+  /// benchmarks use this to wait for quiescence).
+  void Drain();
+
+  uint32_t num_drivers() const { return num_drivers_; }
+  ExecutorStats stats() const;
+
+ private:
+  void DriverLoop(uint32_t driver_index);
+
+  TaskQueue* queue_;
+  DriverConfig config_;
+  uint32_t num_drivers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex stats_mutex_;
+  ExecutorStats stats_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_RUNTIME_DRIVER_H_

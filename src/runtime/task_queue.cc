@@ -1,0 +1,95 @@
+#include "runtime/task_queue.h"
+
+namespace tman {
+
+std::string_view TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kProcessToken:
+      return "process-token";
+    case TaskKind::kRunAction:
+      return "run-action";
+    case TaskKind::kProcessTokenPartition:
+      return "process-token-partition";
+    case TaskKind::kRunActionSet:
+      return "run-action-set";
+  }
+  return "?";
+}
+
+void TaskQueue::Push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pushed;
+    ++stats_.per_kind[static_cast<int>(task.kind)];
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::TryPop(Task* task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  *task = std::move(tasks_.front());
+  tasks_.pop_front();
+  ++stats_.popped;
+  ++in_flight_;
+  return true;
+}
+
+bool TaskQueue::WaitPop(Task* task, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, timeout,
+               [this] { return !tasks_.empty() || closed_; });
+  if (tasks_.empty()) return false;
+  *task = std::move(tasks_.front());
+  tasks_.pop_front();
+  ++stats_.popped;
+  ++in_flight_;
+  return true;
+}
+
+void TaskQueue::MarkDone() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  idle_cv_.notify_all();
+}
+
+void TaskQueue::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return (tasks_.empty() && in_flight_ == 0) || closed_;
+  });
+}
+
+size_t TaskQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+void TaskQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+bool TaskQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+size_t TaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+TaskQueueStats TaskQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tman

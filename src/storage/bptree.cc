@@ -1,0 +1,469 @@
+#include "storage/bptree.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "types/tuple.h"
+
+namespace tman {
+
+namespace {
+
+// Node layout:
+//   [0]      u8  is_leaf
+//   [2..4)   u16 slot_count
+//   [4..6)   u16 data_start
+//   [6..10)  u32 next_leaf (leaf) / leftmost child (internal)
+//   [12..)   slot array {u16 off, u16 len}, kept in key order
+// Entry bytes:
+//   leaf:     [u16 klen][key bytes][rid: u32 page, u16 slot]
+//   internal: [u16 klen][key bytes][rid: 6 bytes][child: u32]
+// The (key, rid) pair is the total ordering; storing the rid makes every
+// entry unique so duplicate user keys need no special casing.
+constexpr size_t kNodeHeader = 12;
+constexpr size_t kSlotSize = 4;
+constexpr size_t kRidSize = 6;
+constexpr size_t kMaxEntry = 1024;  // guarantees >= 3 entries per node
+
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void PutU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+bool IsLeaf(const char* d) { return d[0] != 0; }
+uint16_t SlotCount(const char* d) { return GetU16(d + 2); }
+PageId Link(const char* d) { return GetU32(d + 6); }
+void SetLink(char* d, PageId v) { PutU32(d + 6, v); }
+
+struct EntryView {
+  std::string_view key;  // serialized tuple bytes
+  Rid rid;
+  PageId child = kInvalidPageId;  // internal nodes only
+};
+
+EntryView ParseEntry(std::string_view raw, bool is_leaf) {
+  EntryView e;
+  uint16_t klen = GetU16(raw.data());
+  e.key = raw.substr(2, klen);
+  const char* p = raw.data() + 2 + klen;
+  e.rid.page_id = GetU32(p);
+  e.rid.slot = GetU16(p + 4);
+  if (!is_leaf) e.child = GetU32(p + kRidSize);
+  return e;
+}
+
+std::string_view EntryRaw(const char* d, uint16_t slot) {
+  const char* s = d + kNodeHeader + slot * kSlotSize;
+  uint16_t off = GetU16(s);
+  uint16_t len = GetU16(s + 2);
+  return std::string_view(d + off, len);
+}
+
+std::string MakeEntry(std::string_view key_bytes, const Rid& rid,
+                      PageId child, bool is_leaf) {
+  std::string out;
+  out.reserve(2 + key_bytes.size() + kRidSize + (is_leaf ? 0 : 4));
+  char klen[2];
+  PutU16(klen, static_cast<uint16_t>(key_bytes.size()));
+  out.append(klen, 2);
+  out.append(key_bytes);
+  char ridbuf[kRidSize];
+  PutU32(ridbuf, rid.page_id);
+  PutU16(ridbuf + 4, rid.slot);
+  out.append(ridbuf, kRidSize);
+  if (!is_leaf) {
+    char cbuf[4];
+    PutU32(cbuf, child);
+    out.append(cbuf, 4);
+  }
+  return out;
+}
+
+std::string EncodeKey(const std::vector<Value>& key) {
+  std::string out;
+  Tuple(key).Serialize(&out);
+  return out;
+}
+
+std::vector<Value> DecodeKey(std::string_view key_bytes) {
+  size_t pos = 0;
+  auto t = Tuple::Deserialize(key_bytes, &pos);
+  assert(t.ok());
+  return std::move(*t).values();
+}
+
+int CompareRid(const Rid& a, const Rid& b) {
+  if (a.page_id != b.page_id) return a.page_id < b.page_id ? -1 : 1;
+  if (a.slot != b.slot) return a.slot < b.slot ? -1 : 1;
+  return 0;
+}
+
+/// (entry key, entry rid) vs (target key, target rid).
+int CmpEntryToTarget(std::string_view entry_key, const Rid& entry_rid,
+                     const std::vector<Value>& target_key,
+                     const Rid& target_rid) {
+  std::vector<Value> vals = DecodeKey(entry_key);
+  int c = CompareValues(vals, target_key);
+  if (c != 0) return c;
+  return CompareRid(entry_rid, target_rid);
+}
+
+constexpr Rid kMinRid{0, 0};
+constexpr Rid kMaxRid{0xFFFFFFFEu, 0xFFFF};
+
+/// Rewrites a node page from an ordered list of raw entries.
+void RebuildNode(char* d, bool is_leaf, PageId link,
+                 const std::vector<std::string>& entries) {
+  std::memset(d, 0, kPageSize);
+  d[0] = is_leaf ? 1 : 0;
+  SetLink(d, link);
+  uint16_t data_start = static_cast<uint16_t>(kPageSize);
+  PutU16(d + 2, static_cast<uint16_t>(entries.size()));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    data_start = static_cast<uint16_t>(data_start - entries[i].size());
+    std::memcpy(d + data_start, entries[i].data(), entries[i].size());
+    char* s = d + kNodeHeader + i * kSlotSize;
+    PutU16(s, data_start);
+    PutU16(s + 2, static_cast<uint16_t>(entries[i].size()));
+  }
+  PutU16(d + 4, data_start);
+}
+
+std::vector<std::string> CollectEntries(const char* d) {
+  std::vector<std::string> out;
+  uint16_t n = SlotCount(d);
+  out.reserve(n + 1);
+  for (uint16_t i = 0; i < n; ++i) out.emplace_back(EntryRaw(d, i));
+  return out;
+}
+
+size_t TotalSize(const std::vector<std::string>& entries) {
+  size_t sz = kNodeHeader + entries.size() * kSlotSize;
+  for (const auto& e : entries) sz += e.size();
+  return sz;
+}
+
+/// Binary search: first slot whose (key, rid) >= target. Returns n if none.
+uint16_t LowerBound(const char* d, const std::vector<Value>& key,
+                    const Rid& rid) {
+  bool leaf = IsLeaf(d);
+  uint16_t lo = 0;
+  uint16_t hi = SlotCount(d);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    EntryView e = ParseEntry(EntryRaw(d, mid), leaf);
+    if (CmpEntryToTarget(e.key, e.rid, key, rid) < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First slot whose (key, rid) > target. In internal nodes the target's
+/// child is the entry *before* this position (a separator equal to the
+/// target leads to its own child — separators are the first entry of the
+/// right subtree, so equality belongs right).
+uint16_t UpperBound(const char* d, const std::vector<Value>& key,
+                    const Rid& rid) {
+  bool leaf = IsLeaf(d);
+  uint16_t lo = 0;
+  uint16_t hi = SlotCount(d);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    EntryView e = ParseEntry(EntryRaw(d, mid), leaf);
+    if (CmpEntryToTarget(e.key, e.rid, key, rid) <= 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPTree::BPTree(BufferPool* pool, PageId meta_page)
+    : pool_(pool), meta_page_(meta_page) {}
+
+Result<PageId> BPTree::Create(BufferPool* pool) {
+  PageGuard root;
+  TMAN_RETURN_IF_ERROR(pool->NewPage(&root));
+  RebuildNode(root.data(), /*is_leaf=*/true, kInvalidPageId, {});
+  root.MarkDirty();
+
+  PageGuard meta;
+  TMAN_RETURN_IF_ERROR(pool->NewPage(&meta));
+  PutU32(meta.data(), root.page_id());
+  meta.MarkDirty();
+  return meta.page_id();
+}
+
+Result<PageId> BPTree::Root() const {
+  PageGuard meta;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(meta_page_, &meta));
+  return static_cast<PageId>(GetU32(meta.data()));
+}
+
+Status BPTree::SetRoot(PageId root) {
+  PageGuard meta;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(meta_page_, &meta));
+  PutU32(meta.data(), root);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Status BPTree::Insert(const std::vector<Value>& key, const Rid& rid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key_bytes = EncodeKey(key);
+  if (key_bytes.size() + 2 + kRidSize + 4 > kMaxEntry) {
+    return Status::NotSupported("index key too large (" +
+                                std::to_string(key_bytes.size()) + " bytes)");
+  }
+  TMAN_ASSIGN_OR_RETURN(PageId root, Root());
+  Promo promo;
+  TMAN_RETURN_IF_ERROR(InsertRec(root, key_bytes, rid, &promo));
+  if (promo.happened) {
+    // Grow the tree: new root with the old root as leftmost child.
+    PageGuard fresh;
+    TMAN_RETURN_IF_ERROR(pool_->NewPage(&fresh));
+    EntryView sep = ParseEntry(promo.sep, /*is_leaf=*/true);
+    std::vector<std::string> entries;
+    entries.push_back(
+        MakeEntry(sep.key, sep.rid, promo.right, /*is_leaf=*/false));
+    RebuildNode(fresh.data(), /*is_leaf=*/false, root, entries);
+    fresh.MarkDirty();
+    TMAN_RETURN_IF_ERROR(SetRoot(fresh.page_id()));
+  }
+  return Status::OK();
+}
+
+Status BPTree::InsertRec(PageId node, const std::string& key_bytes,
+                         const Rid& rid, Promo* promo) {
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+  char* d = guard.data();
+  bool leaf = IsLeaf(d);
+  std::vector<Value> key = DecodeKey(key_bytes);
+
+  std::string new_entry;
+  if (leaf) {
+    uint16_t pos = LowerBound(d, key, rid);
+    if (pos < SlotCount(d)) {
+      EntryView e = ParseEntry(EntryRaw(d, pos), true);
+      if (CmpEntryToTarget(e.key, e.rid, key, rid) == 0) {
+        return Status::OK();  // idempotent duplicate (key, rid)
+      }
+    }
+    new_entry = MakeEntry(key_bytes, rid, kInvalidPageId, true);
+    std::vector<std::string> entries = CollectEntries(d);
+    entries.insert(entries.begin() + pos, new_entry);
+    if (TotalSize(entries) <= kPageSize) {
+      RebuildNode(d, true, Link(d), entries);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split the leaf. Right sibling gets the upper half.
+    size_t mid = entries.size() / 2;
+    std::vector<std::string> left(entries.begin(), entries.begin() + mid);
+    std::vector<std::string> right(entries.begin() + mid, entries.end());
+    PageGuard rguard;
+    TMAN_RETURN_IF_ERROR(pool_->NewPage(&rguard));
+    RebuildNode(rguard.data(), true, Link(d), right);
+    rguard.MarkDirty();
+    RebuildNode(d, true, rguard.page_id(), left);
+    guard.MarkDirty();
+    promo->happened = true;
+    promo->sep = right.front();  // leaf entry: klen|key|rid — parseable
+    promo->right = rguard.page_id();
+    return Status::OK();
+  }
+
+  // Internal node: pick the child whose separator is the last one <= key
+  // (equality descends into the separator's own child).
+  uint16_t pos = UpperBound(d, key, rid);
+  PageId child;
+  if (pos == 0) {
+    child = Link(d);  // leftmost child: all keys below the first separator
+  } else {
+    EntryView e = ParseEntry(EntryRaw(d, pos - 1), false);
+    child = e.child;
+  }
+  Promo child_promo;
+  TMAN_RETURN_IF_ERROR(InsertRec(child, key_bytes, rid, &child_promo));
+  if (!child_promo.happened) return Status::OK();
+
+  // Re-fetch: recursion may have evicted our frame.
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+  d = guard.data();
+  EntryView sep = ParseEntry(child_promo.sep, /*is_leaf=*/true);
+  std::vector<Value> sep_key = DecodeKey(sep.key);
+  new_entry = MakeEntry(sep.key, sep.rid, child_promo.right, false);
+  uint16_t ipos = LowerBound(d, sep_key, sep.rid);
+  std::vector<std::string> entries = CollectEntries(d);
+  entries.insert(entries.begin() + ipos, new_entry);
+  if (TotalSize(entries) <= kPageSize) {
+    RebuildNode(d, false, Link(d), entries);
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  // Split the internal node: the middle entry moves up.
+  size_t mid = entries.size() / 2;
+  EntryView mid_e = ParseEntry(entries[mid], false);
+  std::vector<std::string> left(entries.begin(), entries.begin() + mid);
+  std::vector<std::string> right(entries.begin() + mid + 1, entries.end());
+  PageGuard rguard;
+  TMAN_RETURN_IF_ERROR(pool_->NewPage(&rguard));
+  RebuildNode(rguard.data(), false, mid_e.child, right);
+  rguard.MarkDirty();
+  RebuildNode(d, false, Link(d), left);
+  guard.MarkDirty();
+  promo->happened = true;
+  promo->sep = MakeEntry(mid_e.key, mid_e.rid, kInvalidPageId, true);
+  promo->right = rguard.page_id();
+  return Status::OK();
+}
+
+Result<PageId> BPTree::DescendToLeaf(const std::string& target) const {
+  EntryView t = ParseEntry(target, true);
+  std::vector<Value> key = DecodeKey(t.key);
+  TMAN_ASSIGN_OR_RETURN(PageId node, Root());
+  while (true) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+    const char* d = guard.data();
+    if (IsLeaf(d)) return node;
+    uint16_t pos = UpperBound(d, key, t.rid);
+    if (pos == 0) {
+      node = Link(d);
+    } else {
+      node = ParseEntry(EntryRaw(d, pos - 1), false).child;
+    }
+  }
+}
+
+Status BPTree::Delete(const std::vector<Value>& key, const Rid& rid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string target = MakeEntry(EncodeKey(key), rid, kInvalidPageId, true);
+  TMAN_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(target));
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(leaf, &guard));
+  char* d = guard.data();
+  uint16_t pos = LowerBound(d, key, rid);
+  if (pos >= SlotCount(d)) {
+    return Status::NotFound("index entry not found");
+  }
+  EntryView e = ParseEntry(EntryRaw(d, pos), true);
+  if (CmpEntryToTarget(e.key, e.rid, key, rid) != 0) {
+    return Status::NotFound("index entry not found");
+  }
+  std::vector<std::string> entries = CollectEntries(d);
+  entries.erase(entries.begin() + pos);
+  RebuildNode(d, true, Link(d), entries);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<std::vector<Rid>> BPTree::SearchEqual(
+    const std::vector<Value>& key) const {
+  std::vector<Rid> out;
+  TMAN_RETURN_IF_ERROR(SearchRange(
+      key, true, key, true,
+      [&out](const std::vector<Value>&, const Rid& rid) {
+        out.push_back(rid);
+        return true;
+      }));
+  return out;
+}
+
+Status BPTree::SearchRange(
+    const std::optional<std::vector<Value>>& lo, bool lo_inclusive,
+    const std::optional<std::vector<Value>>& hi, bool hi_inclusive,
+    const std::function<bool(const std::vector<Value>&, const Rid&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PageId leaf;
+  uint16_t pos = 0;
+  if (lo.has_value()) {
+    // For inclusive bounds start at (lo, minimal rid); for exclusive
+    // bounds start just past every entry with key == lo.
+    const Rid& start_rid = lo_inclusive ? kMinRid : kMaxRid;
+    std::string target =
+        MakeEntry(EncodeKey(*lo), start_rid, kInvalidPageId, true);
+    TMAN_ASSIGN_OR_RETURN(leaf, DescendToLeaf(target));
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(leaf, &guard));
+    pos = LowerBound(guard.data(), *lo, start_rid);
+  } else {
+    // Leftmost leaf.
+    TMAN_ASSIGN_OR_RETURN(PageId node, Root());
+    while (true) {
+      PageGuard guard;
+      TMAN_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+      if (IsLeaf(guard.data())) {
+        leaf = node;
+        break;
+      }
+      node = Link(guard.data());
+    }
+  }
+
+  while (leaf != kInvalidPageId) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(leaf, &guard));
+    const char* d = guard.data();
+    uint16_t n = SlotCount(d);
+    for (; pos < n; ++pos) {
+      EntryView e = ParseEntry(EntryRaw(d, pos), true);
+      std::vector<Value> vals = DecodeKey(e.key);
+      if (hi.has_value()) {
+        int c = CompareValues(vals, *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return Status::OK();
+      }
+      if (!fn(vals, e.rid)) return Status::OK();
+    }
+    leaf = Link(d);
+    pos = 0;
+  }
+  return Status::OK();
+}
+
+Status BPTree::ScanAll(
+    const std::function<bool(const std::vector<Value>&, const Rid&)>& fn)
+    const {
+  return SearchRange(std::nullopt, true, std::nullopt, true, fn);
+}
+
+Result<uint32_t> BPTree::Height() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TMAN_ASSIGN_OR_RETURN(PageId node, Root());
+  uint32_t h = 1;
+  while (true) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+    if (IsLeaf(guard.data())) return h;
+    node = Link(guard.data());
+    ++h;
+  }
+}
+
+Result<uint64_t> BPTree::NumEntries() const {
+  uint64_t n = 0;
+  TMAN_RETURN_IF_ERROR(ScanAll(
+      [&n](const std::vector<Value>&, const Rid&) {
+        ++n;
+        return true;
+      }));
+  return n;
+}
+
+}  // namespace tman

@@ -1,0 +1,172 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace tman {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames)
+    : disk_(disk), capacity_(capacity_frames == 0 ? 1 : capacity_frames) {
+  frames_.reserve(capacity_);
+}
+
+Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
+  // Drop any pin the caller's guard still holds *before* taking the pool
+  // mutex: assigning into a live guard under the lock would re-enter
+  // Unpin() and deadlock.
+  guard->Release();
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    *guard = PageGuard(this, it->second, id, &f.page);
+    return Status::OK();
+  }
+  ++stats_.misses;
+  size_t frame;
+  TMAN_RETURN_IF_ERROR(GetFreeFrame(&frame));
+  Frame& f = frames_[frame];
+  // Read outside the critical section would be nicer; a single pool mutex
+  // is acceptable at the scales MiniDB runs at (it hosts catalogs and
+  // constant tables, not OLTP traffic).
+  TMAN_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_table_[id] = frame;
+  *guard = PageGuard(this, frame, id, &f.page);
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(PageGuard* guard) {
+  guard->Release();  // see FetchPage
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t frame;
+  TMAN_RETURN_IF_ERROR(GetFreeFrame(&frame));
+  PageId id = disk_->AllocatePage();
+  Frame& f = frames_[frame];
+  f.page = Page();
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // ensure the zeroed page reaches disk
+  f.in_lru = false;
+  page_table_[id] = frame;
+  *guard = PageGuard(this, frame, id, &f.page);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      TMAN_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page));
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(PageId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pin_count > 0) return;  // pinned pages cannot be discarded
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  // Reuse: park the frame at the LRU front so GetFreeFrame finds it first.
+  f.lru_pos = lru_.insert(lru_.begin(), it->second);
+  f.in_lru = true;
+  page_table_.erase(it);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = BufferPoolStats();
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame];
+  assert(f.pin_count > 0);
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0 && f.page_id != kInvalidPageId) {
+    f.lru_pos = lru_.insert(lru_.end(), frame);
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::GetFreeFrame(size_t* out) {
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back();
+    *out = frames_.size() - 1;
+    return Status::OK();
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  if (f.page_id != kInvalidPageId) {
+    if (f.dirty) {
+      Status flush = disk_->WritePage(f.page_id, f.page);
+      if (!flush.ok()) {
+        // Put the victim back so the frame is not leaked; the caller sees
+        // the I/O error and the pool stays usable once the disk recovers.
+        f.lru_pos = lru_.insert(lru_.begin(), victim);
+        f.in_lru = true;
+        return flush;
+      }
+      ++stats_.dirty_writebacks;
+    }
+    page_table_.erase(f.page_id);
+    ++stats_.evictions;
+  }
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  *out = victim;
+  return Status::OK();
+}
+
+}  // namespace tman

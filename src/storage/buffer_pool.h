@@ -1,0 +1,120 @@
+#ifndef TRIGGERMAN_STORAGE_BUFFER_POOL_H_
+#define TRIGGERMAN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace tman {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. While a PageGuard is live the page
+/// stays in memory; destruction unpins it. Mark the guard dirty after
+/// modifying page contents so the frame is written back before eviction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  char* data() { return page_->data; }
+  const char* data() const { return page_->data; }
+
+  /// Records that the page contents changed and must be flushed on evict.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId id, Page* page)
+      : pool_(pool), frame_(frame), page_id_(id), page_(page) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Hit/miss/eviction counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// A classic pin-count + LRU buffer pool over a DiskManager. Frames are
+/// protected by one pool mutex; content-level synchronization is the
+/// caller's job (MiniDB serializes per-table mutations above this layer).
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins an existing page, reading it from disk on a miss.
+  Status FetchPage(PageId id, PageGuard* guard);
+
+  /// Allocates a fresh zeroed page on disk and pins it.
+  Status NewPage(PageGuard* guard);
+
+  /// Writes back all dirty frames. Pinned pages are flushed but stay pinned.
+  Status FlushAll();
+
+  /// Drops an unpinned page from the pool (after e.g. deallocation).
+  void Discard(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  BufferPoolStats stats() const;
+  void ResetStats();
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame, bool dirty);
+
+  /// Picks a victim frame (unpinned LRU head), flushing if dirty, or
+  /// allocates a new frame if capacity allows. Returns frame index or
+  /// error if every frame is pinned.
+  Status GetFreeFrame(size_t* out);
+
+  mutable std::mutex mutex_;
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = least recently used, unpinned only
+  BufferPoolStats stats_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,103 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tman {
+
+DiskManager::DiskManager(uint64_t access_latency_ns)
+    : access_latency_ns_(access_latency_ns) {}
+
+void DiskManager::SimulateLatency() const {
+  uint64_t ns = access_latency_ns_.load(std::memory_order_relaxed);
+  if (ns == 0) return;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  // Busy-wait: sleep granularity on Linux is far coarser than realistic
+  // device latencies, and the benches need stable per-access costs.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+PageId DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pages_.push_back(std::make_unique<Page>());
+  live_.push_back(true);
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskManager::CheckFault() {
+  if (!fault_armed_) return Status::OK();
+  if (fault_countdown_ == 0) {
+    return Status::IoError("injected disk fault");
+  }
+  --fault_countdown_;
+  return Status::OK();
+}
+
+void DiskManager::InjectFaultAfter(uint64_t after_accesses) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_armed_ = true;
+  fault_countdown_ = after_accesses;
+}
+
+void DiskManager::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_armed_ = false;
+  fault_countdown_ = 0;
+}
+
+Status DiskManager::ReadPage(PageId id, Page* page) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TMAN_RETURN_IF_ERROR(CheckFault());
+    if (id >= pages_.size() || !live_[id]) {
+      return Status::IoError("read of invalid page " + std::to_string(id));
+    }
+    *page = *pages_[id];
+    ++stats_.reads;
+  }
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TMAN_RETURN_IF_ERROR(CheckFault());
+    if (id >= pages_.size() || !live_[id]) {
+      return Status::IoError("write of invalid page " + std::to_string(id));
+    }
+    *pages_[id] = page;
+    ++stats_.writes;
+  }
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status DiskManager::DeallocatePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::IoError("deallocate of invalid page " + std::to_string(id));
+  }
+  live_[id] = false;
+  return Status::OK();
+}
+
+uint64_t DiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pages_.size();
+}
+
+DiskStats DiskManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DiskManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = DiskStats();
+}
+
+}  // namespace tman

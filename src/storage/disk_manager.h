@@ -1,0 +1,84 @@
+#ifndef TRIGGERMAN_STORAGE_DISK_MANAGER_H_
+#define TRIGGERMAN_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace tman {
+
+/// Cumulative I/O counters for a DiskManager.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// Simulated disk: a growable array of pages kept in process memory, with
+/// read/write counters and optional per-access latency. The paper's host
+/// (Informix) provides real disk tables; this simulation preserves the one
+/// property the organization-strategy experiments depend on — disk-resident
+/// structures pay a per-page cost main-memory structures do not.
+class DiskManager {
+ public:
+  /// `access_latency_ns`: artificial busy-wait added to every page read or
+  /// write that reaches the "disk" (i.e. every buffer pool miss/flush).
+  /// 0 disables the delay; counters are always maintained.
+  explicit DiskManager(uint64_t access_latency_ns = 0);
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a zeroed page and returns its id.
+  PageId AllocatePage();
+
+  /// Copies the stored page into *page.
+  Status ReadPage(PageId id, Page* page);
+
+  /// Persists *page.
+  Status WritePage(PageId id, const Page& page);
+
+  /// Frees a page (contents become invalid). Freed ids are not reused.
+  Status DeallocatePage(PageId id);
+
+  uint64_t num_pages() const;
+
+  DiskStats stats() const;
+  void ResetStats();
+
+  void set_access_latency_ns(uint64_t ns) {
+    access_latency_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t access_latency_ns() const {
+    return access_latency_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Fault injection for failure testing: after `after_accesses` more
+  /// successful page reads/writes, every subsequent access fails with
+  /// IoError until ClearFaults() is called.
+  void InjectFaultAfter(uint64_t after_accesses);
+  void ClearFaults();
+
+ private:
+  /// Counts an access against an armed fault; returns the error when the
+  /// fault has tripped. Requires mutex_ held.
+  Status CheckFault();
+  void SimulateLatency() const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<bool> live_;
+  DiskStats stats_;
+  std::atomic<uint64_t> access_latency_ns_;
+  bool fault_armed_ = false;
+  uint64_t fault_countdown_ = 0;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_STORAGE_DISK_MANAGER_H_

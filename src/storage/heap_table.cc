@@ -1,0 +1,238 @@
+#include "storage/heap_table.h"
+
+#include <cstring>
+
+namespace tman {
+
+namespace {
+
+// Page layout:
+//   [0..2)   u16 slot_count
+//   [2..4)   u16 data_start  (offset of the lowest record byte; records
+//                             grow downward from kPageSize)
+//   [4..8)   u32 next_page
+//   [8..12)  u32 live_count
+//   [12..)   slot array: per slot {u16 offset, u16 len}; offset==0xFFFF
+//            marks a deleted slot.
+constexpr size_t kHeaderSize = 12;
+constexpr size_t kSlotSize = 4;
+constexpr uint16_t kDeletedOffset = 0xFFFF;
+
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void PutU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+uint16_t SlotCount(const char* d) { return GetU16(d); }
+uint16_t DataStart(const char* d) { return GetU16(d + 2); }
+PageId NextPage(const char* d) { return GetU32(d + 4); }
+uint32_t LiveCount(const char* d) { return GetU32(d + 8); }
+
+void SetSlotCount(char* d, uint16_t v) { PutU16(d, v); }
+void SetDataStart(char* d, uint16_t v) { PutU16(d + 2, v); }
+void SetNextPage(char* d, PageId v) { PutU32(d + 4, v); }
+void SetLiveCount(char* d, uint32_t v) { PutU32(d + 8, v); }
+
+void SlotGet(const char* d, uint16_t slot, uint16_t* off, uint16_t* len) {
+  const char* s = d + kHeaderSize + slot * kSlotSize;
+  *off = GetU16(s);
+  *len = GetU16(s + 2);
+}
+void SlotPut(char* d, uint16_t slot, uint16_t off, uint16_t len) {
+  char* s = d + kHeaderSize + slot * kSlotSize;
+  PutU16(s, off);
+  PutU16(s + 2, len);
+}
+
+void InitPage(char* d) {
+  SetSlotCount(d, 0);
+  SetDataStart(d, static_cast<uint16_t>(kPageSize));
+  SetNextPage(d, kInvalidPageId);
+  SetLiveCount(d, 0);
+}
+
+size_t FreeSpace(const char* d) {
+  size_t used_top = kHeaderSize + SlotCount(d) * kSlotSize;
+  size_t data_start = DataStart(d);
+  return data_start > used_top ? data_start - used_top : 0;
+}
+
+}  // namespace
+
+HeapTable::HeapTable(BufferPool* pool, PageId first_page)
+    : pool_(pool), first_page_(first_page) {}
+
+Result<PageId> HeapTable::Create(BufferPool* pool) {
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool->NewPage(&guard));
+  InitPage(guard.data());
+  guard.MarkDirty();
+  return guard.page_id();
+}
+
+Result<Rid> HeapTable::Insert(std::string_view record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InsertLocked(record);
+}
+
+Result<Rid> HeapTable::InsertLocked(std::string_view record) {
+  if (record.size() + kSlotSize + kHeaderSize > kPageSize) {
+    return Status::NotSupported("record larger than one page (" +
+                                std::to_string(record.size()) + " bytes)");
+  }
+  PageId pid = tail_hint_ != kInvalidPageId ? tail_hint_ : first_page_;
+  while (true) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(pid, &guard));
+    char* d = guard.data();
+    if (FreeSpace(d) >= record.size() + kSlotSize) {
+      uint16_t slot = SlotCount(d);
+      uint16_t off =
+          static_cast<uint16_t>(DataStart(d) - record.size());
+      std::memcpy(d + off, record.data(), record.size());
+      SetDataStart(d, off);
+      SlotPut(d, slot, off, static_cast<uint16_t>(record.size()));
+      SetSlotCount(d, static_cast<uint16_t>(slot + 1));
+      SetLiveCount(d, LiveCount(d) + 1);
+      guard.MarkDirty();
+      tail_hint_ = pid;
+      if (counted_) ++num_records_;
+      return Rid{pid, slot};
+    }
+    PageId next = NextPage(d);
+    if (next == kInvalidPageId) {
+      PageGuard fresh;
+      TMAN_RETURN_IF_ERROR(pool_->NewPage(&fresh));
+      InitPage(fresh.data());
+      fresh.MarkDirty();
+      SetNextPage(d, fresh.page_id());
+      guard.MarkDirty();
+      next = fresh.page_id();
+    }
+    pid = next;
+  }
+}
+
+Result<std::string> HeapTable::Get(const Rid& rid) const {
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+  const char* d = guard.data();
+  if (rid.slot >= SlotCount(d)) {
+    return Status::NotFound("no such slot " + rid.ToString());
+  }
+  uint16_t off, len;
+  SlotGet(d, rid.slot, &off, &len);
+  if (off == kDeletedOffset) {
+    return Status::NotFound("record deleted at " + rid.ToString());
+  }
+  return std::string(d + off, len);
+}
+
+Status HeapTable::Delete(const Rid& rid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+  char* d = guard.data();
+  if (rid.slot >= SlotCount(d)) {
+    return Status::NotFound("no such slot " + rid.ToString());
+  }
+  uint16_t off, len;
+  SlotGet(d, rid.slot, &off, &len);
+  if (off == kDeletedOffset) {
+    return Status::NotFound("record already deleted at " + rid.ToString());
+  }
+  SlotPut(d, rid.slot, kDeletedOffset, 0);
+  SetLiveCount(d, LiveCount(d) - 1);
+  guard.MarkDirty();
+  if (counted_ && num_records_ > 0) --num_records_;
+  return Status::OK();
+}
+
+Result<Rid> HeapTable::Update(const Rid& rid, std::string_view record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(rid.page_id, &guard));
+    char* d = guard.data();
+    if (rid.slot >= SlotCount(d)) {
+      return Status::NotFound("no such slot " + rid.ToString());
+    }
+    uint16_t off, len;
+    SlotGet(d, rid.slot, &off, &len);
+    if (off == kDeletedOffset) {
+      return Status::NotFound("record deleted at " + rid.ToString());
+    }
+    if (record.size() <= len) {
+      std::memcpy(d + off, record.data(), record.size());
+      SlotPut(d, rid.slot, off, static_cast<uint16_t>(record.size()));
+      guard.MarkDirty();
+      return rid;
+    }
+    // Does not fit in place: tombstone the old slot and move the record.
+    SlotPut(d, rid.slot, kDeletedOffset, 0);
+    SetLiveCount(d, LiveCount(d) - 1);
+    guard.MarkDirty();
+  }
+  if (counted_ && num_records_ > 0) --num_records_;
+  return InsertLocked(record);
+}
+
+Status HeapTable::Scan(
+    const std::function<bool(const Rid&, std::string_view)>& fn) const {
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(pid, &guard));
+    const char* d = guard.data();
+    uint16_t slots = SlotCount(d);
+    for (uint16_t s = 0; s < slots; ++s) {
+      uint16_t off, len;
+      SlotGet(d, s, &off, &len);
+      if (off == kDeletedOffset) continue;
+      if (!fn(Rid{pid, s}, std::string_view(d + off, len))) {
+        return Status::OK();
+      }
+    }
+    pid = NextPage(d);
+  }
+  return Status::OK();
+}
+
+uint64_t HeapTable::num_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!counted_) {
+    uint64_t n = 0;
+    PageId pid = first_page_;
+    while (pid != kInvalidPageId) {
+      PageGuard guard;
+      if (!pool_->FetchPage(pid, &guard).ok()) break;
+      n += LiveCount(guard.data());
+      pid = NextPage(guard.data());
+    }
+    num_records_ = n;
+    counted_ = true;
+  }
+  return num_records_;
+}
+
+Result<uint64_t> HeapTable::num_pages() const {
+  uint64_t n = 0;
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    PageGuard guard;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(pid, &guard));
+    ++n;
+    pid = NextPage(guard.data());
+  }
+  return n;
+}
+
+}  // namespace tman

@@ -1,0 +1,75 @@
+#ifndef TRIGGERMAN_STORAGE_HEAP_TABLE_H_
+#define TRIGGERMAN_STORAGE_HEAP_TABLE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// A heap file of variable-length records stored in slotted pages, chained
+/// through `next_page` pointers. Records must fit in one page (~4 KB);
+/// TriggerMan stores serialized tuples, catalog rows, and trigger text here.
+///
+/// Simplifications relative to a production heap file, documented for
+/// honesty: deleted space inside a page is only reused by in-place updates
+/// that fit, and inserts always target the tail page. Catalog and constant
+/// tables are insert-mostly, so fragmentation stays negligible in every
+/// workload this repository runs.
+class HeapTable {
+ public:
+  /// Opens an existing heap file rooted at `first_page`, or creates a new
+  /// one if `first_page` is kInvalidPageId (Create() below).
+  HeapTable(BufferPool* pool, PageId first_page);
+
+  /// Creates an empty heap file and returns its root page id.
+  static Result<PageId> Create(BufferPool* pool);
+
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  /// Appends a record; returns its RID.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid`.
+  Result<std::string> Get(const Rid& rid) const;
+
+  /// Removes the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  /// Replaces the record at `rid`. If the new record no longer fits in
+  /// place, it is moved and the new RID is returned (callers owning
+  /// secondary indexes must re-point them).
+  Result<Rid> Update(const Rid& rid, std::string_view record);
+
+  /// Calls `fn(rid, record)` for every live record, in page order. If `fn`
+  /// returns false the scan stops early.
+  Status Scan(
+      const std::function<bool(const Rid&, std::string_view)>& fn) const;
+
+  /// Number of live records (maintained incrementally; O(1)).
+  uint64_t num_records() const;
+
+  /// Number of pages in the chain (counts a full chain walk; O(pages)).
+  Result<uint64_t> num_pages() const;
+
+  PageId first_page() const { return first_page_; }
+
+ private:
+  Result<Rid> InsertLocked(std::string_view record);
+
+  BufferPool* pool_;
+  PageId first_page_;
+  mutable std::mutex mutex_;
+  PageId tail_hint_ = kInvalidPageId;
+  mutable uint64_t num_records_ = 0;
+  mutable bool counted_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_STORAGE_HEAP_TABLE_H_

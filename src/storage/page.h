@@ -1,0 +1,46 @@
+#ifndef TRIGGERMAN_STORAGE_PAGE_H_
+#define TRIGGERMAN_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace tman {
+
+/// Fixed page size for the MiniDB storage engine.
+inline constexpr size_t kPageSize = 4096;
+
+/// Page identifier within a DiskManager. kInvalidPageId marks "no page".
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Raw page buffer.
+struct Page {
+  char data[kPageSize];
+
+  Page() { std::memset(data, 0, kPageSize); }
+};
+
+/// Record identifier: page + slot within the page.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+  bool operator<(const Rid& other) const {
+    if (page_id != other.page_id) return page_id < other.page_id;
+    return slot < other.slot;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(page_id) + "," + std::to_string(slot) + ")";
+  }
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_STORAGE_PAGE_H_

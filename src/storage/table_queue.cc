@@ -1,0 +1,183 @@
+#include "storage/table_queue.h"
+
+#include <cstring>
+
+namespace tman {
+
+namespace {
+
+// Data page layout:
+//   [0..2)  u16 slot_count
+//   [2..4)  u16 data_start
+//   [4..8)  u32 next_page
+//   [8..)   slots {u16 off, u16 len}
+constexpr size_t kHeader = 8;
+constexpr size_t kSlotSize = 4;
+
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void PutU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+void InitDataPage(char* d) {
+  PutU16(d, 0);
+  PutU16(d + 2, static_cast<uint16_t>(kPageSize));
+  PutU32(d + 4, kInvalidPageId);
+}
+
+size_t FreeSpace(const char* d) {
+  size_t top = kHeader + GetU16(d) * kSlotSize;
+  size_t start = GetU16(d + 2);
+  return start > top ? start - top : 0;
+}
+
+}  // namespace
+
+TableQueue::TableQueue(BufferPool* pool, PageId meta_page)
+    : pool_(pool), meta_page_(meta_page) {}
+
+Result<PageId> TableQueue::Create(BufferPool* pool) {
+  PageGuard first;
+  TMAN_RETURN_IF_ERROR(pool->NewPage(&first));
+  InitDataPage(first.data());
+  first.MarkDirty();
+
+  PageGuard meta;
+  TMAN_RETURN_IF_ERROR(pool->NewPage(&meta));
+  char* d = meta.data();
+  PutU32(d, first.page_id());       // head page
+  PutU32(d + 4, 0);                 // head slot
+  PutU32(d + 8, first.page_id());   // tail page
+  uint64_t zero = 0;
+  std::memcpy(d + 12, &zero, 8);    // count
+  meta.MarkDirty();
+  return meta.page_id();
+}
+
+Result<TableQueue::Meta> TableQueue::ReadMeta() const {
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(meta_page_, &guard));
+  const char* d = guard.data();
+  Meta m;
+  m.head_page = GetU32(d);
+  m.head_slot = GetU32(d + 4);
+  m.tail_page = GetU32(d + 8);
+  std::memcpy(&m.count, d + 12, 8);
+  return m;
+}
+
+Status TableQueue::WriteMeta(const Meta& m) {
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(meta_page_, &guard));
+  char* d = guard.data();
+  PutU32(d, m.head_page);
+  PutU32(d + 4, m.head_slot);
+  PutU32(d + 8, m.tail_page);
+  std::memcpy(d + 12, &m.count, 8);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status TableQueue::Enqueue(std::string_view record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record.size() + kHeader + kSlotSize > kPageSize) {
+    return Status::NotSupported("queued record larger than one page");
+  }
+  TMAN_ASSIGN_OR_RETURN(Meta m, ReadMeta());
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.tail_page, &guard));
+  char* d = guard.data();
+  if (FreeSpace(d) < record.size() + kSlotSize) {
+    PageGuard fresh;
+    TMAN_RETURN_IF_ERROR(pool_->NewPage(&fresh));
+    InitDataPage(fresh.data());
+    fresh.MarkDirty();
+    PageId fresh_id = fresh.page_id();
+    // NewPage may have evicted the tail page; re-fetch before linking.
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.tail_page, &guard));
+    d = guard.data();
+    PutU32(d + 4, fresh_id);
+    guard.MarkDirty();
+    m.tail_page = fresh_id;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(fresh_id, &guard));
+    d = guard.data();
+  }
+  uint16_t slot = GetU16(d);
+  uint16_t off = static_cast<uint16_t>(GetU16(d + 2) - record.size());
+  std::memcpy(d + off, record.data(), record.size());
+  PutU16(d + 2, off);
+  char* s = d + kHeader + slot * kSlotSize;
+  PutU16(s, off);
+  PutU16(s + 2, static_cast<uint16_t>(record.size()));
+  PutU16(d, static_cast<uint16_t>(slot + 1));
+  guard.MarkDirty();
+  ++m.count;
+  return WriteMeta(m);
+}
+
+Result<std::string> TableQueue::Dequeue() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TMAN_ASSIGN_OR_RETURN(Meta m, ReadMeta());
+  if (m.count == 0) return Status::NotFound("queue empty");
+  PageGuard guard;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.head_page, &guard));
+  const char* d = guard.data();
+  uint16_t slots = GetU16(d);
+  // The head page may have been drained just before the tail moved to a
+  // fresh page; step over exhausted pages before reading.
+  while (m.head_slot >= slots && m.head_page != m.tail_page) {
+    PageId next = GetU32(d + 4);
+    PageId old = m.head_page;
+    guard.Release();
+    pool_->Discard(old);
+    TMAN_RETURN_IF_ERROR(pool_->disk()->DeallocatePage(old));
+    m.head_page = next;
+    m.head_slot = 0;
+    TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.head_page, &guard));
+    d = guard.data();
+    slots = GetU16(d);
+  }
+  if (m.head_slot >= slots) {
+    return Status::Corruption("queue head past slot count");
+  }
+  const char* s = d + kHeader + m.head_slot * kSlotSize;
+  uint16_t off = GetU16(s);
+  uint16_t len = GetU16(s + 2);
+  std::string record(d + off, len);
+  ++m.head_slot;
+  --m.count;
+  // Head page exhausted and not the tail: advance and free it. (The tail
+  // page is kept even when drained so Enqueue always has a target.)
+  if (m.head_slot >= slots && m.head_page != m.tail_page) {
+    PageId next = GetU32(d + 4);
+    PageId old = m.head_page;
+    guard.Release();
+    pool_->Discard(old);
+    TMAN_RETURN_IF_ERROR(pool_->disk()->DeallocatePage(old));
+    m.head_page = next;
+    m.head_slot = 0;
+  }
+  TMAN_RETURN_IF_ERROR(WriteMeta(m));
+  return record;
+}
+
+Result<uint64_t> TableQueue::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TMAN_ASSIGN_OR_RETURN(Meta m, ReadMeta());
+  return m.count;
+}
+
+bool TableQueue::Empty() const {
+  auto size = Size();
+  return !size.ok() || *size == 0;
+}
+
+}  // namespace tman

@@ -1,0 +1,60 @@
+#ifndef TRIGGERMAN_STORAGE_TABLE_QUEUE_H_
+#define TRIGGERMAN_STORAGE_TABLE_QUEUE_H_
+
+#include <mutex>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Persistent FIFO of byte records, backed by a chain of pages. This is
+/// the paper's update-descriptor table: update-capture triggers and data
+/// source programs append update descriptors here, and TmanTest() consumes
+/// them on its next call, so queued updates survive a crash ("the safety
+/// of persistent update queuing").
+///
+/// Layout: a metadata page holds (head page, head slot, tail page, count);
+/// data pages are append-only slotted pages chained by next pointers.
+/// Fully-consumed head pages are deallocated.
+class TableQueue {
+ public:
+  TableQueue(BufferPool* pool, PageId meta_page);
+
+  /// Creates an empty queue; returns its metadata page id.
+  static Result<PageId> Create(BufferPool* pool);
+
+  TableQueue(const TableQueue&) = delete;
+  TableQueue& operator=(const TableQueue&) = delete;
+
+  /// Appends a record at the tail.
+  Status Enqueue(std::string_view record);
+
+  /// Removes and returns the head record. NotFound when empty.
+  Result<std::string> Dequeue();
+
+  /// Number of queued records.
+  Result<uint64_t> Size() const;
+
+  bool Empty() const;
+
+ private:
+  struct Meta {
+    PageId head_page;
+    uint32_t head_slot;
+    PageId tail_page;
+    uint64_t count;
+  };
+
+  Result<Meta> ReadMeta() const;
+  Status WriteMeta(const Meta& m);
+
+  BufferPool* pool_;
+  PageId meta_page_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_STORAGE_TABLE_QUEUE_H_

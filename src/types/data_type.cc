@@ -1,0 +1,34 @@
+#include "types/data_type.h"
+
+#include "util/string_util.h"
+
+namespace tman {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "int";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kChar:
+      return "char";
+    case DataType::kVarchar:
+      return "varchar";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "int" || lower == "integer") return DataType::kInt;
+  if (lower == "float" || lower == "double" || lower == "real") {
+    return DataType::kFloat;
+  }
+  if (lower == "char") return DataType::kChar;
+  if (lower == "varchar" || lower == "text" || lower == "string") {
+    return DataType::kVarchar;
+  }
+  return Status::InvalidArgument("unknown data type: " + std::string(name));
+}
+
+}  // namespace tman

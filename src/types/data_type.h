@@ -1,0 +1,47 @@
+#ifndef TRIGGERMAN_TYPES_DATA_TYPE_H_
+#define TRIGGERMAN_TYPES_DATA_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace tman {
+
+/// Data types supported by the TriggerMan object-relational model. The
+/// paper's current implementation supports char, varchar, integer and
+/// float; that is exactly the set implemented here (user-defined types are
+/// listed as future work in the paper).
+enum class DataType {
+  kInt = 0,
+  kFloat = 1,
+  kChar = 2,     // fixed-width string (padded semantics relaxed: stored trimmed)
+  kVarchar = 3,  // variable-width string
+};
+
+/// Returns "int", "float", "char" or "varchar".
+std::string_view DataTypeName(DataType type);
+
+/// Parses a type name (case-insensitive). Accepts optional "(n)" suffixes
+/// for char/varchar, which are recorded by Field, not here.
+Result<DataType> DataTypeFromName(std::string_view name);
+
+/// True for int/float.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kFloat;
+}
+
+/// True for char/varchar.
+inline bool IsString(DataType type) {
+  return type == DataType::kChar || type == DataType::kVarchar;
+}
+
+/// True if values of the two types may be compared with relational
+/// operators (numeric with numeric, string with string).
+inline bool Comparable(DataType a, DataType b) {
+  return (IsNumeric(a) && IsNumeric(b)) || (IsString(a) && IsString(b));
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_TYPES_DATA_TYPE_H_

@@ -1,0 +1,37 @@
+#include "types/schema.h"
+
+#include "util/string_util.h"
+
+namespace tman {
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::RequireField(std::string_view name) const {
+  int i = FieldIndex(name);
+  if (i < 0) {
+    return Status::NotFound("no such attribute: " + std::string(name));
+  }
+  return static_cast<size_t>(i);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+    if (fields_[i].width > 0) {
+      out += "(" + std::to_string(fields_[i].width) + ")";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tman

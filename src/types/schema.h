@@ -1,0 +1,59 @@
+#ifndef TRIGGERMAN_TYPES_SCHEMA_H_
+#define TRIGGERMAN_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// One attribute of a relation: name, type, and optional declared width
+/// for char/varchar (0 = unbounded).
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt;
+  uint32_t width = 0;
+
+  Field() = default;
+  Field(std::string n, DataType t, uint32_t w = 0)
+      : name(std::move(n)), type(t), width(w) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && width == other.width;
+  }
+};
+
+/// An ordered list of fields describing a tuple layout. Field names are
+/// case-insensitive on lookup (the command language is case-insensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1 if absent.
+  int FieldIndex(std::string_view name) const;
+
+  /// Like FieldIndex but returns a Status error mentioning the name.
+  Result<size_t> RequireField(std::string_view name) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "(a int, b varchar)" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_TYPES_SCHEMA_H_

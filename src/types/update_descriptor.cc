@@ -1,0 +1,58 @@
+#include "types/update_descriptor.h"
+
+#include <cstring>
+
+namespace tman {
+
+std::string_view OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kInsert:
+      return "insert";
+    case OpCode::kDelete:
+      return "delete";
+    case OpCode::kUpdate:
+      return "update";
+    case OpCode::kInsertOrUpdate:
+      return "insertOrUpdate";
+  }
+  return "?";
+}
+
+void UpdateDescriptor::Serialize(std::string* out) const {
+  char header[6];
+  std::memcpy(header, &data_source, 4);
+  header[4] = static_cast<char>(op);
+  header[5] = static_cast<char>((old_tuple ? 1 : 0) | (new_tuple ? 2 : 0));
+  out->append(header, 6);
+  if (old_tuple) old_tuple->Serialize(out);
+  if (new_tuple) new_tuple->Serialize(out);
+}
+
+Result<UpdateDescriptor> UpdateDescriptor::Deserialize(std::string_view data) {
+  if (data.size() < 6) return Status::Corruption("update descriptor truncated");
+  UpdateDescriptor u;
+  std::memcpy(&u.data_source, data.data(), 4);
+  u.op = static_cast<OpCode>(data[4]);
+  uint8_t mask = static_cast<uint8_t>(data[5]);
+  size_t pos = 6;
+  if (mask & 1) {
+    TMAN_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(data, &pos));
+    u.old_tuple = std::move(t);
+  }
+  if (mask & 2) {
+    TMAN_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(data, &pos));
+    u.new_tuple = std::move(t);
+  }
+  return u;
+}
+
+std::string UpdateDescriptor::ToString() const {
+  std::string out = "[ds=" + std::to_string(data_source) + " " +
+                    std::string(OpCodeName(op));
+  if (old_tuple) out += " old=" + old_tuple->ToString();
+  if (new_tuple) out += " new=" + new_tuple->ToString();
+  out += "]";
+  return out;
+}
+
+}  // namespace tman

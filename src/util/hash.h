@@ -1,0 +1,47 @@
+#ifndef TRIGGERMAN_UTIL_HASH_H_
+#define TRIGGERMAN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tman {
+
+/// 64-bit FNV-1a over a byte range. Deterministic across platforms, which
+/// keeps the predicate index and signature IDs stable between runs.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Mixes a new 64-bit value into an accumulated hash (boost::hash_combine
+/// style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Finalizer from MurmurHash3; decorrelates low-entropy integer keys before
+/// they are reduced modulo a table size.
+inline uint64_t MixInt(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_HASH_H_

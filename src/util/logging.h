@@ -1,0 +1,46 @@
+#ifndef TRIGGERMAN_UTIL_LOGGING_H_
+#define TRIGGERMAN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tman {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TMAN_LOG(level)                                              \
+  if (::tman::LogLevel::level < ::tman::GetLogLevel()) {             \
+  } else                                                             \
+    ::tman::internal::LogMessage(::tman::LogLevel::level, __FILE__,  \
+                                 __LINE__)                           \
+        .stream()
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_LOGGING_H_

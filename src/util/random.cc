@@ -1,0 +1,56 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace tman {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
+  if (theta_ <= 0.0) {
+    // Uniform special case; avoid the zeta computation entirely.
+    alpha_ = zetan_ = eta_ = 0.0;
+    return;
+  }
+  // Cap the exact zeta computation; for larger n approximate the tail with
+  // the integral of x^-theta, which is accurate to <0.1% at this size.
+  constexpr uint64_t kExactLimit = 1000000;
+  if (n_ <= kExactLimit) {
+    zetan_ = Zeta(n_, theta_);
+  } else {
+    double head = Zeta(kExactLimit, theta_);
+    double tail =
+        (std::pow(static_cast<double>(n_), 1.0 - theta_) -
+         std::pow(static_cast<double>(kExactLimit), 1.0 - theta_)) /
+        (1.0 - theta_);
+    zetan_ = head + tail;
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ <= 0.0) return rng_.Uniform(n_);
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace tman

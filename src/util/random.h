@@ -1,0 +1,73 @@
+#ifndef TRIGGERMAN_UTIL_RANDOM_H_
+#define TRIGGERMAN_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tman {
+
+/// Small, fast, deterministic PRNG (xorshift128+). Used by tests and
+/// workload generators; seeded explicitly so every run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL) {
+    s0_ = seed ? seed : 1;
+    s1_ = seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL;
+    if (s1_ == 0) s1_ = 2;
+    // Warm up so low-entropy seeds decorrelate.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed generator over [0, n). Used to model skewed trigger
+/// match distributions (hot triggers) in the trigger-cache experiments.
+/// theta = 0 is uniform; theta near 1 is heavily skewed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef TRIGGERMAN_UTIL_RESULT_H_
+#define TRIGGERMAN_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tman {
+
+/// A value-or-error carrier, in the style of arrow::Result<T>. A Result is
+/// either ok and holds a T, or holds a non-ok Status. Dereferencing a
+/// non-ok Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-ok Status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from Ok status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error Status out of the enclosing function.
+#define TMAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define TMAN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TMAN_ASSIGN_OR_RETURN_IMPL(             \
+      TMAN_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define TMAN_CONCAT_INNER_(a, b) a##b
+#define TMAN_CONCAT_(a, b) TMAN_CONCAT_INNER_(a, b)
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_RESULT_H_

@@ -1,0 +1,114 @@
+#ifndef TRIGGERMAN_UTIL_STATUS_H_
+#define TRIGGERMAN_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tman {
+
+/// Error codes used across the TriggerMan library. The library is
+/// exception-free: every fallible operation returns a Status (or a
+/// Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kEvalError,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, in the style of rocksdb::Status /
+/// arrow::Status. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an Ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-ok Status out of the enclosing function.
+#define TMAN_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::tman::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_STATUS_H_

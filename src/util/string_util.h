@@ -1,0 +1,35 @@
+#ifndef TRIGGERMAN_UTIL_STRING_UTIL_H_
+#define TRIGGERMAN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tman {
+
+/// ASCII-only lowercase copy. The TriggerMan command language is
+/// case-insensitive for keywords and identifiers.
+std::string ToLower(std::string_view s);
+
+/// ASCII-only uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a delimiter character; empty pieces are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/actions.h"
+#include "core/trigger_manager.h"
+#include "db/sql.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+// Builds a minimal TriggerRuntime (single emp variable) plus an
+// ActionContext for macro-substitution tests.
+class ActionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTable("emp", Schema({{"name", DataType::kVarchar},
+                                                {"salary", DataType::kFloat},
+                                                {"dept", DataType::kInt}}))
+                    .ok());
+    executor_ = std::make_unique<ActionExecutor>(db_.get(), &events_);
+
+    trigger_ = std::make_shared<TriggerRuntime>();
+    trigger_->id = 1;
+    trigger_->name = "t";
+    std::vector<TupleVarInfo> vars = {
+        {"emp", "emp", 1, OpCode::kInsertOrUpdate}};
+    auto graph = ConditionGraph::Build(vars, {});
+    ASSERT_TRUE(graph.ok());
+    trigger_->graph = *graph;
+    auto net = ATreatNetwork::Build(trigger_->graph, db_.get(),
+                                    ATreatOptions{});
+    ASSERT_TRUE(net.ok());
+    trigger_->network = std::move(*net);
+  }
+
+  ActionContext MakeContext(double old_salary, double new_salary) {
+    ActionContext ctx;
+    ctx.trigger = trigger_.get();
+    Tuple old_t({Value::String("Bob"), Value::Float(old_salary),
+                 Value::Int(3)});
+    Tuple new_t({Value::String("Bob"), Value::Float(new_salary),
+                 Value::Int(3)});
+    ctx.token = UpdateDescriptor::Update(1, old_t, new_t);
+    ctx.bindings = {new_t};
+    ctx.arrival_node = 0;
+    return ctx;
+  }
+
+  std::string Substitute(const std::string& sql, const ActionContext& ctx) {
+    auto r = executor_->SubstituteMacros(sql, ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : "";
+  }
+
+  std::unique_ptr<Database> db_;
+  EventManager events_;
+  std::unique_ptr<ActionExecutor> executor_;
+  std::shared_ptr<TriggerRuntime> trigger_;
+};
+
+TEST_F(ActionsTest, QualifiedNewAndOld) {
+  auto ctx = MakeContext(100, 200);
+  EXPECT_EQ(Substitute("set x = :NEW.emp.salary", ctx), "set x = 200");
+  EXPECT_EQ(Substitute("set x = :OLD.emp.salary", ctx), "set x = 100");
+}
+
+TEST_F(ActionsTest, UnqualifiedAttrResolved) {
+  auto ctx = MakeContext(100, 200);
+  EXPECT_EQ(Substitute(":NEW.salary + :OLD.salary", ctx), "200 + 100");
+}
+
+TEST_F(ActionsTest, StringValuesQuoted) {
+  auto ctx = MakeContext(1, 2);
+  EXPECT_EQ(Substitute("where n = :NEW.emp.name", ctx),
+            "where n = 'Bob'");
+}
+
+TEST_F(ActionsTest, CaseInsensitiveMacros) {
+  auto ctx = MakeContext(100, 200);
+  EXPECT_EQ(Substitute(":new.emp.salary/:Old.emp.salary", ctx), "200/100");
+}
+
+TEST_F(ActionsTest, NonMacroColonsPassThrough) {
+  auto ctx = MakeContext(1, 2);
+  EXPECT_EQ(Substitute("a : b :: c :x", ctx), "a : b :: c :x");
+  EXPECT_EQ(Substitute(":NEWT.salary", ctx), ":NEWT.salary");  // not :NEW.
+}
+
+TEST_F(ActionsTest, OldOnWrongVariableFails) {
+  auto ctx = MakeContext(1, 2);
+  EXPECT_FALSE(executor_->SubstituteMacros(":OLD.other.x", ctx).ok());
+}
+
+TEST_F(ActionsTest, OldWithoutOldImageFails) {
+  ActionContext ctx;
+  ctx.trigger = trigger_.get();
+  Tuple t({Value::String("Bob"), Value::Float(5), Value::Int(3)});
+  ctx.token = UpdateDescriptor::Insert(1, t);
+  ctx.bindings = {t};
+  EXPECT_FALSE(executor_->SubstituteMacros(":OLD.emp.salary", ctx).ok());
+  // :NEW still fine for inserts.
+  EXPECT_TRUE(executor_->SubstituteMacros(":NEW.emp.salary", ctx).ok());
+}
+
+TEST_F(ActionsTest, UnknownAttributeFails) {
+  auto ctx = MakeContext(1, 2);
+  EXPECT_FALSE(executor_->SubstituteMacros(":NEW.emp.bogus", ctx).ok());
+}
+
+TEST_F(ActionsTest, ExecSqlActionRunsAgainstDatabase) {
+  trigger_->cmd.action.kind = ActionKind::kExecSql;
+  trigger_->cmd.action.sql =
+      "insert into emp values (:NEW.emp.name, :NEW.emp.salary, 9)";
+  auto ctx = MakeContext(100, 200);
+  ASSERT_TRUE(executor_->Execute(ctx).ok());
+  auto rows = ExecuteSql(db_.get(), "select * from emp where dept = 9");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).as_string(), "Bob");
+  EXPECT_EQ(executor_->stats().sql_statements, 1u);
+}
+
+TEST_F(ActionsTest, FailingSqlCountsAsError) {
+  trigger_->cmd.action.kind = ActionKind::kExecSql;
+  trigger_->cmd.action.sql = "insert into missing values (1)";
+  auto ctx = MakeContext(1, 2);
+  EXPECT_FALSE(executor_->Execute(ctx).ok());
+  EXPECT_EQ(executor_->stats().action_errors, 1u);
+}
+
+TEST_F(ActionsTest, RaiseEventEvaluatesArgs) {
+  trigger_->cmd.action.kind = ActionKind::kRaiseEvent;
+  trigger_->cmd.action.event_name = "Raise";
+  auto arg1 = ParseExpressionString("emp.name");
+  auto arg2 = ParseExpressionString("emp.salary * 2");
+  ASSERT_TRUE(arg1.ok() && arg2.ok());
+  trigger_->cmd.action.event_args = {*arg1, *arg2};
+  auto ctx = MakeContext(100, 200);
+  ASSERT_TRUE(executor_->Execute(ctx).ok());
+  ASSERT_EQ(events_.History().size(), 1u);
+  Event e = events_.History()[0];
+  EXPECT_EQ(e.args[0].as_string(), "Bob");
+  EXPECT_DOUBLE_EQ(e.args[1].as_float(), 400);
+}
+
+TEST(EventManagerTest, WildcardAndHistoryBounds) {
+  EventManager events(/*history_capacity=*/3);
+  int wildcard_hits = 0;
+  events.Register("*", [&](const Event&) { ++wildcard_hits; });
+  for (int i = 0; i < 5; ++i) {
+    events.Raise(Event{"E" + std::to_string(i), {}});
+  }
+  EXPECT_EQ(wildcard_hits, 5);
+  EXPECT_EQ(events.num_raised(), 5u);
+  auto history = events.History();
+  ASSERT_EQ(history.size(), 3u);  // bounded
+  EXPECT_EQ(history[0].name, "E2");
+  EXPECT_EQ(history[2].name, "E4");
+  events.ClearHistory();
+  EXPECT_TRUE(events.History().empty());
+}
+
+TEST(EventManagerTest, ConsumerMatchingIsCaseInsensitive) {
+  EventManager events;
+  int hits = 0;
+  uint64_t id = events.Register("PriceAlert", [&](const Event&) { ++hits; });
+  events.Raise(Event{"pricealert", {}});
+  events.Raise(Event{"PRICEALERT", {}});
+  events.Raise(Event{"other", {}});
+  EXPECT_EQ(hits, 2);
+  events.Unregister(id);
+  events.Raise(Event{"PriceAlert", {}});
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "storage/bptree.h"
+#include "util/random.h"
+
+namespace tman {
+namespace {
+
+class BPTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<DiskManager>();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 256);
+    auto meta = BPTree::Create(pool_.get());
+    ASSERT_TRUE(meta.ok());
+    tree_ = std::make_unique<BPTree>(pool_.get(), *meta);
+  }
+
+  static std::vector<Value> IntKey(int64_t k) { return {Value::Int(k)}; }
+  static Rid MakeRid(uint32_t p, uint16_t s) { return Rid{p, s}; }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPTree> tree_;
+};
+
+TEST_F(BPTreeTest, InsertAndSearchEqual) {
+  ASSERT_TRUE(tree_->Insert(IntKey(5), MakeRid(1, 1)).ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(7), MakeRid(2, 2)).ok());
+  auto r = tree_->SearchEqual(IntKey(5));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], MakeRid(1, 1));
+  EXPECT_TRUE(tree_->SearchEqual(IntKey(6))->empty());
+}
+
+TEST_F(BPTreeTest, DuplicateKeysAllRidsReturned) {
+  for (uint16_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(42), MakeRid(1, i)).ok());
+  }
+  auto r = tree_->SearchEqual(IntKey(42));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 50u);
+}
+
+TEST_F(BPTreeTest, DuplicateKeyRidPairIdempotent) {
+  ASSERT_TRUE(tree_->Insert(IntKey(1), MakeRid(9, 9)).ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(1), MakeRid(9, 9)).ok());
+  EXPECT_EQ(tree_->SearchEqual(IntKey(1))->size(), 1u);
+}
+
+TEST_F(BPTreeTest, DeleteRemovesOneEntry) {
+  ASSERT_TRUE(tree_->Insert(IntKey(1), MakeRid(1, 1)).ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(1), MakeRid(1, 2)).ok());
+  ASSERT_TRUE(tree_->Delete(IntKey(1), MakeRid(1, 1)).ok());
+  auto r = tree_->SearchEqual(IntKey(1));
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], MakeRid(1, 2));
+  EXPECT_FALSE(tree_->Delete(IntKey(1), MakeRid(1, 1)).ok());
+}
+
+TEST_F(BPTreeTest, SplitsGrowTheTree) {
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), MakeRid(0, 0)).ok())
+        << "insert " << i;
+  }
+  auto height = tree_->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 2u);
+  EXPECT_EQ(*tree_->NumEntries(), 5000u);
+  // Every key still findable after all the splits.
+  for (int64_t i = 0; i < 5000; i += 97) {
+    EXPECT_EQ(tree_->SearchEqual(IntKey(i))->size(), 1u) << "key " << i;
+  }
+}
+
+TEST_F(BPTreeTest, RangeScanInclusiveExclusive) {
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), MakeRid(0, 0)).ok());
+  }
+  std::vector<int64_t> seen;
+  auto collect = [&seen](const std::vector<Value>& key, const Rid&) {
+    seen.push_back(key[0].as_int());
+    return true;
+  };
+  ASSERT_TRUE(tree_->SearchRange(IntKey(10), true, IntKey(15), true, collect)
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<int64_t>{10, 11, 12, 13, 14, 15}));
+
+  seen.clear();
+  ASSERT_TRUE(tree_->SearchRange(IntKey(10), false, IntKey(15), false,
+                                 collect)
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<int64_t>{11, 12, 13, 14}));
+}
+
+TEST_F(BPTreeTest, OpenEndedRanges) {
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), MakeRid(0, 0)).ok());
+  }
+  int64_t count = 0;
+  ASSERT_TRUE(tree_->SearchRange(std::nullopt, true, IntKey(4), true,
+                                 [&](const auto&, const Rid&) {
+                                   ++count;
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_EQ(count, 5);
+  count = 0;
+  ASSERT_TRUE(tree_->SearchRange(IntKey(15), true, std::nullopt, true,
+                                 [&](const auto&, const Rid&) {
+                                   ++count;
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(BPTreeTest, CompositeAndStringKeys) {
+  std::vector<Value> k1{Value::String("boston"), Value::Int(2)};
+  std::vector<Value> k2{Value::String("boston"), Value::Int(3)};
+  std::vector<Value> k3{Value::String("austin"), Value::Int(9)};
+  ASSERT_TRUE(tree_->Insert(k1, MakeRid(1, 1)).ok());
+  ASSERT_TRUE(tree_->Insert(k2, MakeRid(2, 2)).ok());
+  ASSERT_TRUE(tree_->Insert(k3, MakeRid(3, 3)).ok());
+  EXPECT_EQ(tree_->SearchEqual(k1)->size(), 1u);
+  EXPECT_EQ(tree_->SearchEqual(k2)->size(), 1u);
+  // Full scan yields keys in lexicographic order.
+  std::vector<std::string> cities;
+  ASSERT_TRUE(tree_->ScanAll([&](const std::vector<Value>& k, const Rid&) {
+                 cities.push_back(k[0].as_string());
+                 return true;
+               }).ok());
+  EXPECT_EQ(cities,
+            (std::vector<std::string>{"austin", "boston", "boston"}));
+}
+
+TEST_F(BPTreeTest, RandomizedAgainstStdMultimap) {
+  Random rng(77);
+  std::multimap<int64_t, Rid> model;
+  for (int step = 0; step < 8000; ++step) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(500));
+    if (rng.NextDouble() < 0.7 || model.empty()) {
+      Rid rid = MakeRid(static_cast<uint32_t>(rng.Uniform(1000)),
+                        static_cast<uint16_t>(rng.Uniform(100)));
+      // Skip if (key,rid) already present (tree is idempotent there).
+      bool dup = false;
+      auto range = model.equal_range(key);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == rid) dup = true;
+      }
+      ASSERT_TRUE(tree_->Insert({Value::Int(key)}, rid).ok());
+      if (!dup) model.emplace(key, rid);
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+      ASSERT_TRUE(tree_->Delete({Value::Int(it->first)}, it->second).ok());
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(*tree_->NumEntries(), model.size());
+  // Spot-check equality lookups for every key bucket.
+  for (int64_t key = 0; key < 500; ++key) {
+    auto r = tree_->SearchEqual({Value::Int(key)});
+    ASSERT_TRUE(r.ok());
+    std::set<std::string> got, want;
+    for (const Rid& rid : *r) got.insert(rid.ToString());
+    auto range = model.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      want.insert(it->second.ToString());
+    }
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+TEST_F(BPTreeTest, OversizedKeyRejected) {
+  std::vector<Value> key{Value::String(std::string(2000, 'k'))};
+  EXPECT_FALSE(tree_->Insert(key, MakeRid(0, 0)).ok());
+}
+
+TEST_F(BPTreeTest, ScanStopsEarly) {
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), MakeRid(0, 0)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(tree_->ScanAll([&](const auto&, const Rid&) {
+                 return ++count < 10;
+               }).ok());
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace tman

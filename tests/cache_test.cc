@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cache/trigger_cache.h"
+#include "core/trigger.h"
+
+namespace tman {
+namespace {
+
+TriggerHandle MakeTrigger(TriggerId id) {
+  auto t = std::make_shared<TriggerRuntime>();
+  t->id = id;
+  t->name = "t" + std::to_string(id);
+  return t;
+}
+
+TEST(TriggerCacheTest, LoadsOnMissHitsAfter) {
+  std::atomic<int> loads{0};
+  TriggerCache cache(4, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    return MakeTrigger(id);
+  });
+  auto h1 = cache.Pin(1);
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ((*h1)->id, 1u);
+  EXPECT_EQ(loads.load(), 1);
+  auto h2 = cache.Pin(1);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(loads.load(), 1);  // hit, no reload
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TriggerCacheTest, LruEviction) {
+  std::atomic<int> loads{0};
+  TriggerCache cache(2, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    return MakeTrigger(id);
+  });
+  ASSERT_TRUE(cache.Pin(1).ok());
+  ASSERT_TRUE(cache.Pin(2).ok());
+  ASSERT_TRUE(cache.Pin(3).ok());  // evicts 1 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  ASSERT_TRUE(cache.Pin(2).ok());  // still resident
+  EXPECT_EQ(loads.load(), 3);
+  ASSERT_TRUE(cache.Pin(1).ok());  // reload
+  EXPECT_EQ(loads.load(), 4);
+}
+
+TEST(TriggerCacheTest, TouchOnHitProtectsFromEviction) {
+  TriggerCache cache(2, [&](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  });
+  ASSERT_TRUE(cache.Pin(1).ok());
+  ASSERT_TRUE(cache.Pin(2).ok());
+  ASSERT_TRUE(cache.Pin(1).ok());  // 1 becomes MRU
+  ASSERT_TRUE(cache.Pin(3).ok());  // evicts 2, not 1
+  EXPECT_EQ(cache.stats().misses, 3u);
+  ASSERT_TRUE(cache.Pin(1).ok());
+  EXPECT_EQ(cache.stats().misses, 3u);  // 1 still cached
+}
+
+TEST(TriggerCacheTest, EvictedButPinnedHandleStaysAlive) {
+  TriggerCache cache(1, [&](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  });
+  auto pinned = cache.Pin(1);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(cache.Pin(2).ok());  // evicts 1's slot
+  EXPECT_EQ(cache.size(), 1u);
+  // The shared_ptr pin keeps the description valid.
+  EXPECT_EQ((*pinned)->name, "t1");
+}
+
+TEST(TriggerCacheTest, PutSeedsWithoutLoader) {
+  std::atomic<int> loads{0};
+  TriggerCache cache(4, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    return MakeTrigger(id);
+  });
+  cache.Put(9, MakeTrigger(9));
+  ASSERT_TRUE(cache.Pin(9).ok());
+  EXPECT_EQ(loads.load(), 0);
+}
+
+TEST(TriggerCacheTest, InvalidateForcesReload) {
+  std::atomic<int> loads{0};
+  TriggerCache cache(4, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    return MakeTrigger(id);
+  });
+  ASSERT_TRUE(cache.Pin(5).ok());
+  cache.Invalidate(5);
+  ASSERT_TRUE(cache.Pin(5).ok());
+  EXPECT_EQ(loads.load(), 2);
+  cache.Invalidate(12345);  // unknown id: no-op
+}
+
+TEST(TriggerCacheTest, LoaderFailurePropagates) {
+  TriggerCache cache(4, [&](TriggerId) -> Result<TriggerHandle> {
+    return Status::NotFound("gone");
+  });
+  auto r = cache.Pin(1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(cache.stats().loads_failed, 1u);
+}
+
+TEST(TriggerCacheTest, ClearEmptiesEverything) {
+  TriggerCache cache(4, [&](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  });
+  ASSERT_TRUE(cache.Pin(1).ok());
+  ASSERT_TRUE(cache.Pin(2).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TriggerCacheTest, ConcurrentPinsAreSafe) {
+  std::atomic<int> loads{0};
+  TriggerCache cache(8, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    std::this_thread::yield();
+    return MakeTrigger(id);
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &errors, t] {
+      for (int i = 0; i < 500; ++i) {
+        auto h = cache.Pin(static_cast<TriggerId>((i + t) % 16));
+        if (!h.ok() || (*h)->id != static_cast<TriggerId>((i + t) % 16)) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(cache.size(), 8u);  // at capacity
+}
+
+TEST(TriggerCacheTest, PaperSizingExample) {
+  // §5.1: with 4 KB per description and a 64 MB cache, 16,384 trigger
+  // descriptions fit simultaneously.
+  constexpr size_t kCacheBytes = 64ull << 20;
+  constexpr size_t kPerTrigger = 4096;
+  TriggerCache cache(kCacheBytes / kPerTrigger,
+                     [&](TriggerId id) -> Result<TriggerHandle> {
+                       return MakeTrigger(id);
+                     });
+  EXPECT_EQ(cache.capacity(), 16384u);
+}
+
+}  // namespace
+}  // namespace tman

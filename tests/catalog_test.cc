@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "catalog/trigger_catalog.h"
+
+namespace tman {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    catalog_ = std::make_unique<TriggerCatalog>(db_.get());
+    ASSERT_TRUE(catalog_->Open().ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TriggerCatalog> catalog_;
+};
+
+TEST_F(CatalogTest, TriggerSetsLifecycle) {
+  auto id = catalog_->CreateTriggerSet("alerts", "web alerts");
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(catalog_->CreateTriggerSet("alerts", "dup").ok());
+  auto row = catalog_->GetTriggerSet("ALERTS");
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((*row)->ts_id, *id);
+  EXPECT_EQ((*row)->comments, "web alerts");
+  EXPECT_TRUE((*row)->is_enabled);
+
+  ASSERT_TRUE(catalog_->SetTriggerSetEnabled("alerts", false).ok());
+  EXPECT_FALSE((*catalog_->GetTriggerSet("alerts"))->is_enabled);
+  EXPECT_FALSE(catalog_->SetTriggerSetEnabled("nope", true).ok());
+  auto by_id = catalog_->GetTriggerSetById(*id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_TRUE(by_id->has_value());
+}
+
+TEST_F(CatalogTest, TriggerRowsLifecycle) {
+  auto ts = catalog_->CreateTriggerSet("s", "");
+  ASSERT_TRUE(ts.ok());
+  auto id1 = catalog_->InsertTrigger("t1", *ts, "c", "create trigger t1 ...");
+  auto id2 = catalog_->InsertTrigger("t2", *ts, "", "create trigger t2 ...");
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_NE(*id1, *id2);
+  EXPECT_FALSE(catalog_->InsertTrigger("t1", *ts, "", "dup").ok());
+
+  auto byname = catalog_->GetTrigger("T1");
+  ASSERT_TRUE(byname.ok() && byname->has_value());
+  EXPECT_EQ((*byname)->trigger_id, *id1);
+  EXPECT_EQ((*byname)->trigger_text, "create trigger t1 ...");
+
+  auto byid = catalog_->GetTriggerById(*id2);
+  ASSERT_TRUE(byid.ok() && byid->has_value());
+  EXPECT_EQ((*byid)->name, "t2");
+
+  EXPECT_EQ(*catalog_->NumTriggers(), 2u);
+  ASSERT_TRUE(catalog_->SetTriggerEnabled("t1", false).ok());
+  EXPECT_FALSE((*catalog_->GetTrigger("t1"))->is_enabled);
+
+  ASSERT_TRUE(catalog_->DeleteTrigger("t1").ok());
+  EXPECT_FALSE((*catalog_->GetTrigger("t1")).has_value());
+  EXPECT_FALSE(catalog_->DeleteTrigger("t1").ok());
+  EXPECT_EQ(*catalog_->NumTriggers(), 1u);
+}
+
+TEST_F(CatalogTest, SignatureRows) {
+  SignatureRow row;
+  row.sig_id = 5;
+  row.data_src_id = 2;
+  row.signature_desc = "[ds=2 on insert when (t.x = CONSTANT_1)]";
+  row.const_table_name = "const_table_5";
+  row.constant_set_size = 1;
+  row.constant_set_organization = OrgType::kMemoryList;
+  ASSERT_TRUE(catalog_->InsertSignature(row).ok());
+
+  ASSERT_TRUE(
+      catalog_->UpdateSignatureStats(5, 4000, OrgType::kMemoryIndex).ok());
+  auto all = catalog_->AllSignatures();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].constant_set_size, 4000u);
+  EXPECT_EQ((*all)[0].constant_set_organization, OrgType::kMemoryIndex);
+  EXPECT_FALSE(
+      catalog_->UpdateSignatureStats(99, 1, OrgType::kMemoryList).ok());
+  EXPECT_EQ(*catalog_->MaxSignatureId(), 5u);
+}
+
+TEST_F(CatalogTest, IdCountersSurviveReopen) {
+  auto ts = catalog_->CreateTriggerSet("s", "");
+  ASSERT_TRUE(ts.ok());
+  auto id1 = catalog_->InsertTrigger("t1", *ts, "", "text1");
+  ASSERT_TRUE(id1.ok());
+
+  // Reopen a fresh catalog object over the same database.
+  TriggerCatalog reopened(db_.get());
+  ASSERT_TRUE(reopened.Open().ok());
+  auto id2 = reopened.InsertTrigger("t2", *ts, "", "text2");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_GT(*id2, *id1);  // no id reuse
+  auto t1 = reopened.GetTrigger("t1");
+  ASSERT_TRUE(t1.ok() && t1->has_value());
+  EXPECT_EQ((*t1)->trigger_text, "text1");
+}
+
+TEST_F(CatalogTest, AllTriggersEnumerates) {
+  auto ts = catalog_->CreateTriggerSet("s", "");
+  ASSERT_TRUE(ts.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(catalog_->InsertTrigger("t" + std::to_string(i), *ts, "",
+                                        "text")
+                    .ok());
+  }
+  auto all = catalog_->AllTriggers();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+}
+
+}  // namespace
+}  // namespace tman

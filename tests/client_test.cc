@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+
+namespace tman {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTable("emp", Schema({{"name", DataType::kVarchar},
+                                                {"dept", DataType::kInt}}))
+                    .ok());
+    tman_ = std::make_unique<TriggerManager>(db_.get());
+    ASSERT_TRUE(tman_->Open().ok());
+    ASSERT_TRUE(tman_->DefineLocalTableSource("emp").ok());
+  }
+
+  void Insert(const std::string& name, int64_t dept) {
+    ASSERT_TRUE(
+        db_->Insert("emp", Tuple({Value::String(name), Value::Int(dept)}))
+            .ok());
+    ASSERT_TRUE(tman_->ProcessPending().ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TriggerManager> tman_;
+};
+
+TEST_F(ClientTest, CommandsAndNotifications) {
+  ClientConnection web(tman_.get(), "web-ui");
+  std::vector<std::string> seen;
+  web.RegisterForEvent("Hired", [&](const Event& e) {
+    seen.push_back(e.args[0].as_string());
+  });
+  auto msg = web.Command(
+      "create trigger hires from emp on insert do raise event "
+      "Hired(emp.name)");
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(web.created_triggers().size(), 1u);
+
+  Insert("ann", 1);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "ann");
+}
+
+TEST_F(ClientTest, CloseStopsNotifications) {
+  ClientConnection web(tman_.get(), "web-ui");
+  int hits = 0;
+  web.RegisterForEvent("*", [&](const Event&) { ++hits; });
+  ASSERT_TRUE(web.Command("create trigger t from emp on insert "
+                          "do raise event E()")
+                  .ok());
+  Insert("a", 1);
+  EXPECT_EQ(hits, 1);
+  web.Close();
+  Insert("b", 1);
+  EXPECT_EQ(hits, 1);  // no longer registered
+  EXPECT_FALSE(web.Command("drop trigger t").ok());  // closed connection
+}
+
+TEST_F(ClientTest, DropMyTriggersCleansUpOnlyOwnTriggers) {
+  ClientConnection alice(tman_.get(), "alice");
+  ClientConnection bob(tman_.get(), "bob");
+  ASSERT_TRUE(alice
+                  .Command("create trigger a1 from emp on insert "
+                           "do raise event A()")
+                  .ok());
+  ASSERT_TRUE(alice
+                  .Command("create trigger a2 from emp on insert "
+                           "do raise event A()")
+                  .ok());
+  ASSERT_TRUE(bob.Command("create trigger b1 from emp on insert "
+                          "do raise event B()")
+                  .ok());
+  ASSERT_TRUE(alice.DropMyTriggers().ok());
+  EXPECT_TRUE(alice.created_triggers().empty());
+
+  // Bob's trigger still fires; Alice's are gone.
+  Insert("x", 1);
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+  EXPECT_EQ(tman_->events().History()[0].name, "B");
+}
+
+TEST_F(ClientTest, DroppingViaCommandUntracksTrigger) {
+  ClientConnection c(tman_.get(), "c");
+  ASSERT_TRUE(c.Command("create trigger t from emp on insert "
+                        "do raise event E()")
+                  .ok());
+  ASSERT_TRUE(c.Command("drop trigger t").ok());
+  EXPECT_TRUE(c.created_triggers().empty());
+  EXPECT_TRUE(c.DropMyTriggers().ok());  // nothing left, no error
+}
+
+TEST_F(ClientTest, StreamSubmissionThroughConnection) {
+  Schema q({{"v", DataType::kInt}});
+  auto ds = tman_->DefineStreamSource("feed", q);
+  ASSERT_TRUE(ds.ok());
+  ClientConnection src(tman_.get(), "feed-program");
+  ASSERT_TRUE(src.Command("create trigger big from feed when v > 10 "
+                          "do raise event Big(v)")
+                  .ok());
+  ASSERT_TRUE(
+      src.SubmitUpdate(UpdateDescriptor::Insert(*ds,
+                                                Tuple({Value::Int(50)})))
+          .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(ClientTest, UnregisterSingleConsumer) {
+  ClientConnection c(tman_.get(), "c");
+  int a_hits = 0, b_hits = 0;
+  uint64_t a = c.RegisterForEvent("*", [&](const Event&) { ++a_hits; });
+  c.RegisterForEvent("*", [&](const Event&) { ++b_hits; });
+  ASSERT_TRUE(c.Command("create trigger t from emp on insert "
+                        "do raise event E()")
+                  .ok());
+  Insert("x", 1);
+  c.Unregister(a);
+  Insert("y", 1);
+  EXPECT_EQ(a_hits, 1);
+  EXPECT_EQ(b_hits, 2);
+}
+
+}  // namespace
+}  // namespace tman

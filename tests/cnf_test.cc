@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "expr/cnf.h"
+#include "expr/condition_graph.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+std::vector<std::string> CnfStrings(const std::string& text) {
+  auto cnf = ToCnf(Parse(text));
+  EXPECT_TRUE(cnf.ok()) << cnf.status().ToString();
+  std::vector<std::string> out;
+  for (const ExprPtr& c : *cnf) out.push_back(ExprToString(c));
+  return out;
+}
+
+TEST(CnfTest, SingleAtomPassesThrough) {
+  EXPECT_EQ(CnfStrings("a.x > 1"), (std::vector<std::string>{"(a.x > 1)"}));
+}
+
+TEST(CnfTest, AndSplitsIntoConjuncts) {
+  auto cnf = CnfStrings("a.x > 1 and a.y = 2 and b.z < 3");
+  EXPECT_EQ(cnf.size(), 3u);
+}
+
+TEST(CnfTest, OrStaysOneConjunct) {
+  auto cnf = CnfStrings("a.x > 1 or a.y = 2");
+  ASSERT_EQ(cnf.size(), 1u);
+  EXPECT_EQ(cnf[0], "((a.x > 1) or (a.y = 2))");
+}
+
+TEST(CnfTest, DistributesOrOverAnd) {
+  // (A and B) or C  =>  (A or C) and (B or C)
+  auto cnf = CnfStrings("(a.x = 1 and a.y = 2) or a.z = 3");
+  ASSERT_EQ(cnf.size(), 2u);
+  EXPECT_EQ(cnf[0], "((a.x = 1) or (a.z = 3))");
+  EXPECT_EQ(cnf[1], "((a.y = 2) or (a.z = 3))");
+}
+
+TEST(CnfTest, NotPushedIntoComparisons) {
+  auto cnf = CnfStrings("not (a.x > 1)");
+  ASSERT_EQ(cnf.size(), 1u);
+  EXPECT_EQ(cnf[0], "(a.x <= 1)");
+}
+
+TEST(CnfTest, DeMorgan) {
+  // not (A and B) => (not A) or (not B), with comparisons negated.
+  auto cnf = CnfStrings("not (a.x > 1 and a.y = 2)");
+  ASSERT_EQ(cnf.size(), 1u);
+  EXPECT_EQ(cnf[0], "((a.x <= 1) or (a.y <> 2))");
+
+  auto cnf2 = CnfStrings("not (a.x > 1 or a.y = 2)");
+  ASSERT_EQ(cnf2.size(), 2u);
+  EXPECT_EQ(cnf2[0], "(a.x <= 1)");
+  EXPECT_EQ(cnf2[1], "(a.y <> 2)");
+}
+
+TEST(CnfTest, DoubleNegationCancels) {
+  auto cnf = CnfStrings("not not (a.x = 1)");
+  ASSERT_EQ(cnf.size(), 1u);
+  EXPECT_EQ(cnf[0], "(a.x = 1)");
+}
+
+TEST(CnfTest, NullExprGivesEmptyCnf) {
+  auto cnf = ToCnf(nullptr);
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_TRUE(cnf->empty());
+}
+
+TEST(CnfTest, ExplosionBounded) {
+  // Each (a OR b) AND-ed pair distributes multiplicatively; build one
+  // whose CNF exceeds the bound.
+  std::string text;
+  for (int i = 0; i < 12; ++i) {
+    if (i > 0) text += " or ";
+    text += "(a.x" + std::to_string(i) + " = 1 and a.y" + std::to_string(i) +
+            " = 2)";
+  }
+  auto cnf = ToCnf(Parse(text));
+  EXPECT_FALSE(cnf.ok());
+  EXPECT_EQ(cnf.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GroupConjunctsTest, GroupsByVariableSets) {
+  auto cnf = ToCnf(Parse(
+      "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno and h.price < "
+      "100000"));
+  ASSERT_TRUE(cnf.ok());
+  auto groups = GroupConjuncts(*cnf);
+  ASSERT_EQ(groups.size(), 4u);
+  // Selection on s; join s-r; join r-h; selection on h.
+  EXPECT_EQ(groups[0].vars, (std::vector<std::string>{"s"}));
+  EXPECT_EQ(groups[1].vars, (std::vector<std::string>{"r", "s"}));
+  EXPECT_EQ(groups[2].vars, (std::vector<std::string>{"h", "r"}));
+  EXPECT_EQ(groups[3].vars, (std::vector<std::string>{"h"}));
+}
+
+TEST(GroupConjunctsTest, MergesSameVarSet) {
+  auto cnf = ToCnf(Parse("a.x = 1 and a.y = 2"));
+  ASSERT_TRUE(cnf.ok());
+  auto groups = GroupConjuncts(*cnf);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].conjuncts.size(), 2u);
+}
+
+std::vector<TupleVarInfo> RealEstateVars() {
+  return {
+      {"s", "salesperson", 1, OpCode::kInsertOrUpdate},
+      {"h", "house", 2, OpCode::kInsert},
+      {"r", "represents", 3, OpCode::kInsertOrUpdate},
+  };
+}
+
+TEST(ConditionGraphTest, IrisHouseAlertShape) {
+  auto cnf = ToCnf(Parse(
+      "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(RealEstateVars(), *cnf);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->nodes().size(), 3u);
+  EXPECT_EQ(graph->edges().size(), 2u);
+  EXPECT_TRUE(graph->catch_all().empty());
+  // Node s has a selection predicate; h and r do not.
+  EXPECT_EQ(graph->nodes()[0].selection_conjuncts.size(), 1u);
+  EXPECT_TRUE(graph->nodes()[1].selection_conjuncts.empty());
+  EXPECT_TRUE(graph->nodes()[2].selection_conjuncts.empty());
+}
+
+TEST(ConditionGraphTest, TrivialAndHyperJoinGoToCatchAll) {
+  auto cnf = ToCnf(Parse("1 = 1 and s.spno + r.spno = h.nno"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(RealEstateVars(), *cnf);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->catch_all().size(), 2u);
+  EXPECT_TRUE(graph->edges().empty());
+}
+
+TEST(ConditionGraphTest, UnknownVariableRejected) {
+  auto cnf = ToCnf(Parse("z.q = 1"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(RealEstateVars(), *cnf);
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(ConditionGraphTest, ParallelJoinConjunctsMergeIntoOneEdge) {
+  auto cnf = ToCnf(Parse("s.spno = r.spno and s.name = r.name2"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(RealEstateVars(), *cnf);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->edges().size(), 1u);
+  EXPECT_EQ(graph->edges()[0].join_conjuncts.size(), 2u);
+}
+
+TEST(ConditionGraphTest, NodeIndexLookup) {
+  auto graph = ConditionGraph::Build(RealEstateVars(), {});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(*graph->NodeIndex("h"), 1u);
+  EXPECT_EQ(*graph->NodeIndex("S"), 0u);  // case-insensitive
+  EXPECT_FALSE(graph->NodeIndex("zz").ok());
+}
+
+}  // namespace
+}  // namespace tman

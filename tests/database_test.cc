@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace tman {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTable("emp", Schema({{"name", DataType::kVarchar},
+                                                {"salary", DataType::kFloat},
+                                                {"dept", DataType::kInt}}))
+                    .ok());
+  }
+
+  Tuple Emp(const std::string& name, double salary, int64_t dept) {
+    return Tuple(
+        {Value::String(name), Value::Float(salary), Value::Int(dept)});
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, CreateTableDuplicateFails) {
+  EXPECT_FALSE(db_->CreateTable("emp", Schema()).ok());
+  EXPECT_TRUE(db_->HasTable("EMP"));  // case-insensitive
+  EXPECT_FALSE(db_->HasTable("nope"));
+}
+
+TEST_F(DatabaseTest, InsertGetScan) {
+  auto rid = db_->Insert("emp", Emp("Bob", 85000, 3));
+  ASSERT_TRUE(rid.ok());
+  auto t = db_->Get("emp", *rid);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0).as_string(), "Bob");
+
+  ASSERT_TRUE(db_->Insert("emp", Emp("Alice", 95000, 3)).ok());
+  int count = 0;
+  ASSERT_TRUE(db_->Scan("emp", [&](const Rid&, const Tuple&) {
+                  ++count;
+                  return true;
+                }).ok());
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(*db_->NumRows("emp"), 2u);
+}
+
+TEST_F(DatabaseTest, SchemaCoercionOnInsert) {
+  // salary arrives as int, is coerced to float per schema.
+  auto rid = db_->Insert(
+      "emp", Tuple({Value::String("X"), Value::Int(100), Value::Int(1)}));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_TRUE(db_->Get("emp", *rid)->at(1).is_float());
+  // Wrong arity fails.
+  EXPECT_FALSE(db_->Insert("emp", Tuple({Value::Int(1)})).ok());
+}
+
+TEST_F(DatabaseTest, IndexMaintainedAcrossDml) {
+  ASSERT_TRUE(db_->CreateIndex("idx_dept", "emp", {"dept"}).ok());
+  auto r1 = db_->Insert("emp", Emp("A", 1, 10));
+  auto r2 = db_->Insert("emp", Emp("B", 2, 10));
+  auto r3 = db_->Insert("emp", Emp("C", 3, 20));
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+
+  auto hits = db_->IndexLookup("idx_dept", {Value::Int(10)});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+
+  // Update moves C from dept 20 to 10.
+  ASSERT_TRUE(db_->Update("emp", *r3, Emp("C", 3, 10)).ok());
+  EXPECT_EQ(db_->IndexLookup("idx_dept", {Value::Int(10)})->size(), 3u);
+  EXPECT_TRUE(db_->IndexLookup("idx_dept", {Value::Int(20)})->empty());
+
+  // Delete removes from the index.
+  ASSERT_TRUE(db_->Delete("emp", *r1).ok());
+  EXPECT_EQ(db_->IndexLookup("idx_dept", {Value::Int(10)})->size(), 2u);
+}
+
+TEST_F(DatabaseTest, IndexBackfillsExistingRows) {
+  ASSERT_TRUE(db_->Insert("emp", Emp("A", 1, 7)).ok());
+  ASSERT_TRUE(db_->Insert("emp", Emp("B", 2, 7)).ok());
+  ASSERT_TRUE(db_->CreateIndex("idx_dept", "emp", {"dept"}).ok());
+  EXPECT_EQ(db_->IndexLookup("idx_dept", {Value::Int(7)})->size(), 2u);
+}
+
+TEST_F(DatabaseTest, CompositeIndexAndFindIndexOn) {
+  ASSERT_TRUE(db_->CreateIndex("idx_nd", "emp", {"name", "dept"}).ok());
+  auto found = db_->FindIndexOn("emp", {"name", "dept"});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, "idx_nd");
+  EXPECT_FALSE(db_->FindIndexOn("emp", {"dept", "name"}).ok());
+  EXPECT_FALSE(db_->FindIndexOn("emp", {"name"}).ok());
+}
+
+TEST_F(DatabaseTest, IndexRangeScan) {
+  ASSERT_TRUE(db_->CreateIndex("idx_dept", "emp", {"dept"}).ok());
+  for (int64_t d = 0; d < 10; ++d) {
+    ASSERT_TRUE(db_->Insert("emp", Emp("e", 1, d)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(db_->IndexRange("idx_dept", {{Value::Int(3)}}, true,
+                              {{Value::Int(6)}}, false,
+                              [&](const std::vector<Value>&, const Rid&) {
+                                ++count;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(count, 3);  // 3, 4, 5
+}
+
+TEST_F(DatabaseTest, UpdateHookObservesAllOps) {
+  std::vector<UpdateDescriptor> captured;
+  ASSERT_TRUE(db_->SetUpdateHook("emp", [&](const UpdateDescriptor& u) {
+                  captured.push_back(u);
+                }).ok());
+  auto rid = db_->Insert("emp", Emp("Bob", 1, 1));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(db_->Update("emp", *rid, Emp("Bob", 2, 1)).ok());
+  ASSERT_TRUE(db_->Delete("emp", *rid).ok());
+
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0].op, OpCode::kInsert);
+  EXPECT_EQ(captured[1].op, OpCode::kUpdate);
+  EXPECT_DOUBLE_EQ(captured[1].old_tuple->at(1).as_float(), 1.0);
+  EXPECT_DOUBLE_EQ(captured[1].new_tuple->at(1).as_float(), 2.0);
+  EXPECT_EQ(captured[2].op, OpCode::kDelete);
+
+  ASSERT_TRUE(db_->ClearUpdateHook("emp").ok());
+  ASSERT_TRUE(db_->Insert("emp", Emp("Eve", 1, 1)).ok());
+  EXPECT_EQ(captured.size(), 3u);  // hook removed
+}
+
+TEST_F(DatabaseTest, DropTableAndIndex) {
+  ASSERT_TRUE(db_->CreateIndex("idx_dept", "emp", {"dept"}).ok());
+  ASSERT_TRUE(db_->DropIndex("idx_dept").ok());
+  EXPECT_FALSE(db_->IndexLookup("idx_dept", {Value::Int(1)}).ok());
+  ASSERT_TRUE(db_->DropTable("emp").ok());
+  EXPECT_FALSE(db_->HasTable("emp"));
+  EXPECT_FALSE(db_->Insert("emp", Emp("x", 1, 1)).ok());
+}
+
+TEST_F(DatabaseTest, TableIdsStable) {
+  auto id = db_->TableIdOf("emp");
+  ASSERT_TRUE(id.ok());
+  auto name = db_->TableNameOf(*id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "emp");
+  EXPECT_FALSE(db_->TableNameOf(9999).ok());
+}
+
+TEST_F(DatabaseTest, ManyRowsSpillAndSurvive) {
+  DatabaseOptions opts;
+  opts.buffer_pool_frames = 16;  // tiny pool forces eviction traffic
+  Database small(opts);
+  ASSERT_TRUE(small.CreateTable("t", Schema({{"k", DataType::kInt},
+                                             {"v", DataType::kVarchar}}))
+                  .ok());
+  ASSERT_TRUE(small.CreateIndex("idx_k", "t", {"k"}).ok());
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(small.Insert("t", Tuple({Value::Int(i),
+                                         Value::String("v" +
+                                                       std::to_string(i))}))
+                    .ok());
+  }
+  EXPECT_EQ(*small.NumRows("t"), 2000u);
+  auto hits = small.IndexLookup("idx_k", {Value::Int(1234)});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(small.Get("t", (*hits)[0])->at(1).as_string(), "v1234");
+  EXPECT_GT(small.buffer_pool()->stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace tman

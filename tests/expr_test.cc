@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "expr/rewrite.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest()
+      : schema_({{"name", DataType::kVarchar},
+                 {"salary", DataType::kFloat},
+                 {"dept", DataType::kInt}}),
+        tuple_({Value::String("Bob"), Value::Float(85000), Value::Int(3)}) {
+    bindings_.Bind("emp", &schema_, &tuple_);
+  }
+
+  Result<Value> Eval(const std::string& text) {
+    return EvalExpr(Parse(text), bindings_);
+  }
+  Result<bool> Pred(const std::string& text) {
+    return EvalPredicate(Parse(text), bindings_);
+  }
+
+  Schema schema_;
+  Tuple tuple_;
+  Bindings bindings_;
+};
+
+TEST_F(ExprEvalTest, Literals) {
+  EXPECT_EQ(Eval("42")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(Eval("2.5")->as_float(), 2.5);
+  EXPECT_EQ(Eval("'hi'")->as_string(), "hi");
+  EXPECT_TRUE(Eval("null")->is_null());
+}
+
+TEST_F(ExprEvalTest, ColumnRefsQualifiedAndNot) {
+  EXPECT_EQ(Eval("emp.name")->as_string(), "Bob");
+  EXPECT_EQ(Eval("dept")->as_int(), 3);
+  EXPECT_FALSE(Eval("emp.bogus").ok());
+  EXPECT_FALSE(Eval("zorp.name").ok());
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3")->as_int(), 7);
+  EXPECT_EQ(Eval("(1 + 2) * 3")->as_int(), 9);
+  EXPECT_EQ(Eval("7 / 2")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(Eval("7.0 / 2")->as_float(), 3.5);
+  EXPECT_EQ(Eval("-5 + 2")->as_int(), -3);
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  EXPECT_FALSE(Eval("'a' * 2").ok());
+}
+
+TEST_F(ExprEvalTest, StringConcatViaPlus) {
+  EXPECT_EQ(Eval("'foo' + 'bar'")->as_string(), "foobar");
+}
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_TRUE(*Pred("emp.salary > 80000"));
+  EXPECT_FALSE(*Pred("emp.salary > 90000"));
+  EXPECT_TRUE(*Pred("emp.name = 'Bob'"));
+  EXPECT_TRUE(*Pred("emp.name <> 'Alice'"));
+  EXPECT_TRUE(*Pred("emp.dept <= 3"));
+  EXPECT_FALSE(Pred("emp.name > 5").ok());  // type error
+}
+
+TEST_F(ExprEvalTest, BooleanLogicWithShortCircuit) {
+  EXPECT_TRUE(*Pred("emp.dept = 3 and emp.salary > 1000"));
+  EXPECT_FALSE(*Pred("emp.dept = 4 and emp.bogus = 1"));  // short-circuits
+  EXPECT_TRUE(*Pred("emp.dept = 3 or emp.bogus = 1"));
+  EXPECT_TRUE(*Pred("not (emp.dept = 4)"));
+}
+
+TEST_F(ExprEvalTest, NullSemantics) {
+  // Comparisons with NULL are unknown -> predicate false.
+  EXPECT_FALSE(*Pred("null = null"));
+  EXPECT_FALSE(*Pred("1 < null"));
+  EXPECT_FALSE(*Pred("not (1 = null)"));  // NOT unknown = unknown
+  // AND/OR three-valued behavior.
+  EXPECT_FALSE(*Pred("1 = null and true"));
+  EXPECT_TRUE(*Pred("1 = null or true"));
+  EXPECT_FALSE(*Pred("1 = null or false"));
+  EXPECT_TRUE(Eval("1 + null")->is_null());
+}
+
+TEST_F(ExprEvalTest, Functions) {
+  EXPECT_EQ(Eval("abs(-7)")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(Eval("abs(0 - 2.5)")->as_float(), 2.5);
+  EXPECT_EQ(Eval("length('hello')")->as_int(), 5);
+  EXPECT_EQ(Eval("upper(emp.name)")->as_string(), "BOB");
+  EXPECT_EQ(Eval("lower('ABC')")->as_string(), "abc");
+  EXPECT_EQ(Eval("round(2.6)")->as_int(), 3);
+  EXPECT_EQ(Eval("mod(10, 3)")->as_int(), 1);
+  EXPECT_FALSE(Eval("mod(1, 0)").ok());
+  EXPECT_FALSE(Eval("nosuchfn(1)").ok());
+  EXPECT_FALSE(Eval("abs(1, 2)").ok());
+}
+
+TEST_F(ExprEvalTest, NullConditionIsTrue) {
+  auto r = EvalPredicate(nullptr, bindings_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(ExprEvalTest, PlaceholderCannotBeEvaluated) {
+  EXPECT_FALSE(EvalExpr(MakePlaceholder(1), bindings_).ok());
+}
+
+TEST(ExprStructureTest, ToStringCanonical) {
+  ExprPtr e = Parse("emp.salary > 80000 and emp.dept = 3");
+  EXPECT_EQ(ExprToString(e),
+            "((emp.salary > 80000) and (emp.dept = 3))");
+}
+
+TEST(ExprStructureTest, EqualsAndHash) {
+  ExprPtr a = Parse("x.a > 5 and x.b = 'q'");
+  ExprPtr b = Parse("x.a > 5 and x.b = 'q'");
+  ExprPtr c = Parse("x.a > 6 and x.b = 'q'");
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_EQ(ExprHash(a), ExprHash(b));
+  EXPECT_FALSE(ExprEquals(a, c));
+  EXPECT_NE(ExprHash(a), ExprHash(c));
+}
+
+TEST(ExprStructureTest, ReferencedTupleVars) {
+  ExprPtr e = Parse("a.x = b.y and a.z > 3 and c.w < 2");
+  auto vars = ReferencedTupleVars(e);
+  EXPECT_EQ(vars, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprStructureTest, ContainsConstant) {
+  EXPECT_TRUE(ContainsConstant(Parse("a.x = 5")));
+  EXPECT_FALSE(ContainsConstant(Parse("a.x = b.y")));
+}
+
+TEST(ExprStructureTest, ComparisonHelpers) {
+  EXPECT_EQ(FlipComparison(BinOp::kLt), BinOp::kGt);
+  EXPECT_EQ(FlipComparison(BinOp::kEq), BinOp::kEq);
+  EXPECT_EQ(NegateComparison(BinOp::kLe), BinOp::kGt);
+  EXPECT_EQ(NegateComparison(BinOp::kEq), BinOp::kNe);
+  EXPECT_TRUE(IsComparison(BinOp::kGe));
+  EXPECT_FALSE(IsComparison(BinOp::kAdd));
+}
+
+TEST(RewriteTest, QualifyColumnRefs) {
+  ExprPtr e = Parse("salary > 100 and name = 'x'");
+  auto resolver = [](const std::string& attr) -> Result<std::string> {
+    if (attr == "salary" || attr == "name") return std::string("emp");
+    return Status::NotFound("no attr " + attr);
+  };
+  auto q = QualifyColumnRefs(e, resolver, nullptr);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExprToString(*q),
+            "((emp.salary > 100) and (emp.name = 'x'))");
+}
+
+TEST(RewriteTest, QualifyFailsOnUnknownAttr) {
+  ExprPtr e = Parse("wat > 1");
+  auto resolver = [](const std::string&) -> Result<std::string> {
+    return Status::NotFound("nope");
+  };
+  EXPECT_FALSE(QualifyColumnRefs(e, resolver, nullptr).ok());
+}
+
+TEST(RewriteTest, BindPlaceholders) {
+  // (t.a > CONSTANT_1) and (t.b = CONSTANT_2)
+  ExprPtr e = MakeBinary(
+      BinOp::kAnd,
+      MakeBinary(BinOp::kGt, MakeColumnRef("t", "a"), MakePlaceholder(1)),
+      MakeBinary(BinOp::kEq, MakeColumnRef("t", "b"), MakePlaceholder(2)));
+  auto bound = BindPlaceholders(e, {Value::Int(10), Value::String("x")});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(ExprToString(*bound), "((t.a > 10) and (t.b = 'x'))");
+  EXPECT_FALSE(BindPlaceholders(e, {Value::Int(10)}).ok());  // missing const
+}
+
+TEST(BindingsTest, AmbiguousUnqualifiedAttr) {
+  Schema s1({{"x", DataType::kInt}});
+  Schema s2({{"x", DataType::kInt}});
+  Tuple t1({Value::Int(1)}), t2({Value::Int(2)});
+  Bindings b;
+  b.Bind("a", &s1, &t1);
+  b.Bind("b", &s2, &t2);
+  EXPECT_FALSE(b.Lookup("", "x").ok());
+  EXPECT_EQ(b.Lookup("a", "x")->as_int(), 1);
+  EXPECT_EQ(b.Lookup("b", "x")->as_int(), 2);
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,131 @@
+// Failure-path tests: injected disk faults must surface as clean IoError
+// statuses at every layer (the library is exception-free; nothing may
+// crash, corrupt counters, or wedge after a fault clears).
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/sql.h"
+#include "storage/bptree.h"
+#include "storage/heap_table.h"
+#include "storage/table_queue.h"
+
+namespace tman {
+namespace {
+
+TEST(FaultInjectionTest, DiskFailsAfterCountdown) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  Page page;
+  disk.InjectFaultAfter(1);
+  EXPECT_TRUE(disk.ReadPage(p, &page).ok());   // 1 access allowed
+  EXPECT_FALSE(disk.ReadPage(p, &page).ok());  // then trips
+  EXPECT_FALSE(disk.WritePage(p, page).ok());
+  disk.ClearFaults();
+  EXPECT_TRUE(disk.ReadPage(p, &page).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolSurfacesReadFault) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageGuard g;
+  ASSERT_TRUE(pool.NewPage(&g).ok());
+  PageId id = g.page_id();
+  g.Release();
+  // Evict it by filling the pool.
+  PageGuard g2, g3;
+  ASSERT_TRUE(pool.NewPage(&g2).ok());
+  ASSERT_TRUE(pool.NewPage(&g3).ok());
+  g2.Release();
+  g3.Release();
+  disk.InjectFaultAfter(0);
+  PageGuard back;
+  Status s = pool.FetchPage(id, &back);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  disk.ClearFaults();
+  EXPECT_TRUE(pool.FetchPage(id, &back).ok());  // recovers
+}
+
+TEST(FaultInjectionTest, HeapTablePropagatesFault) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  auto first = HeapTable::Create(&pool);
+  ASSERT_TRUE(first.ok());
+  HeapTable table(&pool, *first);
+  // Fill several pages so operations need real I/O.
+  std::string record(1000, 'x');
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.Insert(record).ok());
+  }
+  disk.InjectFaultAfter(0);
+  EXPECT_FALSE(table.Insert(record).ok());
+  EXPECT_FALSE(table.Scan([](const Rid&, std::string_view) {
+                     return true;
+                   }).ok());
+  disk.ClearFaults();
+  EXPECT_TRUE(table.Insert(record).ok());
+}
+
+TEST(FaultInjectionTest, BPTreePropagatesFault) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  auto meta = BPTree::Create(&pool);
+  ASSERT_TRUE(meta.ok());
+  BPTree tree(&pool, *meta);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert({Value::Int(i)}, Rid{0, 0}).ok());
+  }
+  disk.InjectFaultAfter(0);
+  auto r = tree.SearchEqual({Value::Int(500)});
+  EXPECT_FALSE(r.ok());
+  disk.ClearFaults();
+  EXPECT_TRUE(tree.SearchEqual({Value::Int(500)}).ok());
+}
+
+TEST(FaultInjectionTest, TableQueueFailsCleanly) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  auto meta = TableQueue::Create(&pool);
+  ASSERT_TRUE(meta.ok());
+  TableQueue queue(&pool, *meta);
+  std::string record(1500, 'q');
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.Enqueue(record).ok());
+  }
+  disk.InjectFaultAfter(0);
+  EXPECT_FALSE(queue.Enqueue(record).ok());
+  disk.ClearFaults();
+  // Queue contents survive the failed attempt.
+  EXPECT_EQ(*queue.Size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(queue.Dequeue().ok()) << i;
+  }
+}
+
+TEST(FaultInjectionTest, SqlStatementsReportIoErrors) {
+  DatabaseOptions opts;
+  opts.buffer_pool_frames = 2;  // everything goes through the disk
+  Database db(opts);
+  ASSERT_TRUE(ExecuteSql(&db, "create table t (a int, b varchar)").ok());
+  // Wide rows: the table spans many pages, so a 2-frame pool must hit the
+  // disk during the scan.
+  std::string payload(500, 'w');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ExecuteSql(&db, "insert into t values (" +
+                                    std::to_string(i) + ", '" + payload +
+                                    "')")
+                    .ok());
+  }
+  db.disk()->InjectFaultAfter(0);
+  auto r = ExecuteSql(&db, "select * from t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  db.disk()->ClearFaults();
+  auto again = ExecuteSql(&db, "select * from t");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows.size(), 50u);
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "network/atreat.h"
+#include "network/gator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+
+namespace tman {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+// Orders(oid, cust) ⋈ Shipments(oid, status) ⋈ Invoices(oid, total)
+struct JoinFixture {
+  std::vector<TupleVarInfo> vars = {
+      {"o", "orders", 11, OpCode::kInsertOrUpdate},
+      {"s", "shipments", 12, OpCode::kInsertOrUpdate},
+      {"i", "invoices", 13, OpCode::kInsertOrUpdate},
+  };
+  std::vector<Schema> schemas = {
+      Schema({{"oid", DataType::kInt}, {"cust", DataType::kInt}}),
+      Schema({{"oid", DataType::kInt}, {"status", DataType::kVarchar}}),
+      Schema({{"oid", DataType::kInt}, {"total", DataType::kFloat}}),
+  };
+
+  Result<ConditionGraph> Graph(const std::string& extra = "") {
+    std::string cond = "o.oid = s.oid and s.oid = i.oid";
+    if (!extra.empty()) cond += " and " + extra;
+    auto cnf = ToCnf(Parse(cond));
+    if (!cnf.ok()) return cnf.status();
+    return ConditionGraph::Build(vars, *cnf);
+  }
+};
+
+TEST(GatorTest, IncrementalJoinFires) {
+  JoinFixture fx;
+  auto graph = fx.Graph();
+  ASSERT_TRUE(graph.ok());
+  auto net = GatorNetwork::Build(*graph, fx.schemas);
+  ASSERT_TRUE(net.ok());
+
+  int firings = 0;
+  auto count = [&firings](const std::vector<Tuple>&) { ++firings; };
+
+  Tuple order({Value::Int(1), Value::Int(42)});
+  Tuple shipment({Value::Int(1), Value::String("shipped")});
+  Tuple invoice({Value::Int(1), Value::Float(99)});
+
+  ASSERT_TRUE((*net)->AddTuple(0, order, count).ok());
+  EXPECT_EQ(firings, 0);
+  ASSERT_TRUE((*net)->AddTuple(1, shipment, count).ok());
+  EXPECT_EQ(firings, 0);
+  ASSERT_TRUE((*net)->AddTuple(2, invoice, count).ok());
+  EXPECT_EQ(firings, 1);  // the chain completed
+
+  // Beta memories materialized the prefix joins.
+  EXPECT_EQ((*net)->beta_size(1), 1u);  // o ⋈ s
+  EXPECT_EQ((*net)->beta_size(2), 1u);  // complete
+  EXPECT_EQ((*net)->total_beta_rows(), 2u);
+
+  // A second shipment for the same order joins the existing prefix and
+  // the existing invoice: fires immediately.
+  ASSERT_TRUE((*net)
+                  ->AddTuple(1, Tuple({Value::Int(1), Value::String("dup")}),
+                             count)
+                  .ok());
+  EXPECT_EQ(firings, 2);
+}
+
+TEST(GatorTest, RemoveDropsMaterializedRows) {
+  JoinFixture fx;
+  auto graph = fx.Graph();
+  ASSERT_TRUE(graph.ok());
+  auto net = GatorNetwork::Build(*graph, fx.schemas);
+  ASSERT_TRUE(net.ok());
+  auto ignore = [](const std::vector<Tuple>&) {};
+
+  Tuple order({Value::Int(1), Value::Int(42)});
+  Tuple shipment({Value::Int(1), Value::String("x")});
+  Tuple invoice({Value::Int(1), Value::Float(9)});
+  ASSERT_TRUE((*net)->AddTuple(0, order, ignore).ok());
+  ASSERT_TRUE((*net)->AddTuple(1, shipment, ignore).ok());
+  ASSERT_TRUE((*net)->AddTuple(2, invoice, ignore).ok());
+  EXPECT_EQ((*net)->total_beta_rows(), 2u);
+
+  ASSERT_TRUE((*net)->RemoveTuple(0, order).ok());
+  EXPECT_EQ((*net)->total_beta_rows(), 0u);
+  EXPECT_EQ((*net)->alpha_size(0), 0u);
+
+  // Re-adding the order re-fires through the still-present suffix.
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->AddTuple(0, order,
+                             [&firings](const std::vector<Tuple>&) {
+                               ++firings;
+                             })
+                  .ok());
+  EXPECT_EQ(firings, 1);
+}
+
+TEST(GatorTest, DuplicateTuplesKeepCounts) {
+  JoinFixture fx;
+  auto graph = fx.Graph();
+  ASSERT_TRUE(graph.ok());
+  auto net = GatorNetwork::Build(*graph, fx.schemas);
+  ASSERT_TRUE(net.ok());
+  auto ignore = [](const std::vector<Tuple>&) {};
+
+  Tuple order({Value::Int(1), Value::Int(42)});
+  ASSERT_TRUE((*net)->AddTuple(0, order, ignore).ok());
+  ASSERT_TRUE((*net)->AddTuple(0, order, ignore).ok());  // duplicate
+  ASSERT_TRUE(
+      (*net)->AddTuple(1, Tuple({Value::Int(1), Value::String("s")}), ignore)
+          .ok());
+  EXPECT_EQ((*net)->beta_size(1), 2u);  // one row per duplicate
+  ASSERT_TRUE((*net)->RemoveTuple(0, order).ok());
+  EXPECT_EQ((*net)->beta_size(1), 1u);  // one instance's rows survive
+  ASSERT_TRUE((*net)->RemoveTuple(0, order).ok());
+  EXPECT_EQ((*net)->beta_size(1), 0u);
+}
+
+TEST(GatorTest, CatchAllFiltersFirings) {
+  JoinFixture fx;
+  auto graph = fx.Graph("o.cust + s.oid > i.total");  // hyper-join conjunct
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->catch_all().size(), 1u);
+  auto net = GatorNetwork::Build(*graph, fx.schemas);
+  ASSERT_TRUE(net.ok());
+  int firings = 0;
+  auto count = [&firings](const std::vector<Tuple>&) { ++firings; };
+  ASSERT_TRUE(
+      (*net)->AddTuple(0, Tuple({Value::Int(1), Value::Int(42)}), count)
+          .ok());
+  ASSERT_TRUE(
+      (*net)
+          ->AddTuple(1, Tuple({Value::Int(1), Value::String("s")}), count)
+          .ok());
+  // 42 + 1 > 100 fails: no firing.
+  ASSERT_TRUE(
+      (*net)->AddTuple(2, Tuple({Value::Int(1), Value::Float(100)}), count)
+          .ok());
+  EXPECT_EQ(firings, 0);
+  // 42 + 1 > 10 holds.
+  ASSERT_TRUE(
+      (*net)->AddTuple(2, Tuple({Value::Int(1), Value::Float(10)}), count)
+          .ok());
+  EXPECT_EQ(firings, 1);
+}
+
+// The decisive property: Gator fires exactly the same matches as an
+// A-TREAT network with stored memories, on a random token stream.
+TEST(GatorTest, EquivalentToATreatOnRandomStream) {
+  JoinFixture fx;
+  auto graph = fx.Graph();
+  ASSERT_TRUE(graph.ok());
+  auto gator = GatorNetwork::Build(*graph, fx.schemas);
+  ASSERT_TRUE(gator.ok());
+  ATreatOptions opts;
+  opts.prefer_virtual = false;  // stored memories (stream sources)
+  auto atreat = ATreatNetwork::Build(*graph, nullptr, opts, fx.schemas);
+  ASSERT_TRUE(atreat.ok());
+
+  auto encode = [](const std::vector<Tuple>& bindings) {
+    std::string out;
+    for (const Tuple& t : bindings) t.Serialize(&out);
+    return out;
+  };
+
+  Random rng(404);
+  std::vector<std::vector<Tuple>> live(3);
+  // Keep the join sparse (join keys ≫ tuples per variable) so beta
+  // materialization stays small; density is the bench's job, not the
+  // equivalence test's.
+  for (int step = 0; step < 600; ++step) {
+    size_t var = rng.Uniform(3);
+    bool add = live[var].empty() || rng.Bernoulli(0.6);
+    if (add) {
+      int64_t oid = rng.UniformRange(0, 40);
+      Tuple t;
+      if (var == 0) {
+        t = Tuple({Value::Int(oid), Value::Int(rng.UniformRange(0, 3))});
+      } else if (var == 1) {
+        t = Tuple({Value::Int(oid),
+                   Value::String("s" + std::to_string(rng.Uniform(2)))});
+      } else {
+        t = Tuple({Value::Int(oid),
+                   Value::Float(static_cast<double>(rng.Uniform(50)))});
+      }
+      live[var].push_back(t);
+      // A-TREAT order: maintain memory, then match joins for the firing.
+      std::multiset<std::string> atreat_firings;
+      ASSERT_TRUE((*atreat)
+                      ->AddTuple(static_cast<NetworkNodeId>(var), t)
+                      .ok());
+      ASSERT_TRUE((*atreat)
+                      ->MatchJoins(static_cast<NetworkNodeId>(var), t,
+                                   [&](const std::vector<Tuple>& b) {
+                                     atreat_firings.insert(encode(b));
+                                   })
+                      .ok());
+      std::multiset<std::string> gator_firings;
+      ASSERT_TRUE((*gator)
+                      ->AddTuple(static_cast<NetworkNodeId>(var), t,
+                                 [&](const std::vector<Tuple>& b) {
+                                   gator_firings.insert(encode(b));
+                                 })
+                      .ok());
+      ASSERT_EQ(gator_firings, atreat_firings) << "step " << step;
+    } else {
+      size_t pick = rng.Uniform(live[var].size());
+      Tuple t = live[var][pick];
+      live[var].erase(live[var].begin() + static_cast<long>(pick));
+      ASSERT_TRUE(
+          (*atreat)->RemoveTuple(static_cast<NetworkNodeId>(var), t).ok());
+      ASSERT_TRUE(
+          (*gator)->RemoveTuple(static_cast<NetworkNodeId>(var), t).ok());
+    }
+  }
+  // Memories agree at the end.
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ((*gator)->alpha_size(static_cast<NetworkNodeId>(v)),
+              live[v].size());
+  }
+}
+
+TEST(GatorTest, SingleVariableChain) {
+  std::vector<TupleVarInfo> vars = {{"x", "xs", 1, OpCode::kInsert}};
+  auto graph = ConditionGraph::Build(vars, {});
+  ASSERT_TRUE(graph.ok());
+  auto net = GatorNetwork::Build(
+      *graph, {Schema({{"a", DataType::kInt}})});
+  ASSERT_TRUE(net.ok());
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->AddTuple(0, Tuple({Value::Int(1)}),
+                             [&firings](const std::vector<Tuple>&) {
+                               ++firings;
+                             })
+                  .ok());
+  EXPECT_EQ(firings, 1);
+}
+
+TEST(GatorTest, SchemaMismatchRejected) {
+  JoinFixture fx;
+  auto graph = fx.Graph();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(GatorNetwork::Build(*graph, {fx.schemas[0]}).ok());
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "predindex/interval_index.h"
+#include "util/random.h"
+
+namespace tman {
+namespace {
+
+IntervalIndex::Interval Iv(uint64_t id, std::optional<int64_t> lo,
+                           std::optional<int64_t> hi, bool lo_incl = true,
+                           bool hi_incl = true) {
+  IntervalIndex::Interval out;
+  out.id = id;
+  if (lo.has_value()) out.lo = Value::Int(*lo);
+  if (hi.has_value()) out.hi = Value::Int(*hi);
+  out.lo_inclusive = lo_incl;
+  out.hi_inclusive = hi_incl;
+  return out;
+}
+
+std::set<uint64_t> Stab(const IntervalIndex& idx, int64_t v) {
+  std::set<uint64_t> out;
+  idx.Stab(Value::Int(v), [&out](const IntervalIndex::Interval& iv) {
+    out.insert(iv.id);
+  });
+  return out;
+}
+
+TEST(IntervalContainsTest, InclusiveExclusiveBounds) {
+  EXPECT_TRUE(Iv(1, 10, 20).Contains(Value::Int(10)));
+  EXPECT_TRUE(Iv(1, 10, 20).Contains(Value::Int(20)));
+  EXPECT_FALSE(Iv(1, 10, 20, false, true).Contains(Value::Int(10)));
+  EXPECT_FALSE(Iv(1, 10, 20, true, false).Contains(Value::Int(20)));
+  EXPECT_FALSE(Iv(1, 10, 20).Contains(Value::Int(9)));
+  EXPECT_FALSE(Iv(1, 10, 20).Contains(Value::Int(21)));
+}
+
+TEST(IntervalContainsTest, HalfOpenSides) {
+  EXPECT_TRUE(Iv(1, std::nullopt, 5).Contains(Value::Int(-1000)));
+  EXPECT_FALSE(Iv(1, std::nullopt, 5).Contains(Value::Int(6)));
+  EXPECT_TRUE(Iv(1, 5, std::nullopt).Contains(Value::Int(1000)));
+  EXPECT_TRUE(Iv(1, std::nullopt, std::nullopt).Contains(Value::Int(0)));
+}
+
+TEST(IntervalIndexTest, BasicStab) {
+  IntervalIndex idx;
+  idx.Insert(Iv(1, 0, 10));
+  idx.Insert(Iv(2, 5, 15));
+  idx.Insert(Iv(3, 12, 20));
+  EXPECT_EQ(Stab(idx, 7), (std::set<uint64_t>{1, 2}));
+  EXPECT_EQ(Stab(idx, 13), (std::set<uint64_t>{2, 3}));
+  EXPECT_EQ(Stab(idx, 25), (std::set<uint64_t>{}));
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(IntervalIndexTest, RemoveHidesInterval) {
+  IntervalIndex idx;
+  idx.Insert(Iv(1, 0, 10));
+  idx.Insert(Iv(2, 0, 10));
+  EXPECT_TRUE(idx.Remove(1));
+  EXPECT_EQ(Stab(idx, 5), (std::set<uint64_t>{2}));
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_FALSE(idx.Remove(1));   // already gone
+  EXPECT_FALSE(idx.Remove(99));  // never existed
+}
+
+TEST(IntervalIndexTest, RebuildPreservesContents) {
+  IntervalIndex idx;
+  // Enough inserts to force several rebuilds (overflow merges).
+  for (uint64_t i = 0; i < 500; ++i) {
+    idx.Insert(Iv(i, static_cast<int64_t>(i), static_cast<int64_t>(i + 10)));
+  }
+  EXPECT_EQ(idx.size(), 500u);
+  auto hits = Stab(idx, 250);
+  // Intervals [241..250, 251..260] contain 250: ids 240..250.
+  std::set<uint64_t> want;
+  for (uint64_t i = 240; i <= 250; ++i) want.insert(i);
+  EXPECT_EQ(hits, want);
+}
+
+TEST(IntervalIndexTest, StringDomain) {
+  IntervalIndex idx;
+  IntervalIndex::Interval iv;
+  iv.id = 1;
+  iv.lo = Value::String("apple");
+  iv.hi = Value::String("mango");
+  idx.Insert(iv);
+  std::set<uint64_t> out;
+  idx.Stab(Value::String("banana"),
+           [&out](const IntervalIndex::Interval& i) { out.insert(i.id); });
+  EXPECT_EQ(out, (std::set<uint64_t>{1}));
+  out.clear();
+  idx.Stab(Value::String("zebra"),
+           [&out](const IntervalIndex::Interval& i) { out.insert(i.id); });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, RandomizedAgainstBruteForce) {
+  Random rng(31337);
+  IntervalIndex idx;
+  std::vector<IntervalIndex::Interval> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.5 || live.empty()) {
+      int64_t lo = rng.UniformRange(-100, 100);
+      int64_t hi = lo + rng.UniformRange(0, 50);
+      auto iv = Iv(next_id++, lo, hi, rng.Bernoulli(0.5), rng.Bernoulli(0.5));
+      if (rng.Bernoulli(0.05)) iv.lo.reset();
+      if (rng.Bernoulli(0.05)) iv.hi.reset();
+      idx.Insert(iv);
+      live.push_back(iv);
+    } else if (roll < 0.65) {
+      size_t pick = rng.Uniform(live.size());
+      EXPECT_TRUE(idx.Remove(live[pick].id));
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      int64_t v = rng.UniformRange(-120, 170);
+      std::set<uint64_t> want;
+      for (const auto& iv : live) {
+        if (iv.Contains(Value::Int(v))) want.insert(iv.id);
+      }
+      EXPECT_EQ(Stab(idx, v), want) << "stab at " << v;
+    }
+  }
+  EXPECT_EQ(idx.size(), live.size());
+}
+
+}  // namespace
+}  // namespace tman

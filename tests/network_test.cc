@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/atreat.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(AlphaMemoryTest, InsertRemoveForEach) {
+  AlphaMemory mem;
+  Tuple a({Value::Int(1), Value::String("a")});
+  Tuple b({Value::Int(2), Value::String("b")});
+  mem.Insert(a);
+  mem.Insert(b);
+  EXPECT_EQ(mem.size(), 2u);
+  EXPECT_TRUE(mem.Remove(a));
+  EXPECT_FALSE(mem.Remove(a));
+  EXPECT_EQ(mem.size(), 1u);
+  int count = 0;
+  mem.ForEach([&](const Tuple& t) {
+    EXPECT_EQ(t, b);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(AlphaMemoryTest, DuplicateTuplesCounted) {
+  AlphaMemory mem;
+  Tuple a({Value::Int(1)});
+  mem.Insert(a);
+  mem.Insert(a);
+  EXPECT_EQ(mem.size(), 2u);
+  EXPECT_TRUE(mem.Remove(a));
+  EXPECT_EQ(mem.size(), 1u);
+  EXPECT_TRUE(mem.Remove(a));
+  EXPECT_EQ(mem.size(), 0u);
+}
+
+TEST(AlphaMemoryTest, ProbeEqualUsesIndex) {
+  AlphaMemory mem;
+  for (int64_t i = 0; i < 100; ++i) {
+    mem.Insert(Tuple({Value::Int(i % 10), Value::Int(i)}));
+  }
+  std::set<int64_t> seen;
+  mem.ProbeEqual(0, Value::Int(3), [&](const Tuple& t) {
+    seen.insert(t.at(1).as_int());
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  for (int64_t v : seen) EXPECT_EQ(v % 10, 3);
+  // Index stays correct after removals.
+  EXPECT_TRUE(mem.Remove(Tuple({Value::Int(3), Value::Int(3)})));
+  seen.clear();
+  mem.ProbeEqual(0, Value::Int(3), [&](const Tuple& t) {
+    seen.insert(t.at(1).as_int());
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+// --- A-TREAT network ---------------------------------------------------------
+
+class ATreatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    // Real-estate schema from the paper §2.
+    ASSERT_TRUE(db_->CreateTable("salesperson",
+                                 Schema({{"spno", DataType::kInt},
+                                         {"name", DataType::kVarchar},
+                                         {"phone", DataType::kVarchar}}))
+                    .ok());
+    ASSERT_TRUE(db_->CreateTable("house",
+                                 Schema({{"hno", DataType::kInt},
+                                         {"address", DataType::kVarchar},
+                                         {"price", DataType::kFloat},
+                                         {"nno", DataType::kInt},
+                                         {"spno", DataType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_->CreateTable("represents",
+                                 Schema({{"spno", DataType::kInt},
+                                         {"nno", DataType::kInt}}))
+                    .ok());
+    // Iris (spno 1) represents neighborhoods 10 and 11; Sam (2) reps 12.
+    Insert("salesperson", {Value::Int(1), Value::String("Iris"),
+                           Value::String("555")});
+    Insert("salesperson", {Value::Int(2), Value::String("Sam"),
+                           Value::String("556")});
+    Insert("represents", {Value::Int(1), Value::Int(10)});
+    Insert("represents", {Value::Int(1), Value::Int(11)});
+    Insert("represents", {Value::Int(2), Value::Int(12)});
+  }
+
+  void Insert(const std::string& table, std::vector<Value> values) {
+    ASSERT_TRUE(db_->Insert(table, Tuple(std::move(values))).ok());
+  }
+
+  Result<ConditionGraph> IrisGraph() {
+    std::vector<TupleVarInfo> vars = {
+        {"s", "salesperson", 1, OpCode::kInsertOrUpdate},
+        {"h", "house", 2, OpCode::kInsert},
+        {"r", "represents", 3, OpCode::kInsertOrUpdate},
+    };
+    auto cnf =
+        ToCnf(Parse("s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno"));
+    if (!cnf.ok()) return cnf.status();
+    return ConditionGraph::Build(vars, *cnf);
+  }
+
+  Tuple House(int64_t hno, const std::string& addr, double price,
+              int64_t nno, int64_t spno) {
+    return Tuple({Value::Int(hno), Value::String(addr), Value::Float(price),
+                  Value::Int(nno), Value::Int(spno)});
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ATreatTest, VirtualNodesForLocalTables) {
+  auto graph = IrisGraph();
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+  // All three sources are local tables -> virtual alpha nodes (A-TREAT).
+  EXPECT_FALSE((*net)->node_stored(0));
+  EXPECT_FALSE((*net)->node_stored(1));
+  EXPECT_FALSE((*net)->node_stored(2));
+}
+
+TEST_F(ATreatTest, JoinFiresForMatchingHouse) {
+  auto graph = IrisGraph();
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+
+  // New house in neighborhood 10 (Iris's): token arrives at node h (1).
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(100, "12 Oak St", 250000, 10, 2),
+                               [&](const std::vector<Tuple>& bindings) {
+                                 ++firings;
+                                 ASSERT_EQ(bindings.size(), 3u);
+                                 EXPECT_EQ(bindings[0].at(1).as_string(),
+                                           "Iris");
+                                 EXPECT_EQ(bindings[1].at(0).as_int(), 100);
+                                 EXPECT_EQ(bindings[2].at(1).as_int(), 10);
+                               })
+                  .ok());
+  EXPECT_EQ(firings, 1);
+
+  // House in neighborhood 12 (Sam's): selection s.name='Iris' fails.
+  firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(101, "9 Elm", 100000, 12, 2),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 0);
+
+  // Unknown neighborhood: join on represents fails.
+  firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(102, "1 Pine", 50000, 99, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 0);
+}
+
+TEST_F(ATreatTest, MultipleJoinCombinations) {
+  // Iris represents two neighborhoods; a token arriving at s joins with
+  // every (r, h) pair that matches.
+  Insert("house", {Value::Int(1), Value::String("a"), Value::Float(1),
+                   Value::Int(10), Value::Int(1)});
+  Insert("house", {Value::Int(2), Value::String("b"), Value::Float(2),
+                   Value::Int(11), Value::Int(1)});
+  Insert("house", {Value::Int(3), Value::String("c"), Value::Float(3),
+                   Value::Int(12), Value::Int(2)});
+  auto graph = IrisGraph();
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(0,
+                               Tuple({Value::Int(1), Value::String("Iris"),
+                                      Value::String("555")}),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 2);  // houses 1 and 2, not Sam's house 3
+}
+
+TEST_F(ATreatTest, StoredMemoriesWhenForced) {
+  ATreatOptions opts;
+  opts.prefer_virtual = false;
+  auto graph = IrisGraph();
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), opts);
+  ASSERT_TRUE(net.ok());
+  EXPECT_TRUE((*net)->node_stored(0));
+  // Priming fills stored memories from the base tables with selection
+  // applied: only Iris qualifies at node s.
+  ASSERT_TRUE((*net)->Prime().ok());
+  EXPECT_EQ((*net)->memory_size(0), 1u);
+  EXPECT_EQ((*net)->memory_size(2), 3u);  // all represents rows
+
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(100, "x", 1, 10, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 1);
+
+  // Memory maintenance: drop the represents row for nno 10 and refire.
+  ASSERT_TRUE(
+      (*net)->RemoveTuple(2, Tuple({Value::Int(1), Value::Int(10)})).ok());
+  firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(100, "x", 1, 10, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 0);
+}
+
+TEST_F(ATreatTest, SingleVariableTriggerFiresDirectly) {
+  std::vector<TupleVarInfo> vars = {
+      {"h", "house", 2, OpCode::kInsert},
+  };
+  auto cnf = ToCnf(Parse("h.price < 100000"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(vars, *cnf);
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(0, House(7, "x", 50000, 1, 1),
+                               [&](const std::vector<Tuple>& b) {
+                                 ++firings;
+                                 EXPECT_EQ(b.size(), 1u);
+                               })
+                  .ok());
+  EXPECT_EQ(firings, 1);
+}
+
+TEST_F(ATreatTest, CatchAllConjunctFiltersFirings) {
+  std::vector<TupleVarInfo> vars = {
+      {"s", "salesperson", 1, OpCode::kInsertOrUpdate},
+      {"h", "house", 2, OpCode::kInsert},
+      {"r", "represents", 3, OpCode::kInsertOrUpdate},
+  };
+  // Hyper-join conjunct (3 vars) lands on the catch-all list.
+  auto cnf = ToCnf(Parse(
+      "s.spno = r.spno and r.nno = h.nno and s.spno + r.nno > h.hno"));
+  ASSERT_TRUE(cnf.ok());
+  auto graph = ConditionGraph::Build(vars, *cnf);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->catch_all().size(), 1u);
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+  // House 100 in nno 10: s.spno(1) + r.nno(10) = 11 > hno must hold.
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(5, "x", 1, 10, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 1);  // 11 > 5
+  firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(1, House(50, "x", 1, 10, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 0);  // 11 > 50 fails
+}
+
+TEST_F(ATreatTest, DisconnectedVariableMakesCartesianProduct) {
+  std::vector<TupleVarInfo> vars = {
+      {"h", "house", 2, OpCode::kInsert},
+      {"s", "salesperson", 1, OpCode::kInsertOrUpdate},
+  };
+  auto graph = ConditionGraph::Build(vars, {});  // no condition at all
+  ASSERT_TRUE(graph.ok());
+  auto net = ATreatNetwork::Build(*graph, db_.get(), ATreatOptions{});
+  ASSERT_TRUE(net.ok());
+  int firings = 0;
+  ASSERT_TRUE((*net)
+                  ->MatchJoins(0, House(1, "x", 1, 1, 1),
+                               [&](const std::vector<Tuple>&) { ++firings; })
+                  .ok());
+  EXPECT_EQ(firings, 2);  // two salespersons
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  Lexer lex("create 42 3.14 'str' ( ) , . ; = <> != < <= > >= + - * / :");
+  ASSERT_TRUE(lex.init_status().ok());
+  std::vector<TokenKind> kinds;
+  while (!lex.AtEnd()) {
+    kinds.push_back(lex.Peek().kind);
+    ASSERT_TRUE(lex.Next().ok());
+  }
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kIntLiteral,
+                TokenKind::kFloatLiteral, TokenKind::kStringLiteral,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kDot, TokenKind::kSemicolon, TokenKind::kEq,
+                TokenKind::kNe, TokenKind::kNe, TokenKind::kLt,
+                TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kColon}));
+}
+
+TEST(LexerTest, StringEscaping) {
+  Lexer lex("'it''s'");
+  EXPECT_EQ(lex.Peek().text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  Lexer lex("'oops");
+  EXPECT_FALSE(lex.init_status().ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  Lexer lex("a -- comment here\n b");
+  EXPECT_EQ(lex.Peek().text, "a");
+  ASSERT_TRUE(lex.Next().ok());
+  EXPECT_EQ(lex.Peek().text, "b");
+}
+
+TEST(LexerTest, NumbersAndExponents) {
+  Lexer lex("10 2.5 1e3 7.5e-2");
+  EXPECT_EQ(lex.Peek().int_value, 10);
+  ASSERT_TRUE(lex.Next().ok());
+  EXPECT_DOUBLE_EQ(lex.Peek().float_value, 2.5);
+  ASSERT_TRUE(lex.Next().ok());
+  EXPECT_DOUBLE_EQ(lex.Peek().float_value, 1000.0);
+  ASSERT_TRUE(lex.Next().ok());
+  EXPECT_DOUBLE_EQ(lex.Peek().float_value, 0.075);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  Lexer lex("CREATE Trigger");
+  EXPECT_TRUE(lex.Peek().IsKeyword("create"));
+  ASSERT_TRUE(lex.Next().ok());
+  EXPECT_TRUE(lex.Peek().IsKeyword("TRIGGER"));
+}
+
+// --- command parsing -------------------------------------------------------
+
+CreateTriggerCmd ParseCreate(const std::string& text) {
+  auto cmd = ParseCommand(text);
+  EXPECT_TRUE(cmd.ok()) << cmd.status().ToString();
+  auto* create = std::get_if<CreateTriggerCmd>(&*cmd);
+  EXPECT_NE(create, nullptr);
+  return *create;
+}
+
+TEST(ParserTest, PaperExampleUpdateFred) {
+  auto cmd = ParseCreate(
+      "create trigger updateFred from emp on update(emp.salary) "
+      "when emp.name = 'Bob' "
+      "do execSQL 'update emp set salary=:NEW.emp.salary where "
+      "emp.name=''Fred'''");
+  EXPECT_EQ(cmd.name, "updateFred");
+  ASSERT_EQ(cmd.from.size(), 1u);
+  EXPECT_EQ(cmd.from[0].source, "emp");
+  EXPECT_EQ(cmd.from[0].var, "emp");
+  ASSERT_TRUE(cmd.on.has_value());
+  EXPECT_EQ(cmd.on->op, OpCode::kUpdate);
+  EXPECT_EQ(cmd.on->target, "emp");
+  ASSERT_EQ(cmd.on->columns.size(), 1u);
+  EXPECT_EQ(cmd.on->columns[0], "emp.salary");
+  ASSERT_NE(cmd.when, nullptr);
+  EXPECT_EQ(cmd.action.kind, ActionKind::kExecSql);
+  EXPECT_NE(cmd.action.sql.find(":NEW.emp.salary"), std::string::npos);
+  EXPECT_NE(cmd.action.sql.find("'Fred'"), std::string::npos);
+}
+
+TEST(ParserTest, PaperExampleIrisHouseAlert) {
+  auto cmd = ParseCreate(
+      "create trigger IrisHouseAlert on insert to house "
+      "from salesperson s, house h, represents r "
+      "when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno "
+      "do raise event NewHouseInIrisNeighborhood(h.hno, h.address)");
+  EXPECT_EQ(cmd.name, "IrisHouseAlert");
+  ASSERT_EQ(cmd.from.size(), 3u);
+  EXPECT_EQ(cmd.from[0].var, "s");
+  EXPECT_EQ(cmd.from[1].var, "h");
+  EXPECT_EQ(cmd.from[2].var, "r");
+  ASSERT_TRUE(cmd.on.has_value());
+  EXPECT_EQ(cmd.on->op, OpCode::kInsert);
+  EXPECT_EQ(cmd.on->target, "house");
+  EXPECT_EQ(cmd.action.kind, ActionKind::kRaiseEvent);
+  EXPECT_EQ(cmd.action.event_name, "NewHouseInIrisNeighborhood");
+  EXPECT_EQ(cmd.action.event_args.size(), 2u);
+}
+
+TEST(ParserTest, TriggerInSet) {
+  auto cmd = ParseCreate(
+      "create trigger t1 in monitoring from emp when salary > 1 "
+      "do raise event E()");
+  EXPECT_EQ(cmd.set_name, "monitoring");
+}
+
+TEST(ParserTest, GroupByHavingParsed) {
+  auto cmd = ParseCreate(
+      "create trigger t2 from sales group by region having count(x) > 10 "
+      "do raise event TooMany()");
+  EXPECT_EQ(cmd.group_by.size(), 1u);
+  EXPECT_NE(cmd.having, nullptr);
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_FALSE(ParseCommand("create trigger t do raise event E()").ok());
+}
+
+TEST(ParserTest, MissingDoRejected) {
+  EXPECT_FALSE(ParseCommand("create trigger t from emp").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(
+      ParseCommand("create trigger t from emp do raise event E() zzz").ok());
+}
+
+TEST(ParserTest, DropTrigger) {
+  auto cmd = ParseCommand("drop trigger updateFred");
+  ASSERT_TRUE(cmd.ok());
+  auto* drop = std::get_if<DropTriggerCmd>(&*cmd);
+  ASSERT_NE(drop, nullptr);
+  EXPECT_EQ(drop->name, "updateFred");
+}
+
+TEST(ParserTest, CreateTriggerSet) {
+  auto cmd = ParseCommand("create trigger set alerts 'web user alerts'");
+  ASSERT_TRUE(cmd.ok());
+  auto* set = std::get_if<CreateTriggerSetCmd>(&*cmd);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->name, "alerts");
+  EXPECT_EQ(set->comments, "web user alerts");
+}
+
+TEST(ParserTest, EnableDisable) {
+  auto cmd = ParseCommand("disable trigger set alerts");
+  ASSERT_TRUE(cmd.ok());
+  auto* en = std::get_if<EnableCmd>(&*cmd);
+  ASSERT_NE(en, nullptr);
+  EXPECT_FALSE(en->enable);
+  EXPECT_TRUE(en->is_set);
+  EXPECT_EQ(en->name, "alerts");
+
+  auto cmd2 = ParseCommand("enable trigger t1");
+  auto* en2 = std::get_if<EnableCmd>(&*cmd2);
+  ASSERT_NE(en2, nullptr);
+  EXPECT_TRUE(en2->enable);
+  EXPECT_FALSE(en2->is_set);
+}
+
+TEST(ParserTest, DefineDataSource) {
+  auto cmd = ParseCommand(
+      "define data source house (hno int, address varchar(64), price float, "
+      "nno int, spno int)");
+  ASSERT_TRUE(cmd.ok());
+  auto* def = std::get_if<DefineDataSourceCmd>(&*cmd);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "house");
+  ASSERT_EQ(def->schema.num_fields(), 5u);
+  EXPECT_EQ(def->schema.field(1).width, 64u);
+  EXPECT_EQ(def->schema.field(2).type, DataType::kFloat);
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto cmds = ParseScript(
+      "define data source s (a int); "
+      "create trigger t from s when a > 1 do raise event E(a);");
+  ASSERT_TRUE(cmds.ok());
+  EXPECT_EQ(cmds->size(), 2u);
+}
+
+TEST(ParserTest, UnknownCommandRejected) {
+  EXPECT_FALSE(ParseCommand("explode trigger t").ok());
+}
+
+TEST(ParserTest, EventSpecDeleteFrom) {
+  auto cmd = ParseCreate(
+      "create trigger t from emp on delete from emp do raise event Gone()");
+  ASSERT_TRUE(cmd.on.has_value());
+  EXPECT_EQ(cmd.on->op, OpCode::kDelete);
+  EXPECT_EQ(cmd.on->target, "emp");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = ParseExpressionString("a.x = 1 or a.y = 2 and a.z = 3");
+  ASSERT_TRUE(e.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ(ExprToString(*e),
+            "((a.x = 1) or ((a.y = 2) and (a.z = 3)))");
+}
+
+TEST(ParserTest, NegativeNumberFolded) {
+  auto e = ParseExpressionString("a.x > -5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ExprToString(*e), "(a.x > -5)");
+}
+
+TEST(ParserTest, FunctionCallsInExpressions) {
+  auto e = ParseExpressionString("abs(a.x - 3) < length('abc')");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ExprToString(*e), "(abs((a.x - 3)) < length('abc'))");
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = ParseCommand("create trigger t from emp when do x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tman

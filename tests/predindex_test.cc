@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parser/parser.h"
+#include "predindex/cost_model.h"
+#include "predindex/predicate_index.h"
+
+namespace tman {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"name", DataType::kVarchar},
+                 {"salary", DataType::kFloat},
+                 {"dept", DataType::kInt}});
+}
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+UpdateDescriptor EmpInsert(const std::string& name, double salary,
+                           int64_t dept, DataSourceId ds = 1) {
+  return UpdateDescriptor::Insert(
+      ds,
+      Tuple({Value::String(name), Value::Float(salary), Value::Int(dept)}));
+}
+
+class PredicateIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(OrgPolicy()); }
+
+  void Reset(OrgPolicy policy) {
+    db_ = std::make_unique<Database>();
+    index_ = std::make_unique<PredicateIndex>(db_.get(), policy);
+    ASSERT_TRUE(index_->RegisterDataSource(1, EmpSchema()).ok());
+  }
+
+  AddPredicateInfo Add(const std::string& predicate, TriggerId trigger,
+                       OpCode op = OpCode::kInsert,
+                       NetworkNodeId node = 0) {
+    PredicateSpec spec;
+    spec.data_source = 1;
+    spec.op = op;
+    spec.predicate = predicate.empty() ? nullptr : Parse(predicate);
+    spec.trigger_id = trigger;
+    spec.next_node = node;
+    auto r = index_->AddPredicate(spec);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : AddPredicateInfo{};
+  }
+
+  std::set<TriggerId> MatchTriggers(const UpdateDescriptor& token) {
+    std::vector<PredicateMatch> out;
+    EXPECT_TRUE(index_->Match(token, &out).ok());
+    std::set<TriggerId> ids;
+    for (const auto& m : out) ids.insert(m.trigger_id);
+    return ids;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PredicateIndex> index_;
+};
+
+TEST_F(PredicateIndexTest, EqualityMatching) {
+  Add("emp.dept = 3", 100);
+  Add("emp.dept = 4", 200);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 3)), (std::set<TriggerId>{100}));
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 4)), (std::set<TriggerId>{200}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 1, 5)).empty());
+}
+
+TEST_F(PredicateIndexTest, SignatureSharedAcrossTriggers) {
+  auto a = Add("emp.dept = 3", 1);
+  auto b = Add("emp.dept = 7", 2);
+  auto c = Add("emp.dept = 3", 3);
+  EXPECT_TRUE(a.new_signature);
+  EXPECT_FALSE(b.new_signature);
+  EXPECT_FALSE(c.new_signature);
+  EXPECT_EQ(a.sig_id, b.sig_id);
+  EXPECT_EQ(index_->stats().num_signatures, 1u);
+  EXPECT_EQ(index_->stats().num_predicates, 3u);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 3)),
+            (std::set<TriggerId>{1, 3}));
+}
+
+TEST_F(PredicateIndexTest, OpCodeFiltering) {
+  Add("emp.dept = 1", 10, OpCode::kInsert);
+  Add("emp.dept = 1", 20, OpCode::kDelete);
+  Add("emp.dept = 1", 30, OpCode::kInsertOrUpdate);
+
+  Tuple t({Value::String("x"), Value::Float(1), Value::Int(1)});
+  EXPECT_EQ(MatchTriggers(UpdateDescriptor::Insert(1, t)),
+            (std::set<TriggerId>{10, 30}));
+  EXPECT_EQ(MatchTriggers(UpdateDescriptor::Delete(1, t)),
+            (std::set<TriggerId>{20}));
+  EXPECT_EQ(MatchTriggers(UpdateDescriptor::Update(1, t, t)),
+            (std::set<TriggerId>{30}));
+}
+
+TEST_F(PredicateIndexTest, UpdateColumnFiltering) {
+  PredicateSpec spec;
+  spec.data_source = 1;
+  spec.op = OpCode::kUpdate;
+  spec.update_columns = {"salary"};
+  spec.predicate = Parse("emp.dept = 1");
+  spec.trigger_id = 5;
+  ASSERT_TRUE(index_->AddPredicate(spec).ok());
+
+  Tuple before({Value::String("x"), Value::Float(100), Value::Int(1)});
+  Tuple salary_changed({Value::String("x"), Value::Float(200), Value::Int(1)});
+  Tuple name_changed({Value::String("y"), Value::Float(100), Value::Int(1)});
+  EXPECT_EQ(MatchTriggers(UpdateDescriptor::Update(1, before, salary_changed)),
+            (std::set<TriggerId>{5}));
+  EXPECT_TRUE(
+      MatchTriggers(UpdateDescriptor::Update(1, before, name_changed))
+          .empty());
+}
+
+TEST_F(PredicateIndexTest, RestOfPredicateTested) {
+  // dept is indexable; the salary range joins the rest-of-predicate.
+  Add("emp.dept = 2 and emp.salary > 50000", 7);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 60000, 2)),
+            (std::set<TriggerId>{7}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 40000, 2)).empty());
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 60000, 3)).empty());
+}
+
+TEST_F(PredicateIndexTest, RangePredicatesViaIntervalIndex) {
+  Add("emp.salary > 80000", 1);
+  Add("emp.salary > 50000", 2);
+  Add("emp.salary >= 90000 and emp.salary <= 100000", 3);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 95000, 0)),
+            (std::set<TriggerId>{1, 2, 3}));
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 60000, 0)),
+            (std::set<TriggerId>{2}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 10000, 0)).empty());
+}
+
+TEST_F(PredicateIndexTest, UnconditionalPredicateMatchesEverything) {
+  Add("", 77);
+  EXPECT_EQ(MatchTriggers(EmpInsert("anything", 1, 1)),
+            (std::set<TriggerId>{77}));
+}
+
+TEST_F(PredicateIndexTest, NonIndexablePredicate) {
+  Add("abs(emp.salary - 100) < 10", 9);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 95, 0)), (std::set<TriggerId>{9}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 300, 0)).empty());
+}
+
+TEST_F(PredicateIndexTest, RemovePredicate) {
+  auto info = Add("emp.dept = 3", 1);
+  Add("emp.dept = 3", 2);
+  ASSERT_TRUE(index_->RemovePredicate(info.expr_id).ok());
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 3)), (std::set<TriggerId>{2}));
+  EXPECT_FALSE(index_->RemovePredicate(info.expr_id).ok());
+}
+
+TEST_F(PredicateIndexTest, UnknownDataSourceIgnoredOnMatch) {
+  std::vector<PredicateMatch> out;
+  EXPECT_TRUE(index_->Match(EmpInsert("x", 1, 1, /*ds=*/42), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(PredicateIndexTest, AddToUnknownSourceFails) {
+  PredicateSpec spec;
+  spec.data_source = 42;
+  spec.predicate = Parse("x.dept = 1");
+  EXPECT_FALSE(index_->AddPredicate(spec).ok());
+}
+
+TEST_F(PredicateIndexTest, OrganizationMigratesListToHash) {
+  OrgPolicy policy;
+  policy.list_max = 4;
+  policy.memory_max = 100000;
+  Reset(policy);
+  AddPredicateInfo last;
+  for (int i = 0; i < 10; ++i) {
+    last = Add("emp.dept = " + std::to_string(i),
+               static_cast<TriggerId>(i + 1));
+  }
+  EXPECT_EQ(last.org, OrgType::kMemoryIndex);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 6)), (std::set<TriggerId>{7}));
+}
+
+TEST_F(PredicateIndexTest, OrganizationMigratesToDbTable) {
+  OrgPolicy policy;
+  policy.list_max = 2;
+  policy.memory_max = 5;
+  Reset(policy);
+  AddPredicateInfo last;
+  for (int i = 0; i < 12; ++i) {
+    last = Add("emp.dept = " + std::to_string(i),
+               static_cast<TriggerId>(i + 1));
+  }
+  EXPECT_EQ(last.org, OrgType::kDbIndexedTable);
+  // The constant table exists in MiniDB now.
+  EXPECT_TRUE(db_->HasTable("const_table_" + std::to_string(last.sig_id)));
+  // Matching goes through the B+-tree on [const_1].
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 1, 9)), (std::set<TriggerId>{10}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 1, 99)).empty());
+}
+
+TEST_F(PredicateIndexTest, ForcedDbTableScanWorks) {
+  OrgPolicy policy;
+  policy.forced = true;
+  policy.forced_type = OrgType::kDbTable;
+  Reset(policy);
+  Add("emp.dept = 5 and emp.salary > 10", 3);
+  Add("emp.dept = 6", 4);
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 50, 5)), (std::set<TriggerId>{3}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("x", 5, 5)).empty());
+  EXPECT_EQ(MatchTriggers(EmpInsert("x", 5, 6)), (std::set<TriggerId>{4}));
+}
+
+TEST_F(PredicateIndexTest, PartitionedMatchCoversExactlyOnce) {
+  for (int i = 0; i < 20; ++i) {
+    Add("emp.dept = 1", static_cast<TriggerId>(i + 1));
+  }
+  constexpr uint32_t kParts = 4;
+  std::set<TriggerId> seen;
+  size_t total = 0;
+  for (uint32_t p = 0; p < kParts; ++p) {
+    ASSERT_TRUE(index_
+                    ->MatchPartitioned(EmpInsert("x", 1, 1), p, kParts,
+                                       [&](const PredicateMatch& m) {
+                                         seen.insert(m.trigger_id);
+                                         ++total;
+                                       })
+                    .ok());
+  }
+  EXPECT_EQ(total, 20u);       // no duplicates across partitions
+  EXPECT_EQ(seen.size(), 20u);  // full coverage
+}
+
+TEST_F(PredicateIndexTest, MaintenanceMatchIgnoresEventFilters) {
+  Add("emp.dept = 3", 50, OpCode::kDelete);
+  Tuple t({Value::String("x"), Value::Float(1), Value::Int(3)});
+  // Fire match for an insert token: no (delete-only signature).
+  EXPECT_TRUE(MatchTriggers(UpdateDescriptor::Insert(1, t)).empty());
+  // Maintenance match sees it regardless of event.
+  std::set<TriggerId> seen;
+  ASSERT_TRUE(index_
+                  ->MatchMaintenance(1, t, 0, 1,
+                                     [&](const PredicateMatch& m) {
+                                       seen.insert(m.trigger_id);
+                                     })
+                  .ok());
+  EXPECT_EQ(seen, (std::set<TriggerId>{50}));
+}
+
+TEST_F(PredicateIndexTest, CompositeEqualityKey) {
+  Add("emp.name = 'bob' and emp.dept = 2", 8);
+  EXPECT_EQ(MatchTriggers(EmpInsert("bob", 1, 2)), (std::set<TriggerId>{8}));
+  EXPECT_TRUE(MatchTriggers(EmpInsert("bob", 1, 3)).empty());
+  EXPECT_TRUE(MatchTriggers(EmpInsert("alice", 1, 2)).empty());
+}
+
+TEST_F(PredicateIndexTest, StatsCount) {
+  Add("emp.dept = 1", 1);
+  Add("emp.salary > 10", 2);
+  (void)MatchTriggers(EmpInsert("x", 100, 1));
+  auto st = index_->stats();
+  EXPECT_EQ(st.num_signatures, 2u);
+  EXPECT_EQ(st.num_predicates, 2u);
+  EXPECT_EQ(st.tokens_processed, 1u);
+  EXPECT_EQ(st.matches_emitted, 2u);
+}
+
+TEST(CostModelTest, RegimesOrderedAsThePaperArgues) {
+  CostModelParams p;
+  // Tiny classes: the list wins (or ties) against everything.
+  auto tiny = EstimateMatchCost(4, 1.0, 0.0, p);
+  EXPECT_EQ(tiny.best(), OrgType::kMemoryList);
+  // Mid-size classes: the main-memory index wins.
+  auto mid = EstimateMatchCost(10000, 1.0, 0.0, p);
+  EXPECT_EQ(mid.best(), OrgType::kMemoryIndex);
+  // The indexed table always beats the table scan at scale.
+  auto big = EstimateMatchCost(1000000, 1.0, 0.0, p);
+  EXPECT_LT(big.db_indexed_ns, big.db_table_ns);
+  // Memory footprint grows linearly: the motivation for disk organizations.
+  EXPECT_GT(EstimateMemoryBytes(1000000, p), 9.0e7);
+}
+
+TEST(CostModelTest, BufferHitsShrinkDiskCosts) {
+  CostModelParams p;
+  auto cold = EstimateMatchCost(100000, 1.0, 0.0, p);
+  auto warm = EstimateMatchCost(100000, 1.0, 0.99, p);
+  EXPECT_LT(warm.db_indexed_ns, cold.db_indexed_ns);
+  EXPECT_LT(warm.db_table_ns, cold.db_table_ns);
+}
+
+}  // namespace
+}  // namespace tman

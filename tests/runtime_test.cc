@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/driver.h"
+#include "runtime/task_queue.h"
+
+namespace tman {
+namespace {
+
+Task Work(TaskKind kind, std::function<Status()> fn) {
+  Task t;
+  t.kind = kind;
+  t.work = std::move(fn);
+  return t;
+}
+
+TEST(TaskQueueTest, PushPopFifo) {
+  TaskQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.Push(Work(TaskKind::kProcessToken, [&order, i] {
+      order.push_back(i);
+      return Status::OK();
+    }));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  Task t;
+  while (q.TryPop(&t)) {
+    ASSERT_TRUE(t.work().ok());
+    q.MarkDone();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TaskQueueTest, StatsPerKind) {
+  TaskQueue q;
+  q.Push(Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  q.Push(Work(TaskKind::kRunAction, [] { return Status::OK(); }));
+  q.Push(Work(TaskKind::kRunAction, [] { return Status::OK(); }));
+  auto st = q.stats();
+  EXPECT_EQ(st.pushed, 3u);
+  EXPECT_EQ(st.per_kind[static_cast<int>(TaskKind::kProcessToken)], 1u);
+  EXPECT_EQ(st.per_kind[static_cast<int>(TaskKind::kRunAction)], 2u);
+}
+
+TEST(TaskQueueTest, WaitPopTimesOutWhenEmpty) {
+  TaskQueue q;
+  Task t;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.WaitPop(&t, std::chrono::milliseconds(30)));
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(TaskQueueTest, WaitPopWakesOnPush) {
+  TaskQueue q;
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    Task t;
+    if (q.WaitPop(&t, std::chrono::seconds(5))) {
+      got = true;
+      q.MarkDone();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Push(Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(TaskQueueTest, WaitIdleSeesInFlightTasks) {
+  TaskQueue q;
+  q.Push(Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  Task t;
+  ASSERT_TRUE(q.TryPop(&t));
+  EXPECT_EQ(q.in_flight(), 1u);
+  std::atomic<bool> idle{false};
+  std::thread waiter([&] {
+    q.WaitIdle();
+    idle = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(idle.load());  // still in flight
+  q.MarkDone();
+  waiter.join();
+  EXPECT_TRUE(idle.load());
+}
+
+TEST(DriverTest, ComputeNumDriversFormula) {
+  DriverConfig cfg;
+  cfg.num_cpus = 8;
+  cfg.concurrency_level = 1.0;
+  EXPECT_EQ(ComputeNumDrivers(cfg), 8u);  // N = ceil(8 * 1.0)
+  cfg.concurrency_level = 0.5;
+  EXPECT_EQ(ComputeNumDrivers(cfg), 4u);
+  cfg.concurrency_level = 0.3;
+  EXPECT_EQ(ComputeNumDrivers(cfg), 3u);  // ceil(2.4)
+  cfg.num_drivers = 2;  // explicit override
+  EXPECT_EQ(ComputeNumDrivers(cfg), 2u);
+}
+
+TEST(DriverTest, TmanTestDrainsUntilEmpty) {
+  TaskQueue q;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    q.Push(Work(TaskKind::kProcessToken, [&done] {
+      ++done;
+      return Status::OK();
+    }));
+  }
+  ExecutorStats stats;
+  auto result = TmanTest(&q, std::chrono::milliseconds(250), &stats);
+  EXPECT_EQ(result, TmanTestResult::kTaskQueueEmpty);
+  EXPECT_EQ(done.load(), 10);
+  EXPECT_EQ(stats.tasks_executed, 10u);
+}
+
+TEST(DriverTest, TmanTestRespectsThreshold) {
+  TaskQueue q;
+  for (int i = 0; i < 100; ++i) {
+    q.Push(Work(TaskKind::kProcessToken, [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return Status::OK();
+    }));
+  }
+  ExecutorStats stats;
+  auto result = TmanTest(&q, std::chrono::milliseconds(20), &stats);
+  // THRESHOLD cuts execution short; work remains.
+  EXPECT_EQ(result, TmanTestResult::kTasksRemaining);
+  EXPECT_LT(stats.tasks_executed, 100u);
+  EXPECT_GT(stats.tasks_executed, 0u);
+}
+
+TEST(DriverTest, TaskErrorsCountedNotFatal) {
+  TaskQueue q;
+  q.Push(Work(TaskKind::kRunAction,
+              [] { return Status::Internal("boom"); }));
+  q.Push(Work(TaskKind::kRunAction, [] { return Status::OK(); }));
+  ExecutorStats stats;
+  TmanTest(&q, std::chrono::milliseconds(250), &stats);
+  EXPECT_EQ(stats.tasks_executed, 2u);
+  EXPECT_EQ(stats.task_errors, 1u);
+}
+
+TEST(DriverPoolTest, ExecutesAllTasksAcrossDrivers) {
+  TaskQueue q;
+  DriverConfig cfg;
+  cfg.num_drivers = 3;
+  cfg.period = std::chrono::milliseconds(10);
+  DriverPool pool(&q, cfg);
+  EXPECT_EQ(pool.num_drivers(), 3u);
+  pool.Start();
+  std::atomic<int> done{0};
+  for (int i = 0; i < 500; ++i) {
+    q.Push(Work(TaskKind::kProcessToken, [&done] {
+      ++done;
+      return Status::OK();
+    }));
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 500);
+  pool.Stop();
+  EXPECT_GE(pool.stats().tasks_executed, 500u);
+}
+
+TEST(DriverPoolTest, TasksPushedWhileRunningGetPickedUp) {
+  TaskQueue q;
+  DriverConfig cfg;
+  cfg.num_drivers = 2;
+  cfg.period = std::chrono::milliseconds(5);
+  DriverPool pool(&q, cfg);
+  pool.Start();
+  std::atomic<int> done{0};
+  // Tasks that spawn more tasks (like token tasks spawning action tasks).
+  for (int i = 0; i < 50; ++i) {
+    q.Push(Work(TaskKind::kProcessToken, [&q, &done] {
+      q.Push(Work(TaskKind::kRunAction, [&done] {
+        ++done;
+        return Status::OK();
+      }));
+      return Status::OK();
+    }));
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 50);
+  pool.Stop();
+}
+
+TEST(DriverPoolTest, StopIsIdempotentAndRestartable) {
+  TaskQueue q;
+  DriverConfig cfg;
+  cfg.num_drivers = 1;
+  DriverPool pool(&q, cfg);
+  pool.Start();
+  pool.Start();  // no-op
+  pool.Stop();
+  pool.Stop();  // no-op
+}
+
+}  // namespace
+}  // namespace tman

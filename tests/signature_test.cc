@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "expr/signature.h"
+#include "parser/parser.h"
+
+namespace tman {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto r = ParseExpressionString(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+GeneralizedPredicate Gen(const std::string& text,
+                         OpCode op = OpCode::kInsert, DataSourceId ds = 1) {
+  auto r = GeneralizePredicate(ds, op, Parse(text));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(SignatureTest, ConstantsExtractedLeftToRight) {
+  auto g = Gen("emp.salary > 80000");
+  ASSERT_EQ(g.constants.size(), 1u);
+  EXPECT_EQ(g.constants[0].as_int(), 80000);
+  EXPECT_EQ(ExprToString(g.signature.generalized),
+            "(t.salary > CONSTANT_1)");
+}
+
+TEST(SignatureTest, PaperExampleSameSignatureDifferentConstant) {
+  // The paper's Figure 2 example: salary > 80000 and salary > 50000 have
+  // the same signature.
+  auto a = Gen("emp.salary > 80000");
+  auto b = Gen("emp.salary > 50000");
+  EXPECT_TRUE(a.signature.Equals(b.signature));
+  EXPECT_EQ(a.signature.Hash(), b.signature.Hash());
+  EXPECT_NE(a.constants[0], b.constants[0]);
+}
+
+TEST(SignatureTest, DifferentStructureDifferentSignature) {
+  auto a = Gen("emp.salary > 80000");
+  auto b = Gen("emp.salary >= 80000");
+  auto c = Gen("emp.age > 80000");
+  EXPECT_FALSE(a.signature.Equals(b.signature));
+  EXPECT_FALSE(a.signature.Equals(c.signature));
+}
+
+TEST(SignatureTest, DifferentOpCodeDifferentSignature) {
+  auto a = Gen("e.x = 1", OpCode::kInsert);
+  auto b = Gen("e.x = 1", OpCode::kDelete);
+  EXPECT_FALSE(a.signature.Equals(b.signature));
+}
+
+TEST(SignatureTest, DifferentDataSourceDifferentSignature) {
+  auto a = Gen("e.x = 1", OpCode::kInsert, 1);
+  auto b = Gen("e.x = 1", OpCode::kInsert, 2);
+  EXPECT_FALSE(a.signature.Equals(b.signature));
+}
+
+TEST(SignatureTest, TupleVariableNameDoesNotMatter) {
+  auto a = Gen("emp.salary > 100");
+  auto b = Gen("e.salary > 100");
+  EXPECT_TRUE(a.signature.Equals(b.signature));
+}
+
+TEST(SignatureTest, ConstantOnLeftCanonicalized) {
+  auto a = Gen("50000 < emp.salary");
+  auto b = Gen("emp.salary > 50000");
+  EXPECT_TRUE(a.signature.Equals(b.signature));
+}
+
+TEST(SignatureTest, MultipleConstantsNumbered) {
+  auto g = Gen("e.city = 'austin' and e.price < 250000 and e.beds >= 3");
+  ASSERT_EQ(g.constants.size(), 3u);
+  EXPECT_EQ(g.constants[0].as_string(), "austin");
+  EXPECT_EQ(g.constants[1].as_int(), 250000);
+  EXPECT_EQ(g.constants[2].as_int(), 3);
+  EXPECT_EQ(g.signature.num_constants, 3);
+}
+
+TEST(SignatureTest, UpdateColumnsPartOfIdentity) {
+  auto a = Gen("e.x = 1", OpCode::kUpdate);
+  auto b = Gen("e.x = 1", OpCode::kUpdate);
+  b.signature.update_columns = {"salary"};
+  EXPECT_FALSE(a.signature.Equals(b.signature));
+  EXPECT_NE(a.signature.Hash(), b.signature.Hash());
+}
+
+TEST(SignatureTest, JoinPredicateRejected) {
+  auto r = GeneralizePredicate(1, OpCode::kInsert, Parse("a.x = b.y"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SignatureTest, DescriptionMentionsStructure) {
+  auto g = Gen("e.salary > 80000");
+  std::string desc = g.signature.Description();
+  EXPECT_NE(desc.find("CONSTANT_1"), std::string::npos);
+  EXPECT_NE(desc.find("insert"), std::string::npos);
+}
+
+// --- indexable split -------------------------------------------------------
+
+IndexableSplit Split(const std::string& text) {
+  auto g = Gen(text);
+  return SplitIndexable(g.signature.generalized);
+}
+
+TEST(SplitTest, SingleEqualityFullyIndexable) {
+  auto s = Split("e.dept = 7");
+  ASSERT_EQ(s.eq.size(), 1u);
+  EXPECT_EQ(s.eq[0].attribute, "dept");
+  EXPECT_EQ(s.eq[0].placeholder, 1);
+  EXPECT_FALSE(s.has_range);
+  EXPECT_EQ(s.rest, nullptr);
+}
+
+TEST(SplitTest, CompositeEqualityKey) {
+  auto s = Split("e.city = 'x' and e.beds = 3");
+  ASSERT_EQ(s.eq.size(), 2u);
+  EXPECT_EQ(s.eq[0].attribute, "city");
+  EXPECT_EQ(s.eq[1].attribute, "beds");
+  EXPECT_EQ(s.rest, nullptr);
+}
+
+TEST(SplitTest, EqualityWinsOverRange) {
+  auto s = Split("e.dept = 7 and e.salary > 100");
+  ASSERT_EQ(s.eq.size(), 1u);
+  EXPECT_FALSE(s.has_range);
+  ASSERT_NE(s.rest, nullptr);
+  EXPECT_NE(ExprToString(s.rest).find("salary"), std::string::npos);
+}
+
+TEST(SplitTest, SingleRangeIndexable) {
+  auto s = Split("e.salary > 100");
+  EXPECT_TRUE(s.eq.empty());
+  ASSERT_TRUE(s.has_range);
+  EXPECT_EQ(s.range.attribute, "salary");
+  EXPECT_TRUE(s.range.has_lo);
+  EXPECT_FALSE(s.range.lo_inclusive);
+  EXPECT_FALSE(s.range.has_hi);
+  EXPECT_EQ(s.rest, nullptr);
+}
+
+TEST(SplitTest, TwoSidedRangeBecomesInterval) {
+  auto s = Split("e.price >= 100 and e.price <= 200");
+  ASSERT_TRUE(s.has_range);
+  EXPECT_TRUE(s.range.has_lo);
+  EXPECT_TRUE(s.range.lo_inclusive);
+  EXPECT_EQ(s.range.lo_placeholder, 1);
+  EXPECT_TRUE(s.range.has_hi);
+  EXPECT_TRUE(s.range.hi_inclusive);
+  EXPECT_EQ(s.range.hi_placeholder, 2);
+  EXPECT_EQ(s.rest, nullptr);
+}
+
+TEST(SplitTest, RangesOnDifferentAttrsOneIndexed) {
+  auto s = Split("e.price < 100 and e.beds > 2");
+  ASSERT_TRUE(s.has_range);
+  EXPECT_EQ(s.range.attribute, "price");
+  ASSERT_NE(s.rest, nullptr);
+  EXPECT_NE(ExprToString(s.rest).find("beds"), std::string::npos);
+}
+
+TEST(SplitTest, NonIndexableExpression) {
+  auto s = Split("abs(e.delta) > 5");
+  EXPECT_TRUE(s.eq.empty());
+  EXPECT_FALSE(s.has_range);
+  ASSERT_NE(s.rest, nullptr);
+}
+
+TEST(SplitTest, OrDisablesIndexingOfThatConjunct) {
+  auto s = Split("e.a = 1 or e.b = 2");
+  EXPECT_TRUE(s.eq.empty());
+  EXPECT_FALSE(s.has_range);
+  ASSERT_NE(s.rest, nullptr);
+}
+
+TEST(SplitTest, NullGeneralizedIsTrivial) {
+  auto s = SplitIndexable(nullptr);
+  EXPECT_TRUE(s.eq.empty());
+  EXPECT_FALSE(s.has_range);
+  EXPECT_EQ(s.rest, nullptr);
+}
+
+TEST(SplitTest, ArithmeticOnColumnNotEqIndexable) {
+  auto s = Split("e.a + 1 = 5");
+  EXPECT_TRUE(s.eq.empty());
+  ASSERT_NE(s.rest, nullptr);
+}
+
+}  // namespace
+}  // namespace tman

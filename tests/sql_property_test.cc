@@ -1,0 +1,155 @@
+// Property tests for MiniDB's SQL layer and the parser's robustness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/sql.h"
+#include "parser/parser.h"
+#include "util/random.h"
+
+namespace tman {
+namespace {
+
+// The WHERE planner takes the index route when an equality conjunct hits
+// an indexed attribute and the scan route otherwise; both must produce
+// identical result sets for any predicate.
+TEST(SqlPropertyTest, IndexRouteEquivalentToScanRoute) {
+  Random rng(314);
+  // Two databases with identical contents; only one has indexes.
+  Database indexed, plain;
+  for (Database* db : {&indexed, &plain}) {
+    ASSERT_TRUE(
+        ExecuteSql(db, "create table t (k int, v int, s varchar)").ok());
+  }
+  ASSERT_TRUE(ExecuteSql(&indexed, "create index idx_k on t (k)").ok());
+  ASSERT_TRUE(ExecuteSql(&indexed, "create index idx_s on t (s)").ok());
+  for (int i = 0; i < 400; ++i) {
+    std::string row = "(" + std::to_string(rng.UniformRange(0, 40)) + ", " +
+                      std::to_string(rng.UniformRange(-50, 50)) + ", 'g" +
+                      std::to_string(rng.Uniform(12)) + "')";
+    for (Database* db : {&indexed, &plain}) {
+      ASSERT_TRUE(ExecuteSql(db, "insert into t values " + row).ok());
+    }
+  }
+
+  auto rows_of = [](Database* db, const std::string& where) {
+    auto r = ExecuteSql(db, "select k, v, s from t where " + where);
+    EXPECT_TRUE(r.ok()) << where << ": " << r.status().ToString();
+    std::multiset<std::string> out;
+    if (r.ok()) {
+      for (const Tuple& row : r->rows) out.insert(row.ToString());
+    }
+    return out;
+  };
+
+  std::vector<std::string> predicates;
+  for (int i = 0; i < 60; ++i) {
+    switch (rng.Uniform(5)) {
+      case 0:
+        predicates.push_back("k = " +
+                             std::to_string(rng.UniformRange(0, 40)));
+        break;
+      case 1:
+        predicates.push_back("k = " + std::to_string(rng.UniformRange(0, 40)) +
+                             " and v > " +
+                             std::to_string(rng.UniformRange(-50, 50)));
+        break;
+      case 2:
+        predicates.push_back("s = 'g" + std::to_string(rng.Uniform(12)) +
+                             "' and k < " +
+                             std::to_string(rng.UniformRange(0, 40)));
+        break;
+      case 3:
+        predicates.push_back("v >= " +
+                             std::to_string(rng.UniformRange(-50, 50)));
+        break;
+      default:
+        predicates.push_back(
+            "k = " + std::to_string(rng.UniformRange(0, 40)) + " or v = " +
+            std::to_string(rng.UniformRange(-50, 50)));
+        break;
+    }
+  }
+  for (const std::string& where : predicates) {
+    EXPECT_EQ(rows_of(&indexed, where), rows_of(&plain, where))
+        << "WHERE " << where;
+  }
+}
+
+TEST(SqlPropertyTest, UpdatesKeepIndexConsistentWithScans) {
+  Random rng(272);
+  Database db;
+  ASSERT_TRUE(ExecuteSql(&db, "create table t (k int, v int)").ok());
+  ASSERT_TRUE(ExecuteSql(&db, "create index idx_k on t (k)").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ExecuteSql(&db, "insert into t values (" +
+                                    std::to_string(rng.UniformRange(0, 20)) +
+                                    ", 0)")
+                    .ok());
+  }
+  for (int round = 0; round < 30; ++round) {
+    int64_t from = rng.UniformRange(0, 20);
+    int64_t to = rng.UniformRange(0, 20);
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(ExecuteSql(&db, "delete from t where k = " +
+                                      std::to_string(from))
+                      .ok());
+    } else {
+      ASSERT_TRUE(ExecuteSql(&db, "update t set k = " + std::to_string(to) +
+                                      " where k = " + std::to_string(from))
+                      .ok());
+    }
+    // Index-accelerated count must equal a full-scan count.
+    for (int64_t k = 0; k <= 20; ++k) {
+      auto via_index = ExecuteSql(
+          &db, "select v from t where k = " + std::to_string(k));
+      ASSERT_TRUE(via_index.ok());
+      int64_t scanned = 0;
+      ASSERT_TRUE(db.Scan("t", [&](const Rid&, const Tuple& row) {
+                      if (row.at(0).as_int() == k) ++scanned;
+                      return true;
+                    }).ok());
+      ASSERT_EQ(static_cast<int64_t>(via_index->rows.size()), scanned)
+          << "k=" << k << " round=" << round;
+    }
+  }
+}
+
+// The parser must reject garbage with a ParseError — never crash or hang.
+TEST(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  Random rng(1999);
+  const std::string alphabet =
+      "abcdef ()'=<>!.,;0123456789+-*/\n\t_\"%&#";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    size_t len = rng.Uniform(60);
+    for (size_t j = 0; j < len; ++j) {
+      input.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    }
+    // Must terminate and either parse or return a Status — no crash.
+    (void)ParseCommand(input);
+    (void)ParseExpressionString(input);
+  }
+}
+
+TEST(ParserRobustnessTest, TruncatedCommandsRejectedCleanly) {
+  const std::string full =
+      "create trigger t from emp on update(emp.salary) when emp.name = "
+      "'Bob' do raise event E(emp.name)";
+  for (size_t cut = 0; cut + 1 < full.size(); cut += 3) {
+    auto r = ParseCommand(full.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "prefix length " << cut;
+  }
+  EXPECT_TRUE(ParseCommand(full).ok());
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedExpressionsParse) {
+  std::string expr = "x.a";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto r = ParseExpressionString(expr);
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace tman

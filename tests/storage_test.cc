@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_table.h"
+#include "util/random.h"
+
+namespace tman {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  Page page;
+  page.data[0] = 'x';
+  page.data[kPageSize - 1] = 'y';
+  ASSERT_TRUE(disk.WritePage(p, page).ok());
+  Page back;
+  ASSERT_TRUE(disk.ReadPage(p, &back).ok());
+  EXPECT_EQ(back.data[0], 'x');
+  EXPECT_EQ(back.data[kPageSize - 1], 'y');
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+}
+
+TEST(DiskManagerTest, InvalidPageRejected) {
+  DiskManager disk;
+  Page page;
+  EXPECT_FALSE(disk.ReadPage(42, &page).ok());
+  PageId p = disk.AllocatePage();
+  ASSERT_TRUE(disk.DeallocatePage(p).ok());
+  EXPECT_FALSE(disk.ReadPage(p, &page).ok());
+  EXPECT_FALSE(disk.DeallocatePage(p).ok());
+}
+
+TEST(BufferPoolTest, HitAndMissAccounting) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageGuard g;
+  ASSERT_TRUE(pool.NewPage(&g).ok());
+  PageId id = g.page_id();
+  g.data()[0] = 'a';
+  g.MarkDirty();
+  g.Release();
+
+  ASSERT_TRUE(pool.FetchPage(id, &g).ok());
+  EXPECT_EQ(g.data()[0], 'a');
+  g.Release();
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.NewPage(&g).ok());
+    g.data()[0] = static_cast<char>('a' + i);
+    g.MarkDirty();
+    ids.push_back(g.page_id());
+  }
+  // All pages must read back correctly even though only 2 frames exist.
+  for (int i = 0; i < 5; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.FetchPage(ids[static_cast<size_t>(i)], &g).ok());
+    EXPECT_EQ(g.data()[0], static_cast<char>('a' + i));
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPoolTest, AllFramesPinnedFails) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageGuard g1, g2, g3;
+  ASSERT_TRUE(pool.NewPage(&g1).ok());
+  ASSERT_TRUE(pool.NewPage(&g2).ok());
+  EXPECT_FALSE(pool.NewPage(&g3).ok());
+  g1.Release();
+  EXPECT_TRUE(pool.NewPage(&g3).ok());
+}
+
+TEST(BufferPoolTest, RefetchWhileHoldingGuardDoesNotDeadlock) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageGuard g;
+  ASSERT_TRUE(pool.NewPage(&g).ok());
+  PageId id = g.page_id();
+  // Re-fetching into the same guard must release the old pin first.
+  ASSERT_TRUE(pool.FetchPage(id, &g).ok());
+  EXPECT_EQ(g.page_id(), id);
+}
+
+TEST(BufferPoolTest, MoveGuardTransfersPin) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageGuard a;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.Release();
+  EXPECT_FALSE(b.valid());
+}
+
+class HeapTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<DiskManager>();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    auto first = HeapTable::Create(pool_.get());
+    ASSERT_TRUE(first.ok());
+    table_ = std::make_unique<HeapTable>(pool_.get(), *first);
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HeapTable> table_;
+};
+
+TEST_F(HeapTableTest, InsertGet) {
+  auto rid = table_->Insert("hello");
+  ASSERT_TRUE(rid.ok());
+  auto rec = table_->Get(*rid);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, "hello");
+  EXPECT_EQ(table_->num_records(), 1u);
+}
+
+TEST_F(HeapTableTest, DeleteThenGetFails) {
+  auto rid = table_->Insert("bye");
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(table_->Delete(*rid).ok());
+  EXPECT_FALSE(table_->Get(*rid).ok());
+  EXPECT_FALSE(table_->Delete(*rid).ok());
+  EXPECT_EQ(table_->num_records(), 0u);
+}
+
+TEST_F(HeapTableTest, UpdateInPlaceKeepsRid) {
+  auto rid = table_->Insert("abcdef");
+  ASSERT_TRUE(rid.ok());
+  auto new_rid = table_->Update(*rid, "xyz");  // shorter: fits in place
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(*new_rid, *rid);
+  EXPECT_EQ(*table_->Get(*new_rid), "xyz");
+}
+
+TEST_F(HeapTableTest, UpdateGrowingMovesRecord) {
+  auto rid = table_->Insert("ab");
+  ASSERT_TRUE(rid.ok());
+  std::string big(300, 'q');
+  auto new_rid = table_->Update(*rid, big);
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(*table_->Get(*new_rid), big);
+  EXPECT_FALSE(table_->Get(*rid).ok());  // old slot tombstoned
+  EXPECT_EQ(table_->num_records(), 1u);
+}
+
+TEST_F(HeapTableTest, SpillsAcrossPages) {
+  std::string record(500, 'r');
+  std::vector<Rid> rids;
+  for (int i = 0; i < 100; ++i) {
+    record[0] = static_cast<char>('a' + (i % 26));
+    auto rid = table_->Insert(record);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  auto pages = table_->num_pages();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GT(*pages, 10u);  // ~7 records of 500B per 4KB page
+  for (int i = 0; i < 100; ++i) {
+    auto rec = table_->Get(rids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ((*rec)[0], static_cast<char>('a' + (i % 26)));
+  }
+}
+
+TEST_F(HeapTableTest, ScanVisitsLiveRecordsInOrder) {
+  ASSERT_TRUE(table_->Insert("one").ok());
+  auto two = table_->Insert("two");
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(table_->Insert("three").ok());
+  ASSERT_TRUE(table_->Delete(*two).ok());
+
+  std::vector<std::string> seen;
+  ASSERT_TRUE(table_
+                  ->Scan([&](const Rid&, std::string_view rec) {
+                    seen.emplace_back(rec);
+                    return true;
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "one");
+  EXPECT_EQ(seen[1], "three");
+}
+
+TEST_F(HeapTableTest, ScanEarlyExit) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table_->Insert("r" + std::to_string(i)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(table_
+                  ->Scan([&](const Rid&, std::string_view) {
+                    ++count;
+                    return count < 3;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(HeapTableTest, OversizedRecordRejected) {
+  std::string huge(kPageSize, 'x');
+  EXPECT_FALSE(table_->Insert(huge).ok());
+}
+
+TEST_F(HeapTableTest, EmptyRecordSupported) {
+  auto rid = table_->Insert("");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*table_->Get(*rid), "");
+}
+
+TEST_F(HeapTableTest, RandomizedAgainstReferenceModel) {
+  Random rng(2024);
+  std::map<std::string, std::string> model;  // rid string -> payload
+  std::map<std::string, Rid> rids;
+  for (int step = 0; step < 2000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.6 || model.empty()) {
+      std::string payload(rng.Uniform(200) + 1,
+                          static_cast<char>('a' + rng.Uniform(26)));
+      auto rid = table_->Insert(payload);
+      ASSERT_TRUE(rid.ok());
+      model[rid->ToString()] = payload;
+      rids[rid->ToString()] = *rid;
+    } else if (roll < 0.8) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+      ASSERT_TRUE(table_->Delete(rids[it->first]).ok());
+      rids.erase(it->first);
+      model.erase(it);
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+      std::string payload(rng.Uniform(200) + 1,
+                          static_cast<char>('A' + rng.Uniform(26)));
+      auto new_rid = table_->Update(rids[it->first], payload);
+      ASSERT_TRUE(new_rid.ok());
+      std::string old_key = it->first;
+      model.erase(it);
+      rids.erase(old_key);
+      model[new_rid->ToString()] = payload;
+      rids[new_rid->ToString()] = *new_rid;
+    }
+  }
+  EXPECT_EQ(table_->num_records(), model.size());
+  size_t seen = 0;
+  ASSERT_TRUE(table_
+                  ->Scan([&](const Rid& rid, std::string_view rec) {
+                    auto it = model.find(rid.ToString());
+                    EXPECT_NE(it, model.end());
+                    if (it != model.end()) {
+                      EXPECT_EQ(it->second, rec);
+                    }
+                    ++seen;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, model.size());
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,484 @@
+#include <gtest/gtest.h>
+
+#include "core/trigger_manager.h"
+#include "db/sql.h"
+
+namespace tman {
+namespace {
+
+class TriggerManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(TriggerManagerOptions()); }
+
+  void Reset(TriggerManagerOptions options) {
+    tman_.reset();
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTable("emp", Schema({{"name", DataType::kVarchar},
+                                                {"salary", DataType::kFloat},
+                                                {"dept", DataType::kInt}}))
+                    .ok());
+    tman_ = std::make_unique<TriggerManager>(db_.get(), options);
+    ASSERT_TRUE(tman_->Open().ok());
+    ASSERT_TRUE(tman_->DefineLocalTableSource("emp").ok());
+  }
+
+  void Exec(const std::string& cmd) {
+    auto r = tman_->ExecuteCommand(cmd);
+    ASSERT_TRUE(r.ok()) << cmd << " -> " << r.status().ToString();
+  }
+
+  void InsertEmp(const std::string& name, double salary, int64_t dept) {
+    ASSERT_TRUE(db_->Insert("emp", Tuple({Value::String(name),
+                                          Value::Float(salary),
+                                          Value::Int(dept)}))
+                    .ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TriggerManager> tman_;
+};
+
+TEST_F(TriggerManagerTest, EndToEndRaiseEvent) {
+  Exec("create trigger bigSalary from emp on insert "
+       "when emp.salary > 80000 do raise event BigHire(emp.name)");
+
+  InsertEmp("Bob", 90000, 1);
+  InsertEmp("Carl", 20000, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+
+  auto events = tman_->events().History();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "BigHire");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].as_string(), "Bob");
+  EXPECT_EQ(tman_->stats().rule_firings, 1u);
+}
+
+TEST_F(TriggerManagerTest, PaperExampleUpdateFred) {
+  InsertEmp("Bob", 50000, 1);
+  InsertEmp("Fred", 10000, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());  // drain capture noise
+
+  Exec("create trigger updateFred from emp on update(emp.salary) "
+       "when emp.name = 'Bob' "
+       "do execSQL 'update emp set salary=:NEW.emp.salary where "
+       "emp.name=''Fred'''");
+
+  // Raise Bob's salary; the trigger mirrors it onto Fred.
+  auto r = ExecuteSql(db_.get(), "UPDATE emp SET salary = 60000 "
+                                 "WHERE name = 'Bob'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+
+  auto fred = ExecuteSql(db_.get(),
+                         "SELECT salary FROM emp WHERE name = 'Fred'");
+  ASSERT_TRUE(fred.ok());
+  ASSERT_EQ(fred->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(fred->rows[0].at(0).as_float(), 60000);
+}
+
+TEST_F(TriggerManagerTest, UpdateColumnFilterEndToEnd) {
+  Exec("create trigger salaryWatch from emp on update(emp.salary) "
+       "do raise event SalaryChanged(emp.name)");
+  InsertEmp("Ann", 100, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 0u);  // insert is not update
+
+  // Changing dept only: no firing.
+  ASSERT_TRUE(
+      ExecuteSql(db_.get(), "UPDATE emp SET dept = 2 WHERE name = 'Ann'")
+          .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 0u);
+
+  // Changing salary: fires.
+  ASSERT_TRUE(
+      ExecuteSql(db_.get(), "UPDATE emp SET salary = 200 WHERE name = 'Ann'")
+          .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, OldMacroInExecSqlAction) {
+  ASSERT_TRUE(db_->CreateTable("audit", Schema({{"who", DataType::kVarchar},
+                                                {"before", DataType::kFloat},
+                                                {"after", DataType::kFloat}}))
+                  .ok());
+  InsertEmp("Bob", 100, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  Exec("create trigger auditRaise from emp on update(emp.salary) "
+       "do execSQL 'insert into audit values (:NEW.emp.name, "
+       ":OLD.emp.salary, :NEW.emp.salary)'");
+  ASSERT_TRUE(
+      ExecuteSql(db_.get(), "UPDATE emp SET salary = 150 WHERE name = 'Bob'")
+          .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  auto rows = ExecuteSql(db_.get(), "SELECT * FROM audit");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).as_string(), "Bob");
+  EXPECT_DOUBLE_EQ(rows->rows[0].at(1).as_float(), 100);
+  EXPECT_DOUBLE_EQ(rows->rows[0].at(2).as_float(), 150);
+}
+
+TEST_F(TriggerManagerTest, DeleteEventTrigger) {
+  Exec("create trigger onGone from emp on delete from emp "
+       "do raise event Gone(emp.name)");
+  InsertEmp("Zed", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 0u);
+  ASSERT_TRUE(
+      ExecuteSql(db_.get(), "DELETE FROM emp WHERE name = 'Zed'").ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  auto events = tman_->events().History();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "Gone");
+  EXPECT_EQ(events[0].args[0].as_string(), "Zed");
+}
+
+TEST_F(TriggerManagerTest, EnableDisableTrigger) {
+  Exec("create trigger t from emp on insert do raise event E(emp.name)");
+  Exec("disable trigger t");
+  InsertEmp("A", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 0u);
+  Exec("enable trigger t");
+  InsertEmp("B", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, TriggerSetsDisableMembers) {
+  Exec("create trigger set batch 'batch triggers'");
+  Exec("create trigger t1 in batch from emp on insert do raise event E()");
+  Exec("create trigger t2 from emp on insert do raise event F()");
+  Exec("disable trigger set batch");
+  InsertEmp("A", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  auto events = tman_->events().History();
+  ASSERT_EQ(events.size(), 1u);  // only t2 (default set) fired
+  EXPECT_EQ(events[0].name, "F");
+}
+
+TEST_F(TriggerManagerTest, DropTriggerStopsFiring) {
+  Exec("create trigger t from emp on insert do raise event E()");
+  InsertEmp("A", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+  Exec("drop trigger t");
+  InsertEmp("B", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+  EXPECT_EQ(tman_->predicate_index().stats().num_predicates, 0u);
+}
+
+TEST_F(TriggerManagerTest, DuplicateTriggerNameRejected) {
+  Exec("create trigger t from emp on insert do raise event E()");
+  auto r = tman_->ExecuteCommand(
+      "create trigger t from emp on insert do raise event E()");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TriggerManagerTest, BadTriggerLeavesNoCatalogResidue) {
+  auto r = tman_->ExecuteCommand(
+      "create trigger bad from emp when emp.bogus = 1 do raise event E()");
+  EXPECT_FALSE(r.ok());
+  // Name is reusable: the catalog row was rolled back.
+  Exec("create trigger bad from emp on insert do raise event E()");
+}
+
+TEST_F(TriggerManagerTest, StreamSourceSubmitUpdate) {
+  Schema quotes({{"symbol", DataType::kVarchar}, {"price", DataType::kFloat}});
+  auto ds = tman_->DefineStreamSource("quotes", quotes);
+  ASSERT_TRUE(ds.ok());
+  Exec("create trigger alert from quotes "
+       "when quotes.symbol = 'ACME' and quotes.price > 100 "
+       "do raise event PriceAlert(quotes.price)");
+
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds, Tuple({Value::String("ACME"), Value::Float(150)})))
+                  .ok());
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds, Tuple({Value::String("ACME"), Value::Float(50)})))
+                  .ok());
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds, Tuple({Value::String("XYZ"), Value::Float(500)})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  ASSERT_EQ(tman_->events().num_raised(), 1u);
+  EXPECT_DOUBLE_EQ(tman_->events().History()[0].args[0].as_float(), 150);
+}
+
+TEST_F(TriggerManagerTest, JoinTriggerIrisHouseAlert) {
+  // Build the paper's real-estate schema as local tables.
+  ASSERT_TRUE(db_->CreateTable("salesperson",
+                               Schema({{"spno", DataType::kInt},
+                                       {"name", DataType::kVarchar},
+                                       {"phone", DataType::kVarchar}}))
+                  .ok());
+  ASSERT_TRUE(db_->CreateTable("house", Schema({{"hno", DataType::kInt},
+                                                {"address",
+                                                 DataType::kVarchar},
+                                                {"price", DataType::kFloat},
+                                                {"nno", DataType::kInt},
+                                                {"spno", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db_->CreateTable("represents",
+                               Schema({{"spno", DataType::kInt},
+                                       {"nno", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(tman_->DefineLocalTableSource("salesperson").ok());
+  ASSERT_TRUE(tman_->DefineLocalTableSource("house").ok());
+  ASSERT_TRUE(tman_->DefineLocalTableSource("represents").ok());
+
+  ASSERT_TRUE(db_->Insert("salesperson",
+                          Tuple({Value::Int(1), Value::String("Iris"),
+                                 Value::String("555")}))
+                  .ok());
+  ASSERT_TRUE(
+      db_->Insert("represents", Tuple({Value::Int(1), Value::Int(10)})).ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+
+  Exec("create trigger IrisHouseAlert on insert to house "
+       "from salesperson s, house h, represents r "
+       "when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno "
+       "do raise event NewHouseInIrisNeighborhood(h.hno, h.address)");
+
+  // A house in Iris's neighborhood fires the alert.
+  ASSERT_TRUE(db_->Insert("house",
+                          Tuple({Value::Int(7), Value::String("12 Oak"),
+                                 Value::Float(250000), Value::Int(10),
+                                 Value::Int(1)}))
+                  .ok());
+  // A house elsewhere does not.
+  ASSERT_TRUE(db_->Insert("house",
+                          Tuple({Value::Int(8), Value::String("9 Elm"),
+                                 Value::Float(90000), Value::Int(99),
+                                 Value::Int(1)}))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+
+  auto events = tman_->events().History();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "NewHouseInIrisNeighborhood");
+  EXPECT_EQ(events[0].args[0].as_int(), 7);
+  EXPECT_EQ(events[0].args[1].as_string(), "12 Oak");
+
+  // Tuple variables without an explicit on-event are implicitly
+  // insert-or-update (§5): a new represents row that completes the join
+  // for the existing house 8 fires the trigger too.
+  ASSERT_TRUE(
+      db_->Insert("represents", Tuple({Value::Int(1), Value::Int(99)})).ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 2u);
+  EXPECT_EQ(tman_->events().History()[1].args[0].as_int(), 8);
+
+  // And future houses in the newly represented neighborhood fire as well
+  // (virtual alpha nodes read current table state).
+  ASSERT_TRUE(db_->Insert("house",
+                          Tuple({Value::Int(9), Value::String("3 Fir"),
+                                 Value::Float(1), Value::Int(99),
+                                 Value::Int(1)}))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 3u);
+}
+
+TEST_F(TriggerManagerTest, MultiVarStreamUsesStoredMemories) {
+  Schema orders({{"oid", DataType::kInt}, {"cust", DataType::kInt}});
+  Schema shipments({{"oid", DataType::kInt}, {"status", DataType::kVarchar}});
+  auto ds_o = tman_->DefineStreamSource("orders", orders);
+  auto ds_s = tman_->DefineStreamSource("shipments", shipments);
+  ASSERT_TRUE(ds_o.ok() && ds_s.ok());
+  Exec("create trigger shipped from orders o, shipments s "
+       "when o.oid = s.oid and s.status = 'shipped' "
+       "do raise event OrderShipped(o.oid, o.cust)");
+
+  // Order arrives first (stored in o's alpha memory), then the shipment.
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds_o, Tuple({Value::Int(1), Value::Int(42)})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 0u);
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds_s, Tuple({Value::Int(1),
+                                    Value::String("shipped")})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  ASSERT_EQ(tman_->events().num_raised(), 1u);
+  EXPECT_EQ(tman_->events().History()[0].args[1].as_int(), 42);
+
+  // Delete the order; a duplicate shipment no longer fires.
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Delete(
+                      *ds_o, Tuple({Value::Int(1), Value::Int(42)})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      *ds_s, Tuple({Value::Int(1),
+                                    Value::String("shipped")})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, AsyncDriversProcessUpdates) {
+  TriggerManagerOptions options;
+  options.driver_config.num_drivers = 2;
+  options.driver_config.period = std::chrono::milliseconds(5);
+  Reset(options);
+  Exec("create trigger t from emp on insert when emp.dept = 1 "
+       "do raise event E(emp.name)");
+  ASSERT_TRUE(tman_->Start().ok());
+  for (int i = 0; i < 200; ++i) {
+    InsertEmp("e" + std::to_string(i), 1, i % 2);
+  }
+  tman_->Drain();
+  tman_->Stop();
+  EXPECT_EQ(tman_->events().num_raised(), 100u);
+}
+
+TEST_F(TriggerManagerTest, ConditionPartitionsCoverAllTriggers) {
+  TriggerManagerOptions options;
+  options.condition_partitions = 4;
+  Reset(options);
+  for (int i = 0; i < 10; ++i) {
+    Exec("create trigger t" + std::to_string(i) +
+         " from emp on insert when emp.dept = 1 do raise event E()");
+  }
+  InsertEmp("x", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 10u);  // exactly once each
+}
+
+TEST_F(TriggerManagerTest, ConcurrentActionsRunAsTasks) {
+  TriggerManagerOptions options;
+  options.concurrent_actions = true;
+  Reset(options);
+  Exec("create trigger t from emp on insert do raise event E(emp.name)");
+  InsertEmp("x", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, MemoryQueueModeWorks) {
+  TriggerManagerOptions options;
+  options.persistent_queue = false;
+  Reset(options);
+  Exec("create trigger t from emp on insert do raise event E()");
+  InsertEmp("x", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, TriggersSurviveReopen) {
+  Exec("create trigger t from emp on insert when emp.dept = 7 "
+       "do raise event E(emp.name)");
+  tman_.reset();  // shut down the first instance
+
+  // A new TriggerMan over the same database: Open restores data sources
+  // from the catalog and reloads triggers.
+  tman_ = std::make_unique<TriggerManager>(db_.get());
+  ASSERT_TRUE(tman_->Open().ok());
+  EXPECT_EQ(tman_->predicate_index().stats().num_predicates, 1u);
+
+  InsertEmp("back", 1, 7);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  ASSERT_EQ(tman_->events().num_raised(), 1u);
+  EXPECT_EQ(tman_->events().History()[0].args[0].as_string(), "back");
+}
+
+TEST_F(TriggerManagerTest, StreamSourcesSurviveReopen) {
+  Schema quotes({{"symbol", DataType::kVarchar},
+                 {"price", DataType::kFloat}});
+  ASSERT_TRUE(tman_->DefineStreamSource("quotes", quotes).ok());
+  Exec("create trigger alert from quotes when quotes.price > 100 "
+       "do raise event Alert(quotes.symbol)");
+  tman_.reset();
+
+  tman_ = std::make_unique<TriggerManager>(db_.get());
+  ASSERT_TRUE(tman_->Open().ok());  // restores the stream's schema too
+  auto info = tman_->sources().Lookup("quotes");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->schema.num_fields(), 2u);
+  ASSERT_TRUE(tman_->SubmitUpdate(UpdateDescriptor::Insert(
+                      info->id,
+                      Tuple({Value::String("ACME"), Value::Float(150)})))
+                  .ok());
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 1u);
+}
+
+TEST_F(TriggerManagerTest, CacheEvictionReloadsDuringFiring) {
+  TriggerManagerOptions options;
+  options.trigger_cache_capacity = 2;  // tiny: constant eviction
+  Reset(options);
+  for (int i = 0; i < 8; ++i) {
+    Exec("create trigger t" + std::to_string(i) +
+         " from emp on insert when emp.dept = " + std::to_string(i) +
+         " do raise event E" + std::to_string(i) + "()");
+  }
+  for (int64_t d = 0; d < 8; ++d) {
+    InsertEmp("x", 1, d);
+  }
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 8u);
+  EXPECT_GT(tman_->cache().stats().evictions, 0u);
+  EXPECT_GT(tman_->cache().stats().misses, 0u);
+}
+
+TEST_F(TriggerManagerTest, GroupByOverJoinsRejectedAsFutureWork) {
+  ASSERT_TRUE(db_->CreateTable("dept", Schema({{"dno", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(tman_->DefineLocalTableSource("dept").ok());
+  auto r = tman_->ExecuteCommand(
+      "create trigger agg from emp e, dept d group by e.dept "
+      "having count(e.dept) > 5 do raise event TooMany()");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+  // having without group by is invalid.
+  auto r2 = tman_->ExecuteCommand(
+      "create trigger agg2 from emp having count(dept) > 5 "
+      "do raise event TooMany()");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST_F(TriggerManagerTest, ScriptExecution) {
+  auto r = tman_->ExecuteScript(
+      "create trigger set s1 'x'; "
+      "create trigger a in s1 from emp on insert do raise event A(); "
+      "create trigger b from emp on insert do raise event B()");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  InsertEmp("q", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(tman_->events().num_raised(), 2u);
+}
+
+TEST_F(TriggerManagerTest, EventConsumersNotified) {
+  Exec("create trigger t from emp on insert do raise event Ping(emp.name)");
+  std::vector<std::string> received;
+  uint64_t reg = tman_->events().Register("Ping", [&](const Event& e) {
+    received.push_back(e.args[0].as_string());
+  });
+  InsertEmp("n1", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "n1");
+  tman_->events().Unregister(reg);
+  InsertEmp("n2", 1, 1);
+  ASSERT_TRUE(tman_->ProcessPending().ok());
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(TriggerManagerTest, PinTriggerExposesRuntime) {
+  Exec("create trigger t from emp on insert when emp.dept = 1 "
+       "do raise event E()");
+  auto handle = tman_->PinTrigger("t");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->name, "t");
+  EXPECT_EQ((*handle)->graph.nodes().size(), 1u);
+  EXPECT_FALSE((*handle)->multi_variable());
+  EXPECT_FALSE(tman_->PinTrigger("none").ok());
+}
+
+}  // namespace
+}  // namespace tman

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace tman {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  TMAN_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_FALSE(Propagates(-1).ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TMAN_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC_12"), "abc_12");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "sELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \n\t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("create trigger", "create"));
+  EXPECT_FALSE(StartsWith("crea", "create"));
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(MixInt(1), MixInt(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator z(100, 0.0, 1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = z.Next();
+    EXPECT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 90u);  // nearly all values hit
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  ZipfGenerator z(1000, 0.99, 1);
+  uint64_t low = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.Next() < 10) ++low;
+  }
+  // With theta=0.99 the top-10 of 1000 items should absorb a large
+  // fraction of draws; uniform would give ~1%.
+  EXPECT_GT(low, kDraws / 5);
+}
+
+TEST(ZipfTest, BoundsRespected) {
+  ZipfGenerator z(3, 0.9, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.Next(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace tman
