@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gator.dir/bench_gator.cc.o"
+  "CMakeFiles/bench_gator.dir/bench_gator.cc.o.d"
+  "bench_gator"
+  "bench_gator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

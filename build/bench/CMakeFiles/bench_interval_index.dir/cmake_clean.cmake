@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_index.dir/bench_interval_index.cc.o"
+  "CMakeFiles/bench_interval_index.dir/bench_interval_index.cc.o.d"
+  "bench_interval_index"
+  "bench_interval_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

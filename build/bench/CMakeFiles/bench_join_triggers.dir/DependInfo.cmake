@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_join_triggers.cc" "bench/CMakeFiles/bench_join_triggers.dir/bench_join_triggers.cc.o" "gcc" "bench/CMakeFiles/bench_join_triggers.dir/bench_join_triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tman_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predindex/CMakeFiles/tman_predindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tman_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tman_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tman_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tman_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tman_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/tman_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/tman_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tman_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tman_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

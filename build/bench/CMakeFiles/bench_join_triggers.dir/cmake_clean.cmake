@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_triggers.dir/bench_join_triggers.cc.o"
+  "CMakeFiles/bench_join_triggers.dir/bench_join_triggers.cc.o.d"
+  "bench_join_triggers"
+  "bench_join_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_organizations.dir/bench_organizations.cc.o"
+  "CMakeFiles/bench_organizations.dir/bench_organizations.cc.o.d"
+  "bench_organizations"
+  "bench_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predicate_index.dir/bench_predicate_index.cc.o"
+  "CMakeFiles/bench_predicate_index.dir/bench_predicate_index.cc.o.d"
+  "bench_predicate_index"
+  "bench_predicate_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predicate_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

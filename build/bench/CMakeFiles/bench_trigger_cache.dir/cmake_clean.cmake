@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trigger_cache.dir/bench_trigger_cache.cc.o"
+  "CMakeFiles/bench_trigger_cache.dir/bench_trigger_cache.cc.o.d"
+  "bench_trigger_cache"
+  "bench_trigger_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trigger_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

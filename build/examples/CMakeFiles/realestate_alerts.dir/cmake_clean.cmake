@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realestate_alerts.dir/realestate_alerts.cpp.o"
+  "CMakeFiles/realestate_alerts.dir/realestate_alerts.cpp.o.d"
+  "realestate_alerts"
+  "realestate_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realestate_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_policies.dir/salary_policies.cpp.o"
+  "CMakeFiles/salary_policies.dir/salary_policies.cpp.o.d"
+  "salary_policies"
+  "salary_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

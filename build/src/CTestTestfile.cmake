@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("types")
+subdirs("storage")
+subdirs("expr")
+subdirs("parser")
+subdirs("db")
+subdirs("predindex")
+subdirs("cache")
+subdirs("catalog")
+subdirs("network")
+subdirs("runtime")
+subdirs("core")

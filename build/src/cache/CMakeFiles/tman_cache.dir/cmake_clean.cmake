@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_cache.dir/trigger_cache.cc.o"
+  "CMakeFiles/tman_cache.dir/trigger_cache.cc.o.d"
+  "libtman_cache.a"
+  "libtman_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_catalog.dir/trigger_catalog.cc.o"
+  "CMakeFiles/tman_catalog.dir/trigger_catalog.cc.o.d"
+  "libtman_catalog.a"
+  "libtman_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

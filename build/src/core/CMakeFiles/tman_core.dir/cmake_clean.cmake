@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_core.dir/actions.cc.o"
+  "CMakeFiles/tman_core.dir/actions.cc.o.d"
+  "CMakeFiles/tman_core.dir/aggregates.cc.o"
+  "CMakeFiles/tman_core.dir/aggregates.cc.o.d"
+  "CMakeFiles/tman_core.dir/client.cc.o"
+  "CMakeFiles/tman_core.dir/client.cc.o.d"
+  "CMakeFiles/tman_core.dir/data_source.cc.o"
+  "CMakeFiles/tman_core.dir/data_source.cc.o.d"
+  "CMakeFiles/tman_core.dir/events.cc.o"
+  "CMakeFiles/tman_core.dir/events.cc.o.d"
+  "CMakeFiles/tman_core.dir/trigger_manager.cc.o"
+  "CMakeFiles/tman_core.dir/trigger_manager.cc.o.d"
+  "libtman_core.a"
+  "libtman_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

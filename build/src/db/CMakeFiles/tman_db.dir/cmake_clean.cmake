@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_db.dir/database.cc.o"
+  "CMakeFiles/tman_db.dir/database.cc.o.d"
+  "CMakeFiles/tman_db.dir/sql.cc.o"
+  "CMakeFiles/tman_db.dir/sql.cc.o.d"
+  "libtman_db.a"
+  "libtman_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

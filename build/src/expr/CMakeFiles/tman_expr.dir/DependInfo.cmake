@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/cnf.cc" "src/expr/CMakeFiles/tman_expr.dir/cnf.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/cnf.cc.o.d"
+  "/root/repo/src/expr/condition_graph.cc" "src/expr/CMakeFiles/tman_expr.dir/condition_graph.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/condition_graph.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/expr/CMakeFiles/tman_expr.dir/eval.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/tman_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/rewrite.cc" "src/expr/CMakeFiles/tman_expr.dir/rewrite.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/rewrite.cc.o.d"
+  "/root/repo/src/expr/signature.cc" "src/expr/CMakeFiles/tman_expr.dir/signature.cc.o" "gcc" "src/expr/CMakeFiles/tman_expr.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/tman_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

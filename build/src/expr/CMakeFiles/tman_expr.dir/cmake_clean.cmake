@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_expr.dir/cnf.cc.o"
+  "CMakeFiles/tman_expr.dir/cnf.cc.o.d"
+  "CMakeFiles/tman_expr.dir/condition_graph.cc.o"
+  "CMakeFiles/tman_expr.dir/condition_graph.cc.o.d"
+  "CMakeFiles/tman_expr.dir/eval.cc.o"
+  "CMakeFiles/tman_expr.dir/eval.cc.o.d"
+  "CMakeFiles/tman_expr.dir/expr.cc.o"
+  "CMakeFiles/tman_expr.dir/expr.cc.o.d"
+  "CMakeFiles/tman_expr.dir/rewrite.cc.o"
+  "CMakeFiles/tman_expr.dir/rewrite.cc.o.d"
+  "CMakeFiles/tman_expr.dir/signature.cc.o"
+  "CMakeFiles/tman_expr.dir/signature.cc.o.d"
+  "libtman_expr.a"
+  "libtman_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

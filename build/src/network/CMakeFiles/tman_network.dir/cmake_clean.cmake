@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_network.dir/alpha_memory.cc.o"
+  "CMakeFiles/tman_network.dir/alpha_memory.cc.o.d"
+  "CMakeFiles/tman_network.dir/atreat.cc.o"
+  "CMakeFiles/tman_network.dir/atreat.cc.o.d"
+  "CMakeFiles/tman_network.dir/gator.cc.o"
+  "CMakeFiles/tman_network.dir/gator.cc.o.d"
+  "libtman_network.a"
+  "libtman_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

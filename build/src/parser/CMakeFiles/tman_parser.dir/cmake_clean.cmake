@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_parser.dir/lexer.cc.o"
+  "CMakeFiles/tman_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/tman_parser.dir/parser.cc.o"
+  "CMakeFiles/tman_parser.dir/parser.cc.o.d"
+  "libtman_parser.a"
+  "libtman_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predindex/cost_model.cc" "src/predindex/CMakeFiles/tman_predindex.dir/cost_model.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/cost_model.cc.o.d"
+  "/root/repo/src/predindex/interval_index.cc" "src/predindex/CMakeFiles/tman_predindex.dir/interval_index.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/interval_index.cc.o.d"
+  "/root/repo/src/predindex/org_common.cc" "src/predindex/CMakeFiles/tman_predindex.dir/org_common.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/org_common.cc.o.d"
+  "/root/repo/src/predindex/org_db.cc" "src/predindex/CMakeFiles/tman_predindex.dir/org_db.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/org_db.cc.o.d"
+  "/root/repo/src/predindex/org_memory.cc" "src/predindex/CMakeFiles/tman_predindex.dir/org_memory.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/org_memory.cc.o.d"
+  "/root/repo/src/predindex/organization.cc" "src/predindex/CMakeFiles/tman_predindex.dir/organization.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/organization.cc.o.d"
+  "/root/repo/src/predindex/predicate_index.cc" "src/predindex/CMakeFiles/tman_predindex.dir/predicate_index.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/predicate_index.cc.o.d"
+  "/root/repo/src/predindex/signature_index.cc" "src/predindex/CMakeFiles/tman_predindex.dir/signature_index.cc.o" "gcc" "src/predindex/CMakeFiles/tman_predindex.dir/signature_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/tman_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/tman_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/tman_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tman_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tman_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tman_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

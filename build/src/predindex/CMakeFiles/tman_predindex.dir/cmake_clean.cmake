@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_predindex.dir/cost_model.cc.o"
+  "CMakeFiles/tman_predindex.dir/cost_model.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/interval_index.cc.o"
+  "CMakeFiles/tman_predindex.dir/interval_index.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/org_common.cc.o"
+  "CMakeFiles/tman_predindex.dir/org_common.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/org_db.cc.o"
+  "CMakeFiles/tman_predindex.dir/org_db.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/org_memory.cc.o"
+  "CMakeFiles/tman_predindex.dir/org_memory.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/organization.cc.o"
+  "CMakeFiles/tman_predindex.dir/organization.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/predicate_index.cc.o"
+  "CMakeFiles/tman_predindex.dir/predicate_index.cc.o.d"
+  "CMakeFiles/tman_predindex.dir/signature_index.cc.o"
+  "CMakeFiles/tman_predindex.dir/signature_index.cc.o.d"
+  "libtman_predindex.a"
+  "libtman_predindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_predindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

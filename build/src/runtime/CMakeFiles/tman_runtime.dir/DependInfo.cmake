@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/driver.cc" "src/runtime/CMakeFiles/tman_runtime.dir/driver.cc.o" "gcc" "src/runtime/CMakeFiles/tman_runtime.dir/driver.cc.o.d"
+  "/root/repo/src/runtime/task_queue.cc" "src/runtime/CMakeFiles/tman_runtime.dir/task_queue.cc.o" "gcc" "src/runtime/CMakeFiles/tman_runtime.dir/task_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_runtime.dir/driver.cc.o"
+  "CMakeFiles/tman_runtime.dir/driver.cc.o.d"
+  "CMakeFiles/tman_runtime.dir/task_queue.cc.o"
+  "CMakeFiles/tman_runtime.dir/task_queue.cc.o.d"
+  "libtman_runtime.a"
+  "libtman_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cc" "src/storage/CMakeFiles/tman_storage.dir/bptree.cc.o" "gcc" "src/storage/CMakeFiles/tman_storage.dir/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/tman_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/tman_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/tman_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/tman_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/storage/CMakeFiles/tman_storage.dir/heap_table.cc.o" "gcc" "src/storage/CMakeFiles/tman_storage.dir/heap_table.cc.o.d"
+  "/root/repo/src/storage/table_queue.cc" "src/storage/CMakeFiles/tman_storage.dir/table_queue.cc.o" "gcc" "src/storage/CMakeFiles/tman_storage.dir/table_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/tman_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tman_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

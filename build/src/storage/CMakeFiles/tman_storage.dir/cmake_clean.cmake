@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_storage.dir/bptree.cc.o"
+  "CMakeFiles/tman_storage.dir/bptree.cc.o.d"
+  "CMakeFiles/tman_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/tman_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/tman_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/tman_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/tman_storage.dir/heap_table.cc.o"
+  "CMakeFiles/tman_storage.dir/heap_table.cc.o.d"
+  "CMakeFiles/tman_storage.dir/table_queue.cc.o"
+  "CMakeFiles/tman_storage.dir/table_queue.cc.o.d"
+  "libtman_storage.a"
+  "libtman_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_types.dir/data_type.cc.o"
+  "CMakeFiles/tman_types.dir/data_type.cc.o.d"
+  "CMakeFiles/tman_types.dir/schema.cc.o"
+  "CMakeFiles/tman_types.dir/schema.cc.o.d"
+  "CMakeFiles/tman_types.dir/tuple.cc.o"
+  "CMakeFiles/tman_types.dir/tuple.cc.o.d"
+  "CMakeFiles/tman_types.dir/update_descriptor.cc.o"
+  "CMakeFiles/tman_types.dir/update_descriptor.cc.o.d"
+  "CMakeFiles/tman_types.dir/value.cc.o"
+  "CMakeFiles/tman_types.dir/value.cc.o.d"
+  "libtman_types.a"
+  "libtman_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_util.dir/logging.cc.o"
+  "CMakeFiles/tman_util.dir/logging.cc.o.d"
+  "CMakeFiles/tman_util.dir/random.cc.o"
+  "CMakeFiles/tman_util.dir/random.cc.o.d"
+  "CMakeFiles/tman_util.dir/status.cc.o"
+  "CMakeFiles/tman_util.dir/status.cc.o.d"
+  "CMakeFiles/tman_util.dir/string_util.cc.o"
+  "CMakeFiles/tman_util.dir/string_util.cc.o.d"
+  "libtman_util.a"
+  "libtman_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

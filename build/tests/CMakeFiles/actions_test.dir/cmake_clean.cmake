@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actions_test.dir/actions_test.cc.o"
+  "CMakeFiles/actions_test.dir/actions_test.cc.o.d"
+  "actions_test"
+  "actions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnf_test.dir/cnf_test.cc.o"
+  "CMakeFiles/cnf_test.dir/cnf_test.cc.o.d"
+  "cnf_test"
+  "cnf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_test.dir/gator_test.cc.o"
+  "CMakeFiles/gator_test.dir/gator_test.cc.o.d"
+  "gator_test"
+  "gator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

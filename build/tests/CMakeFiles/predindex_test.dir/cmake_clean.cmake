@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predindex_test.dir/predindex_test.cc.o"
+  "CMakeFiles/predindex_test.dir/predindex_test.cc.o.d"
+  "predindex_test"
+  "predindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

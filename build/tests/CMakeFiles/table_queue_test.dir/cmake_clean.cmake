@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_queue_test.dir/table_queue_test.cc.o"
+  "CMakeFiles/table_queue_test.dir/table_queue_test.cc.o.d"
+  "table_queue_test"
+  "table_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
