@@ -1,0 +1,16 @@
+#include "runtime/clock.h"
+
+#include <thread>
+
+namespace tman {
+
+Clock::TimePoint SystemClock::Now() { return std::chrono::steady_clock::now(); }
+
+void SystemClock::Yield() { std::this_thread::yield(); }
+
+Clock* Clock::Real() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace tman

@@ -1,0 +1,75 @@
+#ifndef TRIGGERMAN_RUNTIME_CLOCK_H_
+#define TRIGGERMAN_RUNTIME_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tman {
+
+/// Time source seam for the runtime (§6's THRESHOLD / period T logic).
+/// Production code uses the process-wide SystemClock; deterministic tests
+/// substitute a VirtualClock so time-dependent control flow (THRESHOLD
+/// expiry mid-batch, driver wakeups) is driven explicitly instead of by
+/// the wall clock.
+class Clock {
+ public:
+  using Duration = std::chrono::nanoseconds;
+  using TimePoint = std::chrono::time_point<std::chrono::steady_clock>;
+
+  virtual ~Clock() = default;
+
+  /// Current time. VirtualClock implementations may advance per call.
+  virtual TimePoint Now() = 0;
+
+  /// Cooperative yield point between tasks (the paper's mi_yield).
+  virtual void Yield() = 0;
+
+  /// Process-wide real (steady) clock.
+  static Clock* Real();
+};
+
+/// The real clock: steady_clock time, std::this_thread::yield.
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() override;
+  void Yield() override;
+};
+
+/// Manually advanced clock for deterministic tests. Starts at an
+/// arbitrary fixed epoch; Now() optionally auto-advances by a fixed step
+/// per call so loops like TmanTest's THRESHOLD check consume virtual time
+/// at a known rate (e.g. auto_advance = 100ms with THRESHOLD = 250ms
+/// checks elapsed time at 100/200/300ms and so admits exactly two
+/// tasks). Thread-safe.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Duration auto_advance = Duration::zero())
+      : auto_advance_ns_(auto_advance.count()) {}
+
+  TimePoint Now() override {
+    int64_t ns = now_ns_.fetch_add(auto_advance_ns_,
+                                   std::memory_order_relaxed);
+    return TimePoint(Duration(ns));
+  }
+
+  void Yield() override {}
+
+  /// Moves virtual time forward by `d`.
+  void Advance(Duration d) {
+    now_ns_.fetch_add(d.count(), std::memory_order_relaxed);
+  }
+
+  /// Virtual nanoseconds since construction.
+  int64_t elapsed_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_{0};
+  const int64_t auto_advance_ns_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_RUNTIME_CLOCK_H_

@@ -1,0 +1,67 @@
+#include "runtime/deterministic.h"
+
+namespace tman {
+
+void DeterministicScheduler::AddActor(std::string name, StepFn step) {
+  Actor actor;
+  actor.name = std::move(name);
+  actor.step = std::move(step);
+  actors_.push_back(std::move(actor));
+}
+
+bool DeterministicScheduler::Step() {
+  // Collect runnable actors; index order is stable so the RNG draw alone
+  // decides the schedule.
+  std::vector<size_t> runnable;
+  runnable.reserve(actors_.size());
+  for (size_t i = 0; i < actors_.size(); ++i) {
+    if (!actors_[i].done) runnable.push_back(i);
+  }
+  if (runnable.empty()) return false;
+  Actor& actor = actors_[runnable[rng_.Uniform(runnable.size())]];
+  trace_.push_back(actor.name + "#" + std::to_string(actor.steps));
+  ++actor.steps;
+  if (!actor.step()) {
+    actor.done = true;
+    trace_.push_back(actor.name + ":done");
+  }
+  return true;
+}
+
+uint64_t DeterministicScheduler::Run(uint64_t max_steps) {
+  uint64_t steps = 0;
+  while (steps < max_steps && Step()) ++steps;
+  return steps;
+}
+
+std::string DeterministicScheduler::TraceString() const {
+  std::string out;
+  for (const std::string& e : trace_) {
+    out += e;
+    out += '\n';
+  }
+  return out;
+}
+
+void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
+                         TaskQueue* queue,
+                         std::function<bool()> no_more_work) {
+  std::string label = name;
+  sched->AddActor(std::move(name),
+                  [sched, label, queue, fn = std::move(no_more_work)] {
+                    Task task;
+                    if (queue->TryPop(&task)) {
+                      Status s = task.work();
+                      queue->MarkDone();
+                      sched->Note(label + ":ran:" +
+                                  std::string(TaskKindName(task.kind)) +
+                                  (s.ok() ? "" : ":" + s.ToString()));
+                      return true;
+                    }
+                    // Nothing to pop: stay alive while producers may still
+                    // push, otherwise finish.
+                    return !fn();
+                  });
+}
+
+}  // namespace tman

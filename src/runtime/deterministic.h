@@ -1,0 +1,89 @@
+#ifndef TRIGGERMAN_RUNTIME_DETERMINISTIC_H_
+#define TRIGGERMAN_RUNTIME_DETERMINISTIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/task_queue.h"
+#include "util/random.h"
+
+namespace tman {
+
+/// A deterministic, single-threaded cooperative scheduler for concurrency
+/// testing. The §6 architecture (shared task queue + N drivers + token
+/// sources) is modeled as a set of *actors*, each contributing one atomic
+/// step at a time (push one token, pop-and-run one task, create one
+/// trigger, ...). At every scheduling point a PRNG seeded from the
+/// constructor picks which runnable actor executes next, so
+///
+///   * every interleaving the scheduler produces is a function of the
+///     seed alone — a failing schedule replays exactly from its seed;
+///   * sweeping seeds explores distinct interleavings of the same
+///     workload without wall-clock races or stress-test luck.
+///
+/// Every step (and every actor-reported Note) is appended to an event
+/// trace; two runs with the same seed and the same actors produce
+/// byte-identical traces, which is the reproducibility contract the
+/// deterministic schedule tests assert.
+class DeterministicScheduler {
+ public:
+  /// A step returns false when the actor has no more work (it is then
+  /// never scheduled again).
+  using StepFn = std::function<bool()>;
+
+  explicit DeterministicScheduler(uint64_t seed)
+      : seed_(seed), rng_(seed) {}
+
+  DeterministicScheduler(const DeterministicScheduler&) = delete;
+  DeterministicScheduler& operator=(const DeterministicScheduler&) = delete;
+
+  /// Registers an actor. Names appear in the trace; keep them short.
+  void AddActor(std::string name, StepFn step);
+
+  /// Executes one step of one randomly chosen runnable actor. Returns
+  /// false when every actor has finished.
+  bool Step();
+
+  /// Runs until all actors finish or `max_steps` is hit; returns the
+  /// number of steps executed.
+  uint64_t Run(uint64_t max_steps = 1000000);
+
+  /// Appends a custom event to the trace (called from inside actor steps
+  /// to record observations, e.g. queue events or match results).
+  void Note(std::string event) { trace_.push_back(std::move(event)); }
+
+  uint64_t seed() const { return seed_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// The trace as one newline-joined string (for failure messages and
+  /// golden comparisons).
+  std::string TraceString() const;
+
+ private:
+  struct Actor {
+    std::string name;
+    StepFn step;
+    bool done = false;
+    uint64_t steps = 0;
+  };
+
+  uint64_t seed_;
+  Random rng_;
+  std::vector<Actor> actors_;
+  std::vector<std::string> trace_;
+};
+
+/// Registers a driver actor over `queue`: each step pops one task with
+/// TryPop and runs it (mirroring one TmanTest loop iteration at step
+/// granularity). The actor reports itself done when the queue is empty
+/// and `no_more_work` returns true (e.g. "all producer actors finished").
+/// Task statuses are recorded in the scheduler trace.
+void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
+                         TaskQueue* queue,
+                         std::function<bool()> no_more_work);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_RUNTIME_DETERMINISTIC_H_

@@ -4,6 +4,27 @@
 
 namespace tman {
 
+namespace {
+
+/// Runs one popped task through the fault-injection seam, updating the
+/// executor counters. Shared by the TmanTest loop and the driver wakeup
+/// path so both report errors identically.
+void RunOneTask(TaskQueue* queue, Task* task, ExecutorStats* stats,
+                FaultInjector* fault_injector) {
+  Status s = fault_injector != nullptr ? fault_injector->Check("executor.task")
+                                       : Status::OK();
+  if (s.ok()) s = task->work();
+  queue->MarkDone();
+  ++stats->tasks_executed;
+  if (!s.ok()) {
+    ++stats->task_errors;
+    TMAN_LOG(kWarn) << "task (" << TaskKindName(task->kind)
+                    << ") failed: " << s.ToString();
+  }
+}
+
+}  // namespace
+
 uint32_t ComputeNumDrivers(const DriverConfig& config) {
   if (config.num_drivers > 0) return config.num_drivers;
   uint32_t cpus = config.num_cpus != 0
@@ -17,23 +38,18 @@ uint32_t ComputeNumDrivers(const DriverConfig& config) {
 }
 
 TmanTestResult TmanTest(TaskQueue* queue, std::chrono::milliseconds threshold,
-                        ExecutorStats* stats) {
-  auto start = std::chrono::steady_clock::now();
+                        ExecutorStats* stats, Clock* clock,
+                        FaultInjector* fault_injector) {
+  if (clock == nullptr) clock = Clock::Real();
+  auto start = clock->Now();
   ++stats->invocations;
   // Paper pseudocode: while (elapsed < THRESHOLD and work left) { run one
   // task; yield }.
-  while (std::chrono::steady_clock::now() - start < threshold) {
+  while (clock->Now() - start < threshold) {
     Task task;
     if (!queue->TryPop(&task)) break;
-    Status s = task.work();
-    queue->MarkDone();
-    ++stats->tasks_executed;
-    if (!s.ok()) {
-      ++stats->task_errors;
-      TMAN_LOG(kWarn) << "task (" << TaskKindName(task.kind)
-                      << ") failed: " << s.ToString();
-    }
-    std::this_thread::yield();  // mi_yield: let other engine work run
+    RunOneTask(queue, &task, stats, fault_injector);
+    clock->Yield();  // mi_yield: let other engine work run
   }
   return queue->empty() ? TmanTestResult::kTaskQueueEmpty
                         : TmanTestResult::kTasksRemaining;
@@ -74,20 +90,14 @@ void DriverPool::DriverLoop(uint32_t driver_index) {
   (void)driver_index;
   ExecutorStats local;
   while (running_.load(std::memory_order_acquire)) {
-    TmanTestResult result = TmanTest(queue_, config_.threshold, &local);
+    TmanTestResult result = TmanTest(queue_, config_.threshold, &local,
+                                     config_.clock, config_.fault_injector);
     if (result == TmanTestResult::kTaskQueueEmpty) {
       // Wait up to the driver period T for new work (waking early on
       // Push, which strictly improves on fixed-period polling).
       Task task;
       if (queue_->WaitPop(&task, config_.period)) {
-        Status s = task.work();
-        queue_->MarkDone();
-        ++local.tasks_executed;
-        if (!s.ok()) {
-          ++local.task_errors;
-          TMAN_LOG(kWarn) << "task (" << TaskKindName(task.kind)
-                          << ") failed: " << s.ToString();
-        }
+        RunOneTask(queue_, &task, &local, config_.fault_injector);
       } else if (queue_->closed()) {
         break;
       }

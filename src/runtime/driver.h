@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/clock.h"
 #include "runtime/task_queue.h"
+#include "util/fault_injector.h"
 
 namespace tman {
 
@@ -33,6 +35,16 @@ struct DriverConfig {
   /// Explicit driver count override (0 = use the paper's formula
   /// N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)).
   uint32_t num_drivers = 0;
+
+  /// Time source for the THRESHOLD check and yield points. Null = the
+  /// real clock; deterministic tests pass a VirtualClock.
+  Clock* clock = nullptr;
+
+  /// Fault injector consulted at the "executor.task" site before each
+  /// task runs (null = no injection). An injected fault counts as a task
+  /// error: the task is dropped without executing, mirroring a TmanTest
+  /// UDR invocation dying mid-batch.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Computes N = ⌈NUM_CPUS · TMAN_CONCURRENCY_LEVEL⌉.
@@ -49,9 +61,14 @@ struct ExecutorStats {
 
 /// One invocation of the TmanTest() UDR (§6): executes queued tasks until
 /// THRESHOLD elapses or the queue drains, yielding between tasks (the
-/// paper calls Informix's mi_yield; here std::this_thread::yield).
+/// paper calls Informix's mi_yield; here Clock::Yield, which is
+/// std::this_thread::yield on the real clock). THRESHOLD is measured on
+/// `clock` (null = the real clock) so tests can expire it mid-batch
+/// deterministically; `fault_injector` (optional) is checked at
+/// "executor.task" before each task.
 TmanTestResult TmanTest(TaskQueue* queue, std::chrono::milliseconds threshold,
-                        ExecutorStats* stats);
+                        ExecutorStats* stats, Clock* clock = nullptr,
+                        FaultInjector* fault_injector = nullptr);
 
 /// The pool of driver "processes": each periodically invokes TmanTest()
 /// and calls back immediately when work remains.

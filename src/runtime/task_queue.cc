@@ -17,6 +17,7 @@ std::string_view TaskKindName(TaskKind kind) {
 }
 
 void TaskQueue::Push(Task task) {
+  TaskKind kind = task.kind;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.pushed;
@@ -24,27 +25,34 @@ void TaskQueue::Push(Task task) {
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
+  Observe("push:" + std::string(TaskKindName(kind)));
 }
 
 bool TaskQueue::TryPop(Task* task) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (tasks_.empty()) return false;
-  *task = std::move(tasks_.front());
-  tasks_.pop_front();
-  ++stats_.popped;
-  ++in_flight_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    *task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++stats_.popped;
+    ++in_flight_;
+  }
+  Observe("pop:" + std::string(TaskKindName(task->kind)));
   return true;
 }
 
 bool TaskQueue::WaitPop(Task* task, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait_for(lock, timeout,
-               [this] { return !tasks_.empty() || closed_; });
-  if (tasks_.empty()) return false;
-  *task = std::move(tasks_.front());
-  tasks_.pop_front();
-  ++stats_.popped;
-  ++in_flight_;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return !tasks_.empty() || closed_; });
+    if (tasks_.empty()) return false;
+    *task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++stats_.popped;
+    ++in_flight_;
+  }
+  Observe("pop:" + std::string(TaskKindName(task->kind)));
   return true;
 }
 
@@ -54,6 +62,7 @@ void TaskQueue::MarkDone() {
     if (in_flight_ > 0) --in_flight_;
   }
   idle_cv_.notify_all();
+  Observe("done");
 }
 
 void TaskQueue::WaitIdle() {
@@ -75,6 +84,7 @@ void TaskQueue::Close() {
   }
   cv_.notify_all();
   idle_cv_.notify_all();
+  Observe("close");
 }
 
 bool TaskQueue::closed() const {

@@ -8,6 +8,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
@@ -76,7 +77,23 @@ class TaskQueue {
 
   TaskQueueStats stats() const;
 
+  /// Test seam for the deterministic harness: when set, each completed
+  /// transition reports one short event ("push:<kind>", "pop:<kind>",
+  /// "done", "close") so schedule tests can record queue-level traces.
+  /// The observer runs outside the queue mutex after the transition;
+  /// install it before any concurrent use (events from racing threads
+  /// would otherwise interleave nondeterministically — the deterministic
+  /// scheduler is single-threaded, so its traces are exact).
+  void set_observer(std::function<void(std::string_view)> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
+  void Observe(std::string_view event) {
+    if (observer_) observer_(event);
+  }
+
+  std::function<void(std::string_view)> observer_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

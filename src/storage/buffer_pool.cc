@@ -33,6 +33,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames)
 }
 
 Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
+  TMAN_RETURN_IF_ERROR(disk_->fault_injector()->Check("buffer.fetch"));
   // Drop any pin the caller's guard still holds *before* taking the pool
   // mutex: assigning into a live guard under the lock would re-enter
   // Unpin() and deadlock.
@@ -68,6 +69,7 @@ Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
 }
 
 Status BufferPool::NewPage(PageGuard* guard) {
+  TMAN_RETURN_IF_ERROR(disk_->fault_injector()->Check("buffer.new"));
   guard->Release();  // see FetchPage
   std::unique_lock<std::mutex> lock(mutex_);
   size_t frame;
@@ -85,6 +87,7 @@ Status BufferPool::NewPage(PageGuard* guard) {
 }
 
 Status BufferPool::FlushAll() {
+  TMAN_RETURN_IF_ERROR(disk_->fault_injector()->Check("buffer.flush"));
   std::unique_lock<std::mutex> lock(mutex_);
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {

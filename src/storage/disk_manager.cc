@@ -27,31 +27,16 @@ PageId DiskManager::AllocatePage() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-Status DiskManager::CheckFault() {
-  if (!fault_armed_) return Status::OK();
-  if (fault_countdown_ == 0) {
-    return Status::IoError("injected disk fault");
-  }
-  --fault_countdown_;
-  return Status::OK();
-}
-
 void DiskManager::InjectFaultAfter(uint64_t after_accesses) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  fault_armed_ = true;
-  fault_countdown_ = after_accesses;
+  fault_injector_.ArmCountdown("disk.*", after_accesses);
 }
 
-void DiskManager::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  fault_armed_ = false;
-  fault_countdown_ = 0;
-}
+void DiskManager::ClearFaults() { fault_injector_.ClearAll(); }
 
 Status DiskManager::ReadPage(PageId id, Page* page) {
+  TMAN_RETURN_IF_ERROR(fault_injector_.Check("disk.read"));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TMAN_RETURN_IF_ERROR(CheckFault());
     if (id >= pages_.size() || !live_[id]) {
       return Status::IoError("read of invalid page " + std::to_string(id));
     }
@@ -63,9 +48,9 @@ Status DiskManager::ReadPage(PageId id, Page* page) {
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
+  TMAN_RETURN_IF_ERROR(fault_injector_.Check("disk.write"));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TMAN_RETURN_IF_ERROR(CheckFault());
     if (id >= pages_.size() || !live_[id]) {
       return Status::IoError("write of invalid page " + std::to_string(id));
     }

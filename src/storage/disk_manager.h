@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace tman {
@@ -58,16 +59,21 @@ class DiskManager {
     return access_latency_ns_.load(std::memory_order_relaxed);
   }
 
-  /// Fault injection for failure testing: after `after_accesses` more
-  /// successful page reads/writes, every subsequent access fails with
-  /// IoError until ClearFaults() is called.
+  /// The fault injector shared by this disk and every structure layered
+  /// on it (buffer pool, heap tables, table queues all consult this
+  /// instance), so one injector arms/clears fault sites across the whole
+  /// storage stack. Page reads check "disk.read", writes "disk.write".
+  FaultInjector* fault_injector() { return &fault_injector_; }
+
+  /// Legacy convenience (equivalent to arming "disk.*" with a countdown):
+  /// after `after_accesses` more successful page reads/writes, every
+  /// subsequent access fails with IoError until ClearFaults() is called.
   void InjectFaultAfter(uint64_t after_accesses);
+
+  /// Disarms every fault in the shared injector.
   void ClearFaults();
 
  private:
-  /// Counts an access against an armed fault; returns the error when the
-  /// fault has tripped. Requires mutex_ held.
-  Status CheckFault();
   void SimulateLatency() const;
 
   mutable std::mutex mutex_;
@@ -75,8 +81,7 @@ class DiskManager {
   std::vector<bool> live_;
   DiskStats stats_;
   std::atomic<uint64_t> access_latency_ns_;
-  bool fault_armed_ = false;
-  uint64_t fault_countdown_ = 0;
+  FaultInjector fault_injector_;
 };
 
 }  // namespace tman

@@ -1,6 +1,7 @@
 #include "storage/table_queue.h"
 
 #include <cstring>
+#include <vector>
 
 namespace tman {
 
@@ -88,6 +89,8 @@ Status TableQueue::WriteMeta(const Meta& m) {
 
 Status TableQueue::Enqueue(std::string_view record) {
   std::lock_guard<std::mutex> lock(mutex_);
+  FaultInjector* faults = pool_->disk()->fault_injector();
+  TMAN_RETURN_IF_ERROR(faults->Check("table_queue.push"));
   if (record.size() + kHeader + kSlotSize > kPageSize) {
     return Status::NotSupported("queued record larger than one page");
   }
@@ -102,6 +105,9 @@ Status TableQueue::Enqueue(std::string_view record) {
     fresh.MarkDirty();
     PageId fresh_id = fresh.page_id();
     // NewPage may have evicted the tail page; re-fetch before linking.
+    // A failure past this point orphans the fresh page (a leak, never an
+    // inconsistency): the metadata still names the old tail, whose next
+    // pointer is simply overwritten by the Enqueue that succeeds.
     TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.tail_page, &guard));
     d = guard.data();
     PutU32(d + 4, fresh_id);
@@ -111,7 +117,8 @@ Status TableQueue::Enqueue(std::string_view record) {
     d = guard.data();
   }
   uint16_t slot = GetU16(d);
-  uint16_t off = static_cast<uint16_t>(GetU16(d + 2) - record.size());
+  uint16_t old_start = GetU16(d + 2);
+  uint16_t off = static_cast<uint16_t>(old_start - record.size());
   std::memcpy(d + off, record.data(), record.size());
   PutU16(d + 2, off);
   char* s = d + kHeader + slot * kSlotSize;
@@ -120,25 +127,39 @@ Status TableQueue::Enqueue(std::string_view record) {
   PutU16(d, static_cast<uint16_t>(slot + 1));
   guard.MarkDirty();
   ++m.count;
-  return WriteMeta(m);
+  // Mid-push crash point: the record sits in the pinned tail page but the
+  // metadata page — the authority on queue contents — is not yet updated.
+  Status persisted = faults->Check("table_queue.push.meta");
+  if (persisted.ok()) persisted = WriteMeta(m);
+  if (!persisted.ok()) {
+    // Roll back the slot (the tail page is still pinned, so this cannot
+    // fail): meta still describes the old contents, and leaving a ghost
+    // slot would make a later Dequeue hand out this failed record in
+    // place of a real one.
+    PutU16(d, slot);
+    PutU16(d + 2, old_start);
+    return persisted;
+  }
+  return Status::OK();
 }
 
 Result<std::string> TableQueue::Dequeue() {
   std::lock_guard<std::mutex> lock(mutex_);
+  FaultInjector* faults = pool_->disk()->fault_injector();
+  TMAN_RETURN_IF_ERROR(faults->Check("table_queue.pop"));
   TMAN_ASSIGN_OR_RETURN(Meta m, ReadMeta());
   if (m.count == 0) return Status::NotFound("queue empty");
   PageGuard guard;
   TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.head_page, &guard));
   const char* d = guard.data();
   uint16_t slots = GetU16(d);
-  // The head page may have been drained just before the tail moved to a
-  // fresh page; step over exhausted pages before reading.
+  // Exhausted head pages are stepped over now but recycled only *after*
+  // the new metadata is written: deallocating first would leave the
+  // metadata pointing at freed pages if the meta write then failed.
+  std::vector<PageId> drained;
   while (m.head_slot >= slots && m.head_page != m.tail_page) {
     PageId next = GetU32(d + 4);
-    PageId old = m.head_page;
-    guard.Release();
-    pool_->Discard(old);
-    TMAN_RETURN_IF_ERROR(pool_->disk()->DeallocatePage(old));
+    drained.push_back(m.head_page);
     m.head_page = next;
     m.head_slot = 0;
     TMAN_RETURN_IF_ERROR(pool_->FetchPage(m.head_page, &guard));
@@ -154,18 +175,26 @@ Result<std::string> TableQueue::Dequeue() {
   std::string record(d + off, len);
   ++m.head_slot;
   --m.count;
-  // Head page exhausted and not the tail: advance and free it. (The tail
-  // page is kept even when drained so Enqueue always has a target.)
+  // Head page exhausted and not the tail: advance past it. (The tail page
+  // is kept even when drained so Enqueue always has a target.)
   if (m.head_slot >= slots && m.head_page != m.tail_page) {
     PageId next = GetU32(d + 4);
-    PageId old = m.head_page;
-    guard.Release();
-    pool_->Discard(old);
-    TMAN_RETURN_IF_ERROR(pool_->disk()->DeallocatePage(old));
+    drained.push_back(m.head_page);
     m.head_page = next;
     m.head_slot = 0;
   }
-  TMAN_RETURN_IF_ERROR(WriteMeta(m));
+  // Mid-pop crash point: record extracted but meta not yet updated — a
+  // failure here must leave the record in the queue, not consumed.
+  Status persisted = faults->Check("table_queue.pop.meta");
+  if (persisted.ok()) persisted = WriteMeta(m);
+  TMAN_RETURN_IF_ERROR(persisted);
+  // The new meta is authoritative; recycling the drained pages can no
+  // longer break consistency (a failed deallocation merely leaks a page).
+  guard.Release();
+  for (PageId id : drained) {
+    pool_->Discard(id);
+    (void)pool_->disk()->DeallocatePage(id);
+  }
   return record;
 }
 

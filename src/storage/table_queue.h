@@ -18,6 +18,14 @@ namespace tman {
 /// Layout: a metadata page holds (head page, head slot, tail page, count);
 /// data pages are append-only slotted pages chained by next pointers.
 /// Fully-consumed head pages are deallocated.
+///
+/// Failure atomicity: the metadata page is the authority on queue
+/// contents and is written last, so an Enqueue/Dequeue that returns an
+/// error has not happened — the record is respectively absent from or
+/// still present in the queue, and the queue stays usable once the fault
+/// clears (fault sites "table_queue.push[.meta]" / "table_queue.pop
+/// [.meta]" on the disk's shared FaultInjector exercise exactly this).
+/// The worst a mid-operation failure can cost is a leaked page.
 class TableQueue {
  public:
   TableQueue(BufferPool* pool, PageId meta_page);

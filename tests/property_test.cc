@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "expr/cnf.h"
 #include "expr/eval.h"
 #include "expr/rewrite.h"
 #include "expr/signature.h"
+#include "network/atreat.h"
+#include "network/gator.h"
 #include "parser/parser.h"
 #include "predindex/predicate_index.h"
 #include "util/random.h"
@@ -287,6 +290,194 @@ TEST_P(PartitionCoverageTest, PartitionsAreDisjointAndComplete) {
 
 INSTANTIATE_TEST_SUITE_P(PartitionCounts, PartitionCoverageTest,
                          ::testing::Values(2u, 3u, 7u, 16u));
+
+// --- discrimination networks vs naive evaluation ----------------------------
+
+/// Reference model for join firing semantics: plain live-tuple lists per
+/// variable and, on arrival, brute-force enumeration of every combination
+/// (arriving tuple fixed at its variable) evaluated against the *whole*
+/// un-normalized condition. No networks, no CNF, no memo structures — if
+/// GATOR and A-TREAT disagree with this, they are wrong.
+class NaiveJoinReference {
+ public:
+  NaiveJoinReference(ExprPtr condition, std::vector<std::string> var_names,
+                     std::vector<Schema> schemas)
+      : condition_(std::move(condition)),
+        var_names_(std::move(var_names)),
+        schemas_(std::move(schemas)),
+        live_(var_names_.size()) {}
+
+  /// Firings caused by `t` arriving at `var`, as serialized bindings.
+  std::multiset<std::string> Add(size_t var, const Tuple& t) {
+    std::multiset<std::string> firings;
+    std::vector<const Tuple*> combo(live_.size(), nullptr);
+    combo[var] = &t;
+    Enumerate(0, var, &combo, &firings);
+    live_[var].push_back(t);
+    return firings;
+  }
+
+  void Remove(size_t var, const Tuple& t) {
+    std::string key = Encode({t});
+    auto& list = live_[var];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (Encode({*it}) == key) {
+        list.erase(it);
+        return;
+      }
+    }
+    ADD_FAILURE() << "reference asked to remove unknown tuple";
+  }
+
+  const std::vector<Tuple>& live(size_t var) const { return live_[var]; }
+
+  static std::string Encode(const std::vector<Tuple>& bindings) {
+    std::string out;
+    for (const Tuple& t : bindings) t.Serialize(&out);
+    return out;
+  }
+
+ private:
+  void Enumerate(size_t var, size_t fixed, std::vector<const Tuple*>* combo,
+                 std::multiset<std::string>* firings) {
+    if (var == live_.size()) {
+      Bindings b;
+      for (size_t v = 0; v < live_.size(); ++v) {
+        b.Bind(var_names_[v], &schemas_[v], (*combo)[v]);
+      }
+      auto pass = EvalPredicate(condition_, b);
+      ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+      if (*pass) {
+        std::vector<Tuple> bound;
+        for (const Tuple* t : *combo) bound.push_back(*t);
+        firings->insert(Encode(bound));
+      }
+      return;
+    }
+    if (var == fixed) {
+      Enumerate(var + 1, fixed, combo, firings);
+      return;
+    }
+    for (const Tuple& t : live_[var]) {
+      (*combo)[var] = &t;
+      Enumerate(var + 1, fixed, combo, firings);
+    }
+    (*combo)[var] = nullptr;
+  }
+
+  ExprPtr condition_;
+  std::vector<std::string> var_names_;
+  std::vector<Schema> schemas_;
+  std::vector<std::vector<Tuple>> live_;
+};
+
+TEST(NetworkPropertyTest, GatorAndATreatMatchNaiveReference) {
+  // Random trigger sets (join conditions over 2-3 tuple variables) and
+  // random token streams: both network types must fire exactly the
+  // bindings the naive evaluator derives, at every step. Conditions stay
+  // free of single-variable conjuncts — selection predicates belong to
+  // the predicate index, not the join networks (§5.1).
+  const std::vector<std::string> kNames = {"r", "s", "u"};
+  const std::vector<Schema> kSchemas = {
+      Schema({{"a", DataType::kInt}, {"b", DataType::kInt},
+              {"k", DataType::kInt}}),
+      Schema({{"a", DataType::kInt}, {"c", DataType::kInt},
+              {"k", DataType::kInt}}),
+      Schema({{"a", DataType::kInt}, {"d", DataType::kInt},
+              {"k", DataType::kInt}}),
+  };
+  const std::vector<std::string> kTwoVarExtras = {
+      "r.b > s.c", "r.b + s.c < 40", "not (r.b = s.c)"};
+  const std::vector<std::string> kThreeVarExtras = {
+      "r.b > s.c", "s.c <= u.d", "r.b + u.d > 20", "not (s.c = u.d)"};
+
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Random rng(seed * 6151 + 3);
+    size_t num_vars = rng.Bernoulli(0.5) ? 2 : 3;
+
+    // Random trigger: equijoin chain on `a` plus random extra conjuncts.
+    std::string cond_text = "r.a = s.a";
+    if (num_vars == 3) cond_text += " and s.a = u.a";
+    const auto& extras = num_vars == 2 ? kTwoVarExtras : kThreeVarExtras;
+    for (const std::string& extra : extras) {
+      if (rng.Bernoulli(0.4)) cond_text += " and " + extra;
+    }
+    ExprPtr condition = MustParseLocal(cond_text);
+    SCOPED_TRACE("condition: " + cond_text + "; reproducing seed: " +
+                 std::to_string(seed));
+
+    std::vector<TupleVarInfo> vars;
+    std::vector<Schema> schemas;
+    std::vector<std::string> names;
+    for (size_t v = 0; v < num_vars; ++v) {
+      vars.push_back({kNames[v], "tbl_" + kNames[v],
+                      static_cast<DataSourceId>(21 + v),
+                      OpCode::kInsertOrUpdate});
+      schemas.push_back(kSchemas[v]);
+      names.push_back(kNames[v]);
+    }
+    auto cnf = ToCnf(condition);
+    ASSERT_TRUE(cnf.ok());
+    auto graph = ConditionGraph::Build(vars, *cnf);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    auto gator = GatorNetwork::Build(*graph, schemas);
+    ASSERT_TRUE(gator.ok()) << gator.status().ToString();
+    ATreatOptions opts;
+    opts.prefer_virtual = false;  // stored memories: stream-style sources
+    auto atreat = ATreatNetwork::Build(*graph, nullptr, opts, schemas);
+    ASSERT_TRUE(atreat.ok()) << atreat.status().ToString();
+
+    NaiveJoinReference reference(condition, names, schemas);
+    int serial = 0;  // unique per tuple: removal is unambiguous
+    for (int step = 0; step < 120; ++step) {
+      size_t var = rng.Uniform(num_vars);
+      bool add = reference.live(var).empty() || rng.Bernoulli(0.65);
+      if (add) {
+        Tuple t({Value::Int(rng.UniformRange(0, 5)),
+                 Value::Int(rng.UniformRange(0, 30)), Value::Int(serial++)});
+        std::multiset<std::string> expected = reference.Add(var, t);
+        if (::testing::Test::HasFatalFailure()) return;
+
+        std::multiset<std::string> gator_firings;
+        ASSERT_TRUE((*gator)
+                        ->AddTuple(static_cast<NetworkNodeId>(var), t,
+                                   [&](const std::vector<Tuple>& b) {
+                                     gator_firings.insert(
+                                         NaiveJoinReference::Encode(b));
+                                   })
+                        .ok());
+        ASSERT_EQ(gator_firings, expected) << "GATOR diverged at step "
+                                           << step;
+
+        std::multiset<std::string> atreat_firings;
+        ASSERT_TRUE(
+            (*atreat)->AddTuple(static_cast<NetworkNodeId>(var), t).ok());
+        ASSERT_TRUE((*atreat)
+                        ->MatchJoins(static_cast<NetworkNodeId>(var), t,
+                                     [&](const std::vector<Tuple>& b) {
+                                       atreat_firings.insert(
+                                           NaiveJoinReference::Encode(b));
+                                     })
+                        .ok());
+        ASSERT_EQ(atreat_firings, expected) << "A-TREAT diverged at step "
+                                            << step;
+      } else {
+        size_t pick = rng.Uniform(reference.live(var).size());
+        Tuple t = reference.live(var)[pick];
+        reference.Remove(var, t);
+        ASSERT_TRUE(
+            (*gator)->RemoveTuple(static_cast<NetworkNodeId>(var), t).ok());
+        ASSERT_TRUE(
+            (*atreat)->RemoveTuple(static_cast<NetworkNodeId>(var), t).ok());
+      }
+    }
+    // Alpha memories track the reference's live lists exactly.
+    for (size_t v = 0; v < num_vars; ++v) {
+      EXPECT_EQ((*gator)->alpha_size(static_cast<NetworkNodeId>(v)),
+                reference.live(v).size());
+    }
+  }
+}
 
 // --- parser/printer round trip ----------------------------------------------
 
