@@ -2,26 +2,103 @@
 // user create triggers, drop them, run SQL against the embedded database,
 // and pump trigger processing.
 //
+// With `--connect host:port` the console attaches to a running
+// server_main over the wire protocol instead: commands are executed
+// remotely and raised events stream back asynchronously.
+//
 // Commands:
 //   any TriggerMan command  (create trigger ..., drop trigger ...,
 //                            define data source ..., enable/disable ...)
-//   sql <statement>         run SQL against MiniDB
-//   process                 process staged updates now
-//   events                  show recently raised events
-//   stats                   show system statistics
+//   sql <statement>         run SQL against MiniDB (local mode only)
+//   process                 process staged updates now (local mode only)
+//   events                  show recently raised events (local mode only)
+//   stats                   show system statistics (local mode only)
+//   ping                    round-trip probe (remote mode only)
 //   quit
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/trigger_manager.h"
 #include "db/sql.h"
+#include "ipc/remote_client.h"
+#include "ipc/socket_transport.h"
 #include "util/string_util.h"
 
 using namespace tman;
 
-int main() {
+namespace {
+
+int RunRemoteConsole(const std::string& spec) {
+  auto host_port = ParseHostPort(spec);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "bad --connect address: %s\n",
+                 host_port.status().ToString().c_str());
+    return 1;
+  }
+  RemoteClientOptions options;
+  options.client_name = "console";
+  options.connector = [host_port] {
+    return TcpConnect(host_port->first, host_port->second);
+  };
+  RemoteClient client(options);
+  if (auto s = client.Connect(); !s.ok()) {
+    std::fprintf(stderr, "connect %s: %s\n", spec.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  // Stream every event the server raises to the terminal as it happens.
+  auto reg = client.RegisterForEvent("*", [](const Event& e) {
+    std::printf("\n[event] %s\ntman> ", e.ToString().c_str());
+    std::fflush(stdout);
+  });
+  if (!reg.ok()) {
+    std::fprintf(stderr, "event registration failed: %s\n",
+                 reg.status().ToString().c_str());
+  }
+  std::printf("Connected to %s. 'quit' to exit.\n", spec.c_str());
+
+  std::string line;
+  while (true) {
+    std::printf("tman> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::string lower = ToLower(trimmed);
+    if (lower == "quit" || lower == "exit") break;
+    if (lower == "ping") {
+      if (auto s = client.Ping(); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("pong\n");
+      }
+      continue;
+    }
+    auto r = client.Command(trimmed);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else {
+      std::printf("%s\n", r->c_str());
+    }
+  }
+  client.Close();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      return RunRemoteConsole(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      return RunRemoteConsole(argv[i] + 10);
+    }
+  }
   Database db;
   TriggerManager tman(&db);
   if (auto s = tman.Open(); !s.ok()) {

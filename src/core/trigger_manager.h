@@ -137,6 +137,9 @@ class TriggerManager {
 
   TriggerManagerStats stats() const;
   EventManager& events() { return events_; }
+  /// Task-queue depth feeds the remote-ingestion credit window (ipc/);
+  /// tests also install observers through this.
+  TaskQueue& task_queue() { return task_queue_; }
   PredicateIndex& predicate_index() { return *pindex_; }
   TriggerCache& cache() { return *cache_; }
   TriggerCatalog& catalog() { return *catalog_; }

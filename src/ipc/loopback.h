@@ -1,0 +1,52 @@
+#ifndef TRIGGERMAN_IPC_LOOPBACK_H_
+#define TRIGGERMAN_IPC_LOOPBACK_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "ipc/transport.h"
+
+namespace tman {
+
+/// In-memory transport pair: two Transports joined by a pair of bounded
+/// byte queues, mimicking a connected TCP socket (including partial reads
+/// and writer blocking when the peer is slow). All protocol logic — the
+/// server, the client library, backpressure, fault injection — runs over
+/// loopback in tests with no sockets and no nondeterministic network.
+class LoopbackTransport;
+
+/// Creates a connected pair: first = client end, second = server end.
+/// `capacity` bounds each direction's buffered bytes; writers block when
+/// the peer is `capacity` bytes behind (a slow consumer, as on a real
+/// socket with full kernel buffers).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateLoopbackPair(size_t capacity = 1 << 20);
+
+/// A Listener whose clients connect in-process: Connect() hands back the
+/// client end and queues the server end for Accept().
+class LoopbackListener : public Listener {
+ public:
+  explicit LoopbackListener(size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  /// Client side: creates a connection to this listener. Fails once the
+  /// listener is closed.
+  Result<std::unique_ptr<Transport>> Connect();
+
+  Result<std::unique_ptr<Transport>> Accept() override;
+  void Close() override;
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Transport>> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_LOOPBACK_H_

@@ -1,0 +1,745 @@
+#include "ipc/remote_client.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tman {
+
+RemoteClient::RemoteClient(RemoteClientOptions options)
+    : options_(std::move(options)) {
+  io_.max_payload = options_.max_payload_bytes;
+  io_.faults = options_.fault_injector;
+}
+
+RemoteClient::~RemoteClient() { Close(); }
+
+Status RemoteClient::Handshake(Transport* transport, HelloReplyFrame* reply) {
+  HelloFrame hello;
+  hello.client_name = options_.client_name;
+  hello.protocol_version = kWireVersion;
+  TMAN_RETURN_IF_ERROR(
+      WriteFramePayload(transport, FrameType::kHello, hello, io_));
+  TMAN_ASSIGN_OR_RETURN(Frame frame, ReadFrame(transport, io_));
+  if (frame.type != FrameType::kHelloReply) {
+    return Status::Corruption("expected hello reply, got " +
+                              std::string(FrameTypeName(frame.type)));
+  }
+  TMAN_ASSIGN_OR_RETURN(*reply, HelloReplyFrame::Decode(frame.payload));
+  if (reply->status_code != 0) {
+    return Status::FromCode(static_cast<StatusCode>(reply->status_code),
+                            "server rejected session: " + reply->message);
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::Connect() {
+  if (!options_.connector) {
+    return Status::InvalidArgument("no connector configured");
+  }
+  TMAN_ASSIGN_OR_RETURN(std::unique_ptr<Transport> transport,
+                        options_.connector());
+  return Connect(std::move(transport));
+}
+
+Status RemoteClient::Connect(std::unique_ptr<Transport> transport) {
+  if (reader_.joinable()) return Status::Aborted("already connected");
+  HelloReplyFrame reply;
+  TMAN_RETURN_IF_ERROR(Handshake(transport.get(), &reply));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    transport_ = std::shared_ptr<Transport>(std::move(transport));
+    connected_ = true;
+    credits_ = reply.initial_credits;
+    // Resume the session's sequence numbering: a restarted client with
+    // the same name must not reuse already-applied sequences (the server
+    // would silently drop its updates as duplicates).
+    if (next_seq_ <= reply.last_applied_seq) {
+      next_seq_ = reply.last_applied_seq + 1;
+    }
+  }
+  reader_ = std::thread(&RemoteClient::ReaderLoop, this);
+  flusher_ = std::thread(&RemoteClient::FlusherLoop, this);
+  return Status::OK();
+}
+
+void RemoteClient::Close() {
+  std::shared_ptr<Transport> transport;
+  bool send_goodbye = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      send_goodbye = connected_;
+      transport = transport_;
+      // Fail blocked Command/Ping callers.
+      for (auto& [id, waiter] : pending_) {
+        waiter->done = true;
+        waiter->reply.status_code =
+            static_cast<uint8_t>(StatusCode::kAborted);
+        waiter->reply.message = "client closed";
+      }
+      pending_.clear();
+      for (auto& [nonce, waiter] : pending_pings_) {
+        waiter->done = true;
+        waiter->reply.status_code =
+            static_cast<uint8_t>(StatusCode::kAborted);
+      }
+      pending_pings_.clear();
+    }
+  }
+  cv_.notify_all();
+  if (transport != nullptr) {
+    if (send_goodbye) {
+      GoodbyeFrame bye;
+      bye.reason = "client closing";
+      std::string payload;
+      bye.Encode(&payload);
+      std::lock_guard<std::mutex> lock(write_mutex_);
+      (void)WriteFrame(transport.get(), FrameType::kGoodbye, payload, io_);
+    }
+    transport->Close();
+  }
+  if (reader_.joinable()) reader_.join();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+bool RemoteClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connected_;
+}
+
+uint64_t RemoteClient::credits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return credits_;
+}
+
+RemoteClientStats RemoteClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// --- background threads -----------------------------------------------------
+
+void RemoteClient::ReaderLoop() {
+  while (true) {
+    std::shared_ptr<Transport> transport;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      if (!connected_) {
+        if (!AttemptReconnect(&lock)) {
+          terminal_ = true;
+          cv_.notify_all();
+          return;
+        }
+      }
+      transport = transport_;
+    }
+    TrySend();  // resume queued batches after (re)connect
+    auto frame = ReadFrame(transport.get(), io_);
+    if (!frame.ok()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      if (transport_ != transport) continue;  // raced with a reconnect
+      HandleDisconnectLocked();
+      continue;
+    }
+    DispatchFrame(*frame);
+  }
+}
+
+void RemoteClient::FlusherLoop() {
+  while (true) {
+    bool flush_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto deadline = current_.empty()
+                          ? std::chrono::steady_clock::now() +
+                                options_.batch_max_delay
+                          : current_started_ + options_.batch_max_delay;
+      cv_.wait_until(lock, deadline, [&] { return stopping_; });
+      if (stopping_) return;
+      if (!current_.empty() &&
+          std::chrono::steady_clock::now() - current_started_ >=
+              options_.batch_max_delay) {
+        SealBatchLocked();
+        flush_now = true;
+      }
+    }
+    if (flush_now) TrySend();
+  }
+}
+
+// Asks the server to widen the send window. The server's hello grant is
+// a small bootstrap; a writer whose backlog outgrows it says how much it
+// is missing and the server services the want as its queue drains. Called
+// with mutex_ held; the actual write happens on a detached best-effort
+// path below because a blocking transport write must not hold mutex_.
+void RemoteClient::RequestCreditsLocked() {
+  if (credit_requested_ || !connected_) return;
+  uint64_t backlog = 0;
+  for (const Batch& b : queued_) backlog += b.updates.size();
+  if (backlog <= credits_) return;
+  credit_requested_ = true;
+  credit_request_amount_ = backlog - credits_;
+  credit_request_transport_ = transport_;
+}
+
+void RemoteClient::FlushCreditRequest() {
+  std::shared_ptr<Transport> transport;
+  uint64_t amount = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (credit_request_transport_ == nullptr) return;
+    transport = std::move(credit_request_transport_);
+    credit_request_transport_ = nullptr;
+    amount = credit_request_amount_;
+  }
+  CreditGrantFrame req;
+  req.credits = static_cast<uint32_t>(
+      std::min<uint64_t>(amount, std::numeric_limits<uint32_t>::max()));
+  std::string payload;
+  req.Encode(&payload);
+  std::lock_guard<std::mutex> wlock(write_mutex_);
+  // Best effort: if the write fails the reader notices the dead stream,
+  // and the disconnect path resets credit_requested_.
+  (void)WriteFrame(transport.get(), FrameType::kCreditGrant, payload, io_);
+}
+
+void RemoteClient::HandleDisconnectLocked() {
+  connected_ = false;
+  credits_ = 0;
+  credit_requested_ = false;
+  credit_request_transport_ = nullptr;
+  if (transport_ != nullptr) transport_->Close();
+  // Unacked batches go back to the head of the send queue, oldest first;
+  // the server's per-session sequence dedup makes the resend idempotent.
+  while (!inflight_.empty()) {
+    queued_.push_front(std::move(inflight_.back()));
+    inflight_.pop_back();
+  }
+  // Commands are not idempotent (CREATE TRIGGER twice is an error), so
+  // blocked callers get Aborted instead of a silent replay.
+  for (auto& [id, waiter] : pending_) {
+    waiter->done = true;
+    waiter->reply.status_code = static_cast<uint8_t>(StatusCode::kAborted);
+    waiter->reply.message = "connection lost";
+  }
+  pending_.clear();
+  for (auto& [nonce, waiter] : pending_pings_) {
+    waiter->done = true;
+    waiter->reply.status_code = static_cast<uint8_t>(StatusCode::kAborted);
+  }
+  pending_pings_.clear();
+  pending_rereg_.clear();
+  cv_.notify_all();
+}
+
+bool RemoteClient::AttemptReconnect(std::unique_lock<std::mutex>* lock) {
+  if (terminal_ || !options_.auto_reconnect || !options_.connector) {
+    return false;
+  }
+  for (uint32_t attempt = 1; attempt <= options_.max_reconnect_attempts;
+       ++attempt) {
+    lock->unlock();
+    std::this_thread::sleep_for(options_.reconnect_backoff * attempt);
+    auto transport = options_.connector();
+    HelloReplyFrame reply;
+    Status status = transport.ok()
+                        ? Handshake(transport->get(), &reply)
+                        : transport.status();
+    lock->lock();
+    if (stopping_) return false;
+    if (!status.ok()) {
+      TMAN_LOG(kInfo) << "reconnect attempt " << attempt
+                      << " failed: " << status.ToString();
+      continue;
+    }
+    transport_ = std::shared_ptr<Transport>(std::move(*transport));
+    connected_ = true;
+    credits_ = reply.initial_credits;
+    ++stats_.reconnects;
+    // Drop queued batches the server already applied before the drop.
+    while (!queued_.empty()) {
+      const Batch& b = queued_.front();
+      uint64_t last = b.first_seq + b.updates.size() - 1;
+      if (last > reply.last_applied_seq) break;
+      stats_.updates_acked += b.updates.size();
+      queued_.pop_front();
+    }
+    if (next_seq_ <= reply.last_applied_seq) {
+      next_seq_ = reply.last_applied_seq + 1;
+    }
+    // Event registrations are client-side state; rebuild them on the new
+    // connection. Replies are matched back to handles by request id.
+    std::vector<EventRegisterFrame> regs;
+    for (auto& [handle, reg] : events_) {
+      EventRegisterFrame f;
+      f.request_id = next_request_id_++;
+      f.event_name = reg.event_name;
+      pending_rereg_[f.request_id] = handle;
+      regs.push_back(std::move(f));
+    }
+    std::shared_ptr<Transport> transport_now = transport_;
+    lock->unlock();
+    for (const EventRegisterFrame& f : regs) {
+      std::lock_guard<std::mutex> wlock(write_mutex_);
+      Status s = WriteFramePayload(transport_now.get(),
+                                   FrameType::kEventRegister, f, io_);
+      if (!s.ok()) break;  // reader will observe the dead transport
+    }
+    lock->lock();
+    cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void RemoteClient::DispatchFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kCommandReply: {
+      auto reply = CommandReplyFrame::Decode(frame.payload);
+      if (!reply.ok()) break;
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(reply->request_id);
+      if (it != pending_.end()) {
+        *it->second = Waiter{true, *reply};
+        pending_.erase(it);
+        cv_.notify_all();
+        return;
+      }
+      auto rit = pending_rereg_.find(reply->request_id);
+      if (rit != pending_rereg_.end()) {
+        uint64_t handle = rit->second;
+        pending_rereg_.erase(rit);
+        auto eit = events_.find(handle);
+        if (eit != events_.end() && reply->status_code == 0) {
+          uint64_t server_id =
+              std::strtoull(reply->result.c_str(), nullptr, 10);
+          eit->second.server_id = server_id;
+          handle_by_server_[server_id] = handle;
+        }
+      }
+      return;
+    }
+
+    case FrameType::kUpdateAck: {
+      auto ack = UpdateAckFrame::Decode(frame.payload);
+      if (!ack.ok()) break;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        credits_ += ack->credits;
+        credit_requested_ = false;  // server is responsive; may re-request
+        while (!inflight_.empty()) {
+          const Batch& b = inflight_.front();
+          uint64_t last = b.first_seq + b.updates.size() - 1;
+          if (last > ack->ack_seq) break;
+          stats_.updates_acked += b.updates.size();
+          inflight_.pop_front();
+        }
+        if (ack->status_code != 0) {
+          last_ack_error_ = Status::FromCode(
+              static_cast<StatusCode>(ack->status_code), ack->message);
+        }
+        cv_.notify_all();
+      }
+      TrySend();
+      return;
+    }
+
+    case FrameType::kCreditGrant: {
+      auto grant = CreditGrantFrame::Decode(frame.payload);
+      if (!grant.ok()) break;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        credits_ += grant->credits;
+        credit_requested_ = false;  // partial grants trigger a re-request
+        cv_.notify_all();
+      }
+      TrySend();
+      return;
+    }
+
+    case FrameType::kEventPush: {
+      auto push = EventPushFrame::Decode(frame.payload);
+      if (!push.ok()) break;
+      EventConsumer consumer;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto hit = handle_by_server_.find(push->registration_id);
+        if (hit != handle_by_server_.end()) {
+          auto eit = events_.find(hit->second);
+          if (eit != events_.end()) consumer = eit->second.consumer;
+        }
+        ++stats_.events_received;
+      }
+      if (consumer) {
+        Event event;
+        event.name = push->event_name;
+        event.args = std::move(push->args);
+        consumer(event);
+      }
+      return;
+    }
+
+    case FrameType::kPong: {
+      auto pong = PongFrame::Decode(frame.payload);
+      if (!pong.ok()) break;
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_pings_.find(pong->nonce);
+      if (it != pending_pings_.end()) {
+        it->second->done = true;
+        pending_pings_.erase(it);
+        cv_.notify_all();
+      }
+      return;
+    }
+
+    case FrameType::kGoodbye: {
+      auto bye = GoodbyeFrame::Decode(frame.payload);
+      TMAN_LOG(kInfo) << "server said goodbye: "
+                      << (bye.ok() ? bye->reason : "<garbled>");
+      std::lock_guard<std::mutex> lock(mutex_);
+      // An orderly goodbye is the server telling us to stop — likely a
+      // protocol violation on our side. Don't reconnect-loop into it.
+      terminal_ = true;
+      HandleDisconnectLocked();
+      return;
+    }
+
+    case FrameType::kPing: {
+      auto ping = PingFrame::Decode(frame.payload);
+      if (!ping.ok()) break;
+      std::shared_ptr<Transport> transport;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!connected_) return;
+        transport = transport_;
+      }
+      std::string payload;
+      ping->Encode(&payload);
+      std::lock_guard<std::mutex> wlock(write_mutex_);
+      (void)WriteFrame(transport.get(), FrameType::kPong, payload, io_);
+      return;
+    }
+
+    default:
+      break;
+  }
+  // Garbled payload or a frame type a server must not send: the stream
+  // can no longer be trusted.
+  TMAN_LOG(kWarn) << "dropping connection on unexpected "
+                  << FrameTypeName(frame.type) << " frame";
+  std::lock_guard<std::mutex> lock(mutex_);
+  terminal_ = true;
+  HandleDisconnectLocked();
+}
+
+// --- sending ---------------------------------------------------------------
+
+void RemoteClient::SealBatchLocked() {
+  if (current_.empty()) return;
+  if (options_.backpressure == BackpressurePolicy::kShed) {
+    uint64_t committed = 0;
+    for (const Batch& b : queued_) committed += b.updates.size();
+    for (const Batch& b : inflight_) committed += b.updates.size();
+    if (!connected_ || credits_ < committed + current_.size()) {
+      stats_.updates_shed += current_.size();
+      current_.clear();
+      return;
+    }
+  }
+  Batch batch;
+  batch.first_seq = next_seq_;
+  next_seq_ += current_.size();
+  batch.updates = std::move(current_);
+  current_.clear();
+  queued_.push_back(std::move(batch));
+}
+
+void RemoteClient::TrySend() {
+  DrainSendQueue();
+  FlushCreditRequest();
+}
+
+void RemoteClient::DrainSendQueue() {
+  while (true) {
+    std::shared_ptr<Transport> transport;
+    std::string payload;
+    size_t n = 0;
+    uint64_t first_seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (sending_ || !connected_ || queued_.empty()) return;
+      n = queued_.front().updates.size();
+      if (credits_ < n) {
+        ++stats_.credit_stalls;
+        RequestCreditsLocked();
+        return;
+      }
+      sending_ = true;
+      credits_ -= n;
+      transport = transport_;
+      UpdateBatchFrame f;
+      f.first_seq = queued_.front().first_seq;
+      f.updates = queued_.front().updates;  // copied: kept for resend
+      f.Encode(&payload);
+      first_seq = f.first_seq;
+      // Into inflight_ BEFORE the write: the server's ack can overtake the
+      // write call's own return (it only needs the bytes, not our resumed
+      // thread), and the ack handler must find the batch to retire it.
+      inflight_.push_back(std::move(queued_.front()));
+      queued_.pop_front();
+    }
+    Status s;
+    {
+      std::lock_guard<std::mutex> wlock(write_mutex_);
+      s = WriteFrame(transport.get(), FrameType::kUpdateBatch, payload, io_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sending_ = false;
+      if (!connected_ || transport_ != transport) {
+        // A disconnect raced the write; HandleDisconnectLocked has already
+        // pushed inflight_ back to the send queue and the reconnect path
+        // decides (via the server's resume point) whether the server saw
+        // the batch.
+        cv_.notify_all();
+        return;
+      }
+      if (!s.ok()) {
+        // Write failed on a live connection: the server never saw the
+        // frame, so pull the batch back for a later retry — unless the
+        // impossible-in-practice happened and an ack retired it already.
+        if (!inflight_.empty() && inflight_.back().first_seq == first_seq) {
+          queued_.push_front(std::move(inflight_.back()));
+          inflight_.pop_back();
+          credits_ += n;  // refund; the reader will notice a dead stream
+        }
+        cv_.notify_all();
+        return;
+      }
+      ++stats_.batches_sent;
+      stats_.updates_sent += n;
+      cv_.notify_all();
+    }
+  }
+}
+
+Status RemoteClient::WaitQueuedDrainLocked(std::unique_lock<std::mutex>* lock) {
+  auto deadline = std::chrono::steady_clock::now() + options_.send_timeout;
+  while (!queued_.empty()) {
+    if (stopping_ || terminal_) {
+      return Status::Aborted("connection closed with updates still queued");
+    }
+    if (cv_.wait_until(*lock, deadline) == std::cv_status::timeout) {
+      ++stats_.credit_stalls;
+      return Status::ResourceExhausted(
+          "timed out waiting for server credits (queued updates remain "
+          "buffered)");
+    }
+  }
+  return Status::OK();
+}
+
+// --- public API -------------------------------------------------------------
+
+Status RemoteClient::SubmitUpdate(const UpdateDescriptor& update) {
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || terminal_) return Status::Aborted("client closed");
+    if (current_.empty()) {
+      current_started_ = std::chrono::steady_clock::now();
+    }
+    current_.push_back(update);
+    ++stats_.updates_submitted;
+    full = current_.size() >= options_.batch_max_updates;
+  }
+  if (full) return Flush();
+  return Status::OK();
+}
+
+Status RemoteClient::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ || terminal_) return Status::Aborted("client closed");
+    SealBatchLocked();
+  }
+  TrySend();
+  if (options_.backpressure == BackpressurePolicy::kBlock) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return WaitQueuedDrainLocked(&lock);
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::Drain() {
+  TMAN_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() + options_.send_timeout;
+  while (!queued_.empty() || !inflight_.empty()) {
+    if (stopping_ || terminal_) {
+      return Status::Aborted("connection closed before drain completed");
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::ResourceExhausted("drain timed out");
+    }
+  }
+  Status s = last_ack_error_;
+  last_ack_error_ = Status::OK();
+  return s;
+}
+
+Status RemoteClient::SendRequest(FrameType type, std::string payload,
+                                 uint64_t request_id,
+                                 CommandReplyFrame* reply) {
+  Waiter waiter;
+  std::shared_ptr<Transport> transport;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Commands tolerate a reconnect in progress: wait for the session to
+    // come back rather than failing instantly.
+    cv_.wait_for(lock, options_.command_timeout, [&] {
+      return connected_ || stopping_ || terminal_;
+    });
+    if (stopping_ || terminal_ || !connected_) {
+      return Status::Aborted("not connected");
+    }
+    pending_[request_id] = &waiter;
+    transport = transport_;
+  }
+  Status s;
+  {
+    std::lock_guard<std::mutex> wlock(write_mutex_);
+    s = WriteFrame(transport.get(), type, payload, io_);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!s.ok()) {
+    pending_.erase(request_id);
+    return s;
+  }
+  bool done = cv_.wait_for(lock, options_.command_timeout,
+                           [&] { return waiter.done; });
+  if (!done) {
+    pending_.erase(request_id);
+    return Status::IoError("request timed out");
+  }
+  if (waiter.reply.status_code != 0) {
+    return Status::FromCode(static_cast<StatusCode>(waiter.reply.status_code),
+                            waiter.reply.message);
+  }
+  *reply = std::move(waiter.reply);
+  return Status::OK();
+}
+
+Result<std::string> RemoteClient::Command(std::string_view text) {
+  uint64_t request_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    request_id = next_request_id_++;
+  }
+  CommandFrame cmd;
+  cmd.request_id = request_id;
+  cmd.text = std::string(text);
+  std::string payload;
+  cmd.Encode(&payload);
+  CommandReplyFrame reply;
+  TMAN_RETURN_IF_ERROR(
+      SendRequest(FrameType::kCommand, std::move(payload), request_id,
+                  &reply));
+  return reply.result;
+}
+
+Result<uint64_t> RemoteClient::RegisterForEvent(const std::string& event_name,
+                                                EventConsumer consumer) {
+  uint64_t request_id;
+  uint64_t handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    request_id = next_request_id_++;
+    handle = next_handle_++;
+  }
+  EventRegisterFrame reg;
+  reg.request_id = request_id;
+  reg.event_name = event_name;
+  std::string payload;
+  reg.Encode(&payload);
+  CommandReplyFrame reply;
+  TMAN_RETURN_IF_ERROR(
+      SendRequest(FrameType::kEventRegister, std::move(payload), request_id,
+                  &reply));
+  uint64_t server_id = std::strtoull(reply.result.c_str(), nullptr, 10);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_[handle] = EventReg{event_name, std::move(consumer), server_id};
+  handle_by_server_[server_id] = handle;
+  return handle;
+}
+
+Status RemoteClient::Unregister(uint64_t handle) {
+  uint64_t server_id = 0;
+  std::shared_ptr<Transport> transport;
+  bool send = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = events_.find(handle);
+    if (it == events_.end()) {
+      return Status::NotFound("unknown event registration handle");
+    }
+    server_id = it->second.server_id;
+    handle_by_server_.erase(server_id);
+    events_.erase(it);
+    send = connected_;
+    transport = transport_;
+  }
+  if (!send) return Status::OK();  // won't be re-registered on reconnect
+  EventUnregisterFrame unreg;
+  unreg.registration_id = server_id;
+  std::string payload;
+  unreg.Encode(&payload);
+  std::lock_guard<std::mutex> wlock(write_mutex_);
+  return WriteFrame(transport.get(), FrameType::kEventUnregister, payload,
+                    io_);
+}
+
+Status RemoteClient::Ping() {
+  Waiter waiter;
+  uint64_t nonce;
+  std::shared_ptr<Transport> transport;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!connected_) return Status::Aborted("not connected");
+    nonce = next_request_id_++;
+    pending_pings_[nonce] = &waiter;
+    transport = transport_;
+  }
+  PingFrame ping;
+  ping.nonce = nonce;
+  std::string payload;
+  ping.Encode(&payload);
+  Status s;
+  {
+    std::lock_guard<std::mutex> wlock(write_mutex_);
+    s = WriteFrame(transport.get(), FrameType::kPing, payload, io_);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!s.ok()) {
+    pending_pings_.erase(nonce);
+    return s;
+  }
+  bool done = cv_.wait_for(lock, options_.command_timeout,
+                           [&] { return waiter.done; });
+  if (!done) {
+    pending_pings_.erase(nonce);
+    return Status::IoError("ping timed out");
+  }
+  if (waiter.reply.status_code != 0) {
+    return Status::FromCode(static_cast<StatusCode>(waiter.reply.status_code),
+                            "ping failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace tman

@@ -1,0 +1,245 @@
+#ifndef TRIGGERMAN_IPC_REMOTE_CLIENT_H_
+#define TRIGGERMAN_IPC_REMOTE_CLIENT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/events.h"
+#include "ipc/transport.h"
+#include "types/update_descriptor.h"
+
+namespace tman {
+
+/// What a writer does when the server's credit window is exhausted (the
+/// task queue is at its configured bound).
+enum class BackpressurePolicy {
+  kBlock,  // Flush/SubmitUpdate block until credits arrive (or timeout)
+  kShed,   // drop the batch, count it in stats().updates_shed
+};
+
+struct RemoteClientOptions {
+  /// Session name. The server keys exactly-once update sequencing and
+  /// resume state by this name, so a reconnecting data source must reuse
+  /// it.
+  std::string client_name = "remote-client";
+
+  uint32_t max_payload_bytes = kDefaultMaxPayload;
+
+  /// Optional fault injector for the ipc.* sites (tests).
+  FaultInjector* fault_injector = nullptr;
+
+  /// Factory for transports; used by Connect() and for auto-reconnect.
+  /// E.g. [] { return TcpConnect("db1", 7447); } or a loopback listener's
+  /// Connect.
+  std::function<Result<std::unique_ptr<Transport>>()> connector;
+
+  /// Reconnect transparently when the connection drops, resending unacked
+  /// update batches (the server dedups by sequence, so this is
+  /// exactly-once end to end). Requires `connector`.
+  bool auto_reconnect = true;
+  uint32_t max_reconnect_attempts = 8;
+  std::chrono::milliseconds reconnect_backoff{10};
+
+  std::chrono::milliseconds command_timeout{10000};
+
+  /// Batching of update descriptors (data source API): a batch is flushed
+  /// when it reaches `batch_max_updates` or its oldest update has waited
+  /// `batch_max_delay`.
+  size_t batch_max_updates = 256;
+  std::chrono::milliseconds batch_max_delay{5};
+
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// How long kBlock waits for credits before giving up with
+  /// ResourceExhausted (the batch stays queued and is sent when credits
+  /// eventually arrive).
+  std::chrono::milliseconds send_timeout{30000};
+};
+
+struct RemoteClientStats {
+  uint64_t updates_submitted = 0;
+  uint64_t updates_sent = 0;      // handed to the transport (incl. resends)
+  uint64_t updates_acked = 0;
+  uint64_t updates_shed = 0;      // dropped by BackpressurePolicy::kShed
+  uint64_t batches_sent = 0;
+  uint64_t events_received = 0;
+  uint64_t reconnects = 0;
+  uint64_t credit_stalls = 0;     // sends delayed waiting for credits
+};
+
+/// The remote counterpart of ClientConnection + the data source API
+/// (Figure 1's client applications and data source programs, connected
+/// over the wire protocol instead of in-process). One background reader
+/// thread dispatches replies, event pushes, acks and credit grants; one
+/// flusher thread enforces the time-based batch flush. Public methods are
+/// thread-safe.
+class RemoteClient {
+ public:
+  explicit RemoteClient(RemoteClientOptions options = {});
+  ~RemoteClient();
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  /// Connects and handshakes using options.connector.
+  Status Connect();
+
+  /// Connects over an explicit transport (tests, one-shot tools).
+  /// Auto-reconnect still goes through options.connector when set.
+  Status Connect(std::unique_ptr<Transport> transport);
+
+  /// Sends a best-effort goodbye and stops the background threads.
+  /// Unacked queued updates are dropped. Idempotent.
+  void Close();
+
+  bool connected() const;
+
+  // --- ClientConnection mirror ---------------------------------------------
+
+  /// Executes one TriggerMan command on the server; returns its summary.
+  Result<std::string> Command(std::string_view text);
+
+  /// Registers for an event ("*" = all). The consumer runs on the reader
+  /// thread. Registrations survive reconnects (re-registered
+  /// automatically). Returns a client-side handle.
+  Result<uint64_t> RegisterForEvent(const std::string& event_name,
+                                    EventConsumer consumer);
+  Status Unregister(uint64_t handle);
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  // --- data source API ------------------------------------------------------
+
+  /// Stages one update descriptor into the current batch; flushes when the
+  /// batch is full (honoring the backpressure policy).
+  Status SubmitUpdate(const UpdateDescriptor& update);
+
+  /// Seals the current batch and, per policy, blocks until every queued
+  /// batch has been handed to the transport.
+  Status Flush();
+
+  /// Flush + wait until the server has acknowledged everything.
+  Status Drain();
+
+  uint64_t credits() const;
+  RemoteClientStats stats() const;
+
+ private:
+  struct Batch {
+    uint64_t first_seq = 0;
+    std::vector<UpdateDescriptor> updates;
+  };
+
+  /// A caller waiting for a reply frame (command, registration, pong).
+  struct Waiter {
+    bool done = false;
+    CommandReplyFrame reply;
+  };
+
+  struct EventReg {
+    std::string event_name;
+    EventConsumer consumer;
+    uint64_t server_id = 0;
+  };
+
+  Status Handshake(Transport* transport, HelloReplyFrame* reply);
+  Status InstallConnection(std::unique_ptr<Transport> transport);
+  void ReaderLoop();
+  void FlusherLoop();
+  void HandleDisconnectLocked();
+  bool AttemptReconnect(std::unique_lock<std::mutex>* lock);
+  void DispatchFrame(const Frame& frame);
+  /// Moves sendable batches from queued_ to inflight_, writing them out.
+  /// If the window is too small for the backlog, asks the server for more.
+  void TrySend();
+  void DrainSendQueue();
+  /// Records a pending credit request (mutex_ held) ...
+  void RequestCreditsLocked();
+  /// ... which this writes out without holding mutex_.
+  void FlushCreditRequest();
+  /// Seals current_ into queued_ (or sheds). Caller holds mutex_.
+  void SealBatchLocked();
+  Status WaitQueuedDrainLocked(std::unique_lock<std::mutex>* lock);
+  Status SendRequest(FrameType type, std::string payload, uint64_t request_id,
+                     CommandReplyFrame* reply);
+
+  RemoteClientOptions options_;
+  FrameIoOptions io_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<Transport> transport_;
+  std::mutex write_mutex_;
+  bool connected_ = false;
+  bool stopping_ = false;
+  bool terminal_ = false;  // no reconnect possible; fail fast
+  bool sending_ = false;   // one thread at a time drains queued_
+  bool credit_requested_ = false;  // a credit request is outstanding
+  uint64_t credits_ = 0;
+  uint64_t credit_request_amount_ = 0;  // staged by RequestCreditsLocked
+  std::shared_ptr<Transport> credit_request_transport_;
+
+  uint64_t next_seq_ = 1;
+  uint64_t next_request_id_ = 1;
+  uint64_t next_handle_ = 1;
+  std::vector<UpdateDescriptor> current_;
+  std::chrono::steady_clock::time_point current_started_{};
+  std::deque<Batch> queued_;
+  std::deque<Batch> inflight_;
+  Status last_ack_error_ = Status::OK();
+
+  std::map<uint64_t, Waiter*> pending_;           // request id -> waiter
+  std::map<uint64_t, uint64_t> pending_rereg_;    // request id -> handle
+  std::map<uint64_t, Waiter*> pending_pings_;     // nonce -> waiter
+  std::map<uint64_t, EventReg> events_;           // handle -> registration
+  std::map<uint64_t, uint64_t> handle_by_server_; // server id -> handle
+
+  RemoteClientStats stats_;
+
+  std::thread reader_;
+  std::thread flusher_;
+};
+
+/// Convenience facade for a data source program streaming one source's
+/// updates through a RemoteClient (which owns batching, credits and
+/// reconnect).
+class RemoteDataSource {
+ public:
+  RemoteDataSource(RemoteClient* client, DataSourceId source)
+      : client_(client), source_(source) {}
+
+  Status Insert(Tuple t) {
+    return client_->SubmitUpdate(
+        UpdateDescriptor::Insert(source_, std::move(t)));
+  }
+  Status Delete(Tuple t) {
+    return client_->SubmitUpdate(
+        UpdateDescriptor::Delete(source_, std::move(t)));
+  }
+  Status Update(Tuple old_t, Tuple new_t) {
+    return client_->SubmitUpdate(
+        UpdateDescriptor::Update(source_, std::move(old_t),
+                                 std::move(new_t)));
+  }
+  Status Flush() { return client_->Flush(); }
+
+  DataSourceId source() const { return source_; }
+
+ private:
+  RemoteClient* client_;
+  DataSourceId source_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_REMOTE_CLIENT_H_

@@ -1,0 +1,468 @@
+#include "ipc/server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tman {
+
+namespace {
+
+/// Bootstrap window granted at hello. Kept small on purpose: a
+/// connection that never ingests (a console, an event watcher) parks at
+/// most this many credits; real windows are built by request/ack grants.
+constexpr uint64_t kHelloCreditGrant = 64;
+
+}  // namespace
+
+TmanServer::TmanServer(TriggerManager* tman,
+                       std::unique_ptr<Listener> listener,
+                       TmanServerOptions options)
+    : tman_(tman), listener_(std::move(listener)), options_(options) {}
+
+TmanServer::~TmanServer() { Stop(); }
+
+Status TmanServer::Start() {
+  if (started_) return Status::Aborted("server already started");
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread(&TmanServer::AcceptLoop, this);
+  credit_thread_ = std::thread(&TmanServer::CreditLoop, this);
+  return Status::OK();
+}
+
+void TmanServer::Stop() {
+  if (!started_) return;
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (!was_running) return;
+  stop_cv_.notify_all();
+  listener_->Close();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& [conn, thread] : conns) {
+    conn->open.store(false, std::memory_order_relaxed);
+    conn->transport->Close();
+  }
+  for (auto& [conn, thread] : conns) {
+    if (thread.joinable()) thread.join();
+  }
+  if (credit_thread_.joinable()) credit_thread_.join();
+}
+
+TmanServerStats TmanServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TmanServerStats s = stats_;
+  s.events_pushed = events_pushed_->load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t TmanServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [conn, thread] : conns_) {
+    if (!conn->done.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+std::shared_ptr<TmanServer::Session> TmanServer::GetSession(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = sessions_[name];
+  if (slot == nullptr) slot = std::make_shared<Session>();
+  return slot;
+}
+
+void TmanServer::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->first->done.load(std::memory_order_acquire)) {
+      if (it->second.joinable()) it->second.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TmanServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto transport = listener_->Accept();
+    if (!transport.ok()) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (transport.status().code() == StatusCode::kAborted) break;
+      TMAN_LOG(kWarn) << "accept failed: " << transport.status().ToString();
+      break;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->transport = std::move(*transport);
+    conn->io.max_payload = options_.max_payload_bytes;
+    conn->io.faults = options_.fault_injector;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ReapFinishedLocked();
+      ++stats_.connections_accepted;
+      conns_.emplace_back(conn, std::thread(&TmanServer::ConnLoop, this,
+                                            conn));
+    }
+  }
+}
+
+template <typename Payload>
+void TmanServer::SendToConn(const std::shared_ptr<Conn>& conn, FrameType type,
+                            const Payload& payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open.load(std::memory_order_relaxed)) return;
+  Status s = WriteFramePayload(conn->transport.get(), type, payload, conn->io);
+  if (!s.ok()) {
+    conn->open.store(false, std::memory_order_relaxed);
+    conn->transport->Close();
+  }
+}
+
+uint64_t TmanServer::GrantCredits(const std::shared_ptr<Conn>& conn,
+                                  uint64_t want) {
+  uint64_t granted = 0;
+  {
+    std::lock_guard<std::mutex> lock(credit_mutex_);
+    const uint64_t cap = options_.max_queue_depth;
+    uint64_t used = tman_->task_queue().size() + total_outstanding_;
+    uint64_t avail = used >= cap ? 0 : cap - used;
+    uint64_t conn_room = conn->credits_outstanding >= cap
+                             ? 0
+                             : cap - conn->credits_outstanding;
+    granted = std::min({avail, conn_room, want});
+    total_outstanding_ += granted;
+    conn->credits_outstanding += granted;
+    conn->credit_want -= std::min(conn->credit_want, granted);
+  }
+  if (granted > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.credits_granted += granted;
+  }
+  return granted;
+}
+
+void TmanServer::ReleaseCredits(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(credit_mutex_);
+  total_outstanding_ -= std::min(total_outstanding_,
+                                 conn->credits_outstanding);
+  conn->credits_outstanding = 0;
+}
+
+void TmanServer::CreditLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock, options_.credit_period, [&] {
+        return !running_.load(std::memory_order_acquire);
+      });
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+    std::vector<std::shared_ptr<Conn>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snapshot.reserve(conns_.size());
+      for (const auto& [conn, thread] : conns_) snapshot.push_back(conn);
+    }
+    for (const auto& conn : snapshot) {
+      if (!conn->open.load(std::memory_order_relaxed) ||
+          !conn->hello_done.load(std::memory_order_acquire)) {
+        continue;
+      }
+      uint64_t want;
+      {
+        std::lock_guard<std::mutex> lock(credit_mutex_);
+        want = conn->credit_want;
+      }
+      if (want == 0) continue;
+      uint64_t grant = GrantCredits(conn, want);
+      if (grant > 0) {
+        CreditGrantFrame frame;
+        frame.credits = static_cast<uint32_t>(grant);
+        SendToConn(conn, FrameType::kCreditGrant, frame);
+      }
+    }
+  }
+}
+
+void TmanServer::ConnLoop(std::shared_ptr<Conn> conn) {
+  while (running_.load(std::memory_order_acquire) &&
+         conn->open.load(std::memory_order_relaxed)) {
+    auto frame = ReadFrame(conn->transport.get(), conn->io);
+    if (!frame.ok()) {
+      const Status& s = frame.status();
+      if (s.code() == StatusCode::kAborted) break;  // clean EOF / goodbye
+      // Corrupt, oversized or unsupported-version frames get an orderly
+      // goodbye so a confused-but-listening peer learns why; a dead
+      // transport (IoError) just closes.
+      if (s.code() != StatusCode::kIoError) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.protocol_errors;
+        }
+        GoodbyeFrame bye;
+        bye.reason = s.ToString();
+        SendToConn(conn, FrameType::kGoodbye, bye);
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.frames_received;
+    }
+    Status s = HandleFrame(conn, *frame);
+    if (!s.ok()) {
+      if (s.code() != StatusCode::kAborted) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.protocol_errors;
+        }
+        GoodbyeFrame bye;
+        bye.reason = s.ToString();
+        SendToConn(conn, FrameType::kGoodbye, bye);
+      }
+      break;
+    }
+  }
+
+  // Teardown: stop writers, drop event registrations, return credits.
+  // The ClientConnection is closed (not destroyed) here; destruction
+  // waits for the last event-consumer reference to the Conn to go away.
+  conn->open.store(false, std::memory_order_relaxed);
+  conn->transport->Close();
+  if (conn->client != nullptr) conn->client->Close();
+  ReleaseCredits(conn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections_closed;
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                               const Frame& frame) {
+  if (!conn->hello_done.load(std::memory_order_relaxed) &&
+      frame.type != FrameType::kHello) {
+    return Status::InvalidArgument("expected hello, got " +
+                                   std::string(FrameTypeName(frame.type)));
+  }
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (conn->hello_done.load(std::memory_order_relaxed)) {
+        return Status::InvalidArgument("duplicate hello");
+      }
+      TMAN_ASSIGN_OR_RETURN(HelloFrame hello,
+                            HelloFrame::Decode(frame.payload));
+      HelloReplyFrame reply;
+      if (hello.protocol_version != kWireVersion) {
+        reply.status_code = static_cast<uint8_t>(StatusCode::kNotSupported);
+        reply.message = "server speaks protocol version " +
+                        std::to_string(kWireVersion);
+        SendToConn(conn, FrameType::kHelloReply, reply);
+        return Status::NotSupported("client protocol version mismatch");
+      }
+      if (hello.client_name.empty()) {
+        reply.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+        reply.message = "client name must not be empty";
+        SendToConn(conn, FrameType::kHelloReply, reply);
+        return Status::InvalidArgument("empty client name");
+      }
+      conn->name = hello.client_name;
+      conn->session = GetSession(conn->name);
+      conn->client =
+          std::make_unique<ClientConnection>(tman_, conn->name);
+      conn->hello_done.store(true, std::memory_order_release);
+      reply.initial_credits = static_cast<uint32_t>(GrantCredits(
+          conn,
+          std::min<uint64_t>(options_.max_queue_depth, kHelloCreditGrant)));
+      {
+        std::lock_guard<std::mutex> lock(conn->session->mutex);
+        reply.last_applied_seq = conn->session->last_applied_seq;
+      }
+      SendToConn(conn, FrameType::kHelloReply, reply);
+      return Status::OK();
+    }
+
+    case FrameType::kCommand: {
+      TMAN_ASSIGN_OR_RETURN(CommandFrame cmd,
+                            CommandFrame::Decode(frame.payload));
+      auto outcome = conn->client->Command(cmd.text);
+      CommandReplyFrame reply;
+      reply.request_id = cmd.request_id;
+      if (outcome.ok()) {
+        reply.result = *outcome;
+      } else {
+        reply.status_code = static_cast<uint8_t>(outcome.status().code());
+        reply.message = outcome.status().message();
+      }
+      SendToConn(conn, FrameType::kCommandReply, reply);
+      return Status::OK();
+    }
+
+    case FrameType::kUpdateBatch: {
+      TMAN_ASSIGN_OR_RETURN(UpdateBatchFrame batch,
+                            UpdateBatchFrame::Decode(frame.payload));
+      const uint64_t k = batch.updates.size();
+      {
+        std::lock_guard<std::mutex> lock(credit_mutex_);
+        if (k > conn->credits_outstanding) {
+          return Status::ResourceExhausted(
+              "credit overrun: batch of " + std::to_string(k) +
+              " exceeds outstanding window of " +
+              std::to_string(conn->credits_outstanding));
+        }
+      }
+      UpdateAckFrame ack;
+      Status first_error = Status::OK();
+      uint64_t applied = 0;
+      uint64_t deduped = 0;
+      {
+        // Serializes concurrent connections sharing a session name, and
+        // makes dedup + submit atomic with the high-water-mark advance.
+        std::lock_guard<std::mutex> lock(conn->session->mutex);
+        for (size_t i = 0; i < batch.updates.size(); ++i) {
+          uint64_t seq = batch.first_seq + i;
+          if (seq <= conn->session->last_applied_seq) {
+            ++deduped;
+            continue;
+          }
+          // Validate the source id here: SubmitUpdate defers resolution
+          // to the (async) token pipeline, but a remote writer deserves a
+          // deterministic rejection in its ack.
+          Status s =
+              tman_->sources().LookupById(batch.updates[i].data_source)
+                  .status();
+          if (s.ok()) s = conn->client->SubmitUpdate(batch.updates[i]);
+          if (s.ok()) {
+            ++applied;
+          } else if (first_error.ok()) {
+            // Rejections (unknown source, schema mismatch) are
+            // deterministic: surface them in the ack but advance the
+            // sequence so the client does not resend forever.
+            first_error = s;
+          }
+          conn->session->last_applied_seq = seq;
+        }
+        ack.ack_seq = conn->session->last_applied_seq;
+      }
+      // Consumed credits are returned to the pool only now, after the
+      // submissions pushed their tasks — the credit bound always sees
+      // either the outstanding credit or the queued task, never neither.
+      {
+        std::lock_guard<std::mutex> lock(credit_mutex_);
+        uint64_t consumed = std::min(k, conn->credits_outstanding);
+        conn->credits_outstanding -= consumed;
+        total_outstanding_ -= std::min(total_outstanding_, consumed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.updates_applied += applied;
+        stats_.updates_deduped += deduped;
+      }
+      if (!first_error.ok()) {
+        ack.status_code = static_cast<uint8_t>(first_error.code());
+        ack.message = first_error.message();
+      }
+      // Replenish what the batch consumed; a larger window must be
+      // requested explicitly (and is then topped up by the credit
+      // thread as the queue drains).
+      ack.credits = static_cast<uint32_t>(GrantCredits(conn, k));
+      SendToConn(conn, FrameType::kUpdateAck, ack);
+      return Status::OK();
+    }
+
+    case FrameType::kEventRegister: {
+      TMAN_ASSIGN_OR_RETURN(EventRegisterFrame reg,
+                            EventRegisterFrame::Decode(frame.payload));
+      // The consumer runs on driver threads and may be invoked (via a
+      // copy taken by EventManager::Raise) even after this connection —
+      // or the whole server — is torn down. It therefore captures only
+      // shared state: the Conn and the push counter, never `this`.
+      auto reg_id = std::make_shared<std::atomic<uint64_t>>(0);
+      std::shared_ptr<Conn> c = conn;
+      auto counter = events_pushed_;
+      FrameIoOptions io = conn->io;
+      uint64_t id = conn->client->RegisterForEvent(
+          reg.event_name, [c, reg_id, counter, io](const Event& e) {
+            if (!c->open.load(std::memory_order_relaxed)) return;
+            EventPushFrame push;
+            push.registration_id = reg_id->load(std::memory_order_acquire);
+            push.event_name = e.name;
+            push.args = e.args;
+            std::string payload;
+            push.Encode(&payload);
+            std::lock_guard<std::mutex> lock(c->write_mutex);
+            if (!c->open.load(std::memory_order_relaxed)) return;
+            Status s = WriteFrame(c->transport.get(), FrameType::kEventPush,
+                                  payload, io);
+            if (!s.ok()) {
+              c->open.store(false, std::memory_order_relaxed);
+              c->transport->Close();
+              return;
+            }
+            counter->fetch_add(1, std::memory_order_relaxed);
+          });
+      reg_id->store(id, std::memory_order_release);
+      CommandReplyFrame reply;
+      reply.request_id = reg.request_id;
+      reply.result = std::to_string(id);
+      SendToConn(conn, FrameType::kCommandReply, reply);
+      return Status::OK();
+    }
+
+    case FrameType::kEventUnregister: {
+      TMAN_ASSIGN_OR_RETURN(EventUnregisterFrame unreg,
+                            EventUnregisterFrame::Decode(frame.payload));
+      conn->client->Unregister(unreg.registration_id);
+      return Status::OK();
+    }
+
+    case FrameType::kPing: {
+      TMAN_ASSIGN_OR_RETURN(PingFrame ping, PingFrame::Decode(frame.payload));
+      SendToConn(conn, FrameType::kPong, ping);
+      return Status::OK();
+    }
+
+    case FrameType::kCreditGrant: {
+      // From a client this frame is a credit *request*: the sender is
+      // stalled with that many updates queued. Remember the want (the
+      // credit thread keeps servicing it as the queue drains) and grant
+      // what the bound allows right now.
+      TMAN_ASSIGN_OR_RETURN(CreditGrantFrame req,
+                            CreditGrantFrame::Decode(frame.payload));
+      {
+        std::lock_guard<std::mutex> lock(credit_mutex_);
+        conn->credit_want = std::max<uint64_t>(conn->credit_want, req.credits);
+      }
+      uint64_t grant = GrantCredits(conn, req.credits);
+      if (grant > 0) {
+        CreditGrantFrame reply;
+        reply.credits = static_cast<uint32_t>(grant);
+        SendToConn(conn, FrameType::kCreditGrant, reply);
+      }
+      return Status::OK();
+    }
+
+    case FrameType::kPong:
+      return Status::OK();  // unsolicited pongs are harmless
+
+    case FrameType::kGoodbye:
+      return Status::Aborted("client said goodbye");
+
+    case FrameType::kHelloReply:
+    case FrameType::kCommandReply:
+    case FrameType::kUpdateAck:
+    case FrameType::kEventPush:
+      return Status::InvalidArgument(
+          "client sent server-to-client frame " +
+          std::string(FrameTypeName(frame.type)));
+  }
+  return Status::InvalidArgument("unhandled frame type");
+}
+
+}  // namespace tman

@@ -1,0 +1,165 @@
+#ifndef TRIGGERMAN_IPC_SERVER_H_
+#define TRIGGERMAN_IPC_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/trigger_manager.h"
+#include "ipc/transport.h"
+
+namespace tman {
+
+struct TmanServerOptions {
+  /// Credit cap: the task-queue depth the ingest path is allowed to
+  /// sustain. The server never has more than this many update descriptors
+  /// "in the air" (granted-but-unconsumed credits plus queued tasks), so
+  /// with token-level concurrency (condition_partitions == 1) the task
+  /// queue's high-water mark stays at or below this bound no matter how
+  /// many or how fast the remote writers are.
+  uint32_t max_queue_depth = 4096;
+
+  /// Per-frame payload cap (both directions).
+  uint32_t max_payload_bytes = kDefaultMaxPayload;
+
+  /// How often the credit thread tops up windows of connections that are
+  /// waiting for the task queue to drain.
+  std::chrono::milliseconds credit_period{2};
+
+  /// Optional fault injector for the ipc.* sites (see FrameIoOptions).
+  FaultInjector* fault_injector = nullptr;
+};
+
+struct TmanServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t protocol_errors = 0;   // malformed/unexpected frames, credit abuse
+  uint64_t updates_applied = 0;
+  uint64_t updates_deduped = 0;   // resent after reconnect, skipped
+  uint64_t events_pushed = 0;
+  uint64_t credits_granted = 0;
+};
+
+/// The TriggerMan network front end (Figure 1): accepts client and data
+/// source connections from a Listener, speaks the framed wire protocol,
+/// and dispatches onto the in-process ClientConnection/TriggerManager
+/// path. One std::thread accepts; each connection gets a worker thread
+/// that reads frames; replies, event pushes and credit grants share the
+/// connection's write lock.
+///
+/// Ingestion is flow-controlled by credits: one credit = permission to
+/// send one update descriptor. Grants are demand-driven so idle
+/// connections cannot hoard the window: the hello reply carries a small
+/// bootstrap grant, each update ack replenishes what the batch consumed,
+/// and anything more must be requested (a client->server kCreditGrant
+/// frame); requests are remembered and satisfied by the periodic credit
+/// thread as the queue drains. Every grant is bounded by
+/// cap - task_queue_depth - total_outstanding_credits, so remote writers
+/// can never push the task queue past the configured bound; they block
+/// (or shed, client policy) instead.
+///
+/// Sessions are keyed by the client name from the hello frame and survive
+/// reconnects: the server remembers the highest applied update sequence
+/// per session and skips lower ones, making client resends after a
+/// dropped connection idempotent (exactly-once, in order, per source).
+class TmanServer {
+ public:
+  TmanServer(TriggerManager* tman, std::unique_ptr<Listener> listener,
+             TmanServerOptions options = {});
+  ~TmanServer();
+
+  TmanServer(const TmanServer&) = delete;
+  TmanServer& operator=(const TmanServer&) = delete;
+
+  Status Start();
+
+  /// Closes the listener and every live connection, then joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  TmanServerStats stats() const;
+  size_t active_connections() const;
+
+ private:
+  /// Per-session-name state that outlives any one connection.
+  struct Session {
+    std::mutex mutex;
+    uint64_t last_applied_seq = 0;
+  };
+
+  /// One live connection. Shared: the worker thread, the credit thread
+  /// and registered event consumers all hold references, so a consumer
+  /// fired during teardown still writes into a live (closed) transport
+  /// instead of freed memory.
+  struct Conn {
+    std::unique_ptr<Transport> transport;
+    FrameIoOptions io;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+    std::atomic<bool> done{false};        // worker finished; joinable
+    std::atomic<bool> hello_done{false};  // set by worker, read by creditor
+    std::string name;
+    std::unique_ptr<ClientConnection> client;
+    std::shared_ptr<Session> session;
+    uint64_t credits_outstanding = 0;  // guarded by server credit_mutex_
+    uint64_t credit_want = 0;          // unfulfilled request; same guard
+  };
+
+  void AcceptLoop();
+  void ConnLoop(std::shared_ptr<Conn> conn);
+  void CreditLoop();
+
+  /// Handles one frame. A non-ok return closes the connection.
+  Status HandleFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
+
+  /// Grants up to `want` credits to `conn`, bounded by the cap minus the
+  /// current task-queue depth minus all outstanding credits.
+  uint64_t GrantCredits(const std::shared_ptr<Conn>& conn, uint64_t want);
+
+  /// Returns outstanding credits to the pool (connection died).
+  void ReleaseCredits(const std::shared_ptr<Conn>& conn);
+
+  template <typename Payload>
+  void SendToConn(const std::shared_ptr<Conn>& conn, FrameType type,
+                  const Payload& payload);
+
+  std::shared_ptr<Session> GetSession(const std::string& name);
+  void ReapFinishedLocked();
+
+  TriggerManager* tman_;
+  std::unique_ptr<Listener> listener_;
+  TmanServerOptions options_;
+
+  mutable std::mutex mutex_;  // conns_, sessions_, stats_
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  TmanServerStats stats_;
+  // Separate from stats_: event consumers run on driver threads and must
+  // not touch the server object (they may outlive Stop()), so they bump a
+  // shared counter instead.
+  std::shared_ptr<std::atomic<uint64_t>> events_pushed_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+
+  std::mutex credit_mutex_;  // credit accounting across threads
+  uint64_t total_outstanding_ = 0;
+
+  std::thread acceptor_;
+  std::thread credit_thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_SERVER_H_

@@ -1,0 +1,244 @@
+#include "ipc/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tman {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::string PeerString(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "tcp:?";
+  }
+  char host[INET6_ADDRSTRLEN] = {0};
+  uint16_t port = 0;
+  if (addr.ss_family == AF_INET) {
+    auto* in4 = reinterpret_cast<sockaddr_in*>(&addr);
+    inet_ntop(AF_INET, &in4->sin_addr, host, sizeof(host));
+    port = ntohs(in4->sin_port);
+  } else if (addr.ss_family == AF_INET6) {
+    auto* in6 = reinterpret_cast<sockaddr_in6*>(&addr);
+    inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host));
+    port = ntohs(in6->sin6_port);
+  }
+  return std::string(host) + ":" + std::to_string(port);
+}
+
+/// A connected TCP stream. Close() uses shutdown() so a concurrent reader
+/// or writer unblocks with an error; the descriptor itself is released in
+/// the destructor only, so no thread can ever touch a reused fd.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd), peer_(PeerString(fd)) {
+    int one = 1;
+    // Batched frames are already sized sensibly; don't let Nagle delay acks.
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Write(std::string_view data) override {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      if (closed_.load(std::memory_order_relaxed)) {
+        return Status::IoError("socket closed");
+      }
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("send"));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> ReadSome(char* buf, size_t cap) override {
+    while (true) {
+      if (closed_.load(std::memory_order_relaxed)) {
+        return Status::IoError("socket closed");
+      }
+      ssize_t n = ::recv(fd_, buf, cap, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("recv"));
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+
+  void Close() override {
+    if (!closed_.exchange(true, std::memory_order_relaxed)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(const std::string& host,
+                                                       uint16_t port,
+                                                       int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  int rc = getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                       std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError(std::string("getaddrinfo: ") + gai_strerror(rc));
+  }
+  Status last = Status::IoError("no usable address");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError(Errno("socket"));
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = Status::IoError(Errno("bind/listen"));
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    uint16_t actual_port = port;
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        actual_port = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual_port =
+            ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    freeaddrinfo(res);
+    return std::unique_ptr<TcpListener>(new TcpListener(fd, actual_port));
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  while (true) {
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::Aborted("listener closed");
+    }
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (closed_.load(std::memory_order_relaxed)) {
+        return Status::Aborted("listener closed");
+      }
+      return Status::IoError(Errno("accept"));
+    }
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  }
+}
+
+void TcpListener::Close() {
+  if (!closed_.exchange(true, std::memory_order_relaxed)) {
+    // Unblock a blocked accept(). shutdown() on a listening socket is
+    // enough on Linux; the close itself waits for the destructor.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                       &res);
+  if (rc != 0) {
+    return Status::IoError(std::string("getaddrinfo: ") + gai_strerror(rc));
+  }
+  Status last = Status::IoError("no usable address");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError(Errno("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::IoError(Errno("connect"));
+      ::close(fd);
+      continue;
+    }
+    freeaddrinfo(res);
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  std::string host;
+  std::string port_str;
+  if (!spec.empty() && spec[0] == '[') {  // [v6addr]:port
+    size_t end = spec.find(']');
+    if (end == std::string::npos || end + 1 >= spec.size() ||
+        spec[end + 1] != ':') {
+      return Status::InvalidArgument("expected [host]:port, got '" + spec +
+                                     "'");
+    }
+    host = spec.substr(1, end - 1);
+    port_str = spec.substr(end + 2);
+  } else {
+    size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+    }
+    host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  if (host.empty()) host = "127.0.0.1";
+  char* end = nullptr;
+  long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + spec + "'");
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+}  // namespace tman

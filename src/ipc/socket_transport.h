@@ -1,0 +1,51 @@
+#ifndef TRIGGERMAN_IPC_SOCKET_TRANSPORT_H_
+#define TRIGGERMAN_IPC_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ipc/transport.h"
+
+namespace tman {
+
+/// TCP implementations of the transport seam (POSIX sockets). These are
+/// the production path; protocol logic is identical over loopback.
+
+/// Binds and listens on `host:port`. Port 0 picks an ephemeral port;
+/// port() reports the bound one so tests and tools never race on a fixed
+/// number.
+class TcpListener : public Listener {
+ public:
+  static Result<std::unique_ptr<TcpListener>> Bind(const std::string& host,
+                                                   uint16_t port,
+                                                   int backlog = 64);
+  ~TcpListener() override;
+
+  Result<std::unique_ptr<Transport>> Accept() override;
+  void Close() override;
+
+  uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Connects to a TriggerMan server at `host:port`.
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port);
+
+/// Parses "host:port" (e.g. "127.0.0.1:7447", "[::1]:7447"). Used by the
+/// console's --connect flag and tools.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_SOCKET_TRANSPORT_H_

@@ -1,0 +1,84 @@
+#include "ipc/transport.h"
+
+namespace tman {
+
+namespace {
+
+/// Reads exactly `n` bytes, looping over short reads. `allow_eof_at_start`
+/// distinguishes a peer that closed between frames (clean) from one that
+/// died mid-frame (corruption).
+Status ReadFull(Transport* transport, char* buf, size_t n,
+                bool allow_eof_at_start, const FrameIoOptions& options) {
+  size_t got = 0;
+  while (got < n) {
+    if (options.faults != nullptr && options.faults->armed()) {
+      TMAN_RETURN_IF_ERROR(options.faults->Check("ipc.read"));
+    }
+    size_t cap = n - got;
+    if (options.faults != nullptr && options.faults->armed() &&
+        !options.faults->Check("ipc.read.short").ok()) {
+      cap = 1;  // injected fragmentation, not a failure
+    }
+    auto r = transport->ReadSome(buf + got, cap);
+    if (!r.ok()) return r.status();
+    if (*r == 0) {
+      if (got == 0 && allow_eof_at_start) {
+        return Status::Aborted("connection closed");
+      }
+      return Status::Corruption("connection closed mid-frame");
+    }
+    got += *r;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(Transport* transport, FrameType type,
+                  std::string_view payload, const FrameIoOptions& options) {
+  if (payload.size() > options.max_payload) {
+    return Status::InvalidArgument(
+        "refusing to send a " + std::to_string(payload.size()) +
+        "-byte payload over a " + std::to_string(options.max_payload) +
+        "-byte cap");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrame(type, payload, &frame);
+  if (options.faults != nullptr && options.faults->armed()) {
+    TMAN_RETURN_IF_ERROR(options.faults->Check("ipc.write"));
+    if (!options.faults->Check("ipc.corrupt").ok() && !frame.empty()) {
+      frame[frame.size() - 1] ^= 0x5A;  // receiver sees a CRC mismatch
+    }
+    if (!options.faults->Check("ipc.write.drop").ok()) {
+      // The peer dies after half the frame reaches the wire.
+      (void)transport->Write(
+          std::string_view(frame).substr(0, frame.size() / 2));
+      transport->Close();
+      return Status::IoError("connection dropped mid-frame (injected)");
+    }
+  }
+  return transport->Write(frame);
+}
+
+Result<Frame> ReadFrame(Transport* transport, const FrameIoOptions& options) {
+  char header_bytes[kFrameHeaderSize];
+  TMAN_RETURN_IF_ERROR(ReadFull(transport, header_bytes, kFrameHeaderSize,
+                                /*allow_eof_at_start=*/true, options));
+  TMAN_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      DecodeFrameHeader(std::string_view(header_bytes, kFrameHeaderSize),
+                        options.max_payload));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    TMAN_RETURN_IF_ERROR(ReadFull(transport, frame.payload.data(),
+                                  header.payload_len,
+                                  /*allow_eof_at_start=*/false, options));
+  }
+  TMAN_RETURN_IF_ERROR(VerifyFramePayload(header, frame.payload));
+  return frame;
+}
+
+}  // namespace tman

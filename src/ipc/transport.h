@@ -1,0 +1,100 @@
+#ifndef TRIGGERMAN_IPC_TRANSPORT_H_
+#define TRIGGERMAN_IPC_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ipc/wire_format.h"
+#include "util/fault_injector.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tman {
+
+/// A bidirectional byte stream between one client and the server: the
+/// pluggable seam between protocol logic and the wire. The real
+/// implementation is a TCP socket (socket_transport.h); tests use the
+/// in-memory loopback (loopback.h) so every protocol path — including
+/// partial reads, drops, and corruption — runs deterministically.
+///
+/// Thread-safety contract: one thread reads (ReadSome) while any number
+/// of threads write (Write must be externally serialized by the caller's
+/// write mutex); Close may be called from any thread and unblocks both
+/// sides.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all of `data` or returns an error (connection closed/failed).
+  virtual Status Write(std::string_view data) = 0;
+
+  /// Reads between 1 and `cap` bytes into `buf`, blocking until data is
+  /// available. Returns 0 on clean end-of-stream, an error Status on
+  /// failure.
+  virtual Result<size_t> ReadSome(char* buf, size_t cap) = 0;
+
+  /// Closes both directions; pending and future reads/writes fail fast.
+  virtual void Close() = 0;
+
+  /// Short peer description for logs ("127.0.0.1:51844", "loopback#3").
+  virtual std::string peer() const = 0;
+};
+
+/// Accepts inbound Transports for a server. Accept blocks until a client
+/// connects or Close is called (after which it returns Aborted).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  virtual Result<std::unique_ptr<Transport>> Accept() = 0;
+  virtual void Close() = 0;
+};
+
+/// A received frame: validated header plus payload bytes.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Options shared by frame read/write paths. `faults` (optional) is
+/// consulted at the ipc.* sites:
+///
+///   ipc.write          the whole write fails (connection error)
+///   ipc.write.drop     half the frame is written, then the transport is
+///                      closed (a peer dying mid-frame)
+///   ipc.corrupt        one payload byte is flipped before sending (the
+///                      receiver must detect the CRC mismatch)
+///   ipc.read           the read fails (connection error)
+///   ipc.read.short     the next transport read is clamped to one byte
+///                      (exercises reassembly of fragmented frames)
+struct FrameIoOptions {
+  uint32_t max_payload = kDefaultMaxPayload;
+  FaultInjector* faults = nullptr;
+};
+
+/// Encodes and writes one frame. The caller serializes concurrent writers.
+Status WriteFrame(Transport* transport, FrameType type,
+                  std::string_view payload, const FrameIoOptions& options = {});
+
+/// Reads one complete frame, reassembling across short reads, and verifies
+/// magic, version, size cap and CRC. Returns Aborted("connection closed")
+/// on clean end-of-stream at a frame boundary; Corruption when the stream
+/// dies or decays mid-frame.
+Result<Frame> ReadFrame(Transport* transport,
+                        const FrameIoOptions& options = {});
+
+/// Convenience: encodes `payload_struct` (any wire_format payload type)
+/// and writes it as one frame of the given type.
+template <typename Payload>
+Status WriteFramePayload(Transport* transport, FrameType type,
+                         const Payload& payload_struct,
+                         const FrameIoOptions& options = {}) {
+  std::string payload;
+  payload_struct.Encode(&payload);
+  return WriteFrame(transport, type, payload, options);
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_TRANSPORT_H_

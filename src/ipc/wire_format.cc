@@ -1,0 +1,356 @@
+#include "ipc/wire_format.h"
+
+#include "types/tuple.h"
+#include "util/codec.h"
+#include "util/crc32.h"
+
+namespace tman {
+
+namespace {
+
+/// Wraps a strict decode: after the fields are consumed, any leftover
+/// bytes mean the frame was forged or mangled.
+Status ExpectConsumed(std::string_view payload, size_t pos) {
+  if (pos != payload.size()) {
+    return Status::Corruption("frame payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("frame payload truncated: ") + what);
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloReply: return "hello-reply";
+    case FrameType::kCommand: return "command";
+    case FrameType::kCommandReply: return "command-reply";
+    case FrameType::kUpdateBatch: return "update-batch";
+    case FrameType::kUpdateAck: return "update-ack";
+    case FrameType::kEventRegister: return "event-register";
+    case FrameType::kEventUnregister: return "event-unregister";
+    case FrameType::kEventPush: return "event-push";
+    case FrameType::kCreditGrant: return "credit-grant";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "?";
+}
+
+void EncodeFrame(FrameType type, std::string_view payload, std::string* out) {
+  PutU32(out, kWireMagic);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
+                                      uint32_t max_payload) {
+  if (bytes.size() != kFrameHeaderSize) {
+    return Status::Corruption("frame header truncated");
+  }
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint16_t reserved = 0;
+  FrameHeader h;
+  GetU32(bytes, &pos, &magic);
+  GetU8(bytes, &pos, &version);
+  GetU8(bytes, &pos, &type);
+  GetU16(bytes, &pos, &reserved);
+  GetU32(bytes, &pos, &h.payload_len);
+  GetU32(bytes, &pos, &h.payload_crc);
+  if (magic != kWireMagic) return Status::Corruption("bad frame magic");
+  if (version != kWireVersion) {
+    return Status::NotSupported("unsupported wire protocol version " +
+                                std::to_string(version));
+  }
+  if (reserved != 0) return Status::Corruption("nonzero reserved header bits");
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    return Status::Corruption("unknown frame type " + std::to_string(type));
+  }
+  if (h.payload_len > max_payload) {
+    return Status::ResourceExhausted(
+        "frame payload of " + std::to_string(h.payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload) + "-byte cap");
+  }
+  h.version = version;
+  h.type = static_cast<FrameType>(type);
+  return h;
+}
+
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::Corruption("frame payload length mismatch");
+  }
+  if (Crc32(payload) != header.payload_crc) {
+    return Status::Corruption("frame payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+// --- HelloFrame ------------------------------------------------------------
+
+void HelloFrame::Encode(std::string* out) const {
+  PutLengthPrefixed(out, client_name);
+  PutU32(out, protocol_version);
+}
+
+Result<HelloFrame> HelloFrame::Decode(std::string_view payload) {
+  HelloFrame f;
+  size_t pos = 0;
+  std::string_view name;
+  if (!GetLengthPrefixed(payload, &pos, &name)) return Truncated("hello name");
+  if (!GetU32(payload, &pos, &f.protocol_version)) {
+    return Truncated("hello version");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.client_name = std::string(name);
+  return f;
+}
+
+// --- HelloReplyFrame -------------------------------------------------------
+
+void HelloReplyFrame::Encode(std::string* out) const {
+  PutU8(out, status_code);
+  PutLengthPrefixed(out, message);
+  PutU32(out, initial_credits);
+  PutU64(out, last_applied_seq);
+}
+
+Result<HelloReplyFrame> HelloReplyFrame::Decode(std::string_view payload) {
+  HelloReplyFrame f;
+  size_t pos = 0;
+  std::string_view msg;
+  if (!GetU8(payload, &pos, &f.status_code) ||
+      !GetLengthPrefixed(payload, &pos, &msg) ||
+      !GetU32(payload, &pos, &f.initial_credits) ||
+      !GetU64(payload, &pos, &f.last_applied_seq)) {
+    return Truncated("hello reply");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.message = std::string(msg);
+  return f;
+}
+
+// --- CommandFrame ----------------------------------------------------------
+
+void CommandFrame::Encode(std::string* out) const {
+  PutU64(out, request_id);
+  PutLengthPrefixed(out, text);
+}
+
+Result<CommandFrame> CommandFrame::Decode(std::string_view payload) {
+  CommandFrame f;
+  size_t pos = 0;
+  std::string_view text;
+  if (!GetU64(payload, &pos, &f.request_id) ||
+      !GetLengthPrefixed(payload, &pos, &text)) {
+    return Truncated("command");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.text = std::string(text);
+  return f;
+}
+
+// --- CommandReplyFrame -----------------------------------------------------
+
+void CommandReplyFrame::Encode(std::string* out) const {
+  PutU64(out, request_id);
+  PutU8(out, status_code);
+  PutLengthPrefixed(out, message);
+  PutLengthPrefixed(out, result);
+}
+
+Result<CommandReplyFrame> CommandReplyFrame::Decode(std::string_view payload) {
+  CommandReplyFrame f;
+  size_t pos = 0;
+  std::string_view msg;
+  std::string_view result;
+  if (!GetU64(payload, &pos, &f.request_id) ||
+      !GetU8(payload, &pos, &f.status_code) ||
+      !GetLengthPrefixed(payload, &pos, &msg) ||
+      !GetLengthPrefixed(payload, &pos, &result)) {
+    return Truncated("command reply");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.message = std::string(msg);
+  f.result = std::string(result);
+  return f;
+}
+
+// --- UpdateBatchFrame ------------------------------------------------------
+
+void UpdateBatchFrame::Encode(std::string* out) const {
+  PutU64(out, first_seq);
+  PutU32(out, static_cast<uint32_t>(updates.size()));
+  std::string scratch;
+  for (const UpdateDescriptor& u : updates) {
+    scratch.clear();
+    u.Serialize(&scratch);
+    PutLengthPrefixed(out, scratch);
+  }
+}
+
+Result<UpdateBatchFrame> UpdateBatchFrame::Decode(std::string_view payload) {
+  UpdateBatchFrame f;
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetU64(payload, &pos, &f.first_seq) ||
+      !GetU32(payload, &pos, &count)) {
+    return Truncated("update batch header");
+  }
+  // Decoded iteratively with bounds checks — the count field cannot drive
+  // an allocation larger than the (already capped) payload itself.
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view blob;
+    if (!GetLengthPrefixed(payload, &pos, &blob)) {
+      return Truncated("update descriptor");
+    }
+    TMAN_ASSIGN_OR_RETURN(UpdateDescriptor u,
+                          UpdateDescriptor::Deserialize(blob));
+    f.updates.push_back(std::move(u));
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  return f;
+}
+
+// --- UpdateAckFrame --------------------------------------------------------
+
+void UpdateAckFrame::Encode(std::string* out) const {
+  PutU64(out, ack_seq);
+  PutU8(out, status_code);
+  PutLengthPrefixed(out, message);
+  PutU32(out, credits);
+}
+
+Result<UpdateAckFrame> UpdateAckFrame::Decode(std::string_view payload) {
+  UpdateAckFrame f;
+  size_t pos = 0;
+  std::string_view msg;
+  if (!GetU64(payload, &pos, &f.ack_seq) ||
+      !GetU8(payload, &pos, &f.status_code) ||
+      !GetLengthPrefixed(payload, &pos, &msg) ||
+      !GetU32(payload, &pos, &f.credits)) {
+    return Truncated("update ack");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.message = std::string(msg);
+  return f;
+}
+
+// --- EventRegisterFrame ----------------------------------------------------
+
+void EventRegisterFrame::Encode(std::string* out) const {
+  PutU64(out, request_id);
+  PutLengthPrefixed(out, event_name);
+}
+
+Result<EventRegisterFrame> EventRegisterFrame::Decode(
+    std::string_view payload) {
+  EventRegisterFrame f;
+  size_t pos = 0;
+  std::string_view name;
+  if (!GetU64(payload, &pos, &f.request_id) ||
+      !GetLengthPrefixed(payload, &pos, &name)) {
+    return Truncated("event register");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.event_name = std::string(name);
+  return f;
+}
+
+// --- EventUnregisterFrame --------------------------------------------------
+
+void EventUnregisterFrame::Encode(std::string* out) const {
+  PutU64(out, registration_id);
+}
+
+Result<EventUnregisterFrame> EventUnregisterFrame::Decode(
+    std::string_view payload) {
+  EventUnregisterFrame f;
+  size_t pos = 0;
+  if (!GetU64(payload, &pos, &f.registration_id)) {
+    return Truncated("event unregister");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  return f;
+}
+
+// --- EventPushFrame --------------------------------------------------------
+
+void EventPushFrame::Encode(std::string* out) const {
+  PutU64(out, registration_id);
+  PutLengthPrefixed(out, event_name);
+  // Event arguments reuse the tuple serialization (self-describing values).
+  Tuple(args).Serialize(out);
+}
+
+Result<EventPushFrame> EventPushFrame::Decode(std::string_view payload) {
+  EventPushFrame f;
+  size_t pos = 0;
+  std::string_view name;
+  if (!GetU64(payload, &pos, &f.registration_id) ||
+      !GetLengthPrefixed(payload, &pos, &name)) {
+    return Truncated("event push");
+  }
+  TMAN_ASSIGN_OR_RETURN(Tuple args, Tuple::Deserialize(payload, &pos));
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.event_name = std::string(name);
+  f.args = args.values();
+  return f;
+}
+
+// --- CreditGrantFrame ------------------------------------------------------
+
+void CreditGrantFrame::Encode(std::string* out) const {
+  PutU32(out, credits);
+}
+
+Result<CreditGrantFrame> CreditGrantFrame::Decode(std::string_view payload) {
+  CreditGrantFrame f;
+  size_t pos = 0;
+  if (!GetU32(payload, &pos, &f.credits)) return Truncated("credit grant");
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  return f;
+}
+
+// --- PingFrame -------------------------------------------------------------
+
+void PingFrame::Encode(std::string* out) const { PutU64(out, nonce); }
+
+Result<PingFrame> PingFrame::Decode(std::string_view payload) {
+  PingFrame f;
+  size_t pos = 0;
+  if (!GetU64(payload, &pos, &f.nonce)) return Truncated("ping");
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  return f;
+}
+
+// --- GoodbyeFrame ----------------------------------------------------------
+
+void GoodbyeFrame::Encode(std::string* out) const {
+  PutLengthPrefixed(out, reason);
+}
+
+Result<GoodbyeFrame> GoodbyeFrame::Decode(std::string_view payload) {
+  GoodbyeFrame f;
+  size_t pos = 0;
+  std::string_view reason;
+  if (!GetLengthPrefixed(payload, &pos, &reason)) return Truncated("goodbye");
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.reason = std::string(reason);
+  return f;
+}
+
+}  // namespace tman

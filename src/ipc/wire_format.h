@@ -1,0 +1,196 @@
+#ifndef TRIGGERMAN_IPC_WIRE_FORMAT_H_
+#define TRIGGERMAN_IPC_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/update_descriptor.h"
+#include "types/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tman {
+
+/// The TriggerMan wire protocol (Figure 1's client / data source
+/// connections, made remote). Every frame is:
+///
+///   offset  size  field
+///   0       4     magic "TMAN"
+///   4       1     protocol version (kWireVersion)
+///   5       1     frame type (FrameType)
+///   6       2     reserved (must be zero)
+///   8       4     payload length in bytes
+///   12      4     CRC-32 of the payload bytes
+///   16      ...   payload
+///
+/// Integers are little-endian throughout (the serialization the storage
+/// layer already commits to disk). Payload length is capped — a frame
+/// whose header announces more than the receiver's limit is rejected
+/// before any payload is read, so a corrupt or hostile length field can
+/// never drive an allocation. Decoders consume exactly the payload: any
+/// trailing bytes are treated as corruption.
+
+inline constexpr uint32_t kWireMagic = 0x4E414D54u;  // "TMAN", little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+
+/// Default cap on payload size (16 MiB). Both sides of a connection use
+/// the same limit; WriteFrame refuses to emit what ReadFrame would drop.
+inline constexpr uint32_t kDefaultMaxPayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,          // client -> server: open a named session
+  kHelloReply = 2,     // server -> client: session state + initial credits
+  kCommand = 3,        // client -> server: one TriggerMan command
+  kCommandReply = 4,   // server -> client: command outcome
+  kUpdateBatch = 5,    // data source -> server: batched update descriptors
+  kUpdateAck = 6,      // server -> data source: applied seq + credit grant
+  kEventRegister = 7,  // client -> server: subscribe to an event
+  kEventUnregister = 8,// client -> server: drop a subscription
+  kEventPush = 9,      // server -> client: one raised event
+  kCreditGrant = 10,   // server -> client: replenish the send window;
+                       // client -> server: request that many credits
+  kPing = 11,          // either direction: liveness probe
+  kPong = 12,          // reply to kPing, echoing its nonce
+  kGoodbye = 13,       // either direction: orderly close
+};
+
+std::string_view FrameTypeName(FrameType type);
+
+/// Decoded frame header.
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kPing;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void EncodeFrame(FrameType type, std::string_view payload, std::string* out);
+
+/// Decodes the 16-byte header in `bytes` (exactly kFrameHeaderSize bytes).
+/// Rejects bad magic, unsupported version, nonzero reserved bits, unknown
+/// frame types, and payloads larger than `max_payload`.
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
+                                      uint32_t max_payload);
+
+/// Verifies the payload CRC against the header.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+// --- payloads --------------------------------------------------------------
+// Each payload type encodes with Encode(out) and decodes with a strict
+// Decode(payload) that errors on truncated or trailing bytes.
+
+/// First frame on every connection. `client_name` keys the server-side
+/// session, so a data source that reconnects under the same name resumes
+/// its update sequence (exactly-once across reconnects).
+struct HelloFrame {
+  std::string client_name;
+  uint32_t protocol_version = kWireVersion;
+
+  void Encode(std::string* out) const;
+  static Result<HelloFrame> Decode(std::string_view payload);
+};
+
+struct HelloReplyFrame {
+  uint8_t status_code = 0;       // StatusCode; 0 = accepted
+  std::string message;           // error text when rejected
+  uint32_t initial_credits = 0;  // update descriptors the client may send
+  uint64_t last_applied_seq = 0; // resume point for this session name
+
+  void Encode(std::string* out) const;
+  static Result<HelloReplyFrame> Decode(std::string_view payload);
+};
+
+struct CommandFrame {
+  uint64_t request_id = 0;
+  std::string text;
+
+  void Encode(std::string* out) const;
+  static Result<CommandFrame> Decode(std::string_view payload);
+};
+
+struct CommandReplyFrame {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;  // StatusCode of the outcome
+  std::string message;      // error text (empty on success)
+  std::string result;       // human-readable result (empty on error)
+
+  void Encode(std::string* out) const;
+  static Result<CommandReplyFrame> Decode(std::string_view payload);
+};
+
+/// A batch of update descriptors. Descriptor i carries session sequence
+/// number `first_seq + i`; the server applies only sequences above the
+/// session's high-water mark, which makes resends after a reconnect
+/// idempotent.
+struct UpdateBatchFrame {
+  uint64_t first_seq = 1;
+  std::vector<UpdateDescriptor> updates;
+
+  void Encode(std::string* out) const;
+  static Result<UpdateBatchFrame> Decode(std::string_view payload);
+};
+
+struct UpdateAckFrame {
+  uint64_t ack_seq = 0;     // highest sequence applied for this session
+  uint8_t status_code = 0;  // first submission error, if any
+  std::string message;
+  uint32_t credits = 0;     // additional send window granted
+
+  void Encode(std::string* out) const;
+  static Result<UpdateAckFrame> Decode(std::string_view payload);
+};
+
+struct EventRegisterFrame {
+  uint64_t request_id = 0;
+  std::string event_name;  // "*" = all events
+
+  void Encode(std::string* out) const;
+  static Result<EventRegisterFrame> Decode(std::string_view payload);
+};
+
+struct EventUnregisterFrame {
+  uint64_t registration_id = 0;
+
+  void Encode(std::string* out) const;
+  static Result<EventUnregisterFrame> Decode(std::string_view payload);
+};
+
+struct EventPushFrame {
+  uint64_t registration_id = 0;
+  std::string event_name;
+  std::vector<Value> args;
+
+  void Encode(std::string* out) const;
+  static Result<EventPushFrame> Decode(std::string_view payload);
+};
+
+struct CreditGrantFrame {
+  uint32_t credits = 0;
+
+  void Encode(std::string* out) const;
+  static Result<CreditGrantFrame> Decode(std::string_view payload);
+};
+
+struct PingFrame {
+  uint64_t nonce = 0;
+
+  void Encode(std::string* out) const;
+  static Result<PingFrame> Decode(std::string_view payload);
+};
+
+using PongFrame = PingFrame;  // identical payload, echoed nonce
+
+struct GoodbyeFrame {
+  std::string reason;
+
+  void Encode(std::string* out) const;
+  static Result<GoodbyeFrame> Decode(std::string_view payload);
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_IPC_WIRE_FORMAT_H_

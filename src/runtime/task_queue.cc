@@ -23,6 +23,7 @@ void TaskQueue::Push(Task task) {
     ++stats_.pushed;
     ++stats_.per_kind[static_cast<int>(task.kind)];
     tasks_.push_back(std::move(task));
+    if (tasks_.size() > stats_.max_size) stats_.max_size = tasks_.size();
   }
   cv_.notify_one();
   Observe("push:" + std::string(TaskKindName(kind)));

@@ -31,10 +31,13 @@ struct Task {
   std::function<Status()> work;
 };
 
-/// Counters for the queue.
+/// Counters for the queue. `max_size` is the high-water mark of queued
+/// (not yet popped) tasks — the depth signal the remote-ingestion credit
+/// window is judged against (see ipc/server.h).
 struct TaskQueueStats {
   uint64_t pushed = 0;
   uint64_t popped = 0;
+  uint64_t max_size = 0;
   uint64_t per_kind[5] = {0, 0, 0, 0, 0};
 };
 

@@ -1,0 +1,87 @@
+#ifndef TRIGGERMAN_UTIL_CODEC_H_
+#define TRIGGERMAN_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tman {
+
+/// Little-endian append/read helpers shared by the storage serializers and
+/// the wire protocol. Readers are bounds-checked and never over-read:
+/// they return false (leaving *pos untouched) when the input is too short,
+/// so decoders can turn truncation into a clean Status.
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string* out, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  out->append(buf, 2);
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Appends a u32 length prefix followed by the bytes of `s`.
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+inline bool GetU8(std::string_view data, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > data.size()) return false;
+  *v = static_cast<uint8_t>(data[*pos]);
+  *pos += 1;
+  return true;
+}
+
+inline bool GetU16(std::string_view data, size_t* pos, uint16_t* v) {
+  if (*pos + 2 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 2);
+  *pos += 2;
+  return true;
+}
+
+inline bool GetU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+inline bool GetU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+/// Reads a u32-length-prefixed byte string written by PutLengthPrefixed.
+/// The returned view aliases `data`.
+inline bool GetLengthPrefixed(std::string_view data, size_t* pos,
+                              std::string_view* out) {
+  size_t p = *pos;
+  uint32_t len = 0;
+  if (!GetU32(data, &p, &len)) return false;
+  if (p + len > data.size()) return false;
+  *out = data.substr(p, len);
+  *pos = p + len;
+  return true;
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_CODEC_H_

@@ -1,0 +1,21 @@
+#ifndef TRIGGERMAN_UTIL_CRC32_H_
+#define TRIGGERMAN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tman {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), as used by zlib.
+/// `seed` is a previous Crc32 result, allowing incremental checksums over
+/// scattered buffers.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_CRC32_H_

@@ -80,6 +80,13 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// Rebuilds a Status from a code transported out-of-band (e.g. a status
+  /// byte in a wire frame). A kOk code yields OK regardless of `msg`.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

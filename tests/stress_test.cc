@@ -57,6 +57,13 @@ TEST(StressTest, CreateTriggersWhileMatching) {
       created.erase(created.begin());
     }
   }
+  // Every key value has predicates now; let the matchers observe the
+  // populated index before stopping (on a loaded machine they may not
+  // have been scheduled at all during the build loop above).
+  while (total_matches.load(std::memory_order_relaxed) == 0 &&
+         errors.load() == 0) {
+    std::this_thread::yield();
+  }
   stop.store(true, std::memory_order_release);
   for (auto& th : matchers) th.join();
   EXPECT_EQ(errors.load(), 0);
