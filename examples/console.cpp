@@ -161,17 +161,46 @@ int main(int argc, char** argv) {
       auto st = tman.stats();
       std::printf(
           "  updates=%llu tokens=%llu firings=%llu actions=%llu\n"
-          "  signatures=%llu predicates=%llu\n"
-          "  cache: hits=%llu misses=%llu evictions=%llu\n",
+          "  signatures=%llu predicates=%llu\n",
           static_cast<unsigned long long>(st.updates_submitted),
           static_cast<unsigned long long>(st.tokens_processed),
           static_cast<unsigned long long>(st.rule_firings),
           static_cast<unsigned long long>(st.actions.actions_executed),
           static_cast<unsigned long long>(st.predicates.num_signatures),
-          static_cast<unsigned long long>(st.predicates.num_predicates),
+          static_cast<unsigned long long>(st.predicates.num_predicates));
+      // Task queue: the global ledger, then each shard's depth and how
+      // much of its work was stolen by drivers homed elsewhere.
+      auto qs = tman.task_queue().stats();
+      std::printf(
+          "  queue: pushed=%llu popped=%llu steals=%llu high-water=%llu\n",
+          static_cast<unsigned long long>(qs.pushed),
+          static_cast<unsigned long long>(qs.popped),
+          static_cast<unsigned long long>(qs.steals),
+          static_cast<unsigned long long>(qs.max_size));
+      auto shards = tman.task_queue().shard_stats();
+      for (size_t i = 0; i < shards.size(); ++i) {
+        std::printf(
+            "    shard %zu: depth=%zu pushed=%llu popped=%llu stolen=%llu\n",
+            i, shards[i].depth,
+            static_cast<unsigned long long>(shards[i].pushed),
+            static_cast<unsigned long long>(shards[i].popped),
+            static_cast<unsigned long long>(shards[i].steals));
+      }
+      uint64_t pins = st.cache.hits + st.cache.misses;
+      std::printf(
+          "  cache: hits=%llu misses=%llu evictions=%llu hit-rate=%.1f%% "
+          "(%u shards)\n",
           static_cast<unsigned long long>(st.cache.hits),
           static_cast<unsigned long long>(st.cache.misses),
-          static_cast<unsigned long long>(st.cache.evictions));
+          static_cast<unsigned long long>(st.cache.evictions),
+          pins == 0 ? 0.0 : 100.0 * st.cache.hits / pins,
+          tman.cache().num_shards());
+      auto stripes = tman.predicate_index().stripe_stats();
+      std::printf("  predicate index stripes (%zu):", stripes.size());
+      for (const auto& s : stripes) {
+        std::printf(" %zu/%zu", s.num_sources, s.num_predicates);
+      }
+      std::printf("  (sources/predicates per stripe)\n");
       continue;
     }
     if (StartsWith(lower, "sql ")) {

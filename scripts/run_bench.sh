@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the scaling benchmark suite and writes machine-readable results
+# to BENCH_scaling.json at the repository root (google-benchmark JSON,
+# one entry per benchmark/arg/thread-count combination).
+#
+# Usage:
+#   scripts/run_bench.sh            # bench_scaling -> BENCH_scaling.json
+#   scripts/run_bench.sh --smoke    # fast verified round, no JSON (CI)
+#   scripts/run_bench.sh --all      # also re-run every other bench_* binary
+#
+# The driver-scaling numbers (BM_DriverScalingTokens) model blocking
+# downstream delivery per fired event, so they demonstrate driver-count
+# scaling even on a single-CPU host; the ->Threads(N) microbenchmarks
+# additionally need real cores to show contention relief.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+
+if ! [ -x build/bench/bench_scaling ]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_scaling
+fi
+
+if [ "$MODE" = "--smoke" ]; then
+  exec ./build/bench/bench_scaling --smoke
+fi
+
+./build/bench/bench_scaling \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_scaling.json \
+  --benchmark_out_format=json
+
+echo "Wrote BENCH_scaling.json"
+
+if [ "$MODE" = "--all" ]; then
+  cmake --build build -j >/dev/null
+  for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    [ "$name" = "bench_scaling" ] && continue
+    echo "===== $name ====="
+    "$b"
+  done
+fi

@@ -1,102 +1,168 @@
 #include "cache/trigger_cache.h"
 
+#include <algorithm>
+#include <mutex>
+
+#include "util/hash.h"
+
 namespace tman {
 
-TriggerCache::TriggerCache(size_t capacity, TriggerLoader loader)
-    : capacity_(capacity == 0 ? 1 : capacity), loader_(std::move(loader)) {}
+TriggerCache::TriggerCache(size_t capacity, TriggerLoader loader,
+                           uint32_t num_shards)
+    : capacity_(capacity == 0 ? 1 : capacity), loader_(std::move(loader)) {
+  if (num_shards == 0) {
+    num_shards = static_cast<uint32_t>(
+        std::clamp<size_t>(capacity_ / 1024, 1, 16));
+  }
+  // Never run more shards than capacity: every shard must hold at least
+  // one description.
+  num_shards = static_cast<uint32_t>(
+      std::min<size_t>(num_shards, capacity_));
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = (capacity_ + num_shards - 1) / num_shards;  // ceil
+}
+
+TriggerCache::Shard& TriggerCache::ShardFor(TriggerId id) const {
+  return *shards_[MixInt(static_cast<uint64_t>(id)) % shards_.size()];
+}
 
 Result<TriggerHandle> TriggerCache::Pin(TriggerId id) {
+  Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = slots_.find(id);
-    if (it != slots_.end()) {
-      ++stats_.hits;
-      Touch(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.slots.find(id);
+    if (it != shard.slots.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      // The deferred "LRU touch": no list splice, no exclusive lock —
+      // the CLOCK hand reads this bit at eviction time.
+      it->second.referenced.store(true, std::memory_order_relaxed);
       return it->second.handle;
     }
-    ++stats_.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
   }
-  // Load outside the lock: catalog loads parse trigger text and may do
+  // Load outside any lock: catalog loads parse trigger text and may do
   // I/O; concurrent pins of different triggers must not serialize on it.
   auto loaded = loader_(id);
   if (!loaded.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.loads_failed;
+    shard.loads_failed.fetch_add(1, std::memory_order_relaxed);
     return loaded.status();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(id);
-  if (it != slots_.end()) {
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.slots.find(id);
+  if (it != shard.slots.end()) {
     // Another thread raced the load; keep the resident copy.
-    Touch(id);
+    it->second.referenced.store(true, std::memory_order_relaxed);
     return it->second.handle;
   }
-  Slot slot;
-  slot.handle = *loaded;
-  slot.lru_pos = lru_.insert(lru_.end(), id);
-  slots_[id] = std::move(slot);
-  EvictIfNeeded();
+  InsertLocked(shard, id, *loaded);
   return *loaded;
 }
 
 void TriggerCache::Put(TriggerId id, TriggerHandle handle) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(id);
-  if (it != slots_.end()) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.slots.find(id);
+  if (it != shard.slots.end()) {
     it->second.handle = std::move(handle);
-    Touch(id);
+    it->second.referenced.store(true, std::memory_order_relaxed);
     return;
   }
-  Slot slot;
+  InsertLocked(shard, id, std::move(handle));
+}
+
+void TriggerCache::InsertLocked(Shard& shard, TriggerId id,
+                                TriggerHandle handle) {
+  Slot& slot = shard.slots[id];
   slot.handle = std::move(handle);
-  slot.lru_pos = lru_.insert(lru_.end(), id);
-  slots_[id] = std::move(slot);
-  EvictIfNeeded();
+  // New entries start unreferenced: only an actual hit earns the second
+  // chance, which preserves the scan-resistance of strict LRU for
+  // load-once workloads.
+  slot.referenced.store(false, std::memory_order_relaxed);
+  slot.ring_pos = shard.ring.size();
+  shard.ring.push_back(id);
+  EvictIfNeededLocked(shard);
+}
+
+void TriggerCache::RemoveFromRingLocked(Shard& shard, size_t ring_pos) {
+  size_t last = shard.ring.size() - 1;
+  if (ring_pos != last) {
+    TriggerId moved = shard.ring[last];
+    shard.ring[ring_pos] = moved;
+    shard.slots[moved].ring_pos = ring_pos;
+  }
+  shard.ring.pop_back();
+  if (shard.ring.empty()) {
+    shard.hand = 0;
+  } else {
+    shard.hand %= shard.ring.size();
+  }
+}
+
+void TriggerCache::EvictIfNeededLocked(Shard& shard) {
+  while (shard.slots.size() > shard_capacity_ && !shard.ring.empty()) {
+    TriggerId candidate = shard.ring[shard.hand];
+    Slot& slot = shard.slots[candidate];
+    if (slot.referenced.load(std::memory_order_relaxed)) {
+      // Second chance: clear the bit and advance the hand.
+      slot.referenced.store(false, std::memory_order_relaxed);
+      shard.hand = (shard.hand + 1) % shard.ring.size();
+      continue;
+    }
+    RemoveFromRingLocked(shard, shard.hand);
+    shard.slots.erase(candidate);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    // Pinned handles stay alive through their shared_ptr even after the
+    // slot is gone — eviction only drops the cache's reference.
+  }
 }
 
 void TriggerCache::Invalidate(TriggerId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(id);
-  if (it == slots_.end()) return;
-  lru_.erase(it->second.lru_pos);
-  slots_.erase(it);
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.slots.find(id);
+  if (it == shard.slots.end()) return;
+  RemoveFromRingLocked(shard, it->second.ring_pos);
+  shard.slots.erase(it);
 }
 
 void TriggerCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  slots_.clear();
-  lru_.clear();
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->slots.clear();
+    shard->ring.clear();
+    shard->hand = 0;
+  }
 }
 
 size_t TriggerCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return slots_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->slots.size();
+  }
+  return total;
 }
 
 TriggerCacheStats TriggerCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  TriggerCacheStats stats;
+  for (const auto& shard : shards_) {
+    stats.hits += shard->hits.load(std::memory_order_relaxed);
+    stats.misses += shard->misses.load(std::memory_order_relaxed);
+    stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+    stats.loads_failed += shard->loads_failed.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 void TriggerCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = TriggerCacheStats();
-}
-
-void TriggerCache::Touch(TriggerId id) {
-  auto it = slots_.find(id);
-  lru_.erase(it->second.lru_pos);
-  it->second.lru_pos = lru_.insert(lru_.end(), id);
-}
-
-void TriggerCache::EvictIfNeeded() {
-  while (slots_.size() > capacity_ && !lru_.empty()) {
-    TriggerId victim = lru_.front();
-    lru_.pop_front();
-    slots_.erase(victim);
-    ++stats_.evictions;
-    // Pinned handles stay alive through their shared_ptr even after the
-    // slot is gone — eviction only drops the cache's reference.
+  for (auto& shard : shards_) {
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
+    shard->loads_failed.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -54,6 +54,13 @@ Status ClientConnection::SubmitUpdate(const UpdateDescriptor& token) {
   return tman_->SubmitUpdate(token);
 }
 
+Status ClientConnection::SubmitUpdateBatch(
+    const std::vector<UpdateDescriptor>& tokens,
+    std::vector<Status>* per_update) {
+  if (closed_) return Status::Aborted("connection closed");
+  return tman_->SubmitUpdateBatch(tokens, per_update);
+}
+
 Status ClientConnection::DropMyTriggers() {
   Status first = Status::OK();
   for (const std::string& name : created_triggers_) {

@@ -38,6 +38,11 @@ class ClientConnection {
   /// (the data source API shares the transport in this in-process build).
   Status SubmitUpdate(const UpdateDescriptor& token);
 
+  /// Batched variant: the whole batch reaches the task queue in one
+  /// PushBatch (see TriggerManager::SubmitUpdateBatch).
+  Status SubmitUpdateBatch(const std::vector<UpdateDescriptor>& tokens,
+                           std::vector<Status>* per_update = nullptr);
+
   /// Drops every trigger this connection created (best effort; returns
   /// the first error but keeps going).
   Status DropMyTriggers();

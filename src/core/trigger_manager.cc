@@ -567,40 +567,71 @@ Result<std::string> TriggerManager::ExecuteScript(std::string_view text) {
 // Token pipeline (§5.4 + §6)
 // ---------------------------------------------------------------------------
 
+Task TriggerManager::MakePumpTask() {
+  // One pump task per staged descriptor: consumes the head of the
+  // persistent queue on whichever driver runs first.
+  Task task;
+  task.kind = TaskKind::kProcessToken;
+  task.work = [this]() -> Status {
+    auto record = update_queue_->Dequeue();
+    if (!record.ok()) return Status::OK();  // already consumed
+    TMAN_ASSIGN_OR_RETURN(UpdateDescriptor t,
+                          UpdateDescriptor::Deserialize(*record));
+    return EnqueueTokenTasks(t);
+  };
+  return task;
+}
+
 Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
   updates_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (options_.persistent_queue && update_queue_ != nullptr) {
     std::string record;
     token.Serialize(&record);
     TMAN_RETURN_IF_ERROR(update_queue_->Enqueue(record));
-    // One pump task per staged descriptor: consumes the head of the
-    // persistent queue on whichever driver runs first.
-    Task task;
-    task.kind = TaskKind::kProcessToken;
-    task.work = [this]() -> Status {
-      auto record = update_queue_->Dequeue();
-      if (!record.ok()) return Status::OK();  // already consumed
-      TMAN_ASSIGN_OR_RETURN(UpdateDescriptor t,
-                            UpdateDescriptor::Deserialize(*record));
-      return EnqueueTokenTasks(t);
-    };
-    task_queue_.Push(std::move(task));
+    task_queue_.Push(MakePumpTask());
     return Status::OK();
   }
   return EnqueueTokenTasks(token);
 }
 
-Status TriggerManager::EnqueueTokenTasks(const UpdateDescriptor& token) {
+Status TriggerManager::SubmitUpdateBatch(
+    const std::vector<UpdateDescriptor>& tokens,
+    std::vector<Status>* per_update) {
+  updates_submitted_.fetch_add(tokens.size(), std::memory_order_relaxed);
+  Status first_error = Status::OK();
+  std::vector<Task> tasks;
+  tasks.reserve(tokens.size());
+  const bool persistent =
+      options_.persistent_queue && update_queue_ != nullptr;
+  for (const UpdateDescriptor& token : tokens) {
+    Status s = Status::OK();
+    if (persistent) {
+      std::string record;
+      token.Serialize(&record);
+      s = update_queue_->Enqueue(record);
+      if (s.ok()) tasks.push_back(MakePumpTask());
+    } else {
+      AppendTokenTasks(token, &tasks);
+    }
+    if (!s.ok() && first_error.ok()) first_error = s;
+    if (per_update != nullptr) per_update->push_back(std::move(s));
+  }
+  // The whole batch lands under one shard lock with one wakeup pass —
+  // this is the point of the exercise.
+  task_queue_.PushBatch(std::move(tasks));
+  return first_error;
+}
+
+void TriggerManager::AppendTokenTasks(const UpdateDescriptor& token,
+                                      std::vector<Task>* out) {
   uint32_t parts = options_.condition_partitions;
   if (parts <= 1) {
-    // Called from a pump task or from SubmitUpdate (memory mode): process
-    // inline when already on a driver; otherwise queue a task.
     Task task;
     task.kind = TaskKind::kProcessToken;
     UpdateDescriptor copy = token;
     task.work = [this, copy]() { return ProcessToken(copy, 0, 1); };
-    task_queue_.Push(std::move(task));
-    return Status::OK();
+    out->push_back(std::move(task));
+    return;
   }
   for (uint32_t p = 0; p < parts; ++p) {
     Task task;
@@ -609,7 +640,18 @@ Status TriggerManager::EnqueueTokenTasks(const UpdateDescriptor& token) {
     task.work = [this, copy, p, parts]() {
       return ProcessToken(copy, p, parts);
     };
-    task_queue_.Push(std::move(task));
+    out->push_back(std::move(task));
+  }
+}
+
+Status TriggerManager::EnqueueTokenTasks(const UpdateDescriptor& token) {
+  // Called from a pump task or from SubmitUpdate (memory mode).
+  std::vector<Task> tasks;
+  AppendTokenTasks(token, &tasks);
+  if (tasks.size() == 1) {
+    task_queue_.Push(std::move(tasks.front()));
+  } else {
+    task_queue_.PushBatch(std::move(tasks));
   }
   return Status::OK();
 }

@@ -122,6 +122,15 @@ class TriggerManager {
   /// processing (persistent queue table or in-memory task).
   Status SubmitUpdate(const UpdateDescriptor& token);
 
+  /// Batched entry: stages a whole batch with ONE task-queue PushBatch —
+  /// one shard-lock acquisition and one driver wakeup amortized over the
+  /// batch — so a remote ingestion batch does not take the queue lock
+  /// per update. `per_update` (optional) receives one Status per token
+  /// in order; the returned Status is the first failure (all tokens are
+  /// attempted regardless).
+  Status SubmitUpdateBatch(const std::vector<UpdateDescriptor>& tokens,
+                           std::vector<Status>* per_update = nullptr);
+
   /// Synchronously processes everything currently staged (single-
   /// threaded path used by tests and by callers not running drivers).
   Status ProcessPending();
@@ -200,6 +209,15 @@ class TriggerManager {
   bool IsEnabled(TriggerId id) const;
 
   Status EnqueueTokenTasks(const UpdateDescriptor& token);
+
+  /// Builds the token task(s) for one descriptor (one per condition
+  /// partition) without pushing, so batch submission can hand the whole
+  /// set to TaskQueue::PushBatch in one call.
+  void AppendTokenTasks(const UpdateDescriptor& token, std::vector<Task>* out);
+
+  /// Builds the pump task that drains one record from the persistent
+  /// update queue (§3 staging).
+  Task MakePumpTask();
 
   Database* db_;
   TriggerManagerOptions options_;

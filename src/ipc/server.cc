@@ -325,6 +325,12 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         // Serializes concurrent connections sharing a session name, and
         // makes dedup + submit atomic with the high-water-mark advance.
         std::lock_guard<std::mutex> lock(conn->session->mutex);
+        // First pass: dedup + validation, collecting the survivors so
+        // the whole frame reaches the task queue through ONE
+        // SubmitUpdateBatch → TaskQueue::PushBatch, instead of taking
+        // the queue lock (and waking a driver) once per update.
+        std::vector<UpdateDescriptor> accepted;
+        accepted.reserve(batch.updates.size());
         for (size_t i = 0; i < batch.updates.size(); ++i) {
           uint64_t seq = batch.first_seq + i;
           if (seq <= conn->session->last_applied_seq) {
@@ -337,9 +343,8 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
           Status s =
               tman_->sources().LookupById(batch.updates[i].data_source)
                   .status();
-          if (s.ok()) s = conn->client->SubmitUpdate(batch.updates[i]);
           if (s.ok()) {
-            ++applied;
+            accepted.push_back(batch.updates[i]);
           } else if (first_error.ok()) {
             // Rejections (unknown source, schema mismatch) are
             // deterministic: surface them in the ack but advance the
@@ -347,6 +352,18 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
             first_error = s;
           }
           conn->session->last_applied_seq = seq;
+        }
+        if (!accepted.empty()) {
+          std::vector<Status> per_update;
+          per_update.reserve(accepted.size());
+          Status batch_status =
+              conn->client->SubmitUpdateBatch(accepted, &per_update);
+          for (const Status& s : per_update) {
+            if (s.ok()) ++applied;
+          }
+          if (!batch_status.ok() && first_error.ok()) {
+            first_error = batch_status;
+          }
         }
         ack.ack_seq = conn->session->last_applied_seq;
       }

@@ -1,41 +1,57 @@
 #include "predindex/predicate_index.h"
 
+#include <algorithm>
+
 #include "expr/rewrite.h"
+#include "util/hash.h"
 
 namespace tman {
 
-PredicateIndex::PredicateIndex(Database* db, OrgPolicy policy)
-    : db_(db), policy_(policy) {}
+PredicateIndex::PredicateIndex(Database* db, OrgPolicy policy,
+                               uint32_t num_stripes)
+    : db_(db), policy_(policy) {
+  if (num_stripes == 0) num_stripes = 16;
+  stripes_.reserve(num_stripes);
+  for (uint32_t i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+uint32_t PredicateIndex::StripeOf(DataSourceId id) const {
+  // Data source ids are small and sequential; mix them so neighboring
+  // sources land on different stripes.
+  return static_cast<uint32_t>(MixInt(static_cast<uint64_t>(id)) %
+                               stripes_.size());
+}
+
+PredicateIndex::Stripe& PredicateIndex::StripeFor(DataSourceId id) const {
+  return *stripes_[StripeOf(id)];
+}
 
 Status PredicateIndex::RegisterDataSource(DataSourceId id,
                                           const Schema& schema) {
-  std::unique_lock lock(mutex_);
-  if (sources_.count(id) > 0) {
+  Stripe& stripe = StripeFor(id);
+  std::unique_lock lock(stripe.mutex);
+  if (stripe.sources.count(id) > 0) {
     return Status::AlreadyExists("data source " + std::to_string(id) +
                                  " already registered");
   }
-  sources_[id] = std::make_unique<DataSourcePredicateIndex>(id, schema, db_,
-                                                            policy_);
+  stripe.sources[id] =
+      std::make_unique<DataSourcePredicateIndex>(id, schema, db_, policy_);
   return Status::OK();
 }
 
 bool PredicateIndex::HasDataSource(DataSourceId id) const {
-  std::shared_lock lock(mutex_);
-  return sources_.count(id) > 0;
+  Stripe& stripe = StripeFor(id);
+  std::shared_lock lock(stripe.mutex);
+  return stripe.sources.count(id) > 0;
 }
 
 Result<AddPredicateInfo> PredicateIndex::AddPredicate(
     const PredicateSpec& spec) {
-  std::unique_lock lock(mutex_);
-  auto it = sources_.find(spec.data_source);
-  if (it == sources_.end()) {
-    return Status::NotFound("data source " +
-                            std::to_string(spec.data_source) +
-                            " not registered");
-  }
-  DataSourcePredicateIndex* src = it->second.get();
-
   // §5.1 step 5: generalize the predicate into (signature, constants).
+  // Pure tree work — done before any lock so the stripe's exclusive
+  // section covers only the index mutation itself.
   GeneralizedPredicate gen;
   if (spec.predicate != nullptr) {
     TMAN_ASSIGN_OR_RETURN(
@@ -50,44 +66,80 @@ Result<AddPredicateInfo> PredicateIndex::AddPredicate(
 
   IndexableSplit split = SplitIndexable(gen.signature.generalized);
 
-  bool created = false;
-  TMAN_ASSIGN_OR_RETURN(
-      SignatureIndexEntry * entry,
-      src->FindOrCreate(gen.signature, split, next_sig_id_, &created));
-  if (created) ++next_sig_id_;
+  // Reserve ids outside the stripe lock. A sig id reserved for a
+  // signature that turns out to already exist is simply never used —
+  // ids only need to be unique, not dense.
+  const uint64_t reserved_sig_id =
+      next_sig_id_.fetch_add(1, std::memory_order_relaxed);
+  const ExprId expr_id = next_expr_id_.fetch_add(1, std::memory_order_relaxed);
 
-  PredicateEntry pe;
-  pe.expr_id = next_expr_id_++;
-  pe.trigger_id = spec.trigger_id;
-  pe.next_node = spec.next_node;
-  pe.constants = gen.constants;
-  if (entry->context().split.rest != nullptr) {
-    TMAN_ASSIGN_OR_RETURN(
-        pe.rest, BindPlaceholders(entry->context().split.rest, pe.constants));
-  }
-  TMAN_RETURN_IF_ERROR(entry->Insert(pe));
-  predicate_home_[pe.expr_id] = {spec.data_source, entry};
-
+  Stripe& stripe = StripeFor(spec.data_source);
   AddPredicateInfo info;
-  info.expr_id = pe.expr_id;
-  info.sig_id = entry->context().sig_id;
-  info.new_signature = created;
-  info.org = entry->org_type();
-  info.class_size = entry->size();
-  info.signature_desc = entry->context().signature.Description();
-  info.constants = std::move(gen.constants);
+  SignatureIndexEntry* entry = nullptr;
+  {
+    std::unique_lock lock(stripe.mutex);
+    auto it = stripe.sources.find(spec.data_source);
+    if (it == stripe.sources.end()) {
+      return Status::NotFound("data source " +
+                              std::to_string(spec.data_source) +
+                              " not registered");
+    }
+    DataSourcePredicateIndex* src = it->second.get();
+
+    bool created = false;
+    TMAN_ASSIGN_OR_RETURN(
+        entry, src->FindOrCreate(gen.signature, split, reserved_sig_id,
+                                 &created));
+
+    PredicateEntry pe;
+    pe.expr_id = expr_id;
+    pe.trigger_id = spec.trigger_id;
+    pe.next_node = spec.next_node;
+    pe.constants = gen.constants;
+    if (entry->context().split.rest != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(
+          pe.rest,
+          BindPlaceholders(entry->context().split.rest, pe.constants));
+    }
+    TMAN_RETURN_IF_ERROR(entry->Insert(pe));
+
+    info.expr_id = pe.expr_id;
+    info.sig_id = entry->context().sig_id;
+    info.new_signature = created;
+    info.org = entry->org_type();
+    info.class_size = entry->size();
+    info.signature_desc = entry->context().signature.Description();
+    info.constants = std::move(gen.constants);
+  }
+  {
+    std::lock_guard<std::mutex> lock(home_mutex_);
+    predicate_home_[info.expr_id] = {spec.data_source, entry};
+  }
   return info;
 }
 
 Status PredicateIndex::RemovePredicate(ExprId expr_id) {
-  std::unique_lock lock(mutex_);
-  auto it = predicate_home_.find(expr_id);
-  if (it == predicate_home_.end()) {
-    return Status::NotFound("predicate " + std::to_string(expr_id) +
-                            " not found");
+  DataSourceId data_source = 0;
+  SignatureIndexEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(home_mutex_);
+    auto it = predicate_home_.find(expr_id);
+    if (it == predicate_home_.end()) {
+      return Status::NotFound("predicate " + std::to_string(expr_id) +
+                              " not found");
+    }
+    data_source = it->second.first;
+    entry = it->second.second;
   }
-  TMAN_RETURN_IF_ERROR(it->second.second->Remove(expr_id));
-  predicate_home_.erase(it);
+  Stripe& stripe = StripeFor(data_source);
+  {
+    std::unique_lock lock(stripe.mutex);
+    TMAN_RETURN_IF_ERROR(entry->Remove(expr_id));
+  }
+  {
+    std::lock_guard<std::mutex> lock(home_mutex_);
+    predicate_home_.erase(expr_id);
+  }
   return Status::OK();
 }
 
@@ -102,10 +154,11 @@ Status PredicateIndex::MatchPartitioned(
     const UpdateDescriptor& token, uint32_t partition,
     uint32_t num_partitions,
     const std::function<void(const PredicateMatch&)>& fn) const {
-  std::shared_lock lock(mutex_);
+  Stripe& stripe = StripeFor(token.data_source);
+  std::shared_lock lock(stripe.mutex);
   tokens_processed_.fetch_add(1, std::memory_order_relaxed);
-  auto it = sources_.find(token.data_source);
-  if (it == sources_.end()) return Status::OK();  // no triggers here
+  auto it = stripe.sources.find(token.data_source);
+  if (it == stripe.sources.end()) return Status::OK();  // no triggers here
   uint64_t emitted = 0;
   Status s = it->second->Match(token, partition, num_partitions,
                                [&](const PredicateMatch& m) {
@@ -120,28 +173,48 @@ Status PredicateIndex::MatchMaintenance(
     DataSourceId data_source, const Tuple& tuple, uint32_t partition,
     uint32_t num_partitions,
     const std::function<void(const PredicateMatch&)>& fn) const {
-  std::shared_lock lock(mutex_);
-  auto it = sources_.find(data_source);
-  if (it == sources_.end()) return Status::OK();
+  Stripe& stripe = StripeFor(data_source);
+  std::shared_lock lock(stripe.mutex);
+  auto it = stripe.sources.find(data_source);
+  if (it == stripe.sources.end()) return Status::OK();
   return it->second->MatchTuple(tuple, partition, num_partitions, fn);
 }
 
 PredicateIndexStats PredicateIndex::stats() const {
-  std::shared_lock lock(mutex_);
   PredicateIndexStats st;
   st.tokens_processed = tokens_processed_.load(std::memory_order_relaxed);
   st.matches_emitted = matches_emitted_.load(std::memory_order_relaxed);
-  for (const auto& [id, src] : sources_) {
-    st.num_signatures += src->entries().size();
-    for (const auto& e : src->entries()) st.num_predicates += e->size();
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lock(stripe->mutex);
+    for (const auto& [id, src] : stripe->sources) {
+      st.num_signatures += src->entries().size();
+      for (const auto& e : src->entries()) st.num_predicates += e->size();
+    }
   }
   return st;
 }
 
+std::vector<PredicateIndexStripeStats> PredicateIndex::stripe_stats() const {
+  std::vector<PredicateIndexStripeStats> out;
+  out.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lock(stripe->mutex);
+    PredicateIndexStripeStats s;
+    s.num_sources = stripe->sources.size();
+    for (const auto& [id, src] : stripe->sources) {
+      s.num_signatures += src->entries().size();
+      for (const auto& e : src->entries()) s.num_predicates += e->size();
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
 const DataSourcePredicateIndex* PredicateIndex::source(DataSourceId id) const {
-  std::shared_lock lock(mutex_);
-  auto it = sources_.find(id);
-  return it == sources_.end() ? nullptr : it->second.get();
+  Stripe& stripe = StripeFor(id);
+  std::shared_lock lock(stripe.mutex);
+  auto it = stripe.sources.find(id);
+  return it == stripe.sources.end() ? nullptr : it->second.get();
 }
 
 }  // namespace tman

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,14 @@ struct PredicateIndexStats {
   uint64_t matches_emitted = 0;
   uint64_t num_signatures = 0;
   uint64_t num_predicates = 0;
+};
+
+/// Per-stripe occupancy, for the console's live inspection and for
+/// load-balance checks in tests.
+struct PredicateIndexStripeStats {
+  size_t num_sources = 0;
+  size_t num_signatures = 0;
+  size_t num_predicates = 0;
 };
 
 /// What to register for one selection predicate of a trigger (§5.1 step 5).
@@ -45,15 +54,21 @@ struct AddPredicateInfo {
 /// and triggerID sets. Takes an update descriptor and identifies all
 /// predicates matching it.
 ///
-/// Thread-safe: matching takes a shared lock, trigger creation/removal an
-/// exclusive one — multiple driver threads match tokens concurrently
-/// (token-level concurrency, §6).
+/// Thread-safe and striped for scale: the root hash table is split into
+/// `num_stripes` stripes by data source ID, each under its own
+/// shared_mutex. Matching takes only its stripe's read lock; trigger
+/// create/drop takes only its stripe's write lock, so a slow trigger
+/// install (predicate generalization, constant-table inserts) stalls
+/// matching on one stripe instead of serializing every driver (token-
+/// level concurrency, §6, without a global serialization point).
 class PredicateIndex {
  public:
   /// `db` hosts constant tables for organizations 3/4; may be null when
-  /// the policy never selects them.
-  explicit PredicateIndex(Database* db = nullptr,
-                          OrgPolicy policy = OrgPolicy());
+  /// the policy never selects them. `num_stripes` = 0 picks the default
+  /// (16 — enough that per-source workloads spread across CI core
+  /// counts).
+  explicit PredicateIndex(Database* db = nullptr, OrgPolicy policy = OrgPolicy(),
+                          uint32_t num_stripes = 0);
 
   PredicateIndex(const PredicateIndex&) = delete;
   PredicateIndex& operator=(const PredicateIndex&) = delete;
@@ -88,20 +103,39 @@ class PredicateIndex {
 
   PredicateIndexStats stats() const;
 
+  uint32_t num_stripes() const {
+    return static_cast<uint32_t>(stripes_.size());
+  }
+  uint32_t StripeOf(DataSourceId id) const;
+  std::vector<PredicateIndexStripeStats> stripe_stats() const;
+
   /// Per-source access for tests, benches and the catalog.
   const DataSourcePredicateIndex* source(DataSourceId id) const;
 
  private:
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<DataSourceId,
+                       std::unique_ptr<DataSourcePredicateIndex>>
+        sources;
+  };
+
+  Stripe& StripeFor(DataSourceId id) const;
+
   Database* db_;
   OrgPolicy policy_;
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<DataSourceId, std::unique_ptr<DataSourcePredicateIndex>>
-      sources_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Control-plane map from exprID to its home (data source + entry).
+  // Touched only by AddPredicate/RemovePredicate; entry pointers are
+  // stable (entries are heap-allocated and sources are never dropped).
+  mutable std::mutex home_mutex_;
   std::unordered_map<ExprId, std::pair<DataSourceId, SignatureIndexEntry*>>
       predicate_home_;
-  uint64_t next_expr_id_ = 1;
-  uint64_t next_sig_id_ = 1;
+
+  std::atomic<uint64_t> next_expr_id_{1};
+  std::atomic<uint64_t> next_sig_id_{1};
 
   mutable std::atomic<uint64_t> tokens_processed_{0};
   mutable std::atomic<uint64_t> matches_emitted_{0};

@@ -46,11 +46,19 @@ std::string DeterministicScheduler::TraceString() const {
 void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
                          TaskQueue* queue,
                          std::function<bool()> no_more_work) {
+  AddQueueDriverActor(sched, std::move(name), queue, queue->home_shard(),
+                      std::move(no_more_work));
+}
+
+void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
+                         TaskQueue* queue, uint32_t home_shard,
+                         std::function<bool()> no_more_work) {
   std::string label = name;
   sched->AddActor(std::move(name),
-                  [sched, label, queue, fn = std::move(no_more_work)] {
+                  [sched, label, queue, home_shard,
+                   fn = std::move(no_more_work)] {
                     Task task;
-                    if (queue->TryPop(&task)) {
+                    if (queue->TryPopFromShard(home_shard, &task)) {
                       Status s = task.work();
                       queue->MarkDone();
                       sched->Note(label + ":ran:" +

@@ -84,6 +84,14 @@ void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
                          TaskQueue* queue,
                          std::function<bool()> no_more_work);
 
+/// Variant pinning the driver actor to an explicit home shard: pops via
+/// TryPopFromShard so a single-threaded deterministic run exercises the
+/// work-stealing scan (actors homed on different shards steal from each
+/// other), with the interleaving still a pure function of the seed.
+void AddQueueDriverActor(DeterministicScheduler* sched, std::string name,
+                         TaskQueue* queue, uint32_t home_shard,
+                         std::function<bool()> no_more_work);
+
 }  // namespace tman
 
 #endif  // TRIGGERMAN_RUNTIME_DETERMINISTIC_H_

@@ -1,14 +1,17 @@
 #ifndef TRIGGERMAN_RUNTIME_TASK_QUEUE_H_
 #define TRIGGERMAN_RUNTIME_TASK_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -24,6 +27,13 @@ enum class TaskKind {
   kRunActionSet = 4,          // a set of rule actions fired by one token
 };
 
+inline constexpr int kNumTaskKinds = 4;
+
+/// Dense 0-based index for per-kind counters (TaskKind values start at 1;
+/// asserts on out-of-range kinds so a future fifth kind cannot silently
+/// index past the counter array).
+int TaskKindIndex(TaskKind kind);
+
 std::string_view TaskKindName(TaskKind kind);
 
 struct Task {
@@ -31,14 +41,25 @@ struct Task {
   std::function<Status()> work;
 };
 
-/// Counters for the queue. `max_size` is the high-water mark of queued
-/// (not yet popped) tasks — the depth signal the remote-ingestion credit
-/// window is judged against (see ipc/server.h).
+/// Counters for the queue. `max_size` is the high-water mark of tasks
+/// queued across all shards (not yet popped) — the depth signal the
+/// remote-ingestion credit window is judged against (see ipc/server.h).
+/// `per_kind` is indexed by TaskKindIndex (0-based). `steals` counts pops
+/// that drained a shard other than the popping thread's home shard.
 struct TaskQueueStats {
   uint64_t pushed = 0;
   uint64_t popped = 0;
+  uint64_t steals = 0;
   uint64_t max_size = 0;
-  uint64_t per_kind[5] = {0, 0, 0, 0, 0};
+  uint64_t per_kind[kNumTaskKinds] = {0, 0, 0, 0};
+};
+
+/// Per-shard snapshot for introspection (console `stats`, tests).
+struct TaskQueueShardStats {
+  size_t depth = 0;       // currently queued in this shard
+  uint64_t pushed = 0;
+  uint64_t popped = 0;    // pops that drained this shard
+  uint64_t steals = 0;    // pops by threads homed elsewhere
 };
 
 /// The shared task queue of §6: "a task queue kept in shared memory to
@@ -46,18 +67,42 @@ struct TaskQueueStats {
 /// pop concurrently (the paper uses driver processes because Informix
 /// forbids spawning threads inside UDRs; the control structure is the
 /// same).
+///
+/// Scaling: the queue is sharded. Each thread is assigned a home shard
+/// (round-robin at first use); Push appends to the home shard under that
+/// shard's mutex only, and TryPop drains the home shard first, then
+/// steals from the others in a fixed scan order. PushBatch amortizes one
+/// lock acquisition and one wakeup over a whole batch of tasks — the
+/// remote-ingestion path turns a network batch into a single PushBatch.
+/// Aggregate size / in-flight / high-water counters are lock-free
+/// atomics, so the ipc credit window reads depth without touching any
+/// shard lock.
 class TaskQueue {
  public:
-  TaskQueue() = default;
+  /// `num_shards` = 0 picks a default sized to the hardware (clamped to
+  /// [4, 32] so sharding is exercised even on small CI machines).
+  explicit TaskQueue(uint32_t num_shards = 0);
 
   TaskQueue(const TaskQueue&) = delete;
   TaskQueue& operator=(const TaskQueue&) = delete;
 
-  /// Enqueues a task; wakes one waiting driver.
+  /// Enqueues a task on the calling thread's home shard; wakes one
+  /// waiting driver.
   void Push(Task task);
 
-  /// Non-blocking pop. Returns false if empty.
+  /// Enqueues a whole batch under one shard lock with one wakeup pass.
+  void PushBatch(std::vector<Task> tasks);
+
+  /// Explicit-shard variants: the deterministic scheduler (single-
+  /// threaded) uses these to model producers/drivers homed on distinct
+  /// shards, so steal paths replay as a pure function of the seed.
+  void PushToShard(uint32_t shard, Task task);
+  void PushBatchToShard(uint32_t shard, std::vector<Task> tasks);
+
+  /// Non-blocking pop: home shard first, then steal. Returns false if
+  /// every shard is empty.
   bool TryPop(Task* task);
+  bool TryPopFromShard(uint32_t home_shard, Task* task);
 
   /// Blocking pop with timeout (the driver period T: a driver sleeps at
   /// most this long when the queue is empty, waking early on new work).
@@ -65,7 +110,7 @@ class TaskQueue {
 
   /// Closes the queue: subsequent WaitPop calls return false once empty.
   void Close();
-  bool closed() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Executors call this after finishing a popped task; WaitIdle uses the
   /// popped-but-unfinished count to define quiescence.
@@ -74,36 +119,78 @@ class TaskQueue {
   /// Blocks until no task is queued or executing (or the queue closes).
   void WaitIdle();
 
-  size_t size() const;
+  /// Total queued across shards (lock-free; the ipc credit bound reads
+  /// this on every grant).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
-  size_t in_flight() const;
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// The shard Push/TryPop would use from the calling thread.
+  uint32_t home_shard() const;
 
   TaskQueueStats stats() const;
+  std::vector<TaskQueueShardStats> shard_stats() const;
 
   /// Test seam for the deterministic harness: when set, each completed
   /// transition reports one short event ("push:<kind>", "pop:<kind>",
-  /// "done", "close") so schedule tests can record queue-level traces.
-  /// The observer runs outside the queue mutex after the transition;
-  /// install it before any concurrent use (events from racing threads
-  /// would otherwise interleave nondeterministically — the deterministic
-  /// scheduler is single-threaded, so its traces are exact).
+  /// "steal:<kind>", "done", "close") so schedule tests can record
+  /// queue-level traces. The observer runs outside the shard mutex after
+  /// the transition; install it before any concurrent use (events from
+  /// racing threads would otherwise interleave nondeterministically — the
+  /// deterministic scheduler is single-threaded, so its traces are
+  /// exact).
   void set_observer(std::function<void(std::string_view)> observer) {
     observer_ = std::move(observer);
   }
 
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<Task> tasks;
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    uint64_t steals = 0;
+    uint64_t per_kind[kNumTaskKinds] = {0, 0, 0, 0};
+  };
+
   void Observe(std::string_view event) {
     if (observer_) observer_(event);
   }
 
+  /// Records the post-push total and maintains the global high-water.
+  void NoteQueued(size_t added);
+
+  /// Wakes sleepers after a push. The empty lock/unlock of sleep_mutex_
+  /// before notifying closes the window where a waiter has evaluated its
+  /// predicate (queue empty) but not yet blocked — without it the notify
+  /// could fire before the wait starts and be lost.
+  void WakeSleepers(size_t pushed);
+
+  /// Notifies WaitIdle waiters when the queue may have become idle.
+  void NotifyIfIdle();
+
   std::function<void(std::string_view)> observer_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> max_size_{0};
+  std::atomic<bool> closed_{false};
+
+  // Sleep/wake machinery for WaitPop (used only when drivers run dry).
+  mutable std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<uint32_t> waiters_{0};
+
+  // WaitIdle machinery.
+  mutable std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
-  std::deque<Task> tasks_;
-  size_t in_flight_ = 0;
-  bool closed_ = false;
-  TaskQueueStats stats_;
 };
 
 }  // namespace tman

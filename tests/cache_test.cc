@@ -142,6 +142,110 @@ TEST(TriggerCacheTest, ConcurrentPinsAreSafe) {
   EXPECT_EQ(cache.size(), 8u);  // at capacity
 }
 
+TEST(TriggerCacheTest, ShardCountScalesWithCapacityButNeverExceedsIt) {
+  TriggerCache tiny(4, [](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  });
+  EXPECT_EQ(tiny.num_shards(), 1u);  // small caches stay one CLOCK ring
+  TriggerCache big(16384, [](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  });
+  EXPECT_GE(big.num_shards(), 2u);
+  EXPECT_LE(big.num_shards(), 16u);
+  TriggerCache forced(100, [](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  }, /*num_shards=*/8);
+  EXPECT_EQ(forced.num_shards(), 8u);
+}
+
+TEST(TriggerCacheTest, ConcurrentHammerPinPutInvalidateClear) {
+  // Hammer every mutating entry point from many threads at once; under
+  // the asan/tsan presets this is the shard-locking proof.
+  std::atomic<int> loads{0};
+  TriggerCache cache(32, [&](TriggerId id) -> Result<TriggerHandle> {
+    ++loads;
+    std::this_thread::yield();
+    return MakeTrigger(id);
+  }, /*num_shards=*/4);
+  constexpr int kIds = 128;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &errors, t] {
+      for (int i = 0; i < 2000; ++i) {
+        TriggerId id = static_cast<TriggerId>((i * 7 + t * 13) % kIds);
+        auto h = cache.Pin(id);
+        if (!h.ok() || (*h)->id != id) ++errors;
+      }
+    });
+  }
+  threads.emplace_back([&cache, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Put(static_cast<TriggerId>(i % kIds),
+                MakeTrigger(static_cast<TriggerId>(i % kIds)));
+      cache.Invalidate(static_cast<TriggerId>((i + 3) % kIds));
+      if (++i % 512 == 0) cache.Clear();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop = true;
+  threads.back().join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_LE(cache.size(), 32u);  // per-shard CLOCK keeps the bound
+  // Every Pin counts exactly one hit or one miss, even when racing the
+  // mutator thread (Put/Invalidate/Clear touch no counters).
+  auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, 4u * 2000u);
+}
+
+TEST(TriggerCacheTest, PinnedHandlesSurviveConcurrentEviction) {
+  TriggerCache cache(4, [&](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  }, /*num_shards=*/1);
+  // Pin a handle, then thrash the cache far past capacity from other
+  // threads; the pinned description must stay valid throughout.
+  auto pinned = cache.Pin(999);
+  ASSERT_TRUE(pinned.ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)cache.Pin(static_cast<TriggerId>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ((*pinned)->id, 999u);
+  EXPECT_EQ((*pinned)->name, "t999");
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(TriggerCacheTest, StatsConsistentUnderConcurrency) {
+  TriggerCache cache(64, [&](TriggerId id) -> Result<TriggerHandle> {
+    return MakeTrigger(id);
+  }, /*num_shards=*/4);
+  constexpr int kThreads = 4;
+  constexpr int kPins = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kPins; ++i) {
+        (void)cache.Pin(static_cast<TriggerId>(i % 32));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto st = cache.stats();
+  // Every pin is exactly one hit or one miss.
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<uint64_t>(kThreads) * kPins);
+  EXPECT_EQ(st.loads_failed, 0u);
+  EXPECT_EQ(cache.size(), 32u);
+}
+
 TEST(TriggerCacheTest, PaperSizingExample) {
   // §5.1: with 4 KB per description and a 64 MB cache, 16,384 trigger
   // descriptions fit simultaneously.

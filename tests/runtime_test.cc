@@ -42,8 +42,152 @@ TEST(TaskQueueTest, StatsPerKind) {
   q.Push(Work(TaskKind::kRunAction, [] { return Status::OK(); }));
   auto st = q.stats();
   EXPECT_EQ(st.pushed, 3u);
-  EXPECT_EQ(st.per_kind[static_cast<int>(TaskKind::kProcessToken)], 1u);
-  EXPECT_EQ(st.per_kind[static_cast<int>(TaskKind::kRunAction)], 2u);
+  EXPECT_EQ(st.per_kind[TaskKindIndex(TaskKind::kProcessToken)], 1u);
+  EXPECT_EQ(st.per_kind[TaskKindIndex(TaskKind::kRunAction)], 2u);
+}
+
+TEST(TaskQueueTest, TaskKindIndexCoversEveryKind) {
+  // TaskKind values start at 1; the 0-based remap must place all four
+  // kinds inside per_kind[kNumTaskKinds] with no dead slot 0.
+  EXPECT_EQ(TaskKindIndex(TaskKind::kProcessToken), 0);
+  EXPECT_EQ(TaskKindIndex(TaskKind::kRunAction), 1);
+  EXPECT_EQ(TaskKindIndex(TaskKind::kProcessTokenPartition), 2);
+  EXPECT_EQ(TaskKindIndex(TaskKind::kRunActionSet), 3);
+  EXPECT_LT(TaskKindIndex(TaskKind::kRunActionSet), kNumTaskKinds);
+}
+
+TEST(TaskQueueTest, PushBatchAmortizesAndPreservesAll) {
+  TaskQueue q;
+  std::atomic<int> done{0};
+  std::vector<Task> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(Work(TaskKind::kProcessToken, [&done] {
+      ++done;
+      return Status::OK();
+    }));
+  }
+  q.PushBatch(std::move(batch));
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_EQ(q.stats().pushed, 64u);
+  Task t;
+  while (q.TryPop(&t)) {
+    ASSERT_TRUE(t.work().ok());
+    q.MarkDone();
+  }
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TaskQueueTest, PushBatchEmptyIsNoOp) {
+  TaskQueue q;
+  q.PushBatch({});
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().pushed, 0u);
+}
+
+TEST(TaskQueueTest, PushBatchWakesWaiters) {
+  TaskQueue q;
+  std::atomic<int> got{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      Task t;
+      if (q.WaitPop(&t, std::chrono::seconds(5))) {
+        ++got;
+        q.MarkDone();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<Task> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  }
+  q.PushBatch(std::move(batch));
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(got.load(), 3);
+}
+
+TEST(TaskQueueTest, StealCrossesShards) {
+  TaskQueue q(4);
+  ASSERT_EQ(q.num_shards(), 4u);
+  // Fill one specific shard, then pop with a home on a different shard:
+  // every pop must be served by stealing.
+  for (int i = 0; i < 8; ++i) {
+    q.PushToShard(2, Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  }
+  Task t;
+  int popped = 0;
+  while (q.TryPopFromShard(/*home=*/0, &t)) {
+    ++popped;
+    q.MarkDone();
+  }
+  EXPECT_EQ(popped, 8);
+  EXPECT_EQ(q.stats().steals, 8u);
+  auto shards = q.shard_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[2].pushed, 8u);
+  EXPECT_EQ(shards[2].steals, 8u);
+}
+
+TEST(TaskQueueTest, HomeShardPopIsNotASteal) {
+  TaskQueue q(4);
+  q.PushToShard(1, Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+  Task t;
+  ASSERT_TRUE(q.TryPopFromShard(1, &t));
+  q.MarkDone();
+  EXPECT_EQ(q.stats().steals, 0u);
+}
+
+TEST(TaskQueueTest, MaxSizeIsGlobalHighWater) {
+  // The ipc credit window depends on max_size covering ALL shards, not
+  // the deepest single shard.
+  TaskQueue q(4);
+  for (uint32_t s = 0; s < 4; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      q.PushToShard(s, Work(TaskKind::kProcessToken, [] { return Status::OK(); }));
+    }
+  }
+  EXPECT_EQ(q.stats().max_size, 12u);
+}
+
+TEST(TaskQueueTest, ManyThreadsPushPopAllTasksSurvive) {
+  TaskQueue q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &done] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(Work(TaskKind::kProcessToken, [&done] {
+          ++done;
+          return Status::OK();
+        }));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  std::atomic<bool> stop{false};
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&q, &stop] {
+      Task t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (q.WaitPop(&t, std::chrono::milliseconds(10))) {
+          (void)t.work();
+          q.MarkDone();
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  q.WaitIdle();
+  stop = true;
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+  auto st = q.stats();
+  EXPECT_EQ(st.pushed, static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(st.popped, st.pushed);
 }
 
 TEST(TaskQueueTest, WaitPopTimesOutWhenEmpty) {
