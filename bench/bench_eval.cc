@@ -1,0 +1,273 @@
+// Compiled vs interpreted predicate evaluation (the per-token inner
+// loop of every matching layer): ns/eval across representative predicate
+// shapes — constant selection, multi-conjunct selection, arithmetic,
+// string functions, a two-variable join conjunct, and a NULL-heavy
+// disjunction. The interpreted baseline is exactly what the hot paths
+// ran before compilation landed: a fresh Bindings per token plus a
+// tree-walk of the shared_ptr expression graph.
+//
+// `bench_eval --smoke` times the selection and join shapes once and
+// asserts the >=3x compiled-over-interpreted acceptance bound; CI runs
+// it on every push and scripts/run_bench.sh records the full sweep in
+// BENCH_eval.json.
+
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <vector>
+
+#include "expr/compile.h"
+
+namespace tman::bench {
+namespace {
+
+Schema EvalSchema() {
+  return Schema({{"k", DataType::kInt},
+                 {"v", DataType::kInt},
+                 {"price", DataType::kFloat},
+                 {"symbol", DataType::kVarchar}});
+}
+
+/// Tokens with a spread of values; every `null_every`-th k/v is NULL.
+std::vector<Tuple> MakeTuples(int n, int null_every = 0) {
+  Random rng(17);
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Value k = Value::Int(static_cast<int64_t>(rng.Uniform(1000)));
+    Value v = Value::Int(static_cast<int64_t>(rng.Uniform(1000)));
+    if (null_every > 0 && i % null_every == 0) {
+      k = Value::Null();
+      v = Value::Null();
+    }
+    tuples.emplace_back(std::vector<Value>{
+        std::move(k), std::move(v),
+        Value::Float(static_cast<double>(rng.Uniform(400))),
+        Value::String("SYM" + std::to_string(rng.Uniform(8)))});
+  }
+  return tuples;
+}
+
+struct Shape {
+  const char* name;
+  const char* text;
+  int null_every;  // 0 = no NULLs in the token stream
+};
+
+constexpr Shape kShapes[] = {
+    {"int_selection", "t.k > 500", 0},
+    {"conjunction4", "t.k > 10 and t.v < 900 and t.k <> 37 and t.v >= 0", 0},
+    {"arithmetic", "t.price * 1.07 + 5 > 200", 0},
+    {"string_fns", "upper(t.symbol) = 'SYM1' and length(t.symbol) > 3", 0},
+    {"null_heavy", "t.k > 800 or t.v < 100", 3},
+};
+
+const Shape* FindShape(const std::string& name) {
+  for (const Shape& s : kShapes) {
+    if (name == s.name) return &s;
+  }
+  std::fprintf(stderr, "unknown shape: %s\n", name.c_str());
+  std::abort();
+}
+
+// --- single-variable shapes: compiled vs interpreted -------------------------
+
+void BM_CompiledEval(benchmark::State& state, const std::string& shape_name) {
+  const Shape* shape = FindShape(shape_name);
+  Schema schema = EvalSchema();
+  BindingLayout layout;
+  layout.Add("t", &schema);
+  auto prog = TryCompilePredicate(MustParse(shape->text), layout);
+  if (prog == nullptr) {
+    std::fprintf(stderr, "shape %s did not compile\n", shape->name);
+    std::abort();
+  }
+  std::vector<Tuple> tuples = MakeTuples(256, shape->null_every);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple* row[] = {&tuples[i++ % tuples.size()]};
+    auto pass = prog->EvalBool(row, 1);
+    benchmark::DoNotOptimize(pass.ok() && *pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InterpretedEval(benchmark::State& state,
+                        const std::string& shape_name) {
+  const Shape* shape = FindShape(shape_name);
+  Schema schema = EvalSchema();
+  ExprPtr e = MustParse(shape->text);
+  std::vector<Tuple> tuples = MakeTuples(256, shape->null_every);
+  size_t i = 0;
+  for (auto _ : state) {
+    Bindings b;
+    b.Bind("t", &schema, &tuples[i++ % tuples.size()]);
+    auto pass = EvalPredicate(e, b);
+    benchmark::DoNotOptimize(pass.ok() && *pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// --- the join conjunct: two bound variables ----------------------------------
+
+constexpr const char* kJoinText = "a.k = b.k and a.v < b.v";
+
+void BM_CompiledJoinConjunct(benchmark::State& state) {
+  Schema schema = EvalSchema();
+  BindingLayout layout;
+  layout.Add("a", &schema);
+  layout.Add("b", &schema);
+  auto prog = TryCompilePredicate(MustParse(kJoinText), layout);
+  if (prog == nullptr) std::abort();
+  std::vector<Tuple> tuples = MakeTuples(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple* row[] = {&tuples[i % tuples.size()],
+                          &tuples[(i + 7) % tuples.size()]};
+    ++i;
+    auto pass = prog->EvalBool(row, 2);
+    benchmark::DoNotOptimize(pass.ok() && *pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InterpretedJoinConjunct(benchmark::State& state) {
+  Schema schema = EvalSchema();
+  ExprPtr e = MustParse(kJoinText);
+  std::vector<Tuple> tuples = MakeTuples(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    Bindings b;
+    b.Bind("a", &schema, &tuples[i % tuples.size()]);
+    b.Bind("b", &schema, &tuples[(i + 7) % tuples.size()]);
+    ++i;
+    auto pass = EvalPredicate(e, b);
+    benchmark::DoNotOptimize(pass.ok() && *pass);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define TMAN_EVAL_BENCH(shape)                                       \
+  BENCHMARK_CAPTURE(BM_CompiledEval, shape, #shape);                 \
+  BENCHMARK_CAPTURE(BM_InterpretedEval, shape, #shape)
+
+TMAN_EVAL_BENCH(int_selection);
+TMAN_EVAL_BENCH(conjunction4);
+TMAN_EVAL_BENCH(arithmetic);
+TMAN_EVAL_BENCH(string_fns);
+TMAN_EVAL_BENCH(null_heavy);
+BENCHMARK(BM_CompiledJoinConjunct);
+BENCHMARK(BM_InterpretedJoinConjunct);
+
+// --- --smoke: the acceptance bound, checked ----------------------------------
+
+/// ns/eval for `evals` runs of `fn`.
+template <typename Fn>
+double TimeNs(int evals, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < evals; ++i) fn(i);
+  std::chrono::duration<double, std::nano> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() / evals;
+}
+
+int RunSmoke() {
+  constexpr int kEvals = 200000;
+  Schema schema = EvalSchema();
+  std::vector<Tuple> tuples = MakeTuples(256);
+  int failures = 0;
+
+  auto check = [&](const char* what, double interpreted_ns,
+                   double compiled_ns) {
+    double speedup = interpreted_ns / compiled_ns;
+    std::printf(
+        "bench_eval --smoke: %s interpreted %.1f ns/eval, compiled %.1f "
+        "ns/eval, speedup %.2fx\n",
+        what, interpreted_ns, compiled_ns, speedup);
+    if (speedup < 3.0) {
+      std::fprintf(stderr,
+                   "bench_eval --smoke FAILED: %s speedup %.2fx < 3x "
+                   "acceptance bound\n",
+                   what, speedup);
+      ++failures;
+    }
+  };
+
+  {
+    const Shape* shape = FindShape("conjunction4");
+    ExprPtr e = MustParse(shape->text);
+    BindingLayout layout;
+    layout.Add("t", &schema);
+    auto prog = TryCompilePredicate(e, layout);
+    if (prog == nullptr) std::abort();
+    // Warm both paths (thread-local register file, caches) untimed.
+    for (int i = 0; i < 1000; ++i) {
+      const Tuple* row[] = {&tuples[static_cast<size_t>(i) % tuples.size()]};
+      (void)prog->EvalBool(row, 1);
+    }
+    double interpreted = TimeNs(kEvals, [&](int i) {
+      Bindings b;
+      b.Bind("t", &schema, &tuples[static_cast<size_t>(i) % tuples.size()]);
+      auto pass = EvalPredicate(e, b);
+      benchmark::DoNotOptimize(pass.ok() && *pass);
+    });
+    double compiled = TimeNs(kEvals, [&](int i) {
+      const Tuple* row[] = {&tuples[static_cast<size_t>(i) % tuples.size()]};
+      auto pass = prog->EvalBool(row, 1);
+      benchmark::DoNotOptimize(pass.ok() && *pass);
+    });
+    check("selection(conjunction4)", interpreted, compiled);
+  }
+
+  {
+    ExprPtr e = MustParse(kJoinText);
+    BindingLayout layout;
+    layout.Add("a", &schema);
+    layout.Add("b", &schema);
+    auto prog = TryCompilePredicate(e, layout);
+    if (prog == nullptr) std::abort();
+    for (int i = 0; i < 1000; ++i) {
+      const Tuple* row[] = {&tuples[static_cast<size_t>(i) % tuples.size()],
+                            &tuples[static_cast<size_t>(i + 7) %
+                                    tuples.size()]};
+      (void)prog->EvalBool(row, 2);
+    }
+    double interpreted = TimeNs(kEvals, [&](int i) {
+      Bindings b;
+      b.Bind("a", &schema, &tuples[static_cast<size_t>(i) % tuples.size()]);
+      b.Bind("b", &schema,
+             &tuples[static_cast<size_t>(i + 7) % tuples.size()]);
+      auto pass = EvalPredicate(e, b);
+      benchmark::DoNotOptimize(pass.ok() && *pass);
+    });
+    double compiled = TimeNs(kEvals, [&](int i) {
+      const Tuple* row[] = {&tuples[static_cast<size_t>(i) % tuples.size()],
+                            &tuples[static_cast<size_t>(i + 7) %
+                                    tuples.size()]};
+      auto pass = prog->EvalBool(row, 2);
+      benchmark::DoNotOptimize(pass.ok() && *pass);
+    });
+    check("join_conjunct", interpreted, compiled);
+  }
+
+  if (failures == 0) {
+    std::printf("bench_eval --smoke OK: all shapes >= 3x\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      return tman::bench::RunSmoke();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

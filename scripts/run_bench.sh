@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Runs the scaling benchmark suite and writes machine-readable results
-# to BENCH_scaling.json at the repository root (google-benchmark JSON,
-# one entry per benchmark/arg/thread-count combination).
+# Runs the scaling and evaluation benchmark suites and writes
+# machine-readable results to BENCH_scaling.json and BENCH_eval.json at
+# the repository root (google-benchmark JSON, one entry per
+# benchmark/arg/thread-count combination).
 #
 # Usage:
 #   scripts/run_bench.sh            # bench_scaling -> BENCH_scaling.json
-#   scripts/run_bench.sh --smoke    # fast verified round, no JSON (CI)
+#                                   # bench_eval    -> BENCH_eval.json
+#   scripts/run_bench.sh --smoke    # fast verified rounds, no JSON (CI)
 #   scripts/run_bench.sh --all      # also re-run every other bench_* binary
 #
 # The driver-scaling numbers (BM_DriverScalingTokens) model blocking
@@ -17,12 +19,13 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-}"
 
-if ! [ -x build/bench/bench_scaling ]; then
+if ! [ -x build/bench/bench_scaling ] || ! [ -x build/bench/bench_eval ]; then
   cmake -B build -S . >/dev/null
-  cmake --build build -j --target bench_scaling
+  cmake --build build -j --target bench_scaling --target bench_eval
 fi
 
 if [ "$MODE" = "--smoke" ]; then
+  ./build/bench/bench_eval --smoke
   exec ./build/bench/bench_scaling --smoke
 fi
 
@@ -33,12 +36,20 @@ fi
 
 echo "Wrote BENCH_scaling.json"
 
+./build/bench/bench_eval \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_eval.json \
+  --benchmark_out_format=json
+
+echo "Wrote BENCH_eval.json"
+
 if [ "$MODE" = "--all" ]; then
   cmake --build build -j >/dev/null
   for b in build/bench/bench_*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name="$(basename "$b")"
     [ "$name" = "bench_scaling" ] && continue
+    [ "$name" = "bench_eval" ] && continue
     echo "===== $name ====="
     "$b"
   done

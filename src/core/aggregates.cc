@@ -34,7 +34,29 @@ Result<std::unique_ptr<GroupByEvaluator>> GroupByEvaluator::Create(
     TMAN_ASSIGN_OR_RETURN(ExprPtr t, ev->ExtractAggregates(arg));
     ev->action_arg_templates_.push_back(std::move(t));
   }
+  ev->CompileClauses();
   return ev;
+}
+
+void GroupByEvaluator::CompileClauses() {
+  BindingLayout layout;
+  layout.Add(var_, &schema_);
+  compiled_group_by_.reserve(group_by_.size());
+  for (const ExprPtr& e : group_by_) {
+    compiled_group_by_.push_back(TryCompilePredicate(e, layout));
+  }
+  compiled_agg_args_.reserve(specs_.size());
+  for (const AggSpec& spec : specs_) {
+    compiled_agg_args_.push_back(
+        spec.arg == nullptr ? nullptr : TryCompilePredicate(spec.arg, layout));
+  }
+  if (having_template_ != nullptr) {
+    // The aggregate placeholders become VM parameter loads, so the per-eval
+    // BindPlaceholders tree rebuild disappears from the hot path.
+    CompileOptions opts;
+    opts.allow_params = true;
+    compiled_having_ = TryCompilePredicate(having_template_, layout, opts);
+  }
 }
 
 Result<ExprPtr> GroupByEvaluator::ExtractAggregates(const ExprPtr& e) {
@@ -81,12 +103,18 @@ Result<ExprPtr> GroupByEvaluator::ExtractAggregates(const ExprPtr& e) {
 
 Result<std::vector<Value>> GroupByEvaluator::GroupKeyOf(
     const Tuple& tuple) const {
-  Bindings b;
-  b.Bind(var_, &schema_, &tuple);
+  const Tuple* tuples[] = {&tuple};
   std::vector<Value> key;
   key.reserve(group_by_.size());
-  for (const ExprPtr& e : group_by_) {
-    TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(e, b));
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    Value v;
+    if (compiled_group_by_[i] != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(v, compiled_group_by_[i]->EvalValue(tuples, 1));
+    } else {
+      Bindings b;
+      b.Bind(var_, &schema_, &tuple);
+      TMAN_ASSIGN_OR_RETURN(v, EvalExpr(group_by_[i], b));
+    }
     key.push_back(std::move(v));
   }
   return key;
@@ -113,8 +141,7 @@ Result<Value> GroupByEvaluator::CurrentValue(const AggState& a,
 }
 
 Status GroupByEvaluator::AddTuple(GroupState* g, const Tuple& tuple) {
-  Bindings b;
-  b.Bind(var_, &schema_, &tuple);
+  const Tuple* tuples[] = {&tuple};
   ++g->rows;
   for (size_t i = 0; i < specs_.size(); ++i) {
     AggState& a = g->aggs[i];
@@ -123,7 +150,14 @@ Status GroupByEvaluator::AddTuple(GroupState* g, const Tuple& tuple) {
       ++a.count;  // count(*)
       continue;
     }
-    TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(spec.arg, b));
+    Value v;
+    if (compiled_agg_args_[i] != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(v, compiled_agg_args_[i]->EvalValue(tuples, 1));
+    } else {
+      Bindings b;
+      b.Bind(var_, &schema_, &tuple);
+      TMAN_ASSIGN_OR_RETURN(v, EvalExpr(spec.arg, b));
+    }
     if (v.is_null()) continue;  // SQL: aggregates skip NULLs
     ++a.count;
     if (v.is_numeric()) a.sum += v.AsDouble();
@@ -135,8 +169,7 @@ Status GroupByEvaluator::AddTuple(GroupState* g, const Tuple& tuple) {
 }
 
 Status GroupByEvaluator::RemoveTuple(GroupState* g, const Tuple& tuple) {
-  Bindings b;
-  b.Bind(var_, &schema_, &tuple);
+  const Tuple* tuples[] = {&tuple};
   if (g->rows > 0) --g->rows;
   for (size_t i = 0; i < specs_.size(); ++i) {
     AggState& a = g->aggs[i];
@@ -145,7 +178,14 @@ Status GroupByEvaluator::RemoveTuple(GroupState* g, const Tuple& tuple) {
       if (a.count > 0) --a.count;
       continue;
     }
-    TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(spec.arg, b));
+    Value v;
+    if (compiled_agg_args_[i] != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(v, compiled_agg_args_[i]->EvalValue(tuples, 1));
+    } else {
+      Bindings b;
+      b.Bind(var_, &schema_, &tuple);
+      TMAN_ASSIGN_OR_RETURN(v, EvalExpr(spec.arg, b));
+    }
     if (v.is_null()) continue;
     if (a.count > 0) --a.count;
     if (v.is_numeric()) a.sum -= v.AsDouble();
@@ -167,6 +207,11 @@ Result<bool> GroupByEvaluator::HavingTrue(
     agg_values->push_back(std::move(v));
   }
   if (having_template_ == nullptr) return true;
+  if (compiled_having_ != nullptr) {
+    const Tuple* tuples[] = {&token_tuple};
+    return compiled_having_->EvalBool(tuples, 1, agg_values->data(),
+                                      agg_values->size());
+  }
   TMAN_ASSIGN_OR_RETURN(ExprPtr bound,
                         BindPlaceholders(having_template_, *agg_values));
   Bindings b;

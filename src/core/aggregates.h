@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "expr/compile.h"
 #include "expr/eval.h"
 #include "expr/expr.h"
 #include "types/schema.h"
@@ -105,12 +106,23 @@ class GroupByEvaluator {
   Result<bool> HavingTrue(const GroupState& g, const Tuple& token_tuple,
                           std::vector<Value>* agg_values) const;
 
+  /// Compiles group-by keys, aggregate arguments, and the having template
+  /// against the token schema (called once from Create).
+  void CompileClauses();
+
   std::string var_;
   Schema schema_;
   std::vector<ExprPtr> group_by_;
   ExprPtr having_template_;  // having with aggregate placeholders
   std::vector<ExprPtr> action_arg_templates_;
   std::vector<AggSpec> specs_;
+
+  /// Bytecode programs for the per-token hot path (null entries fall back
+  /// to the interpreter). The having program takes the aggregate values
+  /// as VM parameters, replacing the per-eval BindPlaceholders rebuild.
+  std::vector<std::shared_ptr<const CompiledPredicate>> compiled_group_by_;
+  std::vector<std::shared_ptr<const CompiledPredicate>> compiled_agg_args_;
+  std::shared_ptr<const CompiledPredicate> compiled_having_;
 
   mutable std::mutex mutex_;
   std::map<std::string, GroupState> groups_;  // encoded key -> state

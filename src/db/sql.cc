@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "expr/compile.h"
 #include "expr/eval.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
@@ -51,6 +52,23 @@ Result<std::vector<Rid>> CollectMatches(Database* db,
                                         const Schema& schema,
                                         const ExprPtr& where) {
   std::vector<Rid> out;
+  // Compile the filter once per statement; every row test below runs the
+  // bytecode program, with the interpreter as the refusal fallback.
+  std::shared_ptr<const CompiledPredicate> compiled_where;
+  if (where != nullptr) {
+    BindingLayout layout;
+    layout.Add(table, &schema);
+    compiled_where = TryCompilePredicate(where, layout);
+  }
+  auto row_matches = [&](const Tuple& row) -> Result<bool> {
+    if (compiled_where != nullptr) {
+      const Tuple* tuples[] = {&row};
+      return compiled_where->EvalBool(tuples, 1);
+    }
+    Bindings b;
+    b.Bind(table, &schema, &row);
+    return EvalPredicate(where, b);
+  };
   // Index route: find top-level eq conjuncts attr = <constant expr>.
   if (where != nullptr) {
     std::vector<ExprPtr> conjuncts;
@@ -88,9 +106,7 @@ Result<std::vector<Rid>> CollectMatches(Database* db,
                             db->IndexLookup(*index, {key}));
       for (const Rid& rid : rids) {
         TMAN_ASSIGN_OR_RETURN(Tuple row, db->Get(table, rid));
-        Bindings b;
-        b.Bind(table, &schema, &row);
-        TMAN_ASSIGN_OR_RETURN(bool match, EvalPredicate(where, b));
+        TMAN_ASSIGN_OR_RETURN(bool match, row_matches(row));
         if (match) out.push_back(rid);
       }
       return out;
@@ -104,9 +120,7 @@ Result<std::vector<Rid>> CollectMatches(Database* db,
           out.push_back(rid);
           return true;
         }
-        Bindings b;
-        b.Bind(table, &schema, &row);
-        auto match = EvalPredicate(where, b);
+        Result<bool> match = row_matches(row);
         if (!match.ok()) {
           inner = match.status();
           return false;

@@ -1,0 +1,861 @@
+#include "expr/compile.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "expr/eval.h"
+#include "util/string_util.h"
+
+namespace tman {
+
+namespace {
+
+// Static type lattice used to pick specialized opcodes. A bit set means
+// the operand *may* produce that type at runtime.
+constexpr uint8_t kMaskInt = 1;
+constexpr uint8_t kMaskFloat = 2;
+constexpr uint8_t kMaskString = 4;
+constexpr uint8_t kMaskNull = 8;
+constexpr uint8_t kMaskAll = kMaskInt | kMaskFloat | kMaskString | kMaskNull;
+
+uint8_t MaskOfValue(const Value& v) {
+  if (v.is_null()) return kMaskNull;
+  if (v.is_int()) return kMaskInt;
+  if (v.is_float()) return kMaskFloat;
+  return kMaskString;
+}
+
+uint8_t MaskOfDataType(DataType t) {
+  // A stored field may always hold NULL.
+  switch (t) {
+    case DataType::kInt:
+      return kMaskInt | kMaskNull;
+    case DataType::kFloat:
+      return kMaskFloat | kMaskNull;
+    case DataType::kChar:
+    case DataType::kVarchar:
+      return kMaskString | kMaskNull;
+  }
+  return kMaskAll;
+}
+
+bool Within(uint8_t mask, uint8_t allowed) { return (mask & ~allowed) == 0; }
+
+bool ApplyComparison(BinOp op, int c) {
+  switch (op) {
+    case BinOp::kEq:
+      return c == 0;
+    case BinOp::kNe:
+      return c != 0;
+    case BinOp::kLt:
+      return c < 0;
+    case BinOp::kLe:
+      return c <= 0;
+    case BinOp::kGt:
+      return c > 0;
+    case BinOp::kGe:
+      return c >= 0;
+    default:
+      return false;  // unreachable: the compiler only encodes comparisons
+  }
+}
+
+std::string_view VmOpName(VmOp op) {
+  switch (op) {
+    case VmOp::kCmpII:
+      return "cmp.ii";
+    case VmOp::kCmpFF:
+      return "cmp.ff";
+    case VmOp::kCmpSS:
+      return "cmp.ss";
+    case VmOp::kCmpAny:
+      return "cmp.any";
+    case VmOp::kArithII:
+      return "arith.ii";
+    case VmOp::kArithFF:
+      return "arith.ff";
+    case VmOp::kArithAny:
+      return "arith.any";
+    case VmOp::kBrFalse:
+      return "br.false";
+    case VmOp::kBrTrue:
+      return "br.true";
+    case VmOp::kAndMerge:
+      return "and.merge";
+    case VmOp::kOrMerge:
+      return "or.merge";
+    case VmOp::kNot:
+      return "not";
+    case VmOp::kNeg:
+      return "neg";
+    case VmOp::kAbs:
+      return "abs";
+    case VmOp::kLength:
+      return "length";
+    case VmOp::kUpper:
+      return "upper";
+    case VmOp::kLower:
+      return "lower";
+    case VmOp::kRound:
+      return "round";
+    case VmOp::kMod:
+      return "mod";
+    case VmOp::kMove:
+      return "move";
+  }
+  return "?";
+}
+
+std::string OperandToString(const VmOperand& o) {
+  switch (o.kind) {
+    case VmOperand::Kind::kReg:
+      return "r" + std::to_string(o.a);
+    case VmOperand::Kind::kField:
+      return "t" + std::to_string(o.a) + "." + std::to_string(o.b);
+    case VmOperand::Kind::kConst:
+      return "c" + std::to_string(o.a);
+    case VmOperand::Kind::kParam:
+      return "p" + std::to_string(o.a);
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<BindingLayout::FieldRef> BindingLayout::Resolve(
+    const std::string& var, const std::string& attr) const {
+  if (!var.empty()) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (EqualsIgnoreCase(slots_[i].var, var)) {
+        TMAN_ASSIGN_OR_RETURN(size_t idx,
+                              slots_[i].schema->RequireField(attr));
+        return FieldRef{static_cast<uint16_t>(i), static_cast<uint16_t>(idx),
+                        slots_[i].schema->field(idx).type};
+      }
+    }
+    return Status::NotFound("unbound tuple variable: " + var);
+  }
+  // Unqualified: must resolve to exactly one slot, as in Bindings::Lookup.
+  int found_slot = -1;
+  int found_field = -1;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    int idx = slots_[i].schema->FieldIndex(attr);
+    if (idx >= 0) {
+      if (found_slot >= 0) {
+        return Status::InvalidArgument("ambiguous attribute: " + attr);
+      }
+      found_slot = static_cast<int>(i);
+      found_field = idx;
+    }
+  }
+  if (found_slot < 0) {
+    return Status::NotFound("no such attribute: " + attr);
+  }
+  return FieldRef{static_cast<uint16_t>(found_slot),
+                  static_cast<uint16_t>(found_field),
+                  slots_[found_slot].schema->field(found_field).type};
+}
+
+/// One-shot tree -> bytecode lowering. Leaves (literals, column refs,
+/// parameters) become operands, not instructions; every instruction writes
+/// a fresh register (trees are small, so registers are never recycled).
+class PredicateCompiler {
+ public:
+  PredicateCompiler(const BindingLayout& layout, const CompileOptions& opts)
+      : layout_(layout), opts_(opts) {}
+
+  Result<CompiledPredicate> Compile(const ExprPtr& expr) {
+    TypedOperand root;
+    if (expr == nullptr) {
+      // Absent condition = TRUE, as in EvalExpr.
+      TMAN_ASSIGN_OR_RETURN(VmOperand one, ConstOperand(Value::Int(1)));
+      root = TypedOperand{one, kMaskInt};
+    } else {
+      TMAN_ASSIGN_OR_RETURN(root, Emit(expr));
+    }
+    CompiledPredicate p;
+    p.code_ = std::move(code_);
+    p.const_pool_ = std::move(pool_);
+    p.result_ = root.op;
+    p.num_regs_ = static_cast<uint16_t>(next_reg_);
+    p.num_slots_ = static_cast<uint16_t>(layout_.size());
+    p.num_params_ = static_cast<uint16_t>(max_param_);
+    return p;
+  }
+
+ private:
+  struct TypedOperand {
+    VmOperand op;
+    uint8_t mask = kMaskAll;
+  };
+
+  Result<uint16_t> AllocReg() {
+    if (next_reg_ >= 65535) {
+      return Status::ResourceExhausted("expression too large to compile");
+    }
+    return static_cast<uint16_t>(next_reg_++);
+  }
+
+  Result<VmOperand> ConstOperand(Value v) {
+    for (size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].Compare(v) == 0 && pool_[i].is_null() == v.is_null() &&
+          pool_[i].type() == v.type()) {
+        return VmOperand{VmOperand::Kind::kConst, static_cast<uint16_t>(i), 0};
+      }
+    }
+    if (pool_.size() >= 65535) {
+      return Status::ResourceExhausted("expression too large to compile");
+    }
+    pool_.push_back(std::move(v));
+    return VmOperand{VmOperand::Kind::kConst,
+                     static_cast<uint16_t>(pool_.size() - 1), 0};
+  }
+
+  Result<VmOperand> EmitInstr(VmOp op, VmOperand x, VmOperand y,
+                              uint32_t imm) {
+    TMAN_ASSIGN_OR_RETURN(uint16_t dst, AllocReg());
+    code_.push_back(VmInstr{op, dst, x, y, imm});
+    return VmOperand{VmOperand::Kind::kReg, dst, 0};
+  }
+
+  Result<TypedOperand> Emit(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kLiteral: {
+        TMAN_ASSIGN_OR_RETURN(VmOperand c, ConstOperand(e->literal));
+        return TypedOperand{c, MaskOfValue(e->literal)};
+      }
+
+      case ExprKind::kColumnRef: {
+        TMAN_ASSIGN_OR_RETURN(BindingLayout::FieldRef ref,
+                              layout_.Resolve(e->tuple_var, e->attribute));
+        return TypedOperand{
+            VmOperand{VmOperand::Kind::kField, ref.slot, ref.field},
+            MaskOfDataType(ref.type)};
+      }
+
+      case ExprKind::kPlaceholder: {
+        if (!opts_.allow_params || e->placeholder_index < 1 ||
+            e->placeholder_index > 65535) {
+          return Status::NotSupported(
+              "placeholder requires interpreter fallback");
+        }
+        uint16_t idx = static_cast<uint16_t>(e->placeholder_index - 1);
+        if (static_cast<uint32_t>(idx) + 1 > max_param_) {
+          max_param_ = idx + 1;
+        }
+        return TypedOperand{VmOperand{VmOperand::Kind::kParam, idx, 0},
+                            kMaskAll};
+      }
+
+      case ExprKind::kUnaryOp: {
+        TMAN_ASSIGN_OR_RETURN(TypedOperand in, Emit(e->children[0]));
+        if (e->un_op == UnOp::kNeg) {
+          TMAN_ASSIGN_OR_RETURN(
+              VmOperand out, EmitInstr(VmOp::kNeg, in.op, VmOperand{}, 0));
+          uint8_t mask = in.mask & (kMaskInt | kMaskFloat | kMaskNull);
+          return TypedOperand{out, mask == 0 ? kMaskAll : mask};
+        }
+        TMAN_ASSIGN_OR_RETURN(VmOperand out,
+                              EmitInstr(VmOp::kNot, in.op, VmOperand{}, 0));
+        return TypedOperand{out, static_cast<uint8_t>(
+                                     kMaskInt | (in.mask & kMaskNull))};
+      }
+
+      case ExprKind::kBinaryOp:
+        return EmitBinary(e);
+
+      case ExprKind::kFunctionCall:
+        return EmitFunction(e);
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  Result<TypedOperand> EmitBinary(const ExprPtr& e) {
+    BinOp op = e->bin_op;
+    if (op == BinOp::kAnd || op == BinOp::kOr) {
+      TMAN_ASSIGN_OR_RETURN(TypedOperand l, Emit(e->children[0]));
+      TMAN_ASSIGN_OR_RETURN(uint16_t dst, AllocReg());
+      // Decided results short-circuit past the right side, exactly like
+      // the interpreter (so errors in the skipped subtree never surface).
+      size_t branch_at = code_.size();
+      code_.push_back(VmInstr{
+          op == BinOp::kAnd ? VmOp::kBrFalse : VmOp::kBrTrue, dst, l.op,
+          VmOperand{}, 0});
+      TMAN_ASSIGN_OR_RETURN(TypedOperand r, Emit(e->children[1]));
+      code_.push_back(VmInstr{
+          op == BinOp::kAnd ? VmOp::kAndMerge : VmOp::kOrMerge, dst, l.op,
+          r.op, 0});
+      code_[branch_at].imm = static_cast<uint32_t>(code_.size());
+      uint8_t null_bit =
+          static_cast<uint8_t>((l.mask | r.mask) & kMaskNull);
+      return TypedOperand{VmOperand{VmOperand::Kind::kReg, dst, 0},
+                          static_cast<uint8_t>(kMaskInt | null_bit)};
+    }
+
+    TMAN_ASSIGN_OR_RETURN(TypedOperand l, Emit(e->children[0]));
+    TMAN_ASSIGN_OR_RETURN(TypedOperand r, Emit(e->children[1]));
+    uint32_t imm = static_cast<uint32_t>(op);
+
+    if (IsComparison(op)) {
+      VmOp vop = VmOp::kCmpAny;
+      if (Within(l.mask, kMaskInt | kMaskNull) &&
+          Within(r.mask, kMaskInt | kMaskNull)) {
+        vop = VmOp::kCmpII;
+      } else if (Within(l.mask, kMaskInt | kMaskFloat | kMaskNull) &&
+                 Within(r.mask, kMaskInt | kMaskFloat | kMaskNull)) {
+        vop = VmOp::kCmpFF;
+      } else if (Within(l.mask, kMaskString | kMaskNull) &&
+                 Within(r.mask, kMaskString | kMaskNull)) {
+        vop = VmOp::kCmpSS;
+      }
+      TMAN_ASSIGN_OR_RETURN(VmOperand out, EmitInstr(vop, l.op, r.op, imm));
+      uint8_t null_bit =
+          static_cast<uint8_t>((l.mask | r.mask) & kMaskNull);
+      return TypedOperand{out, static_cast<uint8_t>(kMaskInt | null_bit)};
+    }
+
+    // Arithmetic. '+' may be string concatenation, which only the generic
+    // kernel implements.
+    VmOp vop = VmOp::kArithAny;
+    uint8_t mask = kMaskAll;
+    if (Within(l.mask, kMaskInt | kMaskNull) &&
+        Within(r.mask, kMaskInt | kMaskNull)) {
+      vop = VmOp::kArithII;
+      mask = kMaskInt | kMaskNull;
+    } else if (Within(l.mask, kMaskInt | kMaskFloat | kMaskNull) &&
+               Within(r.mask, kMaskInt | kMaskFloat | kMaskNull)) {
+      vop = VmOp::kArithFF;
+      mask = kMaskInt | kMaskFloat | kMaskNull;
+    }
+    TMAN_ASSIGN_OR_RETURN(VmOperand out, EmitInstr(vop, l.op, r.op, imm));
+    return TypedOperand{out, mask};
+  }
+
+  Result<TypedOperand> EmitFunction(const ExprPtr& e) {
+    std::string fn = ToLower(e->func_name);
+    struct Builtin {
+      const char* name;
+      VmOp op;
+      size_t arity;
+      uint8_t mask;
+    };
+    static const Builtin kBuiltins[] = {
+        {"abs", VmOp::kAbs, 1, kMaskInt | kMaskFloat | kMaskNull},
+        {"length", VmOp::kLength, 1, kMaskInt | kMaskNull},
+        {"upper", VmOp::kUpper, 1, kMaskString | kMaskNull},
+        {"lower", VmOp::kLower, 1, kMaskString | kMaskNull},
+        {"round", VmOp::kRound, 1, kMaskInt | kMaskNull},
+        {"mod", VmOp::kMod, 2, kMaskInt | kMaskNull},
+    };
+    for (const Builtin& b : kBuiltins) {
+      if (fn != b.name) continue;
+      if (e->children.size() != b.arity) {
+        // The interpreter reports the arity error at eval time; refusing
+        // here routes such expressions to it.
+        return Status::NotSupported("arity mismatch requires interpreter");
+      }
+      TMAN_ASSIGN_OR_RETURN(TypedOperand x, Emit(e->children[0]));
+      VmOperand y{};
+      if (b.arity == 2) {
+        TMAN_ASSIGN_OR_RETURN(TypedOperand ty, Emit(e->children[1]));
+        y = ty.op;
+      }
+      TMAN_ASSIGN_OR_RETURN(VmOperand out, EmitInstr(b.op, x.op, y, 0));
+      return TypedOperand{out, b.mask};
+    }
+    return Status::NotSupported("unknown function requires interpreter");
+  }
+
+  const BindingLayout& layout_;
+  CompileOptions opts_;
+  std::vector<VmInstr> code_;
+  std::vector<Value> pool_;
+  uint32_t next_reg_ = 0;
+  uint32_t max_param_ = 0;
+};
+
+Result<CompiledPredicate> CompiledPredicate::Compile(
+    const ExprPtr& expr, const BindingLayout& layout,
+    const CompileOptions& opts) {
+  if (layout.size() > 65535) {
+    return Status::ResourceExhausted("too many binding slots");
+  }
+  PredicateCompiler compiler(layout, opts);
+  return compiler.Compile(expr);
+}
+
+std::shared_ptr<const CompiledPredicate> TryCompilePredicate(
+    const ExprPtr& expr, const BindingLayout& layout,
+    const CompileOptions& opts) {
+  Result<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(expr, layout, opts);
+  if (!compiled.ok()) return nullptr;
+  return std::make_shared<const CompiledPredicate>(
+      std::move(compiled).value());
+}
+
+namespace {
+
+/// Truthiness of a value already known to be non-null.
+inline bool TruthyNonNull(const Value& v) {
+  if (const int64_t* i = v.if_int()) return *i != 0;
+  if (const double* f = v.if_float()) return *f != 0.0;
+  return !v.as_string().empty();
+}
+
+/// Widens both operands to double via tag checks only; false when either
+/// is non-numeric.
+inline bool NumericPair(const Value& l, const Value& r, double* a,
+                        double* b) {
+  if (const int64_t* li = l.if_int()) {
+    *a = static_cast<double>(*li);
+  } else if (const double* lf = l.if_float()) {
+    *a = *lf;
+  } else {
+    return false;
+  }
+  if (const int64_t* ri = r.if_int()) {
+    *b = static_cast<double>(*ri);
+  } else if (const double* rf = r.if_float()) {
+    *b = *rf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<const Value*> CompiledPredicate::Run(const Tuple* const* tuples,
+                                            size_t num_tuples,
+                                            const Value* params,
+                                            size_t num_params) const {
+  if (num_tuples < num_slots_) {
+    return Status::Internal("compiled predicate: missing tuple bindings");
+  }
+  if (num_params < num_params_) {
+    return Status::Internal("compiled predicate: missing parameters");
+  }
+  thread_local std::vector<Value> regs;
+  if (regs.size() < num_regs_) regs.resize(num_regs_);
+
+  Status err;
+  // Resolves an operand to the Value it denotes, without copying. Field
+  // reads are bounds-checked: a tuple narrower than its schema yields an
+  // error instead of UB (the interpreter would fault the same way through
+  // Tuple::at's unchecked indexing, but only on malformed input).
+  auto read = [&](const VmOperand& o) -> const Value* {
+    switch (o.kind) {
+      case VmOperand::Kind::kReg:
+        return &regs[o.a];
+      case VmOperand::Kind::kField: {
+        const Tuple* t = tuples[o.a];
+        if (t == nullptr || o.b >= t->size()) {
+          err = Status::Internal("compiled predicate: field out of range");
+          return nullptr;
+        }
+        return &t->at(o.b);
+      }
+      case VmOperand::Kind::kConst:
+        return &const_pool_[o.a];
+      case VmOperand::Kind::kParam:
+        return &params[o.a];
+    }
+    err = Status::Internal("bad operand");
+    return nullptr;
+  };
+
+  size_t pc = 0;
+  const size_t n = code_.size();
+  while (pc < n) {
+    const VmInstr& ins = code_[pc];
+    Value& dst = regs[ins.dst];
+    switch (ins.op) {
+      case VmOp::kCmpII: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const int64_t* a = l->if_int();
+        const int64_t* b = r->if_int();
+        if (a != nullptr && b != nullptr) {
+          int c = *a < *b ? -1 : (*a > *b ? 1 : 0);
+          dst.SetInt(ApplyComparison(static_cast<BinOp>(ins.imm), c) ? 1
+                                                                     : 0);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          TMAN_ASSIGN_OR_RETURN(
+              dst, EvalComparisonOp(static_cast<BinOp>(ins.imm), *l, *r));
+        }
+        break;
+      }
+      case VmOp::kCmpFF: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const int64_t* a = l->if_int();
+        const int64_t* b = r->if_int();
+        double af, bf;
+        if (a != nullptr && b != nullptr) {
+          int c = *a < *b ? -1 : (*a > *b ? 1 : 0);
+          dst.SetInt(ApplyComparison(static_cast<BinOp>(ins.imm), c) ? 1
+                                                                     : 0);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else if (NumericPair(*l, *r, &af, &bf)) {
+          int c = af < bf ? -1 : (af > bf ? 1 : 0);
+          dst.SetInt(ApplyComparison(static_cast<BinOp>(ins.imm), c) ? 1
+                                                                     : 0);
+        } else {
+          TMAN_ASSIGN_OR_RETURN(
+              dst, EvalComparisonOp(static_cast<BinOp>(ins.imm), *l, *r));
+        }
+        break;
+      }
+      case VmOp::kCmpSS: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const std::string* a = l->if_string();
+        const std::string* b = r->if_string();
+        if (a != nullptr && b != nullptr) {
+          int c = a->compare(*b);
+          dst.SetInt(ApplyComparison(static_cast<BinOp>(ins.imm), c) ? 1
+                                                                     : 0);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          TMAN_ASSIGN_OR_RETURN(
+              dst, EvalComparisonOp(static_cast<BinOp>(ins.imm), *l, *r));
+        }
+        break;
+      }
+      case VmOp::kCmpAny: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        TMAN_ASSIGN_OR_RETURN(
+            dst, EvalComparisonOp(static_cast<BinOp>(ins.imm), *l, *r));
+        break;
+      }
+      case VmOp::kArithII: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const int64_t* ap = l->if_int();
+        const int64_t* bp = r->if_int();
+        if (ap != nullptr && bp != nullptr) {
+          int64_t a = *ap;
+          int64_t b = *bp;
+          switch (static_cast<BinOp>(ins.imm)) {
+            case BinOp::kAdd:
+              dst.SetInt(a + b);
+              break;
+            case BinOp::kSub:
+              dst.SetInt(a - b);
+              break;
+            case BinOp::kMul:
+              dst.SetInt(a * b);
+              break;
+            case BinOp::kDiv:
+              if (b == 0) {
+                return Status::EvalError("integer division by zero");
+              }
+              dst.SetInt(a / b);
+              break;
+            default:
+              return Status::Internal("not arithmetic");
+          }
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          TMAN_ASSIGN_OR_RETURN(
+              dst, EvalArithmeticOp(static_cast<BinOp>(ins.imm), *l, *r));
+        }
+        break;
+      }
+      case VmOp::kArithFF: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const int64_t* ai = l->if_int();
+        const int64_t* bi = r->if_int();
+        double a;
+        double b;
+        if (ai != nullptr && bi != nullptr) {
+          // The int/int case stays exact (and reports "integer division
+          // by zero"), matching EvalArithmeticOp.
+          switch (static_cast<BinOp>(ins.imm)) {
+            case BinOp::kAdd:
+              dst.SetInt(*ai + *bi);
+              break;
+            case BinOp::kSub:
+              dst.SetInt(*ai - *bi);
+              break;
+            case BinOp::kMul:
+              dst.SetInt(*ai * *bi);
+              break;
+            case BinOp::kDiv:
+              if (*bi == 0) {
+                return Status::EvalError("integer division by zero");
+              }
+              dst.SetInt(*ai / *bi);
+              break;
+            default:
+              return Status::Internal("not arithmetic");
+          }
+        } else if (NumericPair(*l, *r, &a, &b)) {
+          switch (static_cast<BinOp>(ins.imm)) {
+            case BinOp::kAdd:
+              dst.SetFloat(a + b);
+              break;
+            case BinOp::kSub:
+              dst.SetFloat(a - b);
+              break;
+            case BinOp::kMul:
+              dst.SetFloat(a * b);
+              break;
+            case BinOp::kDiv:
+              if (b == 0.0) {
+                return Status::EvalError("division by zero");
+              }
+              dst.SetFloat(a / b);
+              break;
+            default:
+              return Status::Internal("not arithmetic");
+          }
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          TMAN_ASSIGN_OR_RETURN(
+              dst, EvalArithmeticOp(static_cast<BinOp>(ins.imm), *l, *r));
+        }
+        break;
+      }
+      case VmOp::kArithAny: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        TMAN_ASSIGN_OR_RETURN(
+            dst, EvalArithmeticOp(static_cast<BinOp>(ins.imm), *l, *r));
+        break;
+      }
+      case VmOp::kBrFalse: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (!v->is_null() && !TruthyNonNull(*v)) {
+          dst.SetInt(0);
+          pc = ins.imm;
+          continue;
+        }
+        break;
+      }
+      case VmOp::kBrTrue: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (!v->is_null() && TruthyNonNull(*v)) {
+          dst.SetInt(1);
+          pc = ins.imm;
+          continue;
+        }
+        break;
+      }
+      case VmOp::kAndMerge: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        if (!r->is_null() && !TruthyNonNull(*r)) {
+          dst.SetInt(0);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          dst.SetInt(1);
+        }
+        break;
+      }
+      case VmOp::kOrMerge: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        if (!r->is_null() && TruthyNonNull(*r)) {
+          dst.SetInt(1);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          dst.SetInt(0);
+        }
+        break;
+      }
+      case VmOp::kNot: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (v->is_null()) {
+          dst.SetNull();
+        } else {
+          dst.SetInt(TruthyNonNull(*v) ? 0 : 1);
+        }
+        break;
+      }
+      case VmOp::kNeg: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (const int64_t* i = v->if_int()) {
+          dst.SetInt(-*i);
+        } else if (const double* f = v->if_float()) {
+          dst.SetFloat(-*f);
+        } else if (v->is_null()) {
+          dst.SetNull();
+        } else {
+          return Status::TypeError("negation of non-numeric value");
+        }
+        break;
+      }
+      case VmOp::kAbs: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (const int64_t* i = v->if_int()) {
+          dst.SetInt(std::llabs(*i));
+        } else if (const double* f = v->if_float()) {
+          dst.SetFloat(std::fabs(*f));
+        } else if (v->is_null()) {
+          dst.SetNull();
+        } else {
+          return Status::TypeError("abs of non-numeric value");
+        }
+        break;
+      }
+      case VmOp::kLength: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (const std::string* s = v->if_string()) {
+          dst.SetInt(static_cast<int64_t>(s->size()));
+        } else if (v->is_null()) {
+          dst.SetNull();
+        } else {
+          return Status::TypeError("length of non-string");
+        }
+        break;
+      }
+      case VmOp::kUpper:
+      case VmOp::kLower: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (v->is_null()) {
+          dst = Value::Null();
+        } else if (v->is_string()) {
+          dst = Value::String(ins.op == VmOp::kUpper
+                                  ? ToUpper(v->as_string())
+                                  : ToLower(v->as_string()));
+        } else {
+          return Status::TypeError(
+              std::string(ins.op == VmOp::kUpper ? "upper" : "lower") +
+              " of non-string");
+        }
+        break;
+      }
+      case VmOp::kRound: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        if (const int64_t* i = v->if_int()) {
+          dst.SetInt(static_cast<int64_t>(
+              std::llround(static_cast<double>(*i))));
+        } else if (const double* f = v->if_float()) {
+          dst.SetInt(static_cast<int64_t>(std::llround(*f)));
+        } else if (v->is_null()) {
+          dst.SetNull();
+        } else {
+          return Status::TypeError("round non-numeric");
+        }
+        break;
+      }
+      case VmOp::kMod: {
+        const Value* l = read(ins.x);
+        const Value* r = read(ins.y);
+        if (l == nullptr || r == nullptr) return err;
+        const int64_t* a = l->if_int();
+        const int64_t* b = r->if_int();
+        if (a != nullptr && b != nullptr) {
+          if (*b == 0) return Status::EvalError("mod by zero");
+          dst.SetInt(*a % *b);
+        } else if (l->is_null() || r->is_null()) {
+          dst.SetNull();
+        } else {
+          return Status::TypeError("mod expects integers");
+        }
+        break;
+      }
+      case VmOp::kMove: {
+        const Value* v = read(ins.x);
+        if (v == nullptr) return err;
+        dst = *v;
+        break;
+      }
+    }
+    ++pc;
+  }
+
+  const Value* out = read(result_);
+  if (out == nullptr) return err;
+  return out;
+}
+
+Result<Value> CompiledPredicate::EvalValue(const Tuple* const* tuples,
+                                           size_t num_tuples,
+                                           const Value* params,
+                                           size_t num_params) const {
+  TMAN_ASSIGN_OR_RETURN(const Value* out,
+                        Run(tuples, num_tuples, params, num_params));
+  return *out;
+}
+
+Result<bool> CompiledPredicate::EvalBool(const Tuple* const* tuples,
+                                         size_t num_tuples,
+                                         const Value* params,
+                                         size_t num_params) const {
+  TMAN_ASSIGN_OR_RETURN(const Value* out,
+                        Run(tuples, num_tuples, params, num_params));
+  return Truthy(*out);
+}
+
+std::string CompiledPredicate::Disassemble() const {
+  std::ostringstream os;
+  os << "slots=" << num_slots_ << " regs=" << num_regs_
+     << " params=" << num_params_ << " consts=" << const_pool_.size()
+     << "\n";
+  for (size_t i = 0; i < const_pool_.size(); ++i) {
+    os << "  c" << i << " = " << const_pool_[i].ToString() << "\n";
+  }
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const VmInstr& ins = code_[i];
+    os << "  " << i << ": " << VmOpName(ins.op) << " r" << ins.dst << ", "
+       << OperandToString(ins.x);
+    switch (ins.op) {
+      case VmOp::kCmpII:
+      case VmOp::kCmpFF:
+      case VmOp::kCmpSS:
+      case VmOp::kCmpAny:
+      case VmOp::kArithII:
+      case VmOp::kArithFF:
+      case VmOp::kArithAny:
+        os << ", " << OperandToString(ins.y) << " ["
+           << BinOpName(static_cast<BinOp>(ins.imm)) << "]";
+        break;
+      case VmOp::kAndMerge:
+      case VmOp::kOrMerge:
+      case VmOp::kMod:
+        os << ", " << OperandToString(ins.y);
+        break;
+      case VmOp::kBrFalse:
+      case VmOp::kBrTrue:
+        os << " -> " << ins.imm;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  os << "  result = " << OperandToString(result_) << "\n";
+  return os.str();
+}
+
+}  // namespace tman

@@ -1,0 +1,167 @@
+#ifndef TRIGGERMAN_EXPR_COMPILE_H_
+#define TRIGGERMAN_EXPR_COMPILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace tman {
+
+/// Ordered tuple-variable -> schema map a predicate is compiled against.
+/// Slot order is the calling convention: at eval time the caller passes
+/// one Tuple* per slot, in the same order. Resolution mirrors
+/// Bindings::Lookup — qualified references match the variable name
+/// case-insensitively; unqualified references must resolve to exactly one
+/// slot's schema.
+class BindingLayout {
+ public:
+  void Add(std::string var, const Schema* schema) {
+    slots_.push_back({std::move(var), schema});
+  }
+
+  size_t size() const { return slots_.size(); }
+  const std::string& var(size_t i) const { return slots_[i].var; }
+  const Schema* schema(size_t i) const { return slots_[i].schema; }
+
+  struct FieldRef {
+    uint16_t slot = 0;
+    uint16_t field = 0;
+    DataType type = DataType::kInt;
+  };
+
+  /// Resolves var.attr to (slot, field index, declared type). Fails with
+  /// the same classes of errors Bindings::Lookup would raise at runtime
+  /// (unbound variable, unknown attribute, ambiguous unqualified name) —
+  /// the compiler surfaces them as compile failures so callers fall back
+  /// to the interpreter, which then reports them identically per eval.
+  Result<FieldRef> Resolve(const std::string& var,
+                           const std::string& attr) const;
+
+ private:
+  struct Slot {
+    std::string var;
+    const Schema* schema;
+  };
+  std::vector<Slot> slots_;
+};
+
+struct CompileOptions {
+  /// When set, kPlaceholder nodes compile to parameter loads (slot =
+  /// placeholder_index - 1) instead of refusing. Used for HAVING clauses,
+  /// where aggregate results are passed as the parameter vector each eval
+  /// instead of rebuilding the tree via BindPlaceholders.
+  bool allow_params = false;
+};
+
+/// Bytecode opcodes. Comparisons and arithmetic come in schema-specialized
+/// flavors chosen when static types pin the operands (int/int, any
+/// numeric, string/string); each specialized op still guards the actual
+/// runtime types and defers to the generic kernel on a mismatch, so a
+/// tuple that disagrees with its schema produces exactly the interpreter's
+/// result.
+enum class VmOp : uint8_t {
+  kCmpII,    // int compare           dst <- x (imm:BinOp) y
+  kCmpFF,    // numeric compare (>=1 float statically)
+  kCmpSS,    // string compare
+  kCmpAny,   // generic compare (EvalComparisonOp)
+  kArithII,  // int arithmetic
+  kArithFF,  // numeric arithmetic
+  kArithAny, // generic arithmetic (EvalArithmeticOp)
+  kBrFalse,  // if x is non-null false: dst <- 0, jump imm
+  kBrTrue,   // if x is non-null true:  dst <- 1, jump imm
+  kAndMerge, // dst <- three-valued AND of x, y
+  kOrMerge,  // dst <- three-valued OR of x, y
+  kNot,      // dst <- NOT x (NULL -> NULL)
+  kNeg,      // dst <- -x
+  kAbs,      // builtins, one op each: exact interpreter semantics
+  kLength,
+  kUpper,
+  kLower,
+  kRound,
+  kMod,      // dst <- x mod y
+  kMove,     // dst <- x (materializes a leaf used as the final result)
+};
+
+/// Operand addressing: leaves never occupy instructions. A field operand
+/// reads tuples[a]->at(b); a const operand reads the intern pool; a param
+/// operand reads the caller-supplied parameter vector.
+struct VmOperand {
+  enum class Kind : uint8_t { kReg, kField, kConst, kParam };
+  Kind kind = Kind::kReg;
+  uint16_t a = 0;  // register / slot / pool index / param index
+  uint16_t b = 0;  // field index (kField only)
+};
+
+struct VmInstr {
+  VmOp op = VmOp::kMove;
+  uint16_t dst = 0;
+  VmOperand x;
+  VmOperand y;
+  uint32_t imm = 0;  // BinOp ordinal for cmp/arith, branch target for br*
+};
+
+/// A predicate compiled to a flat register program. Immutable after
+/// Compile; a single instance may be evaluated concurrently from many
+/// threads (the register file is thread-local). Produces values, errors,
+/// and error messages identical to EvalExpr over equivalent Bindings.
+class CompiledPredicate {
+ public:
+  /// Compiles `expr` against `layout`. Fails (so callers fall back to the
+  /// interpreter) on: unresolvable or ambiguous column references,
+  /// unknown functions or arity mismatches, placeholders without
+  /// allow_params, or operand/register counts overflowing the 16-bit
+  /// encoding.
+  static Result<CompiledPredicate> Compile(const ExprPtr& expr,
+                                           const BindingLayout& layout,
+                                           const CompileOptions& opts = {});
+
+  /// Evaluates against one tuple per layout slot. `params` supplies
+  /// placeholder values when compiled with allow_params. Allocates nothing
+  /// per call (amortized: the thread-local register file is grown once).
+  Result<Value> EvalValue(const Tuple* const* tuples, size_t num_tuples,
+                          const Value* params = nullptr,
+                          size_t num_params = 0) const;
+
+  /// EvalValue + Truthy, the hot-path entry point.
+  Result<bool> EvalBool(const Tuple* const* tuples, size_t num_tuples,
+                        const Value* params = nullptr,
+                        size_t num_params = 0) const;
+
+  size_t num_slots() const { return num_slots_; }
+  size_t num_instrs() const { return code_.size(); }
+
+  /// Human-readable program listing for tests and debugging.
+  std::string Disassemble() const;
+
+ private:
+  friend class PredicateCompiler;
+
+  /// Runs the program; returns a pointer to the result value, valid until
+  /// the next Run on the same thread.
+  Result<const Value*> Run(const Tuple* const* tuples, size_t num_tuples,
+                           const Value* params, size_t num_params) const;
+
+  std::vector<VmInstr> code_;
+  std::vector<Value> const_pool_;
+  VmOperand result_;        // where the root value lives after the run
+  uint16_t num_regs_ = 0;
+  uint16_t num_slots_ = 0;
+  uint16_t num_params_ = 0;  // max placeholder index referenced
+};
+
+/// Compiles and returns a shared program, or nullptr when compilation is
+/// refused — callers keep the ExprPtr and fall back to EvalPredicate.
+/// A null `expr` (absent condition = TRUE) compiles to a constant program.
+std::shared_ptr<const CompiledPredicate> TryCompilePredicate(
+    const ExprPtr& expr, const BindingLayout& layout,
+    const CompileOptions& opts = {});
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_EXPR_COMPILE_H_

@@ -1,5 +1,6 @@
 #include "expr/eval.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/string_util.h"
@@ -61,7 +62,15 @@ bool Truthy(const Value& v) {
 
 namespace {
 
-Result<Value> EvalComparison(BinOp op, const Value& l, const Value& r) {
+std::atomic<uint64_t> g_interpreter_calls{0};
+
+}  // namespace
+
+uint64_t InterpreterEvalCalls() {
+  return g_interpreter_calls.load(std::memory_order_relaxed);
+}
+
+Result<Value> EvalComparisonOp(BinOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   if (!Comparable(l.type(), r.type())) {
     return Status::TypeError("cannot compare " +
@@ -95,7 +104,7 @@ Result<Value> EvalComparison(BinOp op, const Value& l, const Value& r) {
   return Value::Int(result ? 1 : 0);
 }
 
-Result<Value> EvalArithmetic(BinOp op, const Value& l, const Value& r) {
+Result<Value> EvalArithmeticOp(BinOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   if (op == BinOp::kAdd && l.is_string() && r.is_string()) {
     return Value::String(l.as_string() + r.as_string());  // concatenation
@@ -138,8 +147,8 @@ Result<Value> EvalArithmetic(BinOp op, const Value& l, const Value& r) {
   return Status::Internal("not arithmetic");
 }
 
-Result<Value> EvalFunction(const std::string& name,
-                           const std::vector<Value>& args) {
+Result<Value> EvalFunctionCall(const std::string& name,
+                               const std::vector<Value>& args) {
   std::string fn = ToLower(name);
   auto arity = [&](size_t n) -> Status {
     if (args.size() != n) {
@@ -188,9 +197,8 @@ Result<Value> EvalFunction(const std::string& name,
   return Status::NotSupported("unknown function: " + name);
 }
 
-}  // namespace
-
 Result<Value> EvalExpr(const ExprPtr& expr, const Bindings& bindings) {
+  g_interpreter_calls.fetch_add(1, std::memory_order_relaxed);
   if (expr == nullptr) return Value::Int(1);  // absent condition = TRUE
   switch (expr->kind) {
     case ExprKind::kLiteral:
@@ -237,8 +245,8 @@ Result<Value> EvalExpr(const ExprPtr& expr, const Bindings& bindings) {
       }
       TMAN_ASSIGN_OR_RETURN(Value l, EvalExpr(expr->children[0], bindings));
       TMAN_ASSIGN_OR_RETURN(Value r, EvalExpr(expr->children[1], bindings));
-      if (IsComparison(op)) return EvalComparison(op, l, r);
-      return EvalArithmetic(op, l, r);
+      if (IsComparison(op)) return EvalComparisonOp(op, l, r);
+      return EvalArithmeticOp(op, l, r);
     }
     case ExprKind::kFunctionCall: {
       std::vector<Value> args;
@@ -247,7 +255,7 @@ Result<Value> EvalExpr(const ExprPtr& expr, const Bindings& bindings) {
         TMAN_ASSIGN_OR_RETURN(Value v, EvalExpr(c, bindings));
         args.push_back(std::move(v));
       }
-      return EvalFunction(expr->func_name, args);
+      return EvalFunctionCall(expr->func_name, args);
     }
   }
   return Status::Internal("unknown expression kind");

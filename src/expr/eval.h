@@ -51,6 +51,19 @@ Result<bool> EvalPredicate(const ExprPtr& expr, const Bindings& bindings);
 /// True iff `v` counts as SQL-true (non-NULL and nonzero).
 bool Truthy(const Value& v);
 
+/// Scalar kernels of the interpreter, shared with the bytecode VM
+/// (expr/compile.h) so the generic opcodes agree with EvalExpr bit for bit
+/// — including error codes and messages.
+Result<Value> EvalComparisonOp(BinOp op, const Value& l, const Value& r);
+Result<Value> EvalArithmeticOp(BinOp op, const Value& l, const Value& r);
+Result<Value> EvalFunctionCall(const std::string& name,
+                               const std::vector<Value>& args);
+
+/// Process-wide count of tree-interpreter node visits (every EvalExpr
+/// call, including recursion). The compiled hot path never touches it;
+/// tests use the delta to prove a workload ran entirely on bytecode.
+uint64_t InterpreterEvalCalls();
+
 }  // namespace tman
 
 #endif  // TRIGGERMAN_EXPR_EVAL_H_

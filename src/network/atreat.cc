@@ -40,7 +40,47 @@ Result<std::unique_ptr<ATreatNetwork>> ATreatNetwork::Build(
       anode.memory = std::make_unique<AlphaMemory>();
     }
   }
+  net->CompilePredicates();
   return net;
+}
+
+void ATreatNetwork::CompilePredicates() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ExprPtr selection = graph_.nodes()[i].SelectionPredicate();
+    if (selection == nullptr) continue;
+    BindingLayout layout;
+    layout.Add(graph_.nodes()[i].info.var, &nodes_[i].schema);
+    nodes_[i].compiled_selection = TryCompilePredicate(selection, layout);
+  }
+
+  edge_programs_.resize(graph_.edges().size());
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
+    BindingLayout layout;
+    layout.Add(graph_.nodes()[e.a].info.var, &nodes_[e.a].schema);
+    layout.Add(graph_.nodes()[e.b].info.var, &nodes_[e.b].schema);
+    for (const ExprPtr& conjunct : e.join_conjuncts) {
+      // An unqualified reference resolved against just these two schemas
+      // could dodge an ambiguity the interpreter would report over the
+      // full binding set — leave those to the interpreter.
+      bool unqualified = false;
+      for (const std::string& v : ReferencedTupleVars(conjunct)) {
+        if (v.empty()) unqualified = true;
+      }
+      edge_programs_[ei].push_back(
+          unqualified ? nullptr : TryCompilePredicate(conjunct, layout));
+    }
+  }
+
+  if (!graph_.catch_all().empty()) {
+    BindingLayout full;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      full.Add(graph_.nodes()[i].info.var, &nodes_[i].schema);
+    }
+    for (const ExprPtr& conjunct : graph_.catch_all()) {
+      catch_all_programs_.push_back(TryCompilePredicate(conjunct, full));
+    }
+  }
 }
 
 Status ATreatNetwork::Prime() {
@@ -54,9 +94,15 @@ Status ATreatNetwork::Prime() {
     TMAN_RETURN_IF_ERROR(db_->Scan(
         gnode.info.source_name, [&](const Rid&, const Tuple& t) {
           if (selection != nullptr) {
-            Bindings b;
-            b.Bind(gnode.info.var, &anode.schema, &t);
-            auto pass = EvalPredicate(selection, b);
+            Result<bool> pass = false;
+            if (anode.compiled_selection != nullptr) {
+              const Tuple* tuples[] = {&t};
+              pass = anode.compiled_selection->EvalBool(tuples, 1);
+            } else {
+              Bindings b;
+              b.Bind(gnode.info.var, &anode.schema, &t);
+              pass = EvalPredicate(selection, b);
+            }
             if (!pass.ok()) {
               inner = pass.status();
               return false;
@@ -100,14 +146,23 @@ Bindings ATreatNetwork::MakeBindings(
 
 Result<bool> ATreatNetwork::EdgesSatisfied(
     const std::vector<std::optional<Tuple>>& bound, size_t just_bound) const {
-  for (const ConditionGraph::Edge& e : graph_.edges()) {
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
     if (e.a != just_bound && e.b != just_bound) continue;
     size_t other = e.a == just_bound ? e.b : e.a;
     if (!bound[other].has_value()) continue;
-    Bindings b = MakeBindings(bound);
-    for (const ExprPtr& conjunct : e.join_conjuncts) {
-      TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
-      if (!pass) return false;
+    const Tuple* pair[2] = {&*bound[e.a], &*bound[e.b]};
+    for (size_t ci = 0; ci < e.join_conjuncts.size(); ++ci) {
+      const CompiledPredicate* prog = edge_programs_[ei][ci].get();
+      if (prog != nullptr) {
+        TMAN_ASSIGN_OR_RETURN(bool pass, prog->EvalBool(pair, 2));
+        if (!pass) return false;
+      } else {
+        Bindings b = MakeBindings(bound);
+        TMAN_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(e.join_conjuncts[ci], b));
+        if (!pass) return false;
+      }
     }
   }
   return true;
@@ -116,10 +171,29 @@ Result<bool> ATreatNetwork::EdgesSatisfied(
 Result<bool> ATreatNetwork::CatchAllSatisfied(
     const std::vector<std::optional<Tuple>>& bound) const {
   if (graph_.catch_all().empty()) return true;
-  Bindings b = MakeBindings(bound);
-  for (const ExprPtr& conjunct : graph_.catch_all()) {
-    TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
-    if (!pass) return false;
+  // The catch-all runs with every variable bound; collect the row once.
+  bool all_bound = true;
+  std::vector<const Tuple*> row(bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i].has_value()) {
+      row[i] = &*bound[i];
+    } else {
+      all_bound = false;
+      break;
+    }
+  }
+  for (size_t ci = 0; ci < graph_.catch_all().size(); ++ci) {
+    const CompiledPredicate* prog =
+        all_bound ? catch_all_programs_[ci].get() : nullptr;
+    if (prog != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(bool pass, prog->EvalBool(row.data(), row.size()));
+      if (!pass) return false;
+    } else {
+      Bindings b = MakeBindings(bound);
+      TMAN_ASSIGN_OR_RETURN(bool pass,
+                            EvalPredicate(graph_.catch_all()[ci], b));
+      if (!pass) return false;
+    }
   }
   return true;
 }
@@ -241,9 +315,15 @@ Status ATreatNetwork::Enumerate(std::vector<std::optional<Tuple>>* bound,
       return true;
     }
     if (selection != nullptr) {
-      Bindings b;
-      b.Bind(gnode.info.var, &anode.schema, &t);
-      auto pass = EvalPredicate(selection, b);
+      Result<bool> pass = false;
+      if (anode.compiled_selection != nullptr) {
+        const Tuple* tuples[] = {&t};
+        pass = anode.compiled_selection->EvalBool(tuples, 1);
+      } else {
+        Bindings b;
+        b.Bind(gnode.info.var, &anode.schema, &t);
+        pass = EvalPredicate(selection, b);
+      }
       if (!pass.ok()) {
         inner = pass.status();
         return false;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "expr/compile.h"
 #include "expr/condition_graph.h"
 #include "expr/eval.h"
 #include "network/alpha_memory.h"
@@ -75,6 +76,10 @@ class ATreatNetwork {
     bool stored = true;
     std::unique_ptr<AlphaMemory> memory;  // stored nodes only
     Schema schema;
+    /// The node's selection predicate compiled against its schema; null
+    /// when there is no predicate, the schema is unknown, or compilation
+    /// was refused (eval then falls back to the interpreter).
+    std::shared_ptr<const CompiledPredicate> compiled_selection;
   };
 
   ATreatNetwork(ConditionGraph graph, Database* db)
@@ -95,9 +100,23 @@ class ATreatNetwork {
 
   Bindings MakeBindings(const std::vector<std::optional<Tuple>>& bound) const;
 
+  /// Compiles selection/join/catch-all predicates once schemas are known.
+  void CompilePredicates();
+
   ConditionGraph graph_;
   Database* db_;
   std::vector<AlphaNode> nodes_;
+
+  /// Compiled join conjuncts, aligned with graph_.edges() and each edge's
+  /// join_conjuncts; layout is [node a, node b]. Null entries fall back
+  /// to the interpreter over full bindings.
+  std::vector<std::vector<std::shared_ptr<const CompiledPredicate>>>
+      edge_programs_;
+
+  /// Compiled catch-all conjuncts over the full node layout; evaluated
+  /// only with every variable bound, so unqualified-name resolution
+  /// matches the interpreter exactly.
+  std::vector<std::shared_ptr<const CompiledPredicate>> catch_all_programs_;
 };
 
 }  // namespace tman

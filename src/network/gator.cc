@@ -62,7 +62,40 @@ Result<std::unique_ptr<GatorNetwork>> GatorNetwork::Build(
       if (net->probes_[level].found) break;
     }
   }
+  net->CompilePredicates();
   return net;
+}
+
+void GatorNetwork::CompilePredicates() {
+  edge_programs_.resize(graph_.edges().size());
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
+    size_t lo = std::min(e.a, e.b);
+    size_t hi = std::max(e.a, e.b);
+    BindingLayout layout;
+    layout.Add(graph_.nodes()[lo].info.var, &schemas_[lo]);
+    layout.Add(graph_.nodes()[hi].info.var, &schemas_[hi]);
+    for (const ExprPtr& conjunct : e.join_conjuncts) {
+      // Unqualified references resolved against just these two schemas
+      // could dodge an ambiguity the interpreter would report with more
+      // variables bound — leave those to the interpreter.
+      bool unqualified = false;
+      for (const std::string& v : ReferencedTupleVars(conjunct)) {
+        if (v.empty()) unqualified = true;
+      }
+      edge_programs_[ei].push_back(
+          unqualified ? nullptr : TryCompilePredicate(conjunct, layout));
+    }
+  }
+  if (!graph_.catch_all().empty()) {
+    BindingLayout full;
+    for (size_t i = 0; i < graph_.nodes().size(); ++i) {
+      full.Add(graph_.nodes()[i].info.var, &schemas_[i]);
+    }
+    for (const ExprPtr& conjunct : graph_.catch_all()) {
+      catch_all_programs_.push_back(TryCompilePredicate(conjunct, full));
+    }
+  }
 }
 
 uint64_t GatorNetwork::AlphaKey(size_t var, const Tuple& tuple) const {
@@ -84,17 +117,33 @@ uint64_t GatorNetwork::BetaKey(size_t level, const Row& row) const {
 
 Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
                                           const Tuple& candidate) const {
-  Bindings b;
-  for (size_t i = 0; i < prefix.size(); ++i) {
-    b.Bind(graph_.nodes()[i].info.var, &schemas_[i], &prefix[i]);
-  }
-  b.Bind(graph_.nodes()[var].info.var, &schemas_[var], &candidate);
-  for (const ConditionGraph::Edge& e : graph_.edges()) {
+  // Interpreter bindings are built lazily: the compiled programs cover
+  // the common case without them.
+  Bindings fallback;
+  bool fallback_ready = false;
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
     size_t hi = std::max(e.a, e.b);
     size_t lo = std::min(e.a, e.b);
     if (hi != var || lo >= prefix.size()) continue;
-    for (const ExprPtr& conjunct : e.join_conjuncts) {
-      TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
+    const Tuple* pair[2] = {&prefix[lo], &candidate};
+    for (size_t ci = 0; ci < e.join_conjuncts.size(); ++ci) {
+      const CompiledPredicate* prog = edge_programs_[ei][ci].get();
+      if (prog != nullptr) {
+        TMAN_ASSIGN_OR_RETURN(bool pass, prog->EvalBool(pair, 2));
+        if (!pass) return false;
+        continue;
+      }
+      if (!fallback_ready) {
+        for (size_t i = 0; i < prefix.size(); ++i) {
+          fallback.Bind(graph_.nodes()[i].info.var, &schemas_[i], &prefix[i]);
+        }
+        fallback.Bind(graph_.nodes()[var].info.var, &schemas_[var],
+                      &candidate);
+        fallback_ready = true;
+      }
+      TMAN_ASSIGN_OR_RETURN(bool pass,
+                            EvalPredicate(e.join_conjuncts[ci], fallback));
       if (!pass) return false;
     }
   }
@@ -103,12 +152,28 @@ Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
 
 Result<bool> GatorNetwork::CatchAllSatisfied(const Row& row) const {
   if (graph_.catch_all().empty()) return true;
-  Bindings b;
-  for (size_t i = 0; i < row.size(); ++i) {
-    b.Bind(graph_.nodes()[i].info.var, &schemas_[i], &row[i]);
-  }
-  for (const ExprPtr& conjunct : graph_.catch_all()) {
-    TMAN_ASSIGN_OR_RETURN(bool pass, EvalPredicate(conjunct, b));
+  std::vector<const Tuple*> tuples(row.size());
+  for (size_t i = 0; i < row.size(); ++i) tuples[i] = &row[i];
+  bool full_row = row.size() == graph_.nodes().size();
+  Bindings fallback;
+  bool fallback_ready = false;
+  for (size_t ci = 0; ci < graph_.catch_all().size(); ++ci) {
+    const CompiledPredicate* prog =
+        full_row ? catch_all_programs_[ci].get() : nullptr;
+    if (prog != nullptr) {
+      TMAN_ASSIGN_OR_RETURN(bool pass,
+                            prog->EvalBool(tuples.data(), tuples.size()));
+      if (!pass) return false;
+      continue;
+    }
+    if (!fallback_ready) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        fallback.Bind(graph_.nodes()[i].info.var, &schemas_[i], &row[i]);
+      }
+      fallback_ready = true;
+    }
+    TMAN_ASSIGN_OR_RETURN(bool pass,
+                          EvalPredicate(graph_.catch_all()[ci], fallback));
     if (!pass) return false;
   }
   return true;

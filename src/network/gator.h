@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "expr/compile.h"
 #include "expr/condition_graph.h"
 #include "expr/eval.h"
 #include "network/alpha_memory.h"
@@ -93,9 +94,19 @@ class GatorNetwork {
                               const Tuple& candidate) const;
   Result<bool> CatchAllSatisfied(const Row& row) const;
 
+  /// Compiles join and catch-all conjuncts against the node schemas.
+  void CompilePredicates();
+
   ConditionGraph graph_;
   std::vector<Schema> schemas_;
   std::vector<Probe> probes_;  // per variable; [0] unused
+
+  /// Compiled join conjuncts aligned with graph_.edges(); layout is
+  /// [min(a,b), max(a,b)]. Null entries use the interpreter fallback.
+  std::vector<std::vector<std::shared_ptr<const CompiledPredicate>>>
+      edge_programs_;
+  /// Compiled catch-all conjuncts over the full node layout.
+  std::vector<std::shared_ptr<const CompiledPredicate>> catch_all_programs_;
 
   mutable std::mutex mutex_;
   // Hash-keyed memories: alphas by their own probe field, beta level L by

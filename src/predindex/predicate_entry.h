@@ -2,6 +2,7 @@
 #define TRIGGERMAN_PREDINDEX_PREDICATE_ENTRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "types/value.h"
 
 namespace tman {
+
+class CompiledPredicate;
 
 /// Unique id of one selection-predicate instance (the exprID column of a
 /// constant table).
@@ -36,6 +39,13 @@ struct PredicateEntry {
   /// references the canonical signature variable); null when the whole
   /// predicate was indexable.
   ExprPtr rest;
+
+  /// `rest` compiled to bytecode against the source schema (see
+  /// expr/compile.h). Null when there is no rest, when compilation was
+  /// refused (match falls back to the interpreter), or when the entry was
+  /// round-tripped through a database organization — those lose the
+  /// program and the SignatureIndexEntry's side table supplies it.
+  std::shared_ptr<const CompiledPredicate> compiled_rest;
 };
 
 /// What the predicate index reports for a matched token (§5.4): enough to

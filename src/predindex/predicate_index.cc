@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "expr/compile.h"
 #include "expr/rewrite.h"
+#include "expr/signature.h"
 #include "util/hash.h"
 
 namespace tman {
@@ -73,6 +75,23 @@ Result<AddPredicateInfo> PredicateIndex::AddPredicate(
       next_sig_id_.fetch_add(1, std::memory_order_relaxed);
   const ExprId expr_id = next_expr_id_.fetch_add(1, std::memory_order_relaxed);
 
+  // Bind constants and compile the rest-of-predicate outside the stripe
+  // lock too — compilation is pure tree work against the source schema.
+  // SplitIndexable is deterministic over the generalized tree, so this
+  // local split is structurally identical to the one FindOrCreate keeps.
+  ExprPtr bound_rest;
+  std::shared_ptr<const CompiledPredicate> compiled_rest;
+  if (split.rest != nullptr) {
+    TMAN_ASSIGN_OR_RETURN(bound_rest,
+                          BindPlaceholders(split.rest, gen.constants));
+    const DataSourcePredicateIndex* src_view = source(spec.data_source);
+    if (src_view != nullptr) {
+      BindingLayout layout;
+      layout.Add(std::string(SignatureVarName()), &src_view->schema());
+      compiled_rest = TryCompilePredicate(bound_rest, layout);
+    }
+  }
+
   Stripe& stripe = StripeFor(spec.data_source);
   AddPredicateInfo info;
   SignatureIndexEntry* entry = nullptr;
@@ -96,7 +115,12 @@ Result<AddPredicateInfo> PredicateIndex::AddPredicate(
     pe.trigger_id = spec.trigger_id;
     pe.next_node = spec.next_node;
     pe.constants = gen.constants;
-    if (entry->context().split.rest != nullptr) {
+    if (bound_rest != nullptr) {
+      pe.rest = bound_rest;
+      pe.compiled_rest = std::move(compiled_rest);
+    } else if (entry->context().split.rest != nullptr) {
+      // Defensive: an entry whose canonical split disagrees with the
+      // local one still gets a bound rest (the interpreter covers it).
       TMAN_ASSIGN_OR_RETURN(
           pe.rest,
           BindPlaceholders(entry->context().split.rest, pe.constants));

@@ -1,5 +1,6 @@
 #include "predindex/signature_index.h"
 
+#include "expr/compile.h"
 #include "expr/eval.h"
 
 namespace tman {
@@ -57,11 +58,25 @@ Status SignatureIndexEntry::Insert(const PredicateEntry& entry) {
   if (wanted != org_->type()) {
     TMAN_RETURN_IF_ERROR(MigrateTo(wanted));
   }
-  return org_->Insert(entry);
+  TMAN_RETURN_IF_ERROR(org_->Insert(entry));
+  if (entry.rest != nullptr) {
+    // Keep a program in the side table even when the entry carries one:
+    // database organizations and migrations strip the embedded copy.
+    std::shared_ptr<const CompiledPredicate> prog = entry.compiled_rest;
+    if (prog == nullptr) {
+      BindingLayout layout;
+      layout.Add(std::string(SignatureVarName()), &schema_);
+      prog = TryCompilePredicate(entry.rest, layout);
+    }
+    if (prog != nullptr) compiled_rest_[entry.expr_id] = std::move(prog);
+  }
+  return Status::OK();
 }
 
 Status SignatureIndexEntry::Remove(ExprId expr_id) {
-  return org_->Remove(expr_id);
+  TMAN_RETURN_IF_ERROR(org_->Remove(expr_id));
+  compiled_rest_.erase(expr_id);
+  return Status::OK();
   // Organizations are not downgraded on shrink: migration down would buy
   // little (the class already paid the upgrade) and churns on workloads
   // that hover near a threshold.
@@ -113,14 +128,30 @@ Status SignatureIndexEntry::MatchTuple(
     if (!inner.ok()) return;
     candidates_tested_.fetch_add(1, std::memory_order_relaxed);
     if (e.rest != nullptr) {
-      Bindings b;
-      b.Bind(std::string(SignatureVarName()), &schema_, &tuple);
-      auto pass = EvalPredicate(e.rest, b);
-      if (!pass.ok()) {
-        inner = pass.status();
-        return;
+      const CompiledPredicate* prog = e.compiled_rest.get();
+      if (prog == nullptr) {
+        auto it = compiled_rest_.find(e.expr_id);
+        if (it != compiled_rest_.end()) prog = it->second.get();
       }
-      if (!*pass) return;
+      if (prog != nullptr) {
+        const Tuple* tuples[] = {&tuple};
+        auto pass = prog->EvalBool(tuples, 1);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return;
+        }
+        if (!*pass) return;
+      } else {
+        // Fallback: dynamic or uncompilable rest goes to the interpreter.
+        Bindings b;
+        b.Bind(std::string(SignatureVarName()), &schema_, &tuple);
+        auto pass = EvalPredicate(e.rest, b);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return;
+        }
+        if (!*pass) return;
+      }
     }
     fn(PredicateMatch{e.trigger_id, e.expr_id, e.next_node});
   };

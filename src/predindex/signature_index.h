@@ -84,6 +84,15 @@ class SignatureIndexEntry {
   Schema schema_;
   std::unique_ptr<ConstantSetOrganization> org_;
 
+  /// expr_id -> compiled rest-of-predicate. Database organizations store
+  /// `rest` as text and re-parse it per candidate, so the program cannot
+  /// ride inside their PredicateEntry copies; this table survives both
+  /// that round-trip and organization migration. Mutated only under the
+  /// owning stripe's exclusive lock (Insert/Remove), read under its
+  /// shared lock (Match).
+  std::unordered_map<ExprId, std::shared_ptr<const CompiledPredicate>>
+      compiled_rest_;
+
   // Resolved positions in the source schema.
   std::vector<size_t> eq_fields_;
   int range_field_ = -1;

@@ -39,10 +39,18 @@ Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
   // Unpin() and deadlock.
   guard->Release();
   std::unique_lock<std::mutex> lock(mutex_);
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
+  for (;;) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) break;
     Frame& f = frames_[it->second];
+    if (f.io_pending) {
+      // Another thread is reading this page from disk; wait for its read
+      // instead of issuing a duplicate one, then re-look-up — a failed
+      // read erases the entry and this thread becomes the new initiator.
+      io_cv_.wait(lock);
+      continue;
+    }
+    ++stats_.hits;
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
       f.in_lru = false;
@@ -55,15 +63,33 @@ Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
   size_t frame;
   TMAN_RETURN_IF_ERROR(GetFreeFrame(&frame));
   Frame& f = frames_[frame];
-  // Read outside the critical section would be nicer; a single pool mutex
-  // is acceptable at the scales MiniDB runs at (it hosts catalogs and
-  // constant tables, not OLTP traffic).
-  TMAN_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  // Claim the frame and publish the page-table entry, then drop the pool
+  // mutex for the disk read: fetches of other pages proceed concurrently,
+  // and fetches of this page park on the frame's io-pending latch above.
+  // The pin keeps the frame off the LRU; &f stays valid across the unlock
+  // because frames_ is reserved to capacity_ and never reallocates.
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
+  f.io_pending = true;
   f.in_lru = false;
   page_table_[id] = frame;
+  lock.unlock();
+  Status read = disk_->ReadPage(id, &f.page);
+  lock.lock();
+  f.io_pending = false;
+  if (!read.ok()) {
+    // Undo the claim so the next fetch retries the read; park the frame at
+    // the LRU front for immediate reuse.
+    page_table_.erase(id);
+    f.page_id = kInvalidPageId;
+    f.pin_count = 0;
+    f.lru_pos = lru_.insert(lru_.begin(), frame);
+    f.in_lru = true;
+    io_cv_.notify_all();
+    return read;
+  }
+  io_cv_.notify_all();
   *guard = PageGuard(this, frame, id, &f.page);
   return Status::OK();
 }

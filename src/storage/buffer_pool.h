@@ -1,6 +1,7 @@
 #ifndef TRIGGERMAN_STORAGE_BUFFER_POOL_H_
 #define TRIGGERMAN_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -95,6 +96,9 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+    /// Set while the claiming thread reads the page from disk outside the
+    /// pool mutex; concurrent fetches of the same page wait on io_cv_.
+    bool io_pending = false;
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
@@ -107,6 +111,7 @@ class BufferPool {
   Status GetFreeFrame(size_t* out);
 
   mutable std::mutex mutex_;
+  std::condition_variable io_cv_;  // signaled when an io_pending read ends
   DiskManager* disk_;
   size_t capacity_;
   std::vector<Frame> frames_;

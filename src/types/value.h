@@ -41,6 +41,21 @@ class Value {
   double as_float() const { return std::get<double>(data_); }
   const std::string& as_string() const { return std::get<std::string>(data_); }
 
+  /// Borrowing accessors: payload pointer when the value currently holds
+  /// that alternative, nullptr otherwise. One tag check, no throw path —
+  /// preferred in evaluation inner loops.
+  const int64_t* if_int() const { return std::get_if<int64_t>(&data_); }
+  const double* if_float() const { return std::get_if<double>(&data_); }
+  const std::string* if_string() const {
+    return std::get_if<std::string>(&data_);
+  }
+
+  /// In-place mutation, avoiding a temporary Value on assignment-heavy
+  /// paths (VM registers).
+  void SetNull() { data_.emplace<std::monostate>(); }
+  void SetInt(int64_t v) { data_.emplace<int64_t>(v); }
+  void SetFloat(double v) { data_.emplace<double>(v); }
+
   /// Numeric value widened to double (int or float). Undefined for others.
   double AsDouble() const {
     return is_int() ? static_cast<double>(as_int()) : as_float();

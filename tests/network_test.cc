@@ -67,6 +67,93 @@ TEST(AlphaMemoryTest, ProbeEqualUsesIndex) {
   EXPECT_EQ(seen.size(), 9u);
 }
 
+TEST(AlphaMemoryTest, ProbeIndexesSurviveRemoveAndSlotReuse) {
+  AlphaMemory mem;
+  // Build per-field indexes on two fields before any churn.
+  mem.Insert(Tuple({Value::Int(1), Value::String("a")}));
+  mem.Insert(Tuple({Value::Int(2), Value::String("b")}));
+  mem.Insert(Tuple({Value::Int(3), Value::String("c")}));
+  mem.ProbeEqual(0, Value::Int(1), [](const Tuple&) { return true; });
+  mem.ProbeEqual(1, Value::String("a"), [](const Tuple&) { return true; });
+
+  // Churn: every removal frees a slot that the next insert reuses for a
+  // tuple with different field values; both indexes must track the swaps.
+  for (int64_t round = 0; round < 50; ++round) {
+    int64_t old_key = 1 + (round % 3);
+    std::string old_str(1, static_cast<char>('a' + (old_key - 1)));
+    ASSERT_TRUE(
+        mem.Remove(Tuple({Value::Int(old_key), Value::String(old_str)})))
+        << "round " << round;
+    mem.Insert(Tuple({Value::Int(old_key), Value::String(old_str)}));
+  }
+  EXPECT_EQ(mem.size(), 3u);
+
+  for (int64_t k = 1; k <= 3; ++k) {
+    std::string s(1, static_cast<char>('a' + (k - 1)));
+    int hits = 0;
+    mem.ProbeEqual(0, Value::Int(k), [&](const Tuple& t) {
+      EXPECT_EQ(t.at(1).as_string(), s);
+      ++hits;
+      return true;
+    });
+    EXPECT_EQ(hits, 1) << "int probe for " << k;
+    hits = 0;
+    mem.ProbeEqual(1, Value::String(s), [&](const Tuple& t) {
+      EXPECT_EQ(t.at(0).as_int(), k);
+      ++hits;
+      return true;
+    });
+    EXPECT_EQ(hits, 1) << "string probe for " << s;
+  }
+
+  // Reused slots must not resurrect the old values under either index.
+  mem.Insert(Tuple({Value::Int(9), Value::String("z")}));
+  ASSERT_TRUE(mem.Remove(Tuple({Value::Int(2), Value::String("b")})));
+  mem.Insert(Tuple({Value::Int(7), Value::String("y")}));  // reuses b's slot
+  int stale = 0;
+  mem.ProbeEqual(0, Value::Int(2), [&](const Tuple&) {
+    ++stale;
+    return true;
+  });
+  mem.ProbeEqual(1, Value::String("b"), [&](const Tuple&) {
+    ++stale;
+    return true;
+  });
+  EXPECT_EQ(stale, 0);
+  int fresh = 0;
+  mem.ProbeEqual(0, Value::Int(7), [&](const Tuple& t) {
+    EXPECT_EQ(t.at(1).as_string(), "y");
+    ++fresh;
+    return true;
+  });
+  EXPECT_EQ(fresh, 1);
+}
+
+TEST(AlphaMemoryTest, ShortTuplesCoexistWithProbeIndexes) {
+  AlphaMemory mem;
+  mem.Insert(Tuple({Value::Int(1), Value::String("long")}));
+  // Index on field 1 exists before the short tuple arrives.
+  mem.ProbeEqual(1, Value::String("long"), [](const Tuple&) { return true; });
+  Tuple short_tuple({Value::Int(2)});
+  mem.Insert(short_tuple);  // lacks field 1: stays out of that index
+  int hits = 0;
+  mem.ProbeEqual(0, Value::Int(2), [&](const Tuple&) {
+    ++hits;
+    return true;
+  });
+  EXPECT_EQ(hits, 1);
+  EXPECT_TRUE(mem.Remove(short_tuple));
+  // The freed slot is reused by a full-width tuple; both indexes pick it up.
+  mem.Insert(Tuple({Value::Int(5), Value::String("reborn")}));
+  hits = 0;
+  mem.ProbeEqual(1, Value::String("reborn"), [&](const Tuple&) {
+    ++hits;
+    return true;
+  });
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(mem.size(), 2u);
+}
+
 // --- A-TREAT network ---------------------------------------------------------
 
 class ATreatTest : public ::testing::Test {
