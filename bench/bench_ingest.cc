@@ -10,6 +10,8 @@
 
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -37,9 +39,11 @@ struct IngestFixture {
 
   enum class Mode { kLoopback, kTcp };
 
-  explicit IngestFixture(Mode mode, uint32_t max_queue_depth = 4096) {
+  explicit IngestFixture(Mode mode, uint32_t max_queue_depth = 4096,
+                         bool durable = false) {
     TriggerManagerOptions options;
     options.persistent_queue = false;
+    options.durable_wal = durable;
     options.driver_config.num_drivers = 2;
     options.driver_config.period = std::chrono::milliseconds(2);
     tman = std::make_unique<TriggerManager>(&db, options);
@@ -147,6 +151,26 @@ BENCHMARK(BM_LoopbackIngest)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// The same loopback ingest with the write-ahead log on: every acked
+// batch is group-committed before the ack. The gap to BM_LoopbackIngest
+// is the price of durability.
+void BM_DurableLoopbackIngest(benchmark::State& state) {
+  IngestFixture fx(IngestFixture::Mode::kLoopback, /*max_queue_depth=*/4096,
+                   /*durable=*/true);
+  const int clients = static_cast<int>(state.range(0));
+  const int kPerClient = 2000 / clients;
+  int64_t total = 0;
+  for (auto _ : state) {
+    total += fx.RunRound(clients, kPerClient);
+  }
+  state.SetItemsProcessed(total);
+  state.counters["clients"] = clients;
+}
+BENCHMARK(BM_DurableLoopbackIngest)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // Remote ingest over real TCP sockets on localhost.
 void BM_TcpIngest(benchmark::State& state) {
   IngestFixture fx(IngestFixture::Mode::kTcp);
@@ -207,6 +231,51 @@ int RunSmoke() {
       "bench_ingest --smoke OK: %lld updates from %d remote clients applied "
       "exactly once (queue high-water %zu <= 1024)\n",
       static_cast<long long>(total), kClients, high_water);
+
+  // Durability overhead: group commit has to keep the durable ingest
+  // path within 2x of the un-durable one. Best-of-three after a warm-up
+  // round, so a scheduler hiccup on a loaded CI box doesn't fail the
+  // assertion.
+  constexpr int kOverheadClients = 2;
+  constexpr int kOverheadPerClient = 1200;
+  auto best_of_three = [](IngestFixture* fx) {
+    fx->RunRound(kOverheadClients, 200);  // warm-up
+    double best = 1e30;
+    for (int trial = 0; trial < 3; ++trial) {
+      auto start = std::chrono::steady_clock::now();
+      fx->RunRound(kOverheadClients, kOverheadPerClient);
+      double s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      best = std::min(best, s);
+    }
+    return best;
+  };
+  double base_s = 0;
+  double durable_s = 0;
+  {
+    IngestFixture base(IngestFixture::Mode::kLoopback,
+                       /*max_queue_depth=*/1024, /*durable=*/false);
+    base_s = best_of_three(&base);
+  }
+  {
+    IngestFixture durable(IngestFixture::Mode::kLoopback,
+                          /*max_queue_depth=*/1024, /*durable=*/true);
+    durable_s = best_of_three(&durable);
+  }
+  double ratio = durable_s / base_s;
+  if (ratio >= 2.0) {
+    std::fprintf(stderr,
+                 "bench_ingest --smoke FAILED: durable ingest %.1fms vs "
+                 "%.1fms un-durable (%.2fx >= 2x)\n",
+                 durable_s * 1e3, base_s * 1e3, ratio);
+    return 1;
+  }
+  std::printf(
+      "bench_ingest --smoke OK: group commit holds durable ingest at %.2fx "
+      "un-durable (%.1fms vs %.1fms for %d updates)\n",
+      ratio, durable_s * 1e3, base_s * 1e3,
+      kOverheadClients * kOverheadPerClient);
   return 0;
 }
 

@@ -56,9 +56,9 @@ Status ClientConnection::SubmitUpdate(const UpdateDescriptor& token) {
 
 Status ClientConnection::SubmitUpdateBatch(
     const std::vector<UpdateDescriptor>& tokens,
-    std::vector<Status>* per_update) {
+    std::vector<Status>* per_update, const BatchStamp* stamp) {
   if (closed_) return Status::Aborted("connection closed");
-  return tman_->SubmitUpdateBatch(tokens, per_update);
+  return tman_->SubmitUpdateBatch(tokens, per_update, stamp);
 }
 
 Status ClientConnection::DropMyTriggers() {

@@ -39,9 +39,11 @@ class ClientConnection {
   Status SubmitUpdate(const UpdateDescriptor& token);
 
   /// Batched variant: the whole batch reaches the task queue in one
-  /// PushBatch (see TriggerManager::SubmitUpdateBatch).
+  /// PushBatch (see TriggerManager::SubmitUpdateBatch). `stamp` carries
+  /// the batch's durable session identity when the instance runs a WAL.
   Status SubmitUpdateBatch(const std::vector<UpdateDescriptor>& tokens,
-                           std::vector<Status>* per_update = nullptr);
+                           std::vector<Status>* per_update = nullptr,
+                           const BatchStamp* stamp = nullptr);
 
   /// Drops every trigger this connection created (best effort; returns
   /// the first error but keeps going).

@@ -4,6 +4,7 @@
 
 #include "expr/rewrite.h"
 #include "parser/parser.h"
+#include "util/codec.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -13,7 +14,22 @@ namespace {
 
 constexpr char kMetaTable[] = "tman_meta";
 constexpr char kQueueMetaKey[] = "update_queue_meta_page";
+constexpr char kWalMetaKey[] = "wal_header_page";
 constexpr char kDefaultSetName[] = "default";
+
+// WAL kBatch payload:
+//   len-prefixed session (empty = unstamped, at-least-once)
+//   u64 ack_seq
+//   u32 token_count, then per token: u64 seq, len-prefixed descriptor
+// WAL kProcessed payload: u64 batch_id, u32 token_index.
+// WAL kCheckpoint payload:
+//   u32 session_count, per session: len-prefixed name, u64 seq
+//   u32 batch_count, per batch: u64 batch_id, len-prefixed session,
+//     u32 token_count, per token: u32 index, len-prefixed descriptor
+
+Status WalDecodeError() {
+  return Status::Corruption("wal: malformed record payload");
+}
 
 }  // namespace
 
@@ -120,6 +136,35 @@ Status TriggerManager::Open() {
       std::unique_lock lock(meta_mutex_);
       trigger_meta_[row.trigger_id].enabled = false;
     }
+  }
+
+  // Durable ingestion: open (or create) the write-ahead log and replay
+  // whatever a previous incarnation left behind. This runs last so the
+  // predicate index and sources are ready for the re-staged tokens.
+  if (options_.durable_wal) {
+    std::optional<PageId> wal_meta;
+    TMAN_RETURN_IF_ERROR(
+        db_->Scan(kMetaTable, [&](const Rid&, const Tuple& t) {
+          if (t.at(0).as_string() == kWalMetaKey) {
+            wal_meta = static_cast<PageId>(t.at(1).as_int());
+            return false;
+          }
+          return true;
+        }));
+    if (!wal_meta.has_value()) {
+      TMAN_ASSIGN_OR_RETURN(PageId page, Wal::Create(db_->disk()));
+      TMAN_RETURN_IF_ERROR(
+          db_->Insert(kMetaTable,
+                      Tuple({Value::String(kWalMetaKey),
+                             Value::Int(static_cast<int64_t>(page))}))
+              .status());
+      // The meta row itself must survive the next crash, or the WAL
+      // header becomes unreachable.
+      TMAN_RETURN_IF_ERROR(db_->buffer_pool()->FlushAll());
+      wal_meta = page;
+    }
+    TMAN_ASSIGN_OR_RETURN(wal_, Wal::Open(db_->disk(), *wal_meta));
+    TMAN_RETURN_IF_ERROR(RecoverFromWal());
   }
   return Status::OK();
 }
@@ -583,6 +628,12 @@ Task TriggerManager::MakePumpTask() {
 }
 
 Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
+  if (wal_ != nullptr) {
+    // Durable mode: every submission goes through the logged batch path
+    // (a single-token batch still amortizes its sync across whatever
+    // concurrent submitters join the group-commit round).
+    return SubmitDurableBatch({token}, nullptr, nullptr);
+  }
   updates_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (options_.persistent_queue && update_queue_ != nullptr) {
     std::string record;
@@ -596,7 +647,8 @@ Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
 
 Status TriggerManager::SubmitUpdateBatch(
     const std::vector<UpdateDescriptor>& tokens,
-    std::vector<Status>* per_update) {
+    std::vector<Status>* per_update, const BatchStamp* stamp) {
+  if (wal_ != nullptr) return SubmitDurableBatch(tokens, per_update, stamp);
   updates_submitted_.fetch_add(tokens.size(), std::memory_order_relaxed);
   Status first_error = Status::OK();
   std::vector<Task> tasks;
@@ -654,6 +706,403 @@ Status TriggerManager::EnqueueTokenTasks(const UpdateDescriptor& token) {
     task_queue_.PushBatch(std::move(tasks));
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Durable ingestion (WAL)
+// ---------------------------------------------------------------------------
+
+Status TriggerManager::SubmitDurableBatch(
+    const std::vector<UpdateDescriptor>& tokens,
+    std::vector<Status>* per_update, const BatchStamp* stamp) {
+  updates_submitted_.fetch_add(tokens.size(), std::memory_order_relaxed);
+  const std::string session = stamp != nullptr ? stamp->session : "";
+
+  std::vector<std::string> records(tokens.size());
+  std::string payload;
+  PutLengthPrefixed(&payload, session);
+  PutU64(&payload, stamp != nullptr ? stamp->ack_seq : 0);
+  PutU32(&payload, static_cast<uint32_t>(tokens.size()));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i].Serialize(&records[i]);
+    PutU64(&payload, stamp != nullptr && i < stamp->seqs.size()
+                         ? stamp->seqs[i]
+                         : 0);
+    PutLengthPrefixed(&payload, records[i]);
+  }
+
+  // Append + register under wal_mutex_, so a concurrent checkpoint either
+  // snapshots this batch as pending or runs entirely before the append —
+  // never in between (which would truncate the batch record while losing
+  // it from the snapshot).
+  uint64_t batch_id = 0;
+  uint64_t prev_seq = 0;
+  const uint32_t parts = std::max(1u, options_.condition_partitions);
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    auto lsn = wal_->Append(WalRecordType::kBatch, payload);
+    if (!lsn.ok()) {
+      if (per_update != nullptr) {
+        per_update->assign(tokens.size(), lsn.status());
+      }
+      return lsn.status();
+    }
+    batch_id = *lsn;
+    if (!tokens.empty()) {
+      PendingBatch& batch = wal_pending_[batch_id];
+      batch.session = session;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        batch.tokens[static_cast<uint32_t>(i)] =
+            PendingToken{std::move(records[i]), parts};
+      }
+    }
+    if (!session.empty()) {
+      uint64_t& high = wal_sessions_[session];
+      prev_seq = high;
+      if (stamp->ack_seq > high) high = stamp->ack_seq;
+    }
+  }
+
+  // Group commit: the batch is durable (or rejected) past this line.
+  Status committed = wal_->Commit(batch_id);
+  if (!committed.ok()) {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_pending_.erase(batch_id);
+    if (!session.empty()) {
+      // Roll the high-water mark back unless a later batch on the same
+      // session advanced it further (the IPC server serializes batches
+      // per session, so that only happens for out-of-band submitters).
+      auto it = wal_sessions_.find(session);
+      if (it != wal_sessions_.end() && it->second == stamp->ack_seq) {
+        it->second = prev_seq;
+      }
+    }
+    if (per_update != nullptr) per_update->assign(tokens.size(), committed);
+    return committed;
+  }
+
+  // Stage processing. Durability is already settled, so a staging-queue
+  // hiccup downgrades to direct in-memory tasks rather than failing the
+  // batch — the token is in the log either way.
+  std::vector<Task> tasks;
+  tasks.reserve(tokens.size());
+  const bool persistent =
+      options_.persistent_queue && update_queue_ != nullptr;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    bool staged = false;
+    if (persistent) {
+      std::string wrapped;
+      PutU64(&wrapped, batch_id);
+      PutU32(&wrapped, static_cast<uint32_t>(i));
+      tokens[i].Serialize(&wrapped);
+      if (update_queue_->Enqueue(wrapped).ok()) {
+        tasks.push_back(MakeWalPumpTask());
+        staged = true;
+      }
+    }
+    if (!staged) {
+      AppendWalTokenTasks(tokens[i], batch_id, static_cast<uint32_t>(i),
+                          &tasks);
+    }
+    if (per_update != nullptr) per_update->push_back(Status::OK());
+  }
+  task_queue_.PushBatch(std::move(tasks));
+  MaybeCheckpointWal();
+  return Status::OK();
+}
+
+void TriggerManager::AppendWalTokenTasks(const UpdateDescriptor& token,
+                                         uint64_t batch_id, uint32_t index,
+                                         std::vector<Task>* out) {
+  uint32_t parts = std::max(1u, options_.condition_partitions);
+  for (uint32_t p = 0; p < parts; ++p) {
+    Task task;
+    task.kind = parts == 1 ? TaskKind::kProcessToken
+                           : TaskKind::kProcessTokenPartition;
+    UpdateDescriptor copy = token;
+    task.work = [this, copy, p, parts, batch_id, index]() {
+      Status s = ProcessToken(copy, p, parts);
+      // Only completed partitions report back: a failed one leaves the
+      // token pending so the next recovery replays it (at-least-once).
+      if (s.ok()) MarkWalProcessed(batch_id, index);
+      return s;
+    };
+    out->push_back(std::move(task));
+  }
+}
+
+Task TriggerManager::MakeWalPumpTask() {
+  Task task;
+  task.kind = TaskKind::kProcessToken;
+  task.work = [this]() -> Status {
+    auto record = update_queue_->Dequeue();
+    if (!record.ok()) return Status::OK();  // already consumed
+    size_t pos = 0;
+    uint64_t batch_id = 0;
+    uint32_t index = 0;
+    if (!GetU64(*record, &pos, &batch_id) ||
+        !GetU32(*record, &pos, &index)) {
+      return Status::Corruption("wal-staged queue record too short");
+    }
+    TMAN_ASSIGN_OR_RETURN(
+        UpdateDescriptor t,
+        UpdateDescriptor::Deserialize(
+            std::string_view(*record).substr(pos)));
+    std::vector<Task> tasks;
+    AppendWalTokenTasks(t, batch_id, index, &tasks);
+    if (tasks.size() == 1) {
+      task_queue_.Push(std::move(tasks.front()));
+    } else {
+      task_queue_.PushBatch(std::move(tasks));
+    }
+    return Status::OK();
+  };
+  return task;
+}
+
+void TriggerManager::MarkWalProcessed(uint64_t batch_id, uint32_t index) {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  auto it = wal_pending_.find(batch_id);
+  if (it == wal_pending_.end()) return;
+  auto tok = it->second.tokens.find(index);
+  if (tok == it->second.tokens.end()) return;
+  if (tok->second.remaining_parts > 1) {
+    --tok->second.remaining_parts;
+    return;
+  }
+  it->second.tokens.erase(tok);
+  if (it->second.tokens.empty()) wal_pending_.erase(it);
+  std::string payload;
+  PutU64(&payload, batch_id);
+  PutU32(&payload, index);
+  // Lazily buffered: the marker rides the next commit round for free. If
+  // the append fails (or the process dies first), recovery replays the
+  // token — at-least-once, resolved by action idempotence or dedup.
+  (void)wal_->Append(WalRecordType::kProcessed, payload);
+}
+
+void TriggerManager::MaybeCheckpointWal() {
+  if (wal_ == nullptr) return;
+  if (wal_->RetainedBytes() <= options_.wal_checkpoint_bytes) return;
+  Status s = CheckpointWal();
+  if (!s.ok()) {
+    TMAN_LOG(kWarn) << "wal checkpoint failed: " << s.ToString();
+  }
+}
+
+Status TriggerManager::CheckpointWal() {
+  if (wal_ == nullptr) {
+    return Status::NotSupported("durable_wal is not enabled");
+  }
+  bool expected = false;
+  if (!wal_checkpointing_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // a checkpoint is already in flight
+  }
+  std::string payload;
+  uint64_t end_lsn = 0;
+  Status appended = Status::OK();
+  {
+    // Snapshot + append atomically w.r.t. SubmitDurableBatch (see there).
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    PutU32(&payload, static_cast<uint32_t>(wal_sessions_.size()));
+    for (const auto& [name, seq] : wal_sessions_) {
+      PutLengthPrefixed(&payload, name);
+      PutU64(&payload, seq);
+    }
+    PutU32(&payload, static_cast<uint32_t>(wal_pending_.size()));
+    for (const auto& [batch_id, batch] : wal_pending_) {
+      PutU64(&payload, batch_id);
+      PutLengthPrefixed(&payload, batch.session);
+      PutU32(&payload, static_cast<uint32_t>(batch.tokens.size()));
+      for (const auto& [index, token] : batch.tokens) {
+        PutU32(&payload, index);
+        PutLengthPrefixed(&payload, token.serialized);
+      }
+    }
+    auto lsn = wal_->Append(WalRecordType::kCheckpoint, payload);
+    if (lsn.ok()) {
+      end_lsn = *lsn;
+    } else {
+      appended = lsn.status();
+    }
+  }
+  Status result = appended;
+  if (result.ok()) result = wal_->Commit(end_lsn);
+  if (result.ok()) {
+    // Everything before the checkpoint record is dead; a failed truncate
+    // only costs log space, never correctness.
+    Lsn record_start = end_lsn - payload.size() - kWalRecordOverhead;
+    Status trunc = wal_->Truncate(record_start);
+    if (!trunc.ok()) {
+      TMAN_LOG(kWarn) << "wal truncate failed: " << trunc.ToString();
+    }
+  }
+  wal_checkpointing_.store(false);
+  return result;
+}
+
+Status TriggerManager::RecoverFromWal() {
+  struct ReplayBatch {
+    std::string session;
+    std::map<uint32_t, std::string> tokens;
+  };
+  std::map<std::string, uint64_t> sessions;
+  std::map<uint64_t, ReplayBatch> pending;
+  WalRecoveryInfo info;
+
+  TMAN_RETURN_IF_ERROR(wal_->Replay([&](WalRecordType type,
+                                        std::string_view payload,
+                                        Lsn end_lsn) -> Status {
+    size_t pos = 0;
+    switch (type) {
+      case WalRecordType::kBatch: {
+        std::string_view session;
+        uint64_t ack_seq = 0;
+        uint32_t count = 0;
+        if (!GetLengthPrefixed(payload, &pos, &session) ||
+            !GetU64(payload, &pos, &ack_seq) ||
+            !GetU32(payload, &pos, &count)) {
+          return WalDecodeError();
+        }
+        std::string key(session);
+        uint64_t prior = key.empty() ? 0 : sessions[key];
+        for (uint32_t i = 0; i < count; ++i) {
+          uint64_t seq = 0;
+          std::string_view bytes;
+          if (!GetU64(payload, &pos, &seq) ||
+              !GetLengthPrefixed(payload, &pos, &bytes)) {
+            return WalDecodeError();
+          }
+          // A commit round that failed ambiguously is retried by the
+          // client, so the same stamped batch can appear twice in the
+          // log; the session high-water mark identifies the duplicate.
+          if (!key.empty() && seq != 0 && seq <= prior) continue;
+          pending[end_lsn].tokens.emplace(i, std::string(bytes));
+        }
+        pending[end_lsn].session = key;
+        if (pending[end_lsn].tokens.empty()) pending.erase(end_lsn);
+        if (!key.empty()) {
+          uint64_t& high = sessions[key];
+          if (ack_seq > high) high = ack_seq;
+        }
+        return Status::OK();
+      }
+      case WalRecordType::kProcessed: {
+        uint64_t batch_id = 0;
+        uint32_t index = 0;
+        if (!GetU64(payload, &pos, &batch_id) ||
+            !GetU32(payload, &pos, &index)) {
+          return WalDecodeError();
+        }
+        auto it = pending.find(batch_id);
+        if (it != pending.end()) {
+          it->second.tokens.erase(index);
+          if (it->second.tokens.empty()) pending.erase(it);
+        }
+        return Status::OK();
+      }
+      case WalRecordType::kCheckpoint: {
+        sessions.clear();
+        pending.clear();
+        ++info.checkpoints_seen;
+        uint32_t session_count = 0;
+        if (!GetU32(payload, &pos, &session_count)) return WalDecodeError();
+        for (uint32_t i = 0; i < session_count; ++i) {
+          std::string_view name;
+          uint64_t seq = 0;
+          if (!GetLengthPrefixed(payload, &pos, &name) ||
+              !GetU64(payload, &pos, &seq)) {
+            return WalDecodeError();
+          }
+          sessions[std::string(name)] = seq;
+        }
+        uint32_t batch_count = 0;
+        if (!GetU32(payload, &pos, &batch_count)) return WalDecodeError();
+        for (uint32_t b = 0; b < batch_count; ++b) {
+          uint64_t batch_id = 0;
+          std::string_view session;
+          uint32_t token_count = 0;
+          if (!GetU64(payload, &pos, &batch_id) ||
+              !GetLengthPrefixed(payload, &pos, &session) ||
+              !GetU32(payload, &pos, &token_count)) {
+            return WalDecodeError();
+          }
+          ReplayBatch& batch = pending[batch_id];
+          batch.session = std::string(session);
+          for (uint32_t t = 0; t < token_count; ++t) {
+            uint32_t index = 0;
+            std::string_view bytes;
+            if (!GetU32(payload, &pos, &index) ||
+                !GetLengthPrefixed(payload, &pos, &bytes)) {
+              return WalDecodeError();
+            }
+            batch.tokens.emplace(index, std::string(bytes));
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Corruption("wal: unknown record type");
+  }));
+
+  // The WAL is authoritative over the persistent staging queue: whatever
+  // the queue still holds duplicates un-marked tokens the replay below
+  // re-stages, so repair a torn tail and drain it.
+  if (options_.persistent_queue && update_queue_ != nullptr) {
+    auto torn = update_queue_->RecoverTorn();
+    if (!torn.ok()) return torn.status();
+    for (;;) {
+      auto record = update_queue_->Dequeue();
+      if (!record.ok()) {
+        if (record.status().IsNotFound()) break;
+        return record.status();
+      }
+    }
+  }
+
+  // Install the recovered state and re-stage every surviving token.
+  const uint32_t parts = std::max(1u, options_.condition_partitions);
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_sessions_ = sessions;
+    for (const auto& [batch_id, batch] : pending) {
+      PendingBatch& out = wal_pending_[batch_id];
+      out.session = batch.session;
+      for (const auto& [index, bytes] : batch.tokens) {
+        out.tokens[index] = PendingToken{bytes, parts};
+      }
+    }
+  }
+  for (const auto& [batch_id, batch] : pending) {
+    for (const auto& [index, bytes] : batch.tokens) {
+      TMAN_ASSIGN_OR_RETURN(UpdateDescriptor token,
+                            UpdateDescriptor::Deserialize(bytes));
+      AppendWalTokenTasks(token, batch_id, index, &tasks);
+      ++info.tokens_replayed;
+    }
+    ++info.batches_replayed;
+  }
+  info.sessions_restored = sessions.size();
+  task_queue_.PushBatch(std::move(tasks));
+  last_recovery_ = info;
+  return Status::OK();
+}
+
+uint64_t TriggerManager::RecoveredSessionSeq(
+    const std::string& session) const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  auto it = wal_sessions_.find(session);
+  return it == wal_sessions_.end() ? 0 : it->second;
+}
+
+uint64_t TriggerManager::WalPendingTokens() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  uint64_t n = 0;
+  for (const auto& [batch_id, batch] : wal_pending_) {
+    n += batch.tokens.size();
+  }
+  return n;
 }
 
 Status TriggerManager::ProcessPending() {
@@ -887,6 +1336,10 @@ TriggerManagerStats TriggerManager::stats() const {
   st.actions = actions_->stats();
   st.cache = cache_->stats();
   st.predicates = pindex_->stats();
+  if (wal_ != nullptr) {
+    st.wal = wal_->stats();
+    st.wal_pending_tokens = WalPendingTokens();
+  }
   return st;
 }
 

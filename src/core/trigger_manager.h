@@ -1,8 +1,10 @@
 #ifndef TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
 #define TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "runtime/driver.h"
 #include "runtime/task_queue.h"
 #include "storage/table_queue.h"
+#include "storage/wal.h"
 
 namespace tman {
 
@@ -49,6 +52,35 @@ struct TriggerManagerOptions {
   /// Rule-action concurrency: run fired actions as separate tasks
   /// instead of inline with condition testing.
   bool concurrent_actions = false;
+
+  /// Durable ingestion: log every submitted batch to a write-ahead log
+  /// and group-commit it before acknowledging, so acked-but-unprocessed
+  /// tokens survive a crash and are replayed by Open(). Implies the WAL
+  /// is authoritative over the persistent staging queue on recovery.
+  bool durable_wal = false;
+
+  /// Checkpoint the WAL (snapshot live state, truncate the dead prefix)
+  /// once it retains more than this many bytes.
+  uint64_t wal_checkpoint_bytes = 256 * 1024;
+};
+
+/// Durable identity of a submitted batch: the session it came from and
+/// the per-token sequence numbers the IPC layer assigned. Logged with the
+/// batch so per-session exactly-once dedup survives a restart; ack_seq is
+/// the session high-water mark after this batch (it also covers tokens
+/// the server deduplicated or rejected, which carry no payload here).
+struct BatchStamp {
+  std::string session;
+  uint64_t ack_seq = 0;
+  std::vector<uint64_t> seqs;  // parallel to the submitted tokens
+};
+
+/// What WAL recovery found and re-staged during Open().
+struct WalRecoveryInfo {
+  uint64_t batches_replayed = 0;
+  uint64_t tokens_replayed = 0;
+  uint64_t checkpoints_seen = 0;
+  uint64_t sessions_restored = 0;
 };
 
 /// Aggregate statistics.
@@ -59,6 +91,8 @@ struct TriggerManagerStats {
   ActionStats actions;
   TriggerCacheStats cache;
   PredicateIndexStats predicates;
+  WalStats wal;                      // zeroes when durable_wal is off
+  uint64_t wal_pending_tokens = 0;   // durable tokens not yet processed
 };
 
 /// TriggerMan: the asynchronous trigger processor. Owns the predicate
@@ -128,8 +162,15 @@ class TriggerManager {
   /// per update. `per_update` (optional) receives one Status per token
   /// in order; the returned Status is the first failure (all tokens are
   /// attempted regardless).
+  /// With durable_wal, the batch is appended to the WAL and group-
+  /// committed before any task is staged; the call returns only once the
+  /// batch is durable (or with the commit error, in which case nothing
+  /// was staged and no session sequence advanced). `stamp` (optional)
+  /// records the batch's session identity in the log so dedup state
+  /// survives restarts.
   Status SubmitUpdateBatch(const std::vector<UpdateDescriptor>& tokens,
-                           std::vector<Status>* per_update = nullptr);
+                           std::vector<Status>* per_update = nullptr,
+                           const BatchStamp* stamp = nullptr);
 
   /// Synchronously processes everything currently staged (single-
   /// threaded path used by tests and by callers not running drivers).
@@ -145,6 +186,28 @@ class TriggerManager {
   // --- introspection -----------------------------------------------------------
 
   TriggerManagerStats stats() const;
+
+  // --- durability ------------------------------------------------------------
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+  Wal* wal() { return wal_.get(); }
+
+  /// Highest acknowledged sequence recovered (or logged) for `session` —
+  /// the IPC server seeds reconnecting sessions from this so an
+  /// idempotent resend after a crash is deduplicated.
+  uint64_t RecoveredSessionSeq(const std::string& session) const;
+
+  /// Logs a checkpoint record (live sessions + unprocessed tokens),
+  /// commits it and truncates the log prefix it makes dead. Called
+  /// automatically when the log exceeds wal_checkpoint_bytes.
+  Status CheckpointWal();
+
+  /// What the last Open() replayed from the WAL.
+  const WalRecoveryInfo& last_recovery() const { return last_recovery_; }
+
+  /// Durable tokens whose processing has not completed yet.
+  uint64_t WalPendingTokens() const;
+
   EventManager& events() { return events_; }
   /// Task-queue depth feeds the remote-ingestion credit window (ipc/);
   /// tests also install observers through this.
@@ -210,6 +273,31 @@ class TriggerManager {
 
   Status EnqueueTokenTasks(const UpdateDescriptor& token);
 
+  /// Durable-path batch submission (WAL append + group commit + staging).
+  Status SubmitDurableBatch(const std::vector<UpdateDescriptor>& tokens,
+                            std::vector<Status>* per_update,
+                            const BatchStamp* stamp);
+
+  /// Like AppendTokenTasks, but each task reports back to the WAL
+  /// bookkeeping (MarkWalProcessed) when its partition completes.
+  void AppendWalTokenTasks(const UpdateDescriptor& token, uint64_t batch_id,
+                           uint32_t index, std::vector<Task>* out);
+
+  /// Pump task for WAL-mode staging-queue records (which are wrapped
+  /// with their batch id and token index).
+  Task MakeWalPumpTask();
+
+  /// One partitioned task of (batch_id, index) finished; when the whole
+  /// token is done, appends a kProcessed marker (made durable by the
+  /// next commit round) and drops it from the pending map.
+  void MarkWalProcessed(uint64_t batch_id, uint32_t index);
+
+  /// Replays the WAL during Open(): rebuilds session dedup state, drops
+  /// processed tokens, re-stages the rest.
+  Status RecoverFromWal();
+
+  void MaybeCheckpointWal();
+
   /// Builds the token task(s) for one descriptor (one per condition
   /// partition) without pushing, so batch submission can hand the whole
   /// set to TaskQueue::PushBatch in one call.
@@ -226,6 +314,7 @@ class TriggerManager {
   std::unique_ptr<PredicateIndex> pindex_;
   std::unique_ptr<TriggerCache> cache_;
   std::unique_ptr<TableQueue> update_queue_;  // persistent staging
+  std::unique_ptr<Wal> wal_;                  // durable ingestion log
   DataSourceRegistry registry_;
   EventManager events_;
   std::unique_ptr<ActionExecutor> actions_;
@@ -249,6 +338,24 @@ class TriggerManager {
   std::atomic<uint64_t> updates_submitted_{0};
   std::atomic<uint64_t> tokens_processed_{0};
   std::atomic<uint64_t> rule_firings_{0};
+
+  // --- WAL bookkeeping (guarded by wal_mutex_) -------------------------------
+  struct PendingToken {
+    std::string serialized;
+    uint32_t remaining_parts = 1;
+  };
+  struct PendingBatch {
+    std::string session;
+    std::map<uint32_t, PendingToken> tokens;  // index -> token
+  };
+  mutable std::mutex wal_mutex_;
+  // Durable-but-unprocessed tokens, keyed by batch id (the batch record's
+  // end LSN). Checkpoints snapshot exactly this map plus wal_sessions_.
+  std::map<uint64_t, PendingBatch> wal_pending_;
+  // Per-session acknowledged high-water marks (the durable dedup state).
+  std::map<std::string, uint64_t> wal_sessions_;
+  std::atomic<bool> wal_checkpointing_{false};
+  WalRecoveryInfo last_recovery_;
 };
 
 }  // namespace tman

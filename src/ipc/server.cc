@@ -74,7 +74,13 @@ std::shared_ptr<TmanServer::Session> TmanServer::GetSession(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = sessions_[name];
-  if (slot == nullptr) slot = std::make_shared<Session>();
+  if (slot == nullptr) {
+    slot = std::make_shared<Session>();
+    // A durable instance remembers acknowledged sequences across a crash:
+    // seed the fresh session from the WAL so a client resending after a
+    // server kill-and-recover is deduplicated, not re-applied.
+    slot->last_applied_seq = tman_->RecoveredSessionSeq(name);
+  }
   return slot;
 }
 
@@ -330,7 +336,9 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         // SubmitUpdateBatch → TaskQueue::PushBatch, instead of taking
         // the queue lock (and waking a driver) once per update.
         std::vector<UpdateDescriptor> accepted;
+        std::vector<uint64_t> accepted_seqs;
         accepted.reserve(batch.updates.size());
+        uint64_t new_high = conn->session->last_applied_seq;
         for (size_t i = 0; i < batch.updates.size(); ++i) {
           uint64_t seq = batch.first_seq + i;
           if (seq <= conn->session->last_applied_seq) {
@@ -345,24 +353,48 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
                   .status();
           if (s.ok()) {
             accepted.push_back(batch.updates[i]);
+            accepted_seqs.push_back(seq);
           } else if (first_error.ok()) {
             // Rejections (unknown source, schema mismatch) are
             // deterministic: surface them in the ack but advance the
             // sequence so the client does not resend forever.
             first_error = s;
           }
-          conn->session->last_applied_seq = seq;
+          if (seq > new_high) new_high = seq;
         }
-        if (!accepted.empty()) {
-          std::vector<Status> per_update;
-          per_update.reserve(accepted.size());
-          Status batch_status =
-              conn->client->SubmitUpdateBatch(accepted, &per_update);
-          for (const Status& s : per_update) {
-            if (s.ok()) ++applied;
+        if (tman_->wal_enabled()) {
+          // Durable path: the batch (with its session stamp) must be in
+          // the log before any sequence advances or any ack leaves —
+          // acked means durable. A commit failure fails the whole frame:
+          // nothing was staged and nothing advanced, so dropping the
+          // connection makes the client reconnect and resend, and the
+          // idempotent resend lands exactly once.
+          if (!accepted.empty() ||
+              new_high > conn->session->last_applied_seq) {
+            BatchStamp stamp;
+            stamp.session = conn->name;
+            stamp.ack_seq = new_high;
+            stamp.seqs = std::move(accepted_seqs);
+            std::vector<Status> per_update;
+            per_update.reserve(accepted.size());
+            TMAN_RETURN_IF_ERROR(conn->client->SubmitUpdateBatch(
+                accepted, &per_update, &stamp));
+            applied += per_update.size();
+            conn->session->last_applied_seq = new_high;
           }
-          if (!batch_status.ok() && first_error.ok()) {
-            first_error = batch_status;
+        } else {
+          conn->session->last_applied_seq = new_high;
+          if (!accepted.empty()) {
+            std::vector<Status> per_update;
+            per_update.reserve(accepted.size());
+            Status batch_status =
+                conn->client->SubmitUpdateBatch(accepted, &per_update);
+            for (const Status& s : per_update) {
+              if (s.ok()) ++applied;
+            }
+            if (!batch_status.ok() && first_error.ok()) {
+              first_error = batch_status;
+            }
           }
         }
         ack.ack_seq = conn->session->last_applied_seq;

@@ -30,6 +30,10 @@ void PageGuard::Release() {
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames)
     : disk_(disk), capacity_(capacity_frames == 0 ? 1 : capacity_frames) {
   frames_.reserve(capacity_);
+  FaultInjector* faults = disk_->fault_injector();
+  faults->RegisterSite("buffer.fetch");
+  faults->RegisterSite("buffer.new");
+  faults->RegisterSite("buffer.flush");
 }
 
 Status BufferPool::FetchPage(PageId id, PageGuard* guard) {
@@ -122,7 +126,10 @@ Status BufferPool::FlushAll() {
       ++stats_.dirty_writebacks;
     }
   }
-  return Status::OK();
+  // The flush is only durable once the disk acknowledges the barrier; a
+  // failed sync leaves callers unable to assume anything written above
+  // persisted, so propagate it.
+  return disk_->Sync();
 }
 
 void BufferPool::Discard(PageId id) {

@@ -1,12 +1,18 @@
 #include "storage/disk_manager.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 namespace tman {
 
 DiskManager::DiskManager(uint64_t access_latency_ns)
-    : access_latency_ns_(access_latency_ns) {}
+    : access_latency_ns_(access_latency_ns) {
+  fault_injector_.RegisterSite("disk.read");
+  fault_injector_.RegisterSite("disk.write");
+  fault_injector_.RegisterSite("disk.write.short");
+  fault_injector_.RegisterSite("disk.sync");
+}
 
 void DiskManager::SimulateLatency() const {
   uint64_t ns = access_latency_ns_.load(std::memory_order_relaxed);
@@ -49,13 +55,32 @@ Status DiskManager::ReadPage(PageId id, Page* page) {
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
   TMAN_RETURN_IF_ERROR(fault_injector_.Check("disk.write"));
+  Status torn = fault_injector_.Check("disk.write.short");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (id >= pages_.size() || !live_[id]) {
       return Status::IoError("write of invalid page " + std::to_string(id));
     }
+    if (!torn.ok()) {
+      // Torn write: a prefix of the page lands, the tail keeps its old
+      // bytes, and the caller sees the error. Mirrors a power-cut partial
+      // sector write; recovery must detect the mix (e.g. via record CRCs).
+      std::memcpy(pages_[id]->data, page.data, kPageSize / 2);
+      ++stats_.writes;
+      return torn;
+    }
     *pages_[id] = page;
     ++stats_.writes;
+  }
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  TMAN_RETURN_IF_ERROR(fault_injector_.Check("disk.sync"));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.syncs;
   }
   SimulateLatency();
   return Status::OK();

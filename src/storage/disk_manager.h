@@ -17,6 +17,7 @@ namespace tman {
 struct DiskStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  uint64_t syncs = 0;
   uint64_t allocations = 0;
 };
 
@@ -41,8 +42,17 @@ class DiskManager {
   /// Copies the stored page into *page.
   Status ReadPage(PageId id, Page* page);
 
-  /// Persists *page.
+  /// Persists *page. Under an armed "disk.write.short" fault the write
+  /// tears: only a prefix of the page lands before the error is returned,
+  /// leaving a mix of old and new bytes on disk — the torn-page shape
+  /// recovery code must tolerate.
   Status WritePage(PageId id, const Page& page);
+
+  /// Durability barrier (the simulated fsync). The in-memory disk array is
+  /// trivially "durable", so this only charges the sync cost and gives
+  /// fault injection a "disk.sync" site; callers must still treat a
+  /// failure as "nothing since the previous successful Sync is durable".
+  Status Sync();
 
   /// Frees a page (contents become invalid). Freed ids are not reused.
   Status DeallocatePage(PageId id);

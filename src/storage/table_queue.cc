@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/crc32.h"
+
 namespace tman {
 
 namespace {
@@ -11,9 +13,13 @@ namespace {
 //   [0..2)  u16 slot_count
 //   [2..4)  u16 data_start
 //   [4..8)  u32 next_page
-//   [8..)   slots {u16 off, u16 len}
+//   [8..)   slots {u16 off, u16 len, u32 crc}
+//
+// The per-record CRC makes a torn page write detectable: a page whose
+// slot directory landed but whose record bytes did not (or vice versa)
+// yields a checksum mismatch instead of silently corrupt payload.
 constexpr size_t kHeader = 8;
-constexpr size_t kSlotSize = 4;
+constexpr size_t kSlotSize = 8;
 
 uint16_t GetU16(const char* p) {
   uint16_t v;
@@ -43,7 +49,13 @@ size_t FreeSpace(const char* d) {
 }  // namespace
 
 TableQueue::TableQueue(BufferPool* pool, PageId meta_page)
-    : pool_(pool), meta_page_(meta_page) {}
+    : pool_(pool), meta_page_(meta_page) {
+  FaultInjector* faults = pool_->disk()->fault_injector();
+  faults->RegisterSite("table_queue.push");
+  faults->RegisterSite("table_queue.push.meta");
+  faults->RegisterSite("table_queue.pop");
+  faults->RegisterSite("table_queue.pop.meta");
+}
 
 Result<PageId> TableQueue::Create(BufferPool* pool) {
   PageGuard first;
@@ -124,6 +136,7 @@ Status TableQueue::Enqueue(std::string_view record) {
   char* s = d + kHeader + slot * kSlotSize;
   PutU16(s, off);
   PutU16(s + 2, static_cast<uint16_t>(record.size()));
+  PutU32(s + 4, Crc32(record));
   PutU16(d, static_cast<uint16_t>(slot + 1));
   guard.MarkDirty();
   ++m.count;
@@ -173,6 +186,9 @@ Result<std::string> TableQueue::Dequeue() {
   uint16_t off = GetU16(s);
   uint16_t len = GetU16(s + 2);
   std::string record(d + off, len);
+  if (Crc32(record) != GetU32(s + 4)) {
+    return Status::Corruption("queued record failed checksum");
+  }
   ++m.head_slot;
   --m.count;
   // Head page exhausted and not the tail: advance past it. (The tail page
@@ -196,6 +212,54 @@ Result<std::string> TableQueue::Dequeue() {
     (void)pool_->disk()->DeallocatePage(id);
   }
   return record;
+}
+
+Result<uint64_t> TableQueue::RecoverTorn() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TMAN_ASSIGN_OR_RETURN(Meta m, ReadMeta());
+  if (m.count == 0) return 0;
+  // Walk the live records in FIFO order verifying checksums. The enqueue
+  // write order (record page, then meta) means only the *final* record can
+  // legitimately be torn: its slot landed but the page tail carrying its
+  // bytes did not. A checksum failure anywhere earlier is real corruption.
+  PageGuard guard;
+  PageId page = m.head_page;
+  uint32_t slot = m.head_slot;
+  TMAN_RETURN_IF_ERROR(pool_->FetchPage(page, &guard));
+  const char* d = guard.data();
+  for (uint64_t i = 0; i < m.count; ++i) {
+    uint16_t slots = GetU16(d);
+    while (slot >= slots && page != m.tail_page) {
+      page = GetU32(d + 4);
+      slot = 0;
+      TMAN_RETURN_IF_ERROR(pool_->FetchPage(page, &guard));
+      d = guard.data();
+      slots = GetU16(d);
+    }
+    if (slot >= slots) {
+      return Status::Corruption("queue head past slot count");
+    }
+    const char* s = d + kHeader + slot * kSlotSize;
+    uint16_t off = GetU16(s);
+    uint16_t len = GetU16(s + 2);
+    bool bad = static_cast<size_t>(off) + len > kPageSize ||
+               Crc32(std::string_view(d + off, len)) != GetU32(s + 4);
+    if (bad) {
+      if (i + 1 != m.count) {
+        return Status::Corruption("non-final queued record failed checksum");
+      }
+      // Torn tail: drop the final record by rolling its slot back and
+      // shrinking the count; the preceding records are intact.
+      char* w = guard.data();
+      PutU16(w, static_cast<uint16_t>(slot));
+      guard.MarkDirty();
+      --m.count;
+      TMAN_RETURN_IF_ERROR(WriteMeta(m));
+      return 1;
+    }
+    ++slot;
+  }
+  return 0;
 }
 
 Result<uint64_t> TableQueue::Size() const {

@@ -42,6 +42,13 @@ class TableQueue {
   /// Removes and returns the head record. NotFound when empty.
   Result<std::string> Dequeue();
 
+  /// Crash-recovery scan: verifies every queued record's checksum in FIFO
+  /// order. A checksum mismatch on the *final* record is the torn-tail
+  /// signature (its slot reached disk, its bytes did not) and the record
+  /// is dropped; a mismatch anywhere else is reported as Corruption.
+  /// Returns the number of records dropped (0 or 1).
+  Result<uint64_t> RecoverTorn();
+
   /// Number of queued records.
   Result<uint64_t> Size() const;
 

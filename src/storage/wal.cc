@@ -1,0 +1,379 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace tman {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'M', 'A', 'N', 'W', 'A', 'L', '1'};
+
+// Data pages reserve 4 bytes for the next-page link.
+constexpr size_t kPageLink = 4;
+constexpr size_t kWalPayload = kPageSize - kPageLink;
+
+// Header slot: magic(8) seq(8) first_page(4) start(8) parse_from(8)
+// committed(8) crc(4). Slot A lives at byte 0, slot B at kPageSize / 2 —
+// far enough apart that a torn (prefix-only) page write can never clobber
+// both copies.
+constexpr size_t kHeaderSlotSize = 48;
+constexpr size_t kHeaderSlotB = kPageSize / 2;
+
+// Record framing overhead: type(1) + payload_len(4) + payload_crc(4).
+constexpr size_t kRecordOverhead = kWalRecordOverhead;
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+}  // namespace
+
+void Wal::EncodeHeaderSlot(const Header& h, char* out) {
+  std::memcpy(out, kMagic, 8);
+  StoreU64(out + 8, h.seq);
+  StoreU32(out + 16, h.first_page);
+  StoreU64(out + 20, h.start);
+  StoreU64(out + 28, h.parse_from);
+  StoreU64(out + 36, h.committed);
+  StoreU32(out + 44, Crc32(out, 44));
+}
+
+bool Wal::DecodeHeaderSlot(const char* in, Header* h) {
+  if (std::memcmp(in, kMagic, 8) != 0) return false;
+  if (Crc32(in, 44) != LoadU32(in + 44)) return false;
+  h->seq = LoadU64(in + 8);
+  h->first_page = LoadU32(in + 16);
+  h->start = LoadU64(in + 20);
+  h->parse_from = LoadU64(in + 28);
+  h->committed = LoadU64(in + 36);
+  return true;
+}
+
+Wal::Wal(DiskManager* disk, PageId header_page)
+    : disk_(disk), header_page_(header_page) {
+  FaultInjector* faults = disk_->fault_injector();
+  faults->RegisterSite("wal.append");
+  faults->RegisterSite("wal.write");
+  faults->RegisterSite("wal.fsync");
+  faults->RegisterSite("wal.truncate");
+}
+
+Result<PageId> Wal::Create(DiskManager* disk) {
+  PageId header_page = disk->AllocatePage();
+  Wal wal(disk, header_page);
+  Header h;
+  h.seq = 0;  // WriteHeader bumps to 1
+  TMAN_RETURN_IF_ERROR(wal.WriteHeader(h));
+  TMAN_RETURN_IF_ERROR(disk->Sync());
+  return header_page;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(DiskManager* disk,
+                                       PageId header_page) {
+  Page pg;
+  TMAN_RETURN_IF_ERROR(disk->ReadPage(header_page, &pg));
+  Header a, b;
+  bool a_ok = DecodeHeaderSlot(pg.data, &a);
+  bool b_ok = DecodeHeaderSlot(pg.data + kHeaderSlotB, &b);
+  if (!a_ok && !b_ok) {
+    return Status::Corruption("wal: no valid header copy");
+  }
+  // The valid copy with the higher sequence is authoritative; a torn
+  // header write left exactly one valid copy, which is either the old
+  // state (commit did not happen) or the new one (commit landed even
+  // though the writer saw an error).
+  bool use_b = b_ok && (!a_ok || b.seq > a.seq);
+  Header h = use_b ? b : a;
+
+  std::unique_ptr<Wal> wal(new Wal(disk, header_page));
+  wal->header_seq_ = h.seq;
+  wal->header_slot_b_ = use_b;
+  wal->last_header_ = h;
+  wal->start_ = h.start;
+  wal->parse_from_ = h.parse_from;
+  wal->durable_ = h.committed;
+  wal->appended_ = h.committed;
+
+  uint64_t committed_bytes = h.committed - h.start;
+  size_t pages = (committed_bytes + kWalPayload - 1) / kWalPayload;
+  PageId cur = h.first_page;
+  for (size_t i = 0; i < pages; ++i) {
+    if (cur == kInvalidPageId) {
+      return Status::Corruption("wal: page chain shorter than committed");
+    }
+    wal->chain_.push_back(cur);
+    Page dp;
+    TMAN_RETURN_IF_ERROR(disk->ReadPage(cur, &dp));
+    cur = LoadU32(dp.data);
+  }
+  return wal;
+}
+
+Result<Lsn> Wal::Append(WalRecordType type, std::string_view payload) {
+  TMAN_RETURN_IF_ERROR(disk_->fault_injector()->Check("wal.append"));
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.push_back(static_cast<char>(type));
+  char hdr[8];
+  StoreU32(hdr, static_cast<uint32_t>(payload.size()));
+  StoreU32(hdr + 4, Crc32(payload));
+  buffer_.append(hdr, 8);
+  buffer_.append(payload);
+  appended_ += kRecordOverhead + payload.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += kRecordOverhead + payload.size();
+  return appended_;
+}
+
+Status Wal::WriteHeader(const Header& next) {
+  // Only one header writer runs at a time (leader rounds and truncation
+  // exclude each other via syncing_), so the slot bookkeeping needs no
+  // extra lock. The previous authoritative header is re-encoded into its
+  // slot and the new one goes into the other: one page write, and either
+  // copy alone is enough to recover.
+  Page pg;
+  Header prev = last_header_;
+  Header fresh = next;
+  fresh.seq = ++header_seq_;
+  bool fresh_in_b = !header_slot_b_;
+  EncodeHeaderSlot(prev, pg.data + (header_slot_b_ ? kHeaderSlotB : 0));
+  EncodeHeaderSlot(fresh, pg.data + (fresh_in_b ? kHeaderSlotB : 0));
+  Status st = disk_->WritePage(header_page_, pg);
+  if (!st.ok()) {
+    --header_seq_;
+    return st;
+  }
+  header_slot_b_ = fresh_in_b;
+  last_header_ = fresh;
+  return Status::OK();
+}
+
+Status Wal::RunSyncRound(std::unique_lock<std::mutex>& lock, Lsn target) {
+  (void)target;  // the round always syncs through appended_
+  Lsn sync_start = durable_;
+  Lsn sync_end = appended_;
+  if (sync_end == sync_start) return Status::OK();
+  std::string pending = std::move(buffer_);
+  buffer_.clear();
+
+  // Extend the page chain to cover the round, plus one linked successor
+  // for a page this round fills exactly: a full page is never rewritten,
+  // so its next pointer must already be final when it goes to disk.
+  size_t last_idx = static_cast<size_t>((sync_end - start_ - 1) / kWalPayload);
+  size_t needed =
+      last_idx + 1 + ((sync_end - start_) % kWalPayload == 0 ? 1 : 0);
+  while (chain_.size() < needed) chain_.push_back(disk_->AllocatePage());
+  size_t first_idx = static_cast<size_t>((sync_start - start_) / kWalPayload);
+  std::vector<PageId> pages = chain_;
+  Lsn base = start_;
+
+  lock.unlock();
+  FaultInjector* faults = disk_->fault_injector();
+  Status st = Status::OK();
+  uint64_t written = 0;
+  for (size_t idx = first_idx; idx <= last_idx; ++idx) {
+    st = faults->Check("wal.write");
+    if (!st.ok()) break;
+    Page pg;
+    Lsn page_lo = base + idx * kWalPayload;
+    Lsn page_hi = page_lo + kWalPayload;
+    if (idx == first_idx && sync_start > page_lo) {
+      // Partially durable page: merge the new tail into its on-disk image
+      // so the durable prefix is rewritten byte-identical.
+      st = disk_->ReadPage(pages[idx], &pg);
+      if (!st.ok()) break;
+    }
+    StoreU32(pg.data,
+             idx + 1 < pages.size() ? pages[idx + 1] : kInvalidPageId);
+    Lsn lo = std::max(sync_start, page_lo);
+    Lsn hi = std::min(sync_end, page_hi);
+    std::memcpy(pg.data + kPageLink + (lo - page_lo),
+                pending.data() + (lo - sync_start), hi - lo);
+    st = disk_->WritePage(pages[idx], pg);
+    if (!st.ok()) break;
+    ++written;
+  }
+  if (st.ok()) st = faults->Check("wal.fsync");
+  if (st.ok()) st = disk_->Sync();
+  if (st.ok()) {
+    Header h = last_header_;
+    h.first_page = pages.empty() ? kInvalidPageId : pages[0];
+    h.committed = sync_end;
+    st = WriteHeader(h);
+  }
+  if (st.ok()) st = disk_->Sync();
+
+  lock.lock();
+  stats_.pages_written += written;
+  if (st.ok()) {
+    durable_ = sync_end;
+    ++stats_.sync_rounds;
+  } else {
+    // Give the un-committed bytes back to the buffer so a later round
+    // retries them; the physical cursor is derived from durable_, so the
+    // retry rewrites the same pages.
+    pending.append(buffer_);
+    buffer_ = std::move(pending);
+  }
+  return st;
+}
+
+Status Wal::Commit(Lsn lsn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.commit_calls;
+  if (lsn > appended_) lsn = appended_;
+  for (;;) {
+    if (durable_ >= lsn) {
+      ++stats_.piggybacked;
+      return Status::OK();
+    }
+    if (!syncing_) break;
+    cv_.wait(lock);
+  }
+  syncing_ = true;
+  Status st = RunSyncRound(lock, lsn);
+  syncing_ = false;
+  cv_.notify_all();
+  return st;
+}
+
+Status Wal::Sync() {
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = appended_;
+  }
+  return Commit(target);
+}
+
+Status Wal::Truncate(Lsn upto) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (syncing_) cv_.wait(lock);
+  upto = std::min(upto, durable_);
+  size_t drop = static_cast<size_t>((upto - start_) / kWalPayload);
+  drop = std::min(drop, chain_.size());
+  if (drop == 0 && upto <= parse_from_) return Status::OK();
+  syncing_ = true;
+
+  Header h = last_header_;
+  h.start = start_ + drop * kWalPayload;
+  h.parse_from = std::max(parse_from_, upto);
+  h.first_page = drop < chain_.size() ? chain_[drop] : kInvalidPageId;
+  std::vector<PageId> dropped(chain_.begin(), chain_.begin() + drop);
+
+  lock.unlock();
+  Status st = disk_->fault_injector()->Check("wal.truncate");
+  if (st.ok()) st = WriteHeader(h);
+  if (st.ok()) st = disk_->Sync();
+  lock.lock();
+
+  if (st.ok()) {
+    start_ = h.start;
+    parse_from_ = h.parse_from;
+    chain_.erase(chain_.begin(), chain_.begin() + drop);
+    ++stats_.truncations;
+    lock.unlock();
+    // The new header no longer references these pages; a failed
+    // deallocation merely leaks a page.
+    for (PageId id : dropped) (void)disk_->DeallocatePage(id);
+    lock.lock();
+  }
+  syncing_ = false;
+  cv_.notify_all();
+  return st;
+}
+
+Status Wal::Replay(
+    const std::function<Status(WalRecordType, std::string_view, Lsn)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (syncing_) cv_.wait(lock);
+  syncing_ = true;
+  std::vector<PageId> pages = chain_;
+  Lsn base = start_;
+  Lsn committed = durable_;
+  Lsn parse_from = parse_from_;
+  lock.unlock();
+
+  auto finish = [&](Status st) {
+    lock.lock();
+    syncing_ = false;
+    cv_.notify_all();
+    return st;
+  };
+
+  std::string stream;
+  stream.reserve(static_cast<size_t>(committed - base));
+  for (size_t i = 0; i < pages.size() && stream.size() < committed - base;
+       ++i) {
+    Page pg;
+    Status st = disk_->ReadPage(pages[i], &pg);
+    if (!st.ok()) return finish(st);
+    size_t want = std::min<size_t>(kWalPayload,
+                                   static_cast<size_t>(committed - base) -
+                                       stream.size());
+    stream.append(pg.data + kPageLink, want);
+  }
+  if (stream.size() != committed - base) {
+    return finish(Status::Corruption("wal: committed stream truncated"));
+  }
+
+  size_t pos = static_cast<size_t>(parse_from - base);
+  while (pos < stream.size()) {
+    if (stream.size() - pos < kRecordOverhead) {
+      return finish(Status::Corruption("wal: truncated record header"));
+    }
+    auto type = static_cast<WalRecordType>(
+        static_cast<uint8_t>(stream[pos]));
+    uint32_t len = LoadU32(stream.data() + pos + 1);
+    uint32_t crc = LoadU32(stream.data() + pos + 5);
+    if (stream.size() - pos - kRecordOverhead < len) {
+      return finish(Status::Corruption("wal: truncated record payload"));
+    }
+    std::string_view payload(stream.data() + pos + kRecordOverhead, len);
+    if (Crc32(payload) != crc) {
+      return finish(Status::Corruption("wal: record failed checksum"));
+    }
+    pos += kRecordOverhead + len;
+    Status st = fn(type, payload, base + pos);
+    if (!st.ok()) return finish(st);
+  }
+  return finish(Status::OK());
+}
+
+Lsn Wal::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+Lsn Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_;
+}
+
+Lsn Wal::start_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return start_;
+}
+
+uint64_t Wal::RetainedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_ - parse_from_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tman

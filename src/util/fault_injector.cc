@@ -113,6 +113,16 @@ void FaultInjector::ClearAll() {
   armed_.store(false, std::memory_order_relaxed);
 }
 
+void FaultInjector::RegisterSite(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.emplace(site);
+}
+
+std::vector<std::string> FaultInjector::RegisteredSites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(sites_.begin(), sites_.end());
+}
+
 FaultSiteStats FaultInjector::site_stats(std::string_view site) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = stats_.find(site);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,13 +35,21 @@ struct FaultSiteStats {
 ///
 /// Canonical site names used across the library:
 ///
-///   disk.read / disk.write             DiskManager page I/O
+///   disk.read / disk.write /
+///   disk.write.short / disk.sync       DiskManager page I/O (".short"
+///                                      tears the write: a prefix lands)
 ///   buffer.fetch / buffer.new /
 ///   buffer.flush                       BufferPool entry points
 ///   table_queue.push / .push.meta /
 ///   table_queue.pop / .pop.meta        TableQueue, before and after the
 ///                                      record mutation (mid-operation)
+///   wal.append / wal.write /
+///   wal.fsync / wal.truncate           write-ahead log (storage/wal.h)
 ///   executor.task                      task execution in TmanTest/drivers
+///
+/// Components register their site names on construction (RegisterSite),
+/// so a test can enumerate every crash point a storage stack exposes and
+/// systematically kill-and-recover at each one (crash_recovery_test).
 ///
 /// The unarmed fast path is one relaxed atomic load; arming is rare and
 /// fully mutex-protected, so sites may be checked from any thread.
@@ -77,6 +86,15 @@ class FaultInjector {
   /// True when any fault is armed (sites stop recording stats when not).
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
+  /// Declares a site name this injector's instrumented components check.
+  /// Idempotent; called from component constructors.
+  void RegisterSite(std::string_view site);
+
+  /// Every site declared via RegisterSite, sorted (the crash-test
+  /// enumeration contract: arming each of these names in turn covers
+  /// every instrumented crash point of the attached storage stack).
+  std::vector<std::string> RegisteredSites() const;
+
   /// Stats for one check-site name (zeroes when never checked while armed).
   FaultSiteStats site_stats(std::string_view site) const;
 
@@ -103,6 +121,7 @@ class FaultInjector {
 
   mutable std::mutex mutex_;
   std::map<std::string, Arm, std::less<>> arms_;
+  std::set<std::string, std::less<>> sites_;
   std::map<std::string, FaultSiteStats, std::less<>> stats_;
   uint64_t total_faults_ = 0;
   std::atomic<bool> armed_{false};

@@ -1,0 +1,429 @@
+// Kill-and-recover crash tests for durable ingestion (storage/wal.h +
+// TriggerManager durable_wal). The methodology:
+//
+//   1. Enumerate every fault site the durable storage stack registers
+//      (FaultInjector::RegisteredSites()) — each is a crash point.
+//   2. For each site (x countdown depth x staging mode), run a seeded
+//      deterministic workload (two stamped ingest sessions, a task
+//      driver, a checkpointer) against a live TriggerManager until the
+//      armed fault trips, then KILL the instance: destroy it with no
+//      clean shutdown. The Database underneath is the durable host; the
+//      TriggerManager (WAL tail buffer, task queue, session maps) is the
+//      process image and dies with its destructor, which does no I/O.
+//   3. Reopen from disk: a fresh TriggerManager's Open() runs WAL
+//      recovery. Differentially check against a shadow oracle built
+//      while the first instance ran.
+//
+// Oracle invariants (the durability contract of DESIGN.md §11):
+//   * an acked token fires at least once (pre-kill or after replay);
+//   * an acked token that did NOT fire pre-kill fires after recovery
+//     EXACTLY once (acked-but-unprocessed => exactly-once replay);
+//   * no token fires twice on either side of the kill (dups are allowed
+//     only across the kill, for tokens processed right before it — the
+//     documented lost-processed-marker ambiguity);
+//   * only submitted tokens ever fire;
+//   * recovered session high-water marks bound the acked/assigned seqs,
+//     so the IPC dedup contract survives the restart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/trigger_manager.h"
+#include "db/database.h"
+#include "runtime/deterministic.h"
+#include "util/fault_injector.h"
+
+namespace tman {
+namespace {
+
+constexpr int kBatchesPerSession = 4;
+constexpr int kTokensPerBatch = 3;
+
+// Shadow oracle built while the pre-kill instance runs.
+struct Oracle {
+  std::set<int64_t> submitted;
+  std::set<int64_t> acked;
+  std::map<int64_t, int> fired_pre;
+  std::map<int64_t, int> fired_post;
+  // Per session: high-water of acked ack_seq / highest assigned seq.
+  std::map<std::string, uint64_t> acked_high;
+  std::map<std::string, uint64_t> assigned_high;
+  bool crashed = false;
+  uint64_t site_faults = 0;  // injected faults at `stat_site`
+};
+
+// One ingest session actor: submits stamped batches the way the IPC
+// server does, and on a failed submit resends the identical batch (same
+// tokens, same seqs) — the client-reconnect contract the dedup protocol
+// assumes.
+struct SessionState {
+  std::string name;
+  int64_t id_base = 0;
+  uint64_t next_seq = 1;
+  int batches_acked = 0;
+  bool retry = false;
+  std::vector<UpdateDescriptor> tokens;
+  BatchStamp stamp;
+  std::vector<int64_t> ids;
+};
+
+TriggerManagerOptions DurableOptions(bool persistent) {
+  TriggerManagerOptions opts;
+  opts.durable_wal = true;
+  opts.persistent_queue = persistent;
+  opts.wal_checkpoint_bytes = 1024;  // small: checkpoints happen in-test
+  return opts;
+}
+
+/// Runs one kill-and-recover cycle into `oracle`. `arm` (may be empty)
+/// arms the fault injector after setup; `stat_site` (may be empty) names
+/// the site whose injected-fault count to report; `run_drivers` controls
+/// whether pre-kill tokens get processed at all. EXPECTs the durability
+/// invariants; `context` tags every failure message.
+void RunCycle(Oracle* oracle, bool persistent, uint64_t seed,
+              const std::function<void(FaultInjector*)>& arm,
+              const std::string& stat_site, bool run_drivers,
+              const std::string& context) {
+  Database db;
+  FaultInjector* faults = db.disk()->fault_injector();
+  TriggerManagerOptions opts = DurableOptions(persistent);
+  Schema feed({{"id", DataType::kInt}});
+  DataSourceId ds = 0;
+
+  // --- phase A: live instance, seeded workload, kill on first fault ----
+  {
+    TriggerManager a(&db, opts);
+    Status open = a.Open();
+    ASSERT_TRUE(open.ok()) << context << ": " << open.ToString();
+    auto src = a.DefineStreamSource("feed", feed);
+    ASSERT_TRUE(src.ok()) << context;
+    ds = *src;
+    auto cmd = a.ExecuteCommand(
+        "create trigger watch from feed when feed.id >= 0 "
+        "do raise event Seen(feed.id)");
+    ASSERT_TRUE(cmd.ok()) << context << ": " << cmd.status().ToString();
+    a.events().Register("Seen", [&](const Event& e) {
+      oracle->fired_pre[e.args[0].as_int()]++;
+    });
+
+    if (arm) arm(faults);
+
+    DeterministicScheduler sched(seed);
+    bool crashed = false;
+    auto check_crash = [&] {
+      if (faults->total_faults() > 0) crashed = true;
+      return crashed;
+    };
+
+    std::vector<std::unique_ptr<SessionState>> sessions;
+    for (int i = 0; i < 2; ++i) {
+      auto s = std::make_unique<SessionState>();
+      s->name = i == 0 ? "alpha" : "beta";
+      s->id_base = (i + 1) * 100000;
+      sessions.push_back(std::move(s));
+    }
+    for (auto& sp : sessions) {
+      SessionState* s = sp.get();
+      sched.AddActor(s->name, [&, s] {
+        if (check_crash()) return false;
+        if (!s->retry) {
+          if (s->batches_acked >= kBatchesPerSession) return false;
+          s->tokens.clear();
+          s->ids.clear();
+          s->stamp = BatchStamp();
+          s->stamp.session = s->name;
+          for (int i = 0; i < kTokensPerBatch; ++i) {
+            uint64_t seq = s->next_seq + i;
+            int64_t id = s->id_base + static_cast<int64_t>(seq);
+            s->ids.push_back(id);
+            s->stamp.seqs.push_back(seq);
+            s->tokens.push_back(
+                UpdateDescriptor::Insert(ds, Tuple({Value::Int(id)})));
+            oracle->submitted.insert(id);
+          }
+          s->stamp.ack_seq = s->next_seq + kTokensPerBatch - 1;
+          uint64_t& high = oracle->assigned_high[s->name];
+          high = std::max(high, s->stamp.ack_seq);
+        }
+        std::vector<Status> per;
+        Status st = a.SubmitUpdateBatch(s->tokens, &per, &s->stamp);
+        if (st.ok()) {
+          for (int64_t id : s->ids) oracle->acked.insert(id);
+          oracle->acked_high[s->name] = s->stamp.ack_seq;
+          s->next_seq = s->stamp.ack_seq + 1;
+          ++s->batches_acked;
+          s->retry = false;
+        } else {
+          // The durable contract: a failed submit staged nothing and
+          // advanced no session state; resend the identical batch.
+          s->retry = true;
+        }
+        return !check_crash();
+      });
+    }
+
+    auto producers_done = [&] {
+      for (auto& sp : sessions) {
+        if (sp->retry || sp->batches_acked < kBatchesPerSession) return false;
+      }
+      return true;
+    };
+    int ckpts = 0;  // outlives the if: the actor runs in sched.Run below
+    if (run_drivers) {
+      sched.AddActor("drv", [&] {
+        if (check_crash()) return false;
+        Task t;
+        if (a.task_queue().TryPop(&t)) {
+          (void)t.work();  // failures show up via the fault injector
+          return true;
+        }
+        return !producers_done();
+      });
+      sched.AddActor("ckpt", [&] {
+        if (check_crash()) return false;
+        (void)a.CheckpointWal();  // may fail under injected faults
+        return ++ckpts < 5;
+      });
+    }
+
+    sched.Run(20000);
+    oracle->crashed = faults->total_faults() > 0;
+    if (!stat_site.empty()) {
+      oracle->site_faults = faults->site_stats(stat_site).faults;
+    }
+    faults->ClearAll();
+    // Scope exit destroys `a` with no clean shutdown: the kill. Nothing
+    // in ~TriggerManager writes to the database.
+  }
+
+  // --- phase B: reopen from disk and recover ---------------------------
+  {
+    TriggerManager b(&db, opts);
+    Status open = b.Open();
+    ASSERT_TRUE(open.ok()) << context << ": " << open.ToString();
+    b.events().Register("Seen", [&](const Event& e) {
+      oracle->fired_post[e.args[0].as_int()]++;
+    });
+    Status drained = b.ProcessPending();
+    ASSERT_TRUE(drained.ok()) << context << ": " << drained.ToString();
+    EXPECT_EQ(b.WalPendingTokens(), 0u) << context;
+
+    for (const auto& [session, acked_high] : oracle->acked_high) {
+      uint64_t recovered = b.RecoveredSessionSeq(session);
+      EXPECT_GE(recovered, acked_high) << context << " session " << session;
+      EXPECT_LE(recovered, oracle->assigned_high[session])
+          << context << " session " << session;
+    }
+
+    // The differential oracle check.
+    for (int64_t id : oracle->submitted) {
+      int pre = oracle->fired_pre.count(id) ? oracle->fired_pre[id] : 0;
+      int post = oracle->fired_post.count(id) ? oracle->fired_post[id] : 0;
+      EXPECT_LE(pre, 1) << context << " token " << id
+                        << " fired twice before the kill";
+      EXPECT_LE(post, 1) << context << " token " << id
+                         << " replayed more than once";
+      if (oracle->acked.count(id)) {
+        EXPECT_GE(pre + post, 1)
+            << context << " acked token " << id << " lost";
+        if (pre == 0) {
+          EXPECT_EQ(post, 1) << context << " acked-but-unprocessed token "
+                             << id << " not replayed exactly once";
+        }
+      }
+    }
+    for (const auto& [id, n] : oracle->fired_pre) {
+      EXPECT_TRUE(oracle->submitted.count(id))
+          << context << " phantom pre-kill firing " << id << " x" << n;
+    }
+    for (const auto& [id, n] : oracle->fired_post) {
+      EXPECT_TRUE(oracle->submitted.count(id))
+          << context << " phantom replay firing " << id << " x" << n;
+    }
+
+    // --- phase C setup: checkpoint after the full drain ----------------
+    // Persists the processed-markers' effect (empty pending set) and the
+    // session map, then kill again.
+    Status ck = b.CheckpointWal();
+    ASSERT_TRUE(ck.ok()) << context << ": " << ck.ToString();
+  }
+
+  // --- phase C: a third incarnation must replay nothing yet keep the
+  // session dedup high-water marks.
+  {
+    TriggerManager c(&db, opts);
+    Status open = c.Open();
+    ASSERT_TRUE(open.ok()) << context << ": " << open.ToString();
+    std::map<int64_t, int> fired_c;
+    c.events().Register("Seen", [&](const Event& e) {
+      fired_c[e.args[0].as_int()]++;
+    });
+    Status drained = c.ProcessPending();
+    ASSERT_TRUE(drained.ok()) << context << ": " << drained.ToString();
+    EXPECT_TRUE(fired_c.empty())
+        << context << " tokens replayed after a checkpointed drain";
+    for (const auto& [session, acked_high] : oracle->acked_high) {
+      EXPECT_GE(c.RecoveredSessionSeq(session), acked_high)
+          << context << " session dedup state lost by checkpoint";
+    }
+  }
+}
+
+// --- the enumeration contract ------------------------------------------
+
+TEST(CrashRecoveryTest, DurableStackRegistersAllCrashPoints) {
+  Database db;
+  TriggerManager tman(&db, DurableOptions(/*persistent=*/true));
+  ASSERT_TRUE(tman.Open().ok());
+  std::vector<std::string> sites =
+      db.disk()->fault_injector()->RegisteredSites();
+  std::set<std::string> have(sites.begin(), sites.end());
+  for (const char* site :
+       {"disk.read", "disk.write", "disk.write.short", "disk.sync",
+        "buffer.fetch", "buffer.new", "buffer.flush", "table_queue.push",
+        "table_queue.push.meta", "table_queue.pop", "table_queue.pop.meta",
+        "wal.append", "wal.write", "wal.fsync", "wal.truncate"}) {
+    EXPECT_TRUE(have.count(site)) << "site not registered: " << site;
+  }
+}
+
+// --- clean kill: acked-but-unprocessed tokens replay exactly once ------
+
+TEST(CrashRecoveryTest, CleanKillReplaysAckedUnprocessedExactlyOnce) {
+  for (bool persistent : {false, true}) {
+    // No drivers: every acked token is still unprocessed at the kill.
+    Oracle o;
+    RunCycle(&o, persistent, /*seed=*/7, /*arm=*/{}, /*stat_site=*/"",
+             /*run_drivers=*/false, persistent ? "persistent" : "memory");
+    EXPECT_FALSE(o.crashed);
+    EXPECT_EQ(o.acked.size(),
+              static_cast<size_t>(2 * kBatchesPerSession * kTokensPerBatch));
+    for (int64_t id : o.acked) {
+      EXPECT_EQ(o.fired_pre.count(id), 0u);
+      EXPECT_EQ(o.fired_post[id], 1);
+    }
+  }
+}
+
+// --- the site matrix: kill at every registered crash point -------------
+
+TEST(CrashRecoveryTest, KillAndRecoverAtEveryRegisteredFaultSite) {
+  std::map<std::string, uint64_t> tripped;  // site -> total injected faults
+  std::set<std::string> must_trip;
+  uint64_t seed = 1;
+  for (bool persistent : {false, true}) {
+    // Enumerate the sites this mode's stack registers.
+    std::vector<std::string> sites;
+    {
+      Database db;
+      TriggerManager tman(&db, DurableOptions(persistent));
+      ASSERT_TRUE(tman.Open().ok());
+      sites = db.disk()->fault_injector()->RegisteredSites();
+    }
+    ASSERT_FALSE(sites.empty());
+    for (const std::string& site : sites) {
+      // The workload must be able to reach every wal/disk/table_queue
+      // crash point; buffer.* sites are enumerated and armed too, but
+      // some (buffer.flush) have no durable-path caller mid-workload.
+      if (site.rfind("wal.", 0) == 0 || site.rfind("disk.", 0) == 0 ||
+          site.rfind("table_queue.", 0) == 0) {
+        must_trip.insert(site);
+      }
+      for (uint64_t hits : {0u, 1u, 4u}) {
+        std::string context =
+            std::string(persistent ? "persistent" : "memory") + "/" + site +
+            "/hits=" + std::to_string(hits) + "/seed=" +
+            std::to_string(seed);
+        Oracle o;
+        RunCycle(&o, persistent, seed++,
+                 [&](FaultInjector* f) { f->ArmCountdown(site, hits); },
+                 /*stat_site=*/site, /*run_drivers=*/true, context);
+        tripped[site] += o.site_faults;
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  for (const std::string& site : must_trip) {
+    EXPECT_GT(tripped[site], 0u)
+        << "crash point never reached by the workload: " << site;
+  }
+}
+
+// --- seeded randomized storms ------------------------------------------
+
+TEST(CrashRecoveryTest, SeededFaultStormsRecover) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    bool persistent = (seed % 2) == 0;
+    std::string context = "storm/seed=" + std::to_string(seed);
+    Oracle o;
+    RunCycle(&o, persistent, seed,
+             [&](FaultInjector* f) {
+               f->ArmProbability("wal.*", 0.04, seed * 13 + 1);
+               f->ArmProbability("disk.sync", 0.02, seed * 13 + 2);
+               if (persistent) {
+                 f->ArmProbability("table_queue.*", 0.02, seed * 13 + 3);
+               }
+             },
+             /*stat_site=*/"", /*run_drivers=*/true, context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// --- fault during recovery itself --------------------------------------
+
+TEST(CrashRecoveryTest, FaultDuringRecoveryFailsCleanlyThenSucceeds) {
+  Database db;
+  TriggerManagerOptions opts = DurableOptions(/*persistent=*/true);
+  Schema feed({{"id", DataType::kInt}});
+  {
+    TriggerManager a(&db, opts);
+    ASSERT_TRUE(a.Open().ok());
+    auto ds = a.DefineStreamSource("feed", feed);
+    ASSERT_TRUE(ds.ok());
+    ASSERT_TRUE(a.ExecuteCommand("create trigger watch from feed "
+                                 "when feed.id >= 0 "
+                                 "do raise event Seen(feed.id)")
+                    .ok());
+    BatchStamp stamp;
+    stamp.session = "alpha";
+    std::vector<UpdateDescriptor> tokens;
+    for (int i = 0; i < 6; ++i) {
+      tokens.push_back(UpdateDescriptor::Insert(*ds, Tuple({Value::Int(i)})));
+      stamp.seqs.push_back(i + 1);
+    }
+    stamp.ack_seq = 6;
+    ASSERT_TRUE(a.SubmitUpdateBatch(tokens, nullptr, &stamp).ok());
+    // Kill without processing.
+  }
+  // Recovery that hits a disk fault must fail cleanly (no partial
+  // instance), and a retry after the fault clears must replay everything.
+  {
+    db.disk()->fault_injector()->ArmCountdown("disk.read", 2);
+    TriggerManager b(&db, opts);
+    EXPECT_FALSE(b.Open().ok());
+    db.disk()->fault_injector()->ClearAll();
+  }
+  {
+    TriggerManager c(&db, opts);
+    ASSERT_TRUE(c.Open().ok());
+    std::map<int64_t, int> fired;
+    c.events().Register("Seen", [&](const Event& e) {
+      fired[e.args[0].as_int()]++;
+    });
+    ASSERT_TRUE(c.ProcessPending().ok());
+    EXPECT_EQ(fired.size(), 6u);
+    for (const auto& [id, n] : fired) {
+      EXPECT_EQ(n, 1) << "token " << id;
+    }
+    EXPECT_EQ(c.RecoveredSessionSeq("alpha"), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace tman

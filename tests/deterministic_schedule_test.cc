@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "expr/eval.h"
+#include "storage/wal.h"
 #include "parser/parser.h"
 #include "predindex/predicate_index.h"
 #include "runtime/clock.h"
@@ -331,6 +333,118 @@ TEST(DeterministicScheduleTest, VirtualClockExpiresThresholdMidBatch) {
     EXPECT_EQ(queue.size(), 8u);
     EXPECT_EQ(queue.in_flight(), 0u);  // nothing abandoned mid-task
   }
+}
+
+// --- WAL group commit under every interleaving -------------------------
+
+// 1000-seed sweep of concurrent append/commit schedules against the WAL.
+// Three submitter actors run a two-step state machine (append one batch,
+// then group-commit it); the scheduler interleaves the steps, so commits
+// routinely cover other actors' freshly appended batches — the group in
+// group commit. Invariants, per seed:
+//   * a returned (acked) Commit implies durable_lsn >= the batch's LSN —
+//     the ack is never early;
+//   * after a crash (instance dropped, reopen from disk) every acked
+//     batch replays exactly once, with its payload intact;
+//   * the replayed log is in strictly increasing LSN order and preserves
+//     each actor's submission order (ack order respects log order);
+// and across the sweep, piggybacked commits actually happened (some
+// schedules must batch several commits into one sync round).
+TEST(DeterministicScheduleTest, GroupCommitSweepEveryAckedBatchDurable) {
+  constexpr int kActors = 3;
+  constexpr int kBatches = 4;
+  constexpr uint64_t kSeeds = 1000;
+  uint64_t total_piggybacked = 0;
+  uint64_t total_sync_rounds = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    DiskManager disk;
+    auto header = Wal::Create(&disk);
+    ASSERT_TRUE(header.ok());
+    auto opened = Wal::Open(&disk, *header);
+    ASSERT_TRUE(opened.ok());
+    Wal* wal = opened->get();
+
+    struct Submitter {
+      int id = 0;
+      int batch = 0;
+      bool appended = false;
+      Lsn pending = 0;
+      std::string payload;
+    };
+    std::vector<Submitter> subs(kActors);
+    std::map<Lsn, std::string> acked;  // lsn -> payload at ack time
+    DeterministicScheduler sched(seed);
+    for (int i = 0; i < kActors; ++i) {
+      subs[i].id = i;
+      Submitter* s = &subs[i];
+      sched.AddActor("sub" + std::to_string(i), [&, s] {
+        if (!s->appended) {
+          s->payload = "a" + std::to_string(s->id) + "-b" +
+                       std::to_string(s->batch) + "-s" +
+                       std::to_string(seed);
+          auto lsn = wal->Append(WalRecordType::kBatch, s->payload);
+          EXPECT_TRUE(lsn.ok()) << "seed " << seed;
+          if (!lsn.ok()) return false;
+          s->pending = *lsn;
+          s->appended = true;
+          return true;
+        }
+        Status st = wal->Commit(s->pending);
+        EXPECT_TRUE(st.ok()) << "seed " << seed;
+        // The ack contract: returning from Commit means durable, and
+        // durability is prefix-closed over the log order.
+        EXPECT_GE(wal->durable_lsn(), s->pending) << "seed " << seed;
+        acked[s->pending] = s->payload;
+        s->appended = false;
+        return ++s->batch < kBatches;
+      });
+    }
+    sched.Run();
+    WalStats stats = wal->stats();
+    total_piggybacked += stats.piggybacked;
+    total_sync_rounds += stats.sync_rounds;
+
+    // Crash: drop the instance (volatile tail dies), reopen from disk.
+    opened->reset();
+    auto reopened = Wal::Open(&disk, *header);
+    ASSERT_TRUE(reopened.ok()) << "seed " << seed;
+    std::vector<std::pair<Lsn, std::string>> replayed;
+    ASSERT_TRUE((*reopened)
+                    ->Replay([&](WalRecordType, std::string_view p, Lsn e) {
+                      replayed.emplace_back(e, std::string(p));
+                      return Status::OK();
+                    })
+                    .ok())
+        << "seed " << seed;
+
+    // Strictly increasing LSN order; per-actor submission order intact.
+    std::map<Lsn, std::string> replayed_by_lsn;
+    std::vector<int> next_batch(kActors, 0);
+    Lsn prev = 0;
+    for (const auto& [lsn, payload] : replayed) {
+      ASSERT_GT(lsn, prev) << "seed " << seed << ": log order violated";
+      prev = lsn;
+      ASSERT_TRUE(replayed_by_lsn.emplace(lsn, payload).second)
+          << "seed " << seed << ": duplicate LSN " << lsn;
+      int actor = payload[1] - '0';
+      int batch = payload[4] - '0';
+      ASSERT_EQ(batch, next_batch[actor])
+          << "seed " << seed << ": actor " << actor
+          << " batches replayed out of submission order";
+      next_batch[actor] = batch + 1;
+    }
+    for (const auto& [lsn, payload] : acked) {
+      auto it = replayed_by_lsn.find(lsn);
+      ASSERT_TRUE(it != replayed_by_lsn.end())
+          << "seed " << seed << ": acked batch at lsn " << lsn << " lost";
+      EXPECT_EQ(it->second, payload) << "seed " << seed;
+    }
+  }
+  // Group commit earned its name somewhere in 1000 schedules: without
+  // piggybacking every commit would pay its own sync round.
+  EXPECT_GT(total_piggybacked, 0u);
+  EXPECT_LT(total_sync_rounds,
+            kSeeds * static_cast<uint64_t>(kActors) * kBatches);
 }
 
 TEST(DeterministicScheduleTest, FrozenVirtualClockDrainsWholeQueue) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <deque>
 
 #include "storage/table_queue.h"
@@ -110,6 +111,141 @@ TEST_F(TableQueueTest, CarriesUpdateDescriptors) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->op, OpCode::kUpdate);
   EXPECT_EQ(decoded->new_tuple->at(1).as_string(), "new");
+}
+
+// --- crash-consistency: reopen after torn writes and mid-operation
+// faults (the staging-queue half of the durable-ingestion contract) ----
+
+TEST_F(TableQueueTest, RecoverTornDropsOnlyTornFinalRecord) {
+  // Four records, flushed to disk.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue_->Enqueue("record-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+
+  // Simulate the mid-enqueue torn write for the FINAL record: its slot
+  // directory entry landed but its payload bytes did not. Locate the
+  // record through the on-disk meta page and zero its payload directly
+  // on the disk, bypassing the pool.
+  Page meta;
+  ASSERT_TRUE(disk_->ReadPage(meta_page_, &meta).ok());
+  PageId tail_page;
+  std::memcpy(&tail_page, meta.data + 8, 4);
+  Page tail;
+  ASSERT_TRUE(disk_->ReadPage(tail_page, &tail).ok());
+  uint16_t slots;
+  std::memcpy(&slots, tail.data, 2);
+  ASSERT_GE(slots, 1);
+  uint16_t off, len;
+  std::memcpy(&off, tail.data + 8 + (slots - 1) * 8, 2);
+  std::memcpy(&len, tail.data + 8 + (slots - 1) * 8 + 2, 2);
+  std::memset(tail.data + off, 0, len);
+  ASSERT_TRUE(disk_->WritePage(tail_page, tail).ok());
+
+  // Reopen over a fresh pool (the old pool's cached frames are the dead
+  // process's memory). Recovery drops exactly the torn final record.
+  BufferPool fresh(disk_.get(), 64);
+  TableQueue reopened(&fresh, meta_page_);
+  auto dropped = reopened.RecoverTorn();
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(*dropped, 1u);
+  EXPECT_EQ(*reopened.Size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    auto r = reopened.Dequeue();
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(*r, "record-" + std::to_string(i));
+  }
+  EXPECT_TRUE(reopened.Empty());
+}
+
+TEST_F(TableQueueTest, RecoverTornCleanQueueDropsNothing) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue_->Enqueue("ok-" + std::to_string(i)).ok());
+  }
+  auto dropped = queue_->RecoverTorn();
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0u);
+  EXPECT_EQ(*queue_->Size(), 5u);
+}
+
+TEST_F(TableQueueTest, RecoverTornRejectsNonFinalCorruption) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue_->Enqueue("rec-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  // Corrupt the FIRST record on disk: not a torn tail, real corruption.
+  Page meta;
+  ASSERT_TRUE(disk_->ReadPage(meta_page_, &meta).ok());
+  PageId head_page;
+  std::memcpy(&head_page, meta.data, 4);
+  Page head;
+  ASSERT_TRUE(disk_->ReadPage(head_page, &head).ok());
+  uint16_t off;
+  std::memcpy(&off, head.data + 8, 2);
+  head.data[off] ^= 0x7f;
+  ASSERT_TRUE(disk_->WritePage(head_page, head).ok());
+
+  BufferPool fresh(disk_.get(), 64);
+  TableQueue reopened(&fresh, meta_page_);
+  auto dropped = reopened.RecoverTorn();
+  EXPECT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(TableQueueTest, ShortWriteDuringFlushRetriesWithoutLoss) {
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue_->Enqueue("flush-" + std::to_string(i)).ok());
+  }
+  // The first flushed page tears: FlushAll must report the error and
+  // keep the page dirty, so the retry rewrites it in full.
+  disk_->fault_injector()->ArmCountdown("disk.write.short", 0);
+  EXPECT_FALSE(pool_->FlushAll().ok());
+  disk_->fault_injector()->ClearAll();
+  ASSERT_TRUE(pool_->FlushAll().ok());
+
+  BufferPool fresh(disk_.get(), 64);
+  TableQueue reopened(&fresh, meta_page_);
+  EXPECT_EQ(*reopened.RecoverTorn(), 0u);
+  EXPECT_EQ(*reopened.Size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*reopened.Dequeue(), "flush-" + std::to_string(i));
+  }
+}
+
+TEST_F(TableQueueTest, PushMetaFaultLosesAndDuplicatesNothing) {
+  ASSERT_TRUE(queue_->Enqueue("a").ok());
+  ASSERT_TRUE(queue_->Enqueue("b").ok());
+  // Fault between the data-page write and the meta write: the enqueue
+  // fails, and the meta (the authority) still describes {a, b}.
+  disk_->fault_injector()->ArmCountdown("table_queue.push.meta", 0);
+  EXPECT_FALSE(queue_->Enqueue("c").ok());
+  disk_->fault_injector()->ClearAll();
+  EXPECT_EQ(*queue_->Size(), 2u);
+  // The caller's retry is not a duplicate: exactly one "c" comes out.
+  ASSERT_TRUE(queue_->Enqueue("c").ok());
+  ASSERT_TRUE(pool_->FlushAll().ok());
+
+  BufferPool fresh(disk_.get(), 64);
+  TableQueue reopened(&fresh, meta_page_);
+  EXPECT_EQ(*reopened.RecoverTorn(), 0u);
+  EXPECT_EQ(*reopened.Dequeue(), "a");
+  EXPECT_EQ(*reopened.Dequeue(), "b");
+  EXPECT_EQ(*reopened.Dequeue(), "c");
+  EXPECT_TRUE(reopened.Empty());
+}
+
+TEST_F(TableQueueTest, PopMetaFaultLeavesRecordInQueue) {
+  ASSERT_TRUE(queue_->Enqueue("keep-me").ok());
+  ASSERT_TRUE(queue_->Enqueue("second").ok());
+  // Fault between extracting the record and writing the meta: the pop
+  // fails and must NOT consume the record.
+  disk_->fault_injector()->ArmCountdown("table_queue.pop.meta", 0);
+  EXPECT_FALSE(queue_->Dequeue().ok());
+  disk_->fault_injector()->ClearAll();
+  EXPECT_EQ(*queue_->Size(), 2u);
+  EXPECT_EQ(*queue_->Dequeue(), "keep-me");  // exactly once
+  EXPECT_EQ(*queue_->Dequeue(), "second");
+  EXPECT_TRUE(queue_->Empty());
 }
 
 TEST_F(TableQueueTest, RandomizedFifoProperty) {
