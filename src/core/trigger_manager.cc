@@ -619,7 +619,15 @@ Task TriggerManager::MakePumpTask() {
   task.kind = TaskKind::kProcessToken;
   task.work = [this]() -> Status {
     auto record = update_queue_->Dequeue();
-    if (!record.ok()) return Status::OK();  // already consumed
+    if (!record.ok()) {
+      // NotFound just means another pump task drained our descriptor.
+      // Anything else (I/O error, CRC corruption) must surface, not be
+      // mistaken for an empty queue.
+      if (record.status().IsNotFound()) return Status::OK();
+      TMAN_LOG(kWarn) << "staged queue dequeue failed: "
+                      << record.status().ToString();
+      return record.status();
+    }
     TMAN_ASSIGN_OR_RETURN(UpdateDescriptor t,
                           UpdateDescriptor::Deserialize(*record));
     return EnqueueTokenTasks(t);
@@ -761,12 +769,14 @@ Status TriggerManager::SubmitDurableBatch(
       prev_seq = high;
       if (stamp->ack_seq > high) high = stamp->ack_seq;
     }
+    ++wal_commits_in_flight_;
   }
 
   // Group commit: the batch is durable (or rejected) past this line.
   Status committed = wal_->Commit(batch_id);
   if (!committed.ok()) {
     std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (--wal_commits_in_flight_ == 0) wal_inflight_cv_.notify_all();
     wal_pending_.erase(batch_id);
     if (!session.empty()) {
       // Roll the high-water mark back unless a later batch on the same
@@ -779,6 +789,10 @@ Status TriggerManager::SubmitDurableBatch(
     }
     if (per_update != nullptr) per_update->assign(tokens.size(), committed);
     return committed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (--wal_commits_in_flight_ == 0) wal_inflight_cv_.notify_all();
   }
 
   // Stage processing. Durability is already settled, so a staging-queue
@@ -836,7 +850,16 @@ Task TriggerManager::MakeWalPumpTask() {
   task.kind = TaskKind::kProcessToken;
   task.work = [this]() -> Status {
     auto record = update_queue_->Dequeue();
-    if (!record.ok()) return Status::OK();  // already consumed
+    if (!record.ok()) {
+      // Only NotFound means "already consumed by another pump task". A
+      // real dequeue failure leaves the token in wal_pending_ until the
+      // next recovery replays it; surface the error instead of silently
+      // swallowing it so driver stats and tests see the stall.
+      if (record.status().IsNotFound()) return Status::OK();
+      TMAN_LOG(kWarn) << "wal-staged queue dequeue failed: "
+                      << record.status().ToString();
+      return record.status();
+    }
     size_t pos = 0;
     uint64_t batch_id = 0;
     uint32_t index = 0;
@@ -903,7 +926,13 @@ Status TriggerManager::CheckpointWal() {
   Status appended = Status::OK();
   {
     // Snapshot + append atomically w.r.t. SubmitDurableBatch (see there).
-    std::lock_guard<std::mutex> lock(wal_mutex_);
+    std::unique_lock<std::mutex> lock(wal_mutex_);
+    // Wait out in-flight group commits: a batch whose commit is still
+    // undecided may yet fail and be erased (with its session seq rolled
+    // back), and a checkpoint that listed it would durably re-stage it on
+    // replay even though the client was told to resend.
+    wal_inflight_cv_.wait(lock,
+                          [this] { return wal_commits_in_flight_ == 0; });
     PutU32(&payload, static_cast<uint32_t>(wal_sessions_.size()));
     for (const auto& [name, seq] : wal_sessions_) {
       PutLengthPrefixed(&payload, name);

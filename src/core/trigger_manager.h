@@ -2,6 +2,7 @@
 #define TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -352,6 +353,13 @@ class TriggerManager {
   // Durable-but-unprocessed tokens, keyed by batch id (the batch record's
   // end LSN). Checkpoints snapshot exactly this map plus wal_sessions_.
   std::map<uint64_t, PendingBatch> wal_pending_;
+  // Batches registered in wal_pending_ whose group commit has not resolved
+  // yet. CheckpointWal waits for this to drain before snapshotting: a
+  // batch whose commit fails is erased and its session seq rolled back,
+  // so a checkpoint that listed it would durably resurrect it (and replay
+  // would fire it again after the client's dedup-passing resend).
+  uint64_t wal_commits_in_flight_ = 0;
+  std::condition_variable wal_inflight_cv_;
   // Per-session acknowledged high-water marks (the durable dedup state).
   std::map<std::string, uint64_t> wal_sessions_;
   std::atomic<bool> wal_checkpointing_{false};

@@ -118,6 +118,18 @@ Result<std::unique_ptr<Wal>> Wal::Open(DiskManager* disk,
     TMAN_RETURN_IF_ERROR(disk->ReadPage(cur, &dp));
     cur = LoadU32(dp.data);
   }
+  // When the committed stream ends exactly at a page-payload boundary,
+  // the last walked page is full and its on-disk next link is final: it
+  // names the successor page the filling round pre-allocated. Adopt that
+  // page so the next sync round extends through it — allocating a fresh
+  // page instead would leave the full page's link pointing at a page
+  // that never receives the new bytes, and a later Open would follow it
+  // into garbage. (With zero committed pages, `cur` is the header's
+  // first_page, which truncation can likewise leave pointing at a
+  // pre-allocated successor.)
+  if (committed_bytes % kWalPayload == 0 && cur != kInvalidPageId) {
+    wal->chain_.push_back(cur);
+  }
   return wal;
 }
 
@@ -261,6 +273,7 @@ Status Wal::Truncate(Lsn upto) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (syncing_) cv_.wait(lock);
   upto = std::min(upto, durable_);
+  if (upto < start_) upto = start_;  // everything below start_ is already gone
   size_t drop = static_cast<size_t>((upto - start_) / kWalPayload);
   drop = std::min(drop, chain_.size());
   if (drop == 0 && upto <= parse_from_) return Status::OK();

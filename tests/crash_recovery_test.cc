@@ -28,10 +28,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/trigger_manager.h"
@@ -423,6 +425,121 @@ TEST(CrashRecoveryTest, FaultDuringRecoveryFailsCleanlyThenSucceeds) {
     }
     EXPECT_EQ(c.RecoveredSessionSeq("alpha"), 6u);
   }
+}
+
+// --- checkpoint racing a failing group commit --------------------------
+//
+// A checkpoint must not snapshot a batch whose group commit is still in
+// flight: if that commit then fails, the submitter erases the batch and
+// rolls the session seq back (the client is told to resend), but a
+// durable checkpoint listing the batch would re-stage it unconditionally
+// on replay — firing the same logical token a second time on top of the
+// dedup-passing resend.
+
+TEST(CrashRecoveryTest, CheckpointDuringFailedCommitDoesNotResurrectBatch) {
+  Database db;
+  TriggerManagerOptions opts = DurableOptions(/*persistent=*/false);
+  Schema feed({{"id", DataType::kInt}});
+  std::map<int64_t, int> fired_pre, fired_post;
+  {
+    TriggerManager a(&db, opts);
+    ASSERT_TRUE(a.Open().ok());
+    auto ds = a.DefineStreamSource("feed", feed);
+    ASSERT_TRUE(ds.ok());
+    ASSERT_TRUE(a.ExecuteCommand("create trigger watch from feed "
+                                 "when feed.id >= 0 "
+                                 "do raise event Seen(feed.id)")
+                    .ok());
+    a.events().Register("Seen", [&](const Event& e) {
+      fired_pre[e.args[0].as_int()]++;
+    });
+
+    BatchStamp stamp;
+    stamp.session = "alpha";
+    stamp.seqs = {1, 2};
+    stamp.ack_seq = 2;
+    std::vector<UpdateDescriptor> tokens;
+    tokens.push_back(UpdateDescriptor::Insert(*ds, Tuple({Value::Int(1)})));
+    tokens.push_back(UpdateDescriptor::Insert(*ds, Tuple({Value::Int(2)})));
+
+    FaultInjector* faults = db.disk()->fault_injector();
+    // Slow page writes widen the window in which the batch's commit is in
+    // flight; the armed fsync then fails that commit.
+    db.disk()->set_access_latency_ns(20 * 1000 * 1000);
+    faults->ArmCountdown("wal.fsync", 0);
+
+    Status submit_status;
+    std::thread submitter([&] {
+      submit_status = a.SubmitUpdateBatch(tokens, nullptr, &stamp);
+    });
+    // Once the batch is registered its commit is pending; checkpoint
+    // concurrently with the commit that is about to fail.
+    for (int i = 0; i < 1000 && a.WalPendingTokens() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::thread checkpointer([&] { (void)a.CheckpointWal(); });
+    submitter.join();
+    faults->ClearAll();
+    db.disk()->set_access_latency_ns(0);
+    checkpointer.join();
+    ASSERT_FALSE(submit_status.ok());
+
+    // The client-reconnect contract: resend the identical stamped batch,
+    // which must now be acked and fire exactly once.
+    ASSERT_TRUE(a.SubmitUpdateBatch(tokens, nullptr, &stamp).ok());
+    ASSERT_TRUE(a.ProcessPending().ok());
+    EXPECT_EQ(fired_pre[1], 1);
+    EXPECT_EQ(fired_pre[2], 1);
+    // Flush the resent batch's processed markers with one more durable
+    // submission (its group commit covers the buffered markers), so the
+    // replay below owes tokens 1 and 2 nothing at all.
+    ASSERT_TRUE(
+        a.SubmitUpdate(UpdateDescriptor::Insert(*ds, Tuple({Value::Int(99)})))
+            .ok());
+    // Kill: scope exit, no clean shutdown.
+  }
+  {
+    TriggerManager b(&db, opts);
+    ASSERT_TRUE(b.Open().ok());
+    b.events().Register("Seen", [&](const Event& e) {
+      fired_post[e.args[0].as_int()]++;
+    });
+    ASSERT_TRUE(b.ProcessPending().ok());
+    // Tokens 1 and 2 were acked, processed, and their markers committed;
+    // any replay of them can only come from a checkpoint that snapshotted
+    // the failed first submission.
+    EXPECT_EQ(fired_post[1], 0) << "failed batch resurrected by checkpoint";
+    EXPECT_EQ(fired_post[2], 0) << "failed batch resurrected by checkpoint";
+    EXPECT_GE(b.RecoveredSessionSeq("alpha"), 2u);
+  }
+}
+
+// --- staged-queue dequeue failures must surface ------------------------
+
+TEST(CrashRecoveryTest, StagedQueueDequeueErrorSurfacesFromPumpTask) {
+  Database db;
+  TriggerManagerOptions opts = DurableOptions(/*persistent=*/true);
+  Schema feed({{"id", DataType::kInt}});
+  TriggerManager a(&db, opts);
+  ASSERT_TRUE(a.Open().ok());
+  auto ds = a.DefineStreamSource("feed", feed);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(
+      a.SubmitUpdate(UpdateDescriptor::Insert(*ds, Tuple({Value::Int(7)})))
+          .ok());
+  // The submit staged one pump task. A dequeue failure that is not
+  // NotFound (here: injected corruption) must propagate from the task,
+  // not read as "another pump already consumed it".
+  db.disk()->fault_injector()->ArmCountdown("table_queue.pop", 0,
+                                            StatusCode::kCorruption);
+  Task t;
+  ASSERT_TRUE(a.task_queue().TryPop(&t));
+  Status st = t.work();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  db.disk()->fault_injector()->ClearAll();
+  // The token stays durably pending, so the next recovery replays it.
+  EXPECT_EQ(a.WalPendingTokens(), 1u);
 }
 
 }  // namespace

@@ -153,6 +153,90 @@ TEST_F(WalTest, TruncateDropsWholePagesAndKeepsLiveRecords) {
   EXPECT_GT(pages_before, 2u);
 }
 
+TEST_F(WalTest, ReopenAtPageBoundaryKeepsPreallocatedSuccessor) {
+  // One record whose framing exactly fills the first data page's payload
+  // area (kPageSize minus the 4-byte next link): the committed stream
+  // ends on a page boundary, and the round that filled the page
+  // pre-allocated a linked successor. Reopen must adopt that successor —
+  // writing the next bytes into a freshly allocated page instead would
+  // leave the full page's on-disk link pointing at a page that never
+  // receives them, and the following reopen would replay garbage.
+  const size_t exact_fill = (kPageSize - 4) - kWalRecordOverhead;
+  std::string fill(exact_fill, 'b');
+  Lsn a = Append(fill);
+  ASSERT_TRUE(wal_->Commit(a).ok());
+
+  auto second = Reopen();
+  auto lsn = second->Append(WalRecordType::kBatch, "after-boundary");
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(second->Commit(*lsn).ok());
+
+  auto third = Reopen();
+  auto records = ReplayAll(third.get());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, fill);
+  EXPECT_EQ(records[1].payload, "after-boundary");
+}
+
+TEST_F(WalTest, RepeatedReopenAtSuccessiveBoundaries) {
+  // Every cycle appends exactly one page worth of stream and reopens, so
+  // each incarnation starts at a page boundary behind a pre-allocated
+  // successor and must keep extending one contiguous chain.
+  const size_t exact_fill = (kPageSize - 4) - kWalRecordOverhead;
+  std::vector<std::string> expect;
+  std::unique_ptr<Wal> wal = std::move(wal_);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::string fill(exact_fill, static_cast<char>('a' + cycle));
+    auto lsn = wal->Append(WalRecordType::kBatch, fill);
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE(wal->Commit(*lsn).ok());
+    expect.push_back(fill);
+    wal = Reopen();
+    auto records = ReplayAll(wal.get());
+    ASSERT_EQ(records.size(), expect.size()) << "cycle " << cycle;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(records[i].payload, expect[i]) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST_F(WalTest, TruncateToBoundaryThenReopenAndExtend) {
+  // Truncating the entire committed stream at a page boundary leaves the
+  // header's first_page naming the pre-allocated successor; reopen must
+  // pick it up (or at least stay consistent) and keep appending.
+  const size_t exact_fill = (kPageSize - 4) - kWalRecordOverhead;
+  std::string fill(exact_fill, 'q');
+  Lsn a = Append(fill);
+  ASSERT_TRUE(wal_->Commit(a).ok());
+  ASSERT_TRUE(wal_->Truncate(a).ok());
+  auto second = Reopen();
+  EXPECT_TRUE(ReplayAll(second.get()).empty());
+  auto lsn = second->Append(WalRecordType::kBatch, "fresh");
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(second->Commit(*lsn).ok());
+  auto third = Reopen();
+  auto records = ReplayAll(third.get());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "fresh");
+}
+
+TEST_F(WalTest, TruncateBelowStartIsANoOp) {
+  std::string filler(1200, 'f');
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 20; ++i) lsns.push_back(Append(filler));
+  ASSERT_TRUE(wal_->Sync().ok());
+  ASSERT_TRUE(wal_->Truncate(lsns[14]).ok());
+  ASSERT_GT(wal_->start_lsn(), lsns[0]);
+  Lsn start = wal_->start_lsn();
+  // An `upto` below start_ must not underflow the page-drop arithmetic
+  // and silently discard live committed pages.
+  ASSERT_TRUE(wal_->Truncate(lsns[0]).ok());
+  EXPECT_EQ(wal_->start_lsn(), start);
+  EXPECT_EQ(ReplayAll(wal_.get()).size(), 5u);
+  auto reopened = Reopen();
+  EXPECT_EQ(ReplayAll(reopened.get()).size(), 5u);
+}
+
 TEST_F(WalTest, AppendAfterTruncateContinues) {
   std::string filler(2000, 'x');
   std::vector<Lsn> lsns;
