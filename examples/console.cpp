@@ -14,6 +14,10 @@
 //   events                  show recently raised events (local mode only)
 //   stats                   show system statistics (local mode only)
 //   ping                    round-trip probe (remote mode only)
+//   cluster                 cluster stats — ring ownership, per-node
+//                           health, repartitions (remote mode, when
+//                           connected to a cluster_main router; answered
+//                           by the router itself)
 //   quit
 
 #include <cstdio>

@@ -19,13 +19,16 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-}"
 
-if ! [ -x build/bench/bench_scaling ] || ! [ -x build/bench/bench_eval ]; then
+if ! [ -x build/bench/bench_scaling ] || ! [ -x build/bench/bench_eval ] ||
+   ! [ -x build/bench/bench_cluster ]; then
   cmake -B build -S . >/dev/null
-  cmake --build build -j --target bench_scaling --target bench_eval
+  cmake --build build -j --target bench_scaling --target bench_eval \
+    --target bench_cluster
 fi
 
 if [ "$MODE" = "--smoke" ]; then
   ./build/bench/bench_eval --smoke
+  ./build/bench/bench_cluster --smoke
   exec ./build/bench/bench_scaling --smoke
 fi
 
@@ -43,6 +46,13 @@ echo "Wrote BENCH_scaling.json"
 
 echo "Wrote BENCH_eval.json"
 
+./build/bench/bench_cluster \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_cluster.json \
+  --benchmark_out_format=json
+
+echo "Wrote BENCH_cluster.json"
+
 if [ "$MODE" = "--all" ]; then
   cmake --build build -j >/dev/null
   for b in build/bench/bench_*; do
@@ -50,6 +60,7 @@ if [ "$MODE" = "--all" ]; then
     name="$(basename "$b")"
     [ "$name" = "bench_scaling" ] && continue
     [ "$name" = "bench_eval" ] && continue
+    [ "$name" = "bench_cluster" ] && continue
     echo "===== $name ====="
     "$b"
   done

@@ -1,0 +1,80 @@
+#include "cluster/hash_ring.h"
+
+#include "util/hash.h"
+
+namespace tman {
+
+uint32_t TokenPartition(const UpdateDescriptor& token,
+                        const ClusterConfig& config) {
+  uint64_t key = MixInt(static_cast<uint64_t>(token.data_source));
+  auto ec = config.ec_key_columns.find(token.data_source);
+  if (ec != config.ec_key_columns.end()) {
+    const Tuple& tuple = token.EffectiveTuple();
+    if (ec->second < tuple.size()) {
+      key = HashCombine(key, tuple.values()[ec->second].Hash());
+    }
+  }
+  uint32_t parts = config.num_partitions == 0 ? 1 : config.num_partitions;
+  return static_cast<uint32_t>(key % parts);
+}
+
+HashRing::HashRing(uint32_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+void HashRing::AddNode(const std::string& name) {
+  if (!members_.insert(name).second) return;
+  for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+    uint64_t point = HashCombine(HashString(name), MixInt(v));
+    // Collisions between members are broken deterministically by name so
+    // every process builds the identical ring.
+    auto it = ring_.find(point);
+    if (it == ring_.end() || name < it->second) ring_[point] = name;
+  }
+}
+
+void HashRing::RemoveNode(const std::string& name) {
+  if (members_.erase(name) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == name) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-add surviving members' points that this member's collisions masked.
+  for (const std::string& member : members_) {
+    for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+      uint64_t point = HashCombine(HashString(member), MixInt(v));
+      auto slot = ring_.find(point);
+      if (slot == ring_.end() || member < slot->second) ring_[point] = member;
+    }
+  }
+}
+
+bool HashRing::HasNode(const std::string& name) const {
+  return members_.count(name) != 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return std::vector<std::string>(members_.begin(), members_.end());
+}
+
+std::string HashRing::OwnerOf(uint64_t key) const {
+  if (ring_.empty()) return "";
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+PartitionMap BuildPartitionMap(const HashRing& ring, uint64_t epoch,
+                               uint32_t num_partitions) {
+  PartitionMap map;
+  map.epoch = epoch;
+  map.owners.resize(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    map.owners[p] = ring.OwnerOf(MixInt(0x9e3779b97f4a7c15ULL + p));
+  }
+  return map;
+}
+
+}  // namespace tman

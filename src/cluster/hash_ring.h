@@ -1,0 +1,89 @@
+#ifndef TRIGGERMAN_CLUSTER_HASH_RING_H_
+#define TRIGGERMAN_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "types/update_descriptor.h"
+
+namespace tman {
+
+/// Configuration shared by the cluster router and every member node. The
+/// partition function must be computed identically on both sides — the
+/// router to pick a destination, the node to verify ownership — so the
+/// whole struct travels with the deployment, not per-process.
+struct ClusterConfig {
+  /// Fixed partition count. Partitions, not nodes, are the unit of
+  /// placement: the ring maps each of the `num_partitions` partition ids
+  /// to a node, so adding or removing a node moves whole partitions
+  /// instead of rehashing every key.
+  uint32_t num_partitions = 32;
+
+  /// Virtual nodes per member on the consistent-hash ring. More vnodes
+  /// smooth the partition spread across heterogeneous member counts.
+  uint32_t virtual_nodes = 64;
+
+  /// Hot-source equivalence-class routing: for data sources listed here,
+  /// the partition key mixes in the value of this tuple column (the
+  /// equivalence-class key of the source's selection predicates), so one
+  /// hot source's token stream spreads across partitions — and therefore
+  /// nodes — instead of pinning a single owner. Sources not listed
+  /// partition by source id alone, which preserves per-source ordering.
+  std::map<DataSourceId, uint32_t> ec_key_columns;
+};
+
+/// Partition of one token under `config`. Deterministic across processes
+/// and platforms (FNV over the serialized key).
+uint32_t TokenPartition(const UpdateDescriptor& token,
+                        const ClusterConfig& config);
+
+/// The routing table the router computes and installs on nodes: a
+/// monotonically increasing epoch plus one owner per partition. A node
+/// rejects batches for partitions it does not own at its installed epoch;
+/// the epoch is persisted in the node's WAL so a rejoined node knows how
+/// stale its map is.
+struct PartitionMap {
+  uint64_t epoch = 0;
+  std::vector<std::string> owners;  // partition id -> node name
+
+  bool Owns(const std::string& node, uint32_t partition) const {
+    return partition < owners.size() && owners[partition] == node;
+  }
+};
+
+/// Consistent-hash ring with virtual nodes. Each member contributes
+/// `virtual_nodes` points; a key is owned by the first point at or after
+/// its hash (clockwise). Removing a member only reassigns the partitions
+/// that hashed to its points.
+class HashRing {
+ public:
+  explicit HashRing(uint32_t virtual_nodes = 64);
+
+  void AddNode(const std::string& name);
+  void RemoveNode(const std::string& name);
+  bool HasNode(const std::string& name) const;
+  bool empty() const { return ring_.empty(); }
+  size_t num_nodes() const { return members_.size(); }
+  std::vector<std::string> nodes() const;
+
+  /// Owner of hash point `key`; empty string on an empty ring.
+  std::string OwnerOf(uint64_t key) const;
+
+ private:
+  uint32_t virtual_nodes_;
+  std::map<uint64_t, std::string> ring_;  // vnode point -> member
+  std::set<std::string> members_;
+};
+
+/// Assigns every partition id an owner by hashing the partition id onto
+/// the ring. Returns a map with the given epoch; owners are empty strings
+/// when the ring is empty.
+PartitionMap BuildPartitionMap(const HashRing& ring, uint64_t epoch,
+                               uint32_t num_partitions);
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CLUSTER_HASH_RING_H_

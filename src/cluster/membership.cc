@@ -1,0 +1,112 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace tman {
+
+ClusterMembership::ClusterMembership(MembershipOptions options)
+    : options_(options) {}
+
+void ClusterMembership::AddPeer(const std::string& name, uint64_t now_ms) {
+  PeerHealth& peer = peers_[name];
+  peer.alive = true;
+  peer.next_probe_ms = now_ms + options_.heartbeat_interval_ms;
+  peer.probe_interval_ms = options_.heartbeat_interval_ms;
+}
+
+MembershipActions ClusterMembership::Tick(uint64_t now_ms) {
+  MembershipActions actions;
+  for (auto& [name, peer] : peers_) {
+    if (now_ms < peer.next_probe_ms) continue;
+    if (peer.alive) {
+      if (peer.ping_outstanding) {
+        ++peer.misses;
+        ++peer.total_misses;
+        peer.ping_outstanding = false;
+        if (peer.misses >= options_.miss_threshold) {
+          MarkDeadLocked(&peer, now_ms);
+          actions.died.push_back(name);
+          continue;
+        }
+      }
+      actions.ping.push_back(name);
+      peer.next_probe_ms = now_ms + options_.heartbeat_interval_ms;
+    } else {
+      actions.probe.push_back(name);
+      peer.next_probe_ms = now_ms + peer.probe_interval_ms;
+      peer.probe_interval_ms = std::min<uint64_t>(
+          options_.max_probe_interval_ms,
+          static_cast<uint64_t>(
+              static_cast<double>(peer.probe_interval_ms) *
+              std::max(1.0, options_.probe_backoff)));
+    }
+  }
+  return actions;
+}
+
+void ClusterMembership::OnPingSent(const std::string& name, uint64_t nonce) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return;
+  it->second.ping_outstanding = true;
+  it->second.outstanding_nonce = nonce;
+  ++it->second.pings_sent;
+}
+
+void ClusterMembership::OnPong(const std::string& name, uint64_t nonce) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return;
+  PeerHealth& peer = it->second;
+  if (peer.ping_outstanding && nonce != peer.outstanding_nonce) return;
+  peer.ping_outstanding = false;
+  peer.misses = 0;
+  ++peer.pongs_received;
+}
+
+bool ClusterMembership::OnChannelDown(const std::string& name,
+                                      uint64_t now_ms) {
+  auto it = peers_.find(name);
+  if (it == peers_.end() || !it->second.alive) return false;
+  MarkDeadLocked(&it->second, now_ms);
+  return true;
+}
+
+void ClusterMembership::MarkAlive(const std::string& name, uint64_t now_ms) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return;
+  PeerHealth& peer = it->second;
+  peer.alive = true;
+  peer.misses = 0;
+  peer.ping_outstanding = false;
+  peer.probe_interval_ms = options_.heartbeat_interval_ms;
+  peer.next_probe_ms = now_ms + options_.heartbeat_interval_ms;
+}
+
+void ClusterMembership::MarkDeadLocked(PeerHealth* peer, uint64_t now_ms) {
+  peer->alive = false;
+  peer->misses = 0;
+  peer->ping_outstanding = false;
+  ++peer->deaths;
+  peer->probe_interval_ms = options_.heartbeat_interval_ms;
+  peer->next_probe_ms = now_ms + peer->probe_interval_ms;
+}
+
+bool ClusterMembership::IsAlive(const std::string& name) const {
+  auto it = peers_.find(name);
+  return it != peers_.end() && it->second.alive;
+}
+
+std::vector<std::string> ClusterMembership::AlivePeers() const {
+  std::vector<std::string> out;
+  for (const auto& [name, peer] : peers_) {
+    if (peer.alive) out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t ClusterMembership::total_heartbeat_misses() const {
+  uint64_t n = 0;
+  for (const auto& [name, peer] : peers_) n += peer.total_misses;
+  return n;
+}
+
+}  // namespace tman

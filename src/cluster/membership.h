@@ -1,0 +1,92 @@
+#ifndef TRIGGERMAN_CLUSTER_MEMBERSHIP_H_
+#define TRIGGERMAN_CLUSTER_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tman {
+
+struct MembershipOptions {
+  /// Heartbeat cadence for alive peers.
+  uint64_t heartbeat_interval_ms = 100;
+
+  /// Consecutive unanswered heartbeats before a peer is declared dead
+  /// and its partitions fail over.
+  uint32_t miss_threshold = 3;
+
+  /// Reconnect probes to a dead peer back off by this factor per attempt,
+  /// up to the cap — so a down node is not hammered, and simultaneous
+  /// failovers do not synchronize probe storms.
+  double probe_backoff = 2.0;
+  uint64_t max_probe_interval_ms = 3200;
+};
+
+/// Health of one peer as seen by the monitor.
+struct PeerHealth {
+  bool alive = true;
+  uint32_t misses = 0;  // consecutive unanswered heartbeats
+  bool ping_outstanding = false;
+  uint64_t outstanding_nonce = 0;
+  uint64_t next_probe_ms = 0;      // next heartbeat (alive) / reconnect probe
+  uint64_t probe_interval_ms = 0;  // current backed-off probe interval
+  uint64_t pings_sent = 0;
+  uint64_t pongs_received = 0;
+  uint64_t total_misses = 0;
+  uint64_t deaths = 0;
+};
+
+/// What the owner of the membership machine should do this tick.
+struct MembershipActions {
+  std::vector<std::string> ping;   // send a heartbeat to these alive peers
+  std::vector<std::string> probe;  // attempt reconnect of these dead peers
+  std::vector<std::string> died;   // peers that just crossed miss_threshold
+};
+
+/// Peer health monitoring as a pure, clock-free state machine: the owner
+/// (ClusterRouter) feeds it a logical `now_ms` and transport events, and
+/// acts on the returned actions. No threads, no wall clock — under the
+/// deterministic scheduler the same seed yields the same failure
+/// detection schedule; the threaded shell feeds real time instead.
+class ClusterMembership {
+ public:
+  explicit ClusterMembership(MembershipOptions options = {});
+
+  void AddPeer(const std::string& name, uint64_t now_ms);
+
+  /// Advances the machine to `now_ms`: due alive peers with an unanswered
+  /// ping accrue a miss (and die at the threshold); due alive peers get a
+  /// heartbeat; due dead peers get a backed-off reconnect probe.
+  MembershipActions Tick(uint64_t now_ms);
+
+  /// A heartbeat was actually written for `name` with this nonce.
+  void OnPingSent(const std::string& name, uint64_t nonce);
+
+  /// Any pong clears the miss streak; a stale nonce is ignored.
+  void OnPong(const std::string& name, uint64_t nonce);
+
+  /// Hard transport failure: the peer is dead immediately (no need to
+  /// wait out the miss threshold when the connection is positively gone).
+  /// Returns true when this transitioned the peer from alive to dead.
+  bool OnChannelDown(const std::string& name, uint64_t now_ms);
+
+  /// The peer completed a rejoin; resumes normal heartbeating.
+  void MarkAlive(const std::string& name, uint64_t now_ms);
+
+  bool IsAlive(const std::string& name) const;
+  std::vector<std::string> AlivePeers() const;
+  const std::map<std::string, PeerHealth>& peers() const { return peers_; }
+
+  uint64_t total_heartbeat_misses() const;
+
+ private:
+  void MarkDeadLocked(PeerHealth* peer, uint64_t now_ms);
+
+  MembershipOptions options_;
+  std::map<std::string, PeerHealth> peers_;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_CLUSTER_MEMBERSHIP_H_

@@ -760,8 +760,11 @@ Status TriggerManager::SubmitDurableBatch(
       PendingBatch& batch = wal_pending_[batch_id];
       batch.session = session;
       for (size_t i = 0; i < tokens.size(); ++i) {
+        uint64_t seq = stamp != nullptr && i < stamp->seqs.size()
+                           ? stamp->seqs[i]
+                           : 0;
         batch.tokens[static_cast<uint32_t>(i)] =
-            PendingToken{std::move(records[i]), parts};
+            PendingToken{std::move(records[i]), seq, parts, false};
       }
     }
     if (!session.empty()) {
@@ -835,6 +838,13 @@ void TriggerManager::AppendWalTokenTasks(const UpdateDescriptor& token,
                            : TaskKind::kProcessTokenPartition;
     UpdateDescriptor copy = token;
     task.work = [this, copy, p, parts, batch_id, index]() {
+      // A token fenced by a cluster rejoin (FenceWalSessions) was already
+      // re-routed to another node; complete its bookkeeping without
+      // processing it so it neither fires here nor replays again.
+      if (IsWalTokenFenced(batch_id, index)) {
+        MarkWalProcessed(batch_id, index);
+        return Status::OK();
+      }
       Status s = ProcessToken(copy, p, parts);
       // Only completed partitions report back: a failed one leaves the
       // token pending so the next recovery replays it (at-least-once).
@@ -933,6 +943,9 @@ Status TriggerManager::CheckpointWal() {
     // replay even though the client was told to resend.
     wal_inflight_cv_.wait(lock,
                           [this] { return wal_commits_in_flight_ == 0; });
+    // The meta blob rides in every checkpoint, else truncation would drop
+    // the kMeta record that carried it.
+    PutLengthPrefixed(&payload, wal_meta_);
     PutU32(&payload, static_cast<uint32_t>(wal_sessions_.size()));
     for (const auto& [name, seq] : wal_sessions_) {
       PutLengthPrefixed(&payload, name);
@@ -945,6 +958,7 @@ Status TriggerManager::CheckpointWal() {
       PutU32(&payload, static_cast<uint32_t>(batch.tokens.size()));
       for (const auto& [index, token] : batch.tokens) {
         PutU32(&payload, index);
+        PutU64(&payload, token.seq);
         PutLengthPrefixed(&payload, token.serialized);
       }
     }
@@ -971,12 +985,17 @@ Status TriggerManager::CheckpointWal() {
 }
 
 Status TriggerManager::RecoverFromWal() {
+  struct ReplayToken {
+    uint64_t seq = 0;
+    std::string bytes;
+  };
   struct ReplayBatch {
     std::string session;
-    std::map<uint32_t, std::string> tokens;
+    std::map<uint32_t, ReplayToken> tokens;
   };
   std::map<std::string, uint64_t> sessions;
   std::map<uint64_t, ReplayBatch> pending;
+  std::string meta;
   WalRecoveryInfo info;
 
   TMAN_RETURN_IF_ERROR(wal_->Replay([&](WalRecordType type,
@@ -1006,7 +1025,8 @@ Status TriggerManager::RecoverFromWal() {
           // client, so the same stamped batch can appear twice in the
           // log; the session high-water mark identifies the duplicate.
           if (!key.empty() && seq != 0 && seq <= prior) continue;
-          pending[end_lsn].tokens.emplace(i, std::string(bytes));
+          pending[end_lsn].tokens.emplace(i,
+                                          ReplayToken{seq, std::string(bytes)});
         }
         pending[end_lsn].session = key;
         if (pending[end_lsn].tokens.empty()) pending.erase(end_lsn);
@@ -1030,10 +1050,19 @@ Status TriggerManager::RecoverFromWal() {
         }
         return Status::OK();
       }
+      case WalRecordType::kMeta: {
+        meta.assign(payload);
+        return Status::OK();
+      }
       case WalRecordType::kCheckpoint: {
         sessions.clear();
         pending.clear();
         ++info.checkpoints_seen;
+        std::string_view meta_blob;
+        if (!GetLengthPrefixed(payload, &pos, &meta_blob)) {
+          return WalDecodeError();
+        }
+        meta.assign(meta_blob);
         uint32_t session_count = 0;
         if (!GetU32(payload, &pos, &session_count)) return WalDecodeError();
         for (uint32_t i = 0; i < session_count; ++i) {
@@ -1060,12 +1089,14 @@ Status TriggerManager::RecoverFromWal() {
           batch.session = std::string(session);
           for (uint32_t t = 0; t < token_count; ++t) {
             uint32_t index = 0;
+            uint64_t seq = 0;
             std::string_view bytes;
             if (!GetU32(payload, &pos, &index) ||
+                !GetU64(payload, &pos, &seq) ||
                 !GetLengthPrefixed(payload, &pos, &bytes)) {
               return WalDecodeError();
             }
-            batch.tokens.emplace(index, std::string(bytes));
+            batch.tokens.emplace(index, ReplayToken{seq, std::string(bytes)});
           }
         }
         return Status::OK();
@@ -1095,19 +1126,20 @@ Status TriggerManager::RecoverFromWal() {
   {
     std::lock_guard<std::mutex> lock(wal_mutex_);
     wal_sessions_ = sessions;
+    wal_meta_ = meta;
     for (const auto& [batch_id, batch] : pending) {
       PendingBatch& out = wal_pending_[batch_id];
       out.session = batch.session;
-      for (const auto& [index, bytes] : batch.tokens) {
-        out.tokens[index] = PendingToken{bytes, parts};
+      for (const auto& [index, token] : batch.tokens) {
+        out.tokens[index] = PendingToken{token.bytes, token.seq, parts, false};
       }
     }
   }
   for (const auto& [batch_id, batch] : pending) {
-    for (const auto& [index, bytes] : batch.tokens) {
-      TMAN_ASSIGN_OR_RETURN(UpdateDescriptor token,
-                            UpdateDescriptor::Deserialize(bytes));
-      AppendWalTokenTasks(token, batch_id, index, &tasks);
+    for (const auto& [index, token] : batch.tokens) {
+      TMAN_ASSIGN_OR_RETURN(UpdateDescriptor descriptor,
+                            UpdateDescriptor::Deserialize(token.bytes));
+      AppendWalTokenTasks(descriptor, batch_id, index, &tasks);
       ++info.tokens_replayed;
     }
     ++info.batches_replayed;
@@ -1132,6 +1164,52 @@ uint64_t TriggerManager::WalPendingTokens() const {
     n += batch.tokens.size();
   }
   return n;
+}
+
+uint64_t TriggerManager::FenceWalSessions(
+    const std::map<std::string, uint64_t>& fences) {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  uint64_t fenced = 0;
+  for (auto& [batch_id, batch] : wal_pending_) {
+    auto fence = fences.find(batch.session);
+    if (fence == fences.end()) continue;
+    for (auto& [index, token] : batch.tokens) {
+      if (token.seq != 0 && token.seq > fence->second && !token.fenced) {
+        token.fenced = true;
+        ++fenced;
+      }
+    }
+  }
+  return fenced;
+}
+
+bool TriggerManager::IsWalTokenFenced(uint64_t batch_id,
+                                      uint32_t index) const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  auto it = wal_pending_.find(batch_id);
+  if (it == wal_pending_.end()) return false;
+  auto tok = it->second.tokens.find(index);
+  return tok != it->second.tokens.end() && tok->second.fenced;
+}
+
+Status TriggerManager::SetDurableMeta(std::string_view blob) {
+  if (wal_ == nullptr) {
+    return Status::NotSupported("durable_wal is not enabled");
+  }
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    auto appended = wal_->Append(WalRecordType::kMeta, blob);
+    if (!appended.ok()) return appended.status();
+    lsn = *appended;
+    wal_meta_.assign(blob);
+  }
+  return wal_->Commit(lsn);
+}
+
+std::string TriggerManager::RecoveredMeta() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  return wal_meta_;
 }
 
 Status TriggerManager::ProcessPending() {

@@ -209,6 +209,28 @@ class TriggerManager {
   /// Durable tokens whose processing has not completed yet.
   uint64_t WalPendingTokens() const;
 
+  /// Cluster rejoin fencing: for each (session, fence) pair, marks every
+  /// pending (recovered-but-unprocessed) token of that session with
+  /// sequence > fence as fenced. A fenced token is never processed — its
+  /// task completes by writing the kProcessed marker only. The router
+  /// fences a rejoining node at the highest sequence it saw acked on the
+  /// node's old channel: everything above the fence was re-routed to the
+  /// partitions' new owners while the node was down, so replaying it here
+  /// would fire it twice cluster-wide. Returns the number of tokens
+  /// fenced. Fences are not durable — the router re-sends them with every
+  /// partition-map install, so a crash between fencing and the markers'
+  /// commit just re-fences on the next rejoin.
+  uint64_t FenceWalSessions(const std::map<std::string, uint64_t>& fences);
+
+  /// Durable metadata blob riding in the WAL (latest write wins, carried
+  /// inside checkpoints so truncation preserves it). The cluster node
+  /// stores its partition-map epoch here so a rejoining node can prove
+  /// how stale its map is. SetDurableMeta group-commits before returning.
+  Status SetDurableMeta(std::string_view blob);
+
+  /// Last recovered (or set) durable meta blob; empty if none.
+  std::string RecoveredMeta() const;
+
   EventManager& events() { return events_; }
   /// Task-queue depth feeds the remote-ingestion credit window (ipc/);
   /// tests also install observers through this.
@@ -340,10 +362,15 @@ class TriggerManager {
   std::atomic<uint64_t> tokens_processed_{0};
   std::atomic<uint64_t> rule_firings_{0};
 
+  /// True when cluster fencing marked this pending token as not-to-run.
+  bool IsWalTokenFenced(uint64_t batch_id, uint32_t index) const;
+
   // --- WAL bookkeeping (guarded by wal_mutex_) -------------------------------
   struct PendingToken {
     std::string serialized;
+    uint64_t seq = 0;  // session sequence (0 = unstamped submitter)
     uint32_t remaining_parts = 1;
+    bool fenced = false;  // see FenceWalSessions
   };
   struct PendingBatch {
     std::string session;
@@ -362,6 +389,8 @@ class TriggerManager {
   std::condition_variable wal_inflight_cv_;
   // Per-session acknowledged high-water marks (the durable dedup state).
   std::map<std::string, uint64_t> wal_sessions_;
+  // Durable metadata blob (SetDurableMeta); latest record wins on replay.
+  std::string wal_meta_;
   std::atomic<bool> wal_checkpointing_{false};
   WalRecoveryInfo last_recovery_;
 };

@@ -17,7 +17,7 @@ struct HalfPipe {
   explicit HalfPipe(size_t capacity) : capacity(capacity) {}
 
   const size_t capacity;
-  std::mutex mutex;
+  mutable std::mutex mutex;
   std::condition_variable cv;
   std::string buffer;  // FIFO: append at back, consume from front
   size_t read_pos = 0;
@@ -65,6 +65,25 @@ struct HalfPipe {
     return n;
   }
 
+  bool ReadReady() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return read_closed || write_closed || buffer.size() > read_pos;
+  }
+
+  Result<size_t> TryWrite(std::string_view data) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (read_closed || write_closed) {
+      return Status::IoError("loopback connection closed");
+    }
+    size_t room = capacity - (buffer.size() - read_pos);
+    size_t n = std::min(room, data.size());
+    if (n > 0) {
+      buffer.append(data.data(), n);
+      cv.notify_all();
+    }
+    return n;
+  }
+
   void CloseWrite() {
     std::lock_guard<std::mutex> lock(mutex);
     write_closed = true;
@@ -80,7 +99,7 @@ struct HalfPipe {
 
 std::atomic<uint64_t> g_loopback_id{1};
 
-class LoopbackTransportImpl : public Transport {
+class LoopbackTransportImpl : public PollableTransport {
  public:
   LoopbackTransportImpl(std::shared_ptr<HalfPipe> in,
                         std::shared_ptr<HalfPipe> out, std::string peer)
@@ -92,6 +111,12 @@ class LoopbackTransportImpl : public Transport {
 
   Result<size_t> ReadSome(char* buf, size_t cap) override {
     return in_->ReadSome(buf, cap);
+  }
+
+  bool ReadReady() const override { return in_->ReadReady(); }
+
+  Result<size_t> TryWrite(std::string_view data) override {
+    return out_->TryWrite(data);
   }
 
   void Close() override {
@@ -111,8 +136,8 @@ class LoopbackTransportImpl : public Transport {
 
 }  // namespace
 
-std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
-CreateLoopbackPair(size_t capacity) {
+std::pair<std::unique_ptr<PollableTransport>, std::unique_ptr<PollableTransport>>
+CreatePollableLoopbackPair(size_t capacity) {
   auto a_to_b = std::make_shared<HalfPipe>(capacity);
   auto b_to_a = std::make_shared<HalfPipe>(capacity);
   uint64_t id = g_loopback_id.fetch_add(1, std::memory_order_relaxed);
@@ -120,6 +145,12 @@ CreateLoopbackPair(size_t capacity) {
       b_to_a, a_to_b, "loopback#" + std::to_string(id) + ".client");
   auto b = std::make_unique<LoopbackTransportImpl>(
       a_to_b, b_to_a, "loopback#" + std::to_string(id) + ".server");
+  return {std::move(a), std::move(b)};
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateLoopbackPair(size_t capacity) {
+  auto [a, b] = CreatePollableLoopbackPair(capacity);
   return {std::move(a), std::move(b)};
 }
 

@@ -25,6 +25,13 @@ class LoopbackTransport;
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
 CreateLoopbackPair(size_t capacity = 1 << 20);
 
+/// Same connected pair, typed as PollableTransport so single-threaded pump
+/// loops (src/cluster) can drive both ends without blocking. The blocking
+/// Transport methods still work on the same object, so one end may be
+/// handed to a threaded TmanServer while the other is pumped.
+std::pair<std::unique_ptr<PollableTransport>, std::unique_ptr<PollableTransport>>
+CreatePollableLoopbackPair(size_t capacity = 1 << 20);
+
 /// A Listener whose clients connect in-process: Connect() hands back the
 /// client end and queues the server end for Accept().
 class LoopbackListener : public Listener {

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "util/backoff.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace tman {
@@ -241,10 +243,21 @@ bool RemoteClient::AttemptReconnect(std::unique_lock<std::mutex>* lock) {
   if (terminal_ || !options_.auto_reconnect || !options_.connector) {
     return false;
   }
+  Random backoff_rng(options_.reconnect_seed != 0
+                         ? options_.reconnect_seed
+                         : HashString(options_.client_name));
   for (uint32_t attempt = 1; attempt <= options_.max_reconnect_attempts;
        ++attempt) {
     lock->unlock();
-    std::this_thread::sleep_for(options_.reconnect_backoff * attempt);
+    std::chrono::milliseconds delay = BackoffDelay(
+        attempt, options_.reconnect_backoff, options_.reconnect_backoff_max,
+        options_.reconnect_backoff_multiplier, options_.reconnect_jitter,
+        &backoff_rng);
+    if (options_.reconnect_sleep) {
+      options_.reconnect_sleep(delay);
+    } else {
+      std::this_thread::sleep_for(delay);
+    }
     auto transport = options_.connector();
     HelloReplyFrame reply;
     Status status = transport.ok()

@@ -47,7 +47,21 @@ struct RemoteClientOptions {
   /// exactly-once end to end). Requires `connector`.
   bool auto_reconnect = true;
   uint32_t max_reconnect_attempts = 8;
+
+  /// Exponential redial schedule: attempt n sleeps
+  /// min(reconnect_backoff * reconnect_backoff_multiplier^(n-1),
+  ///     reconnect_backoff_max), +- reconnect_jitter of itself (uniform,
+  /// seeded by reconnect_seed) so a fleet of writers redialing a restarted
+  /// server spreads out instead of stampeding in lockstep.
   std::chrono::milliseconds reconnect_backoff{10};
+  std::chrono::milliseconds reconnect_backoff_max{2000};
+  double reconnect_backoff_multiplier = 2.0;
+  double reconnect_jitter = 0.2;
+  uint64_t reconnect_seed = 0;  // 0 = derive from client_name
+
+  /// Test seam: replaces std::this_thread::sleep_for in the reconnect
+  /// path, so backoff schedules are assertable against a virtual clock.
+  std::function<void(std::chrono::milliseconds)> reconnect_sleep;
 
   std::chrono::milliseconds command_timeout{10000};
 

@@ -31,13 +31,50 @@ Status TmanServer::Start() {
   return Status::OK();
 }
 
-void TmanServer::Stop() {
+void TmanServer::Stop() { Stop(std::chrono::milliseconds(0)); }
+
+void TmanServer::Stop(std::chrono::milliseconds drain_timeout) {
   if (!started_) return;
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (!was_running) return;
   stop_cv_.notify_all();
   listener_->Close();
   if (acceptor_.joinable()) acceptor_.join();
+
+  if (drain_timeout.count() > 0) {
+    // Drain: workers stop pulling new frames once running_ is false, but
+    // a frame already in HandleFrame finishes its batch and its ack goes
+    // out. Wait (bounded) for those, then for the task queue, so acked
+    // work is also processed work at shutdown.
+    auto deadline = std::chrono::steady_clock::now() + drain_timeout;
+    for (;;) {
+      bool busy = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [conn, thread] : conns_) {
+          if (conn->busy.load(std::memory_order_acquire)) {
+            busy = true;
+            break;
+          }
+        }
+      }
+      if (!busy && tman_->task_queue().empty() &&
+          tman_->task_queue().in_flight() == 0) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (tman_->wal_enabled()) {
+      // Final commit round: checkpointing persists the processed markers
+      // for everything the drain completed, so a restart replays nothing
+      // that already fired.
+      Status s = tman_->CheckpointWal();
+      if (!s.ok()) {
+        TMAN_LOG(kWarn) << "drain checkpoint failed: " << s.ToString();
+      }
+    }
+  }
 
   std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns;
   {
@@ -221,7 +258,9 @@ void TmanServer::ConnLoop(std::shared_ptr<Conn> conn) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.frames_received;
     }
+    conn->busy.store(true, std::memory_order_release);
     Status s = HandleFrame(conn, *frame);
+    conn->busy.store(false, std::memory_order_release);
     if (!s.ok()) {
       if (s.code() != StatusCode::kAborted) {
         {
@@ -325,6 +364,7 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       }
       UpdateAckFrame ack;
       Status first_error = Status::OK();
+      Status admit_reject = Status::OK();
       uint64_t applied = 0;
       uint64_t deduped = 0;
       {
@@ -361,6 +401,23 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
             first_error = s;
           }
           if (seq > new_high) new_high = seq;
+        }
+        // Cluster-member ownership gate: one token for a partition this
+        // node no longer owns rejects the whole batch with no sequence
+        // advance (the router re-routes it; see TmanServerOptions).
+        if (options_.cluster_admit) {
+          for (const UpdateDescriptor& update : accepted) {
+            Status a = options_.cluster_admit(update);
+            if (!a.ok()) {
+              admit_reject = a;
+              break;
+            }
+          }
+        }
+        if (!admit_reject.ok()) {
+          accepted.clear();
+          accepted_seqs.clear();
+          new_high = conn->session->last_applied_seq;
         }
         if (tman_->wal_enabled()) {
           // Durable path: the batch (with its session stamp) must be in
@@ -413,7 +470,10 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         stats_.updates_applied += applied;
         stats_.updates_deduped += deduped;
       }
-      if (!first_error.ok()) {
+      if (!admit_reject.ok()) {
+        ack.status_code = static_cast<uint8_t>(admit_reject.code());
+        ack.message = admit_reject.message();
+      } else if (!first_error.ok()) {
         ack.status_code = static_cast<uint8_t>(first_error.code());
         ack.message = first_error.message();
       }
@@ -497,6 +557,21 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       return Status::OK();
     }
 
+    case FrameType::kPartitionMap: {
+      TMAN_ASSIGN_OR_RETURN(PartitionMapFrame map,
+                            PartitionMapFrame::Decode(frame.payload));
+      PartitionMapAckFrame ack;
+      if (options_.cluster_map) {
+        ack = options_.cluster_map(map);
+      } else {
+        ack.epoch = map.epoch;
+        ack.status_code = static_cast<uint8_t>(StatusCode::kNotSupported);
+        ack.message = "not a cluster member";
+      }
+      SendToConn(conn, FrameType::kPartitionMapAck, ack);
+      return Status::OK();
+    }
+
     case FrameType::kPong:
       return Status::OK();  // unsolicited pongs are harmless
 
@@ -507,6 +582,7 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
     case FrameType::kCommandReply:
     case FrameType::kUpdateAck:
     case FrameType::kEventPush:
+    case FrameType::kPartitionMapAck:
       return Status::InvalidArgument(
           "client sent server-to-client frame " +
           std::string(FrameTypeName(frame.type)));

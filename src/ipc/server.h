@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "core/client.h"
 #include "core/trigger_manager.h"
 #include "ipc/transport.h"
+#include "ipc/wire_format.h"
 
 namespace tman {
 
@@ -36,6 +38,20 @@ struct TmanServerOptions {
 
   /// Optional fault injector for the ipc.* sites (see FrameIoOptions).
   FaultInjector* fault_injector = nullptr;
+
+  /// Cluster-member hooks (bound to a ClusterNode when this server is one
+  /// member of a routed cluster; both unset for a standalone server).
+  ///
+  /// `cluster_admit` is consulted for every non-deduplicated update in a
+  /// batch; any failure rejects the whole batch with that status and NO
+  /// session-sequence advance, so the router can re-route it intact to
+  /// the partition's current owner (a retryable Unavailable, not an
+  /// error ack that would burn the sequence range).
+  std::function<Status(const UpdateDescriptor&)> cluster_admit;
+
+  /// Handles a partition-map install from the router; the returned ack is
+  /// sent back verbatim.
+  std::function<PartitionMapAckFrame(const PartitionMapFrame&)> cluster_map;
 };
 
 struct TmanServerStats {
@@ -86,6 +102,13 @@ class TmanServer {
   /// threads. Idempotent; also run by the destructor.
   void Stop();
 
+  /// Graceful shutdown: stops accepting, then gives in-flight work up to
+  /// `drain_timeout` to finish — frames already received complete their
+  /// session batches (and their acks go out), the task queue drains, and
+  /// a final WAL checkpoint persists the processed markers — before the
+  /// connections close. A zero timeout is the immediate Stop().
+  void Stop(std::chrono::milliseconds drain_timeout);
+
   TmanServerStats stats() const;
   size_t active_connections() const;
 
@@ -107,6 +130,7 @@ class TmanServer {
     std::atomic<bool> open{true};
     std::atomic<bool> done{false};        // worker finished; joinable
     std::atomic<bool> hello_done{false};  // set by worker, read by creditor
+    std::atomic<bool> busy{false};        // worker inside HandleFrame (drain)
     std::string name;
     std::unique_ptr<ClientConnection> client;
     std::shared_ptr<Session> session;

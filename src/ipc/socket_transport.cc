@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -45,7 +46,9 @@ std::string PeerString(int fd) {
 /// A connected TCP stream. Close() uses shutdown() so a concurrent reader
 /// or writer unblocks with an error; the descriptor itself is released in
 /// the destructor only, so no thread can ever touch a reused fd.
-class TcpTransport : public Transport {
+/// Pollable: ReadReady is a zero-timeout poll(), TryWrite a non-blocking
+/// send — what the cluster router's pump loop needs over real sockets.
+class TcpTransport : public PollableTransport {
  public:
   explicit TcpTransport(int fd) : fd_(fd), peer_(PeerString(fd)) {
     int one = 1;
@@ -87,6 +90,31 @@ class TcpTransport : public Transport {
       }
       return static_cast<size_t>(n);
     }
+  }
+
+  bool ReadReady() const override {
+    if (closed_.load(std::memory_order_relaxed)) return true;  // surfaces EOF
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, 0);
+    return rc > 0 && (pfd.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+  }
+
+  Result<size_t> TryWrite(std::string_view data) override {
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::IoError("socket closed");
+    }
+    if (data.empty()) return static_cast<size_t>(0);
+    ssize_t n = ::send(fd_, data.data(), data.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return static_cast<size_t>(0);
+      }
+      return Status::IoError(Errno("send"));
+    }
+    return static_cast<size_t>(n);
   }
 
   void Close() override {
@@ -181,8 +209,8 @@ void TcpListener::Close() {
   }
 }
 
-Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
-                                              uint16_t port) {
+Result<std::unique_ptr<PollableTransport>> TcpConnectPollable(
+    const std::string& host, uint16_t port) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -205,10 +233,18 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
       continue;
     }
     freeaddrinfo(res);
-    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+    return std::unique_ptr<PollableTransport>(
+        std::make_unique<TcpTransport>(fd));
   }
   freeaddrinfo(res);
   return last;
+}
+
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port) {
+  auto pollable = TcpConnectPollable(host, port);
+  if (!pollable.ok()) return pollable.status();
+  return std::unique_ptr<Transport>(std::move(*pollable));
 }
 
 Result<std::pair<std::string, uint16_t>> ParseHostPort(

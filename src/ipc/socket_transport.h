@@ -41,6 +41,12 @@ class TcpListener : public Listener {
 Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
                                               uint16_t port);
 
+/// Same connection as TcpConnect, typed for pump loops (the cluster
+/// router's node connectors). All TCP transports here are pollable; this
+/// variant just preserves the static type.
+Result<std::unique_ptr<PollableTransport>> TcpConnectPollable(
+    const std::string& host, uint16_t port);
+
 /// Parses "host:port" (e.g. "127.0.0.1:7447", "[::1]:7447"). Used by the
 /// console's --connect flag and tools.
 Result<std::pair<std::string, uint16_t>> ParseHostPort(

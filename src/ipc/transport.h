@@ -41,6 +41,37 @@ class Transport {
   virtual std::string peer() const = 0;
 };
 
+/// A Transport that can additionally be driven without blocking — the seam
+/// the cluster subsystem's single-threaded pump loop needs. A caller checks
+/// ReadReady() before ReadSome (which then returns without blocking) and
+/// uses TryWrite to push as many bytes as the peer's buffer accepts,
+/// retaining the rest in its own outbox. Under the deterministic scheduler
+/// every actor step is a bounded amount of pump work, so seed-reproducible
+/// schedules never deadlock on transport I/O.
+class PollableTransport : public Transport {
+ public:
+  /// True when ReadSome would return immediately: buffered bytes are
+  /// available, the peer closed its write side (EOF), or the connection
+  /// errored.
+  virtual bool ReadReady() const = 0;
+
+  /// Non-blocking write: appends up to data.size() bytes to the peer's
+  /// buffer and returns how many were accepted (0 when the buffer is
+  /// full). Errors once the connection is closed.
+  virtual Result<size_t> TryWrite(std::string_view data) = 0;
+};
+
+/// Downcasts an owned Transport that is actually pollable (every TCP and
+/// loopback transport is); returns null — without leaking — when it is
+/// not. Lets Listener::Accept results feed pump loops.
+inline std::unique_ptr<PollableTransport> AsPollable(
+    std::unique_ptr<Transport> transport) {
+  auto* pollable = dynamic_cast<PollableTransport*>(transport.get());
+  if (pollable == nullptr) return nullptr;
+  transport.release();
+  return std::unique_ptr<PollableTransport>(pollable);
+}
+
 /// Accepts inbound Transports for a server. Accept blocks until a client
 /// connects or Close is called (after which it returns Aborted).
 class Listener {

@@ -38,6 +38,8 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
     case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kPartitionMap: return "partition-map";
+    case FrameType::kPartitionMapAck: return "partition-map-ack";
   }
   return "?";
 }
@@ -76,7 +78,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
   }
   if (reserved != 0) return Status::Corruption("nonzero reserved header bits");
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+      type > static_cast<uint8_t>(FrameType::kPartitionMapAck)) {
     return Status::Corruption("unknown frame type " + std::to_string(type));
   }
   if (h.payload_len > max_payload) {
@@ -350,6 +352,78 @@ Result<GoodbyeFrame> GoodbyeFrame::Decode(std::string_view payload) {
   if (!GetLengthPrefixed(payload, &pos, &reason)) return Truncated("goodbye");
   TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
   f.reason = std::string(reason);
+  return f;
+}
+
+// --- PartitionMapFrame -----------------------------------------------------
+
+void PartitionMapFrame::Encode(std::string* out) const {
+  PutU64(out, epoch);
+  PutU32(out, static_cast<uint32_t>(owners.size()));
+  for (const std::string& owner : owners) PutLengthPrefixed(out, owner);
+  PutU32(out, static_cast<uint32_t>(fences.size()));
+  for (const auto& [session, seq] : fences) {
+    PutLengthPrefixed(out, session);
+    PutU64(out, seq);
+  }
+}
+
+Result<PartitionMapFrame> PartitionMapFrame::Decode(std::string_view payload) {
+  PartitionMapFrame f;
+  size_t pos = 0;
+  uint32_t owner_count = 0;
+  if (!GetU64(payload, &pos, &f.epoch) ||
+      !GetU32(payload, &pos, &owner_count)) {
+    return Truncated("partition map header");
+  }
+  for (uint32_t i = 0; i < owner_count; ++i) {
+    std::string_view owner;
+    if (!GetLengthPrefixed(payload, &pos, &owner)) {
+      return Truncated("partition owner");
+    }
+    f.owners.emplace_back(owner);
+  }
+  uint32_t fence_count = 0;
+  if (!GetU32(payload, &pos, &fence_count)) {
+    return Truncated("partition map fence count");
+  }
+  for (uint32_t i = 0; i < fence_count; ++i) {
+    std::string_view session;
+    uint64_t seq = 0;
+    if (!GetLengthPrefixed(payload, &pos, &session) ||
+        !GetU64(payload, &pos, &seq)) {
+      return Truncated("partition map fence");
+    }
+    f.fences.emplace_back(std::string(session), seq);
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  return f;
+}
+
+// --- PartitionMapAckFrame --------------------------------------------------
+
+void PartitionMapAckFrame::Encode(std::string* out) const {
+  PutU64(out, epoch);
+  PutU64(out, prior_epoch);
+  PutU8(out, status_code);
+  PutLengthPrefixed(out, message);
+  PutU64(out, fenced_tokens);
+}
+
+Result<PartitionMapAckFrame> PartitionMapAckFrame::Decode(
+    std::string_view payload) {
+  PartitionMapAckFrame f;
+  size_t pos = 0;
+  std::string_view msg;
+  if (!GetU64(payload, &pos, &f.epoch) ||
+      !GetU64(payload, &pos, &f.prior_epoch) ||
+      !GetU8(payload, &pos, &f.status_code) ||
+      !GetLengthPrefixed(payload, &pos, &msg) ||
+      !GetU64(payload, &pos, &f.fenced_tokens)) {
+    return Truncated("partition map ack");
+  }
+  TMAN_RETURN_IF_ERROR(ExpectConsumed(payload, pos));
+  f.message = std::string(msg);
   return f;
 }
 

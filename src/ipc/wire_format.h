@@ -55,6 +55,8 @@ enum class FrameType : uint8_t {
   kPing = 11,          // either direction: liveness probe
   kPong = 12,          // reply to kPing, echoing its nonce
   kGoodbye = 13,       // either direction: orderly close
+  kPartitionMap = 14,  // cluster router -> node: install a partition map
+  kPartitionMapAck = 15, // node -> router: map install outcome + prior epoch
 };
 
 std::string_view FrameTypeName(FrameType type);
@@ -189,6 +191,35 @@ struct GoodbyeFrame {
 
   void Encode(std::string* out) const;
   static Result<GoodbyeFrame> Decode(std::string_view payload);
+};
+
+/// Cluster membership / routing control (src/cluster): the router installs
+/// a versioned partition map on a member node. `owners[p]` names the node
+/// owning partition p; a node accepts update batches only for partitions it
+/// owns at the installed epoch and rejects others with a retryable
+/// Unavailable ("partition moved") ack. `fences` carries, per ingest
+/// session, the highest sequence the router saw acked before this map took
+/// effect: a node rejoining after a failover must discard recovered-but-
+/// unacked tokens above its fence, because the router already re-routed
+/// them to the partitions' new owners (see DESIGN.md §12).
+struct PartitionMapFrame {
+  uint64_t epoch = 0;
+  std::vector<std::string> owners;  // partition id -> owning node name
+  std::vector<std::pair<std::string, uint64_t>> fences;  // session -> seq
+
+  void Encode(std::string* out) const;
+  static Result<PartitionMapFrame> Decode(std::string_view payload);
+};
+
+struct PartitionMapAckFrame {
+  uint64_t epoch = 0;        // epoch now installed on the node
+  uint64_t prior_epoch = 0;  // durable epoch the node held before this map
+  uint8_t status_code = 0;   // StatusCode; 0 = installed
+  std::string message;
+  uint64_t fenced_tokens = 0;  // recovered tokens discarded by the fences
+
+  void Encode(std::string* out) const;
+  static Result<PartitionMapAckFrame> Decode(std::string_view payload);
 };
 
 }  // namespace tman

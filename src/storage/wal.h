@@ -32,6 +32,8 @@ enum class WalRecordType : uint8_t {
   kBatch = 1,       // a submitted update batch (tokens + session stamp)
   kProcessed = 2,   // a token of an earlier batch finished processing
   kCheckpoint = 3,  // snapshot of live state; everything before is dead
+  kMeta = 4,        // opaque durable metadata blob (latest wins; carried
+                    // forward inside checkpoints so truncation keeps it)
 };
 
 struct WalStats {

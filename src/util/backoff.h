@@ -1,0 +1,43 @@
+#ifndef TRIGGERMAN_UTIL_BACKOFF_H_
+#define TRIGGERMAN_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace tman {
+
+/// Exponential backoff with symmetric jitter, capped:
+///
+///   base(attempt) = min(initial * multiplier^(attempt-1), cap)
+///   delay         = base +- base * jitter   (uniform, clamped to [0, cap])
+///
+/// `attempt` is 1-based. Jitter decorrelates many clients retrying the
+/// same endpoint after a shared failure (a restarted server would
+/// otherwise see every writer redial in lockstep). With `jitter` 0 or a
+/// null `rng` the delay is deterministic.
+inline std::chrono::milliseconds BackoffDelay(
+    uint32_t attempt, std::chrono::milliseconds initial,
+    std::chrono::milliseconds cap, double multiplier, double jitter,
+    Random* rng) {
+  if (attempt == 0) attempt = 1;
+  double base = static_cast<double>(initial.count());
+  const double cap_ms = static_cast<double>(cap.count());
+  for (uint32_t i = 1; i < attempt && base < cap_ms; ++i) {
+    base *= std::max(1.0, multiplier);
+  }
+  base = std::min(base, cap_ms);
+  double delay = base;
+  if (jitter > 0.0 && rng != nullptr) {
+    delay += base * jitter * (2.0 * rng->NextDouble() - 1.0);
+  }
+  delay = std::min(std::max(delay, 0.0), cap_ms);
+  return std::chrono::milliseconds(static_cast<int64_t>(std::llround(delay)));
+}
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_UTIL_BACKOFF_H_

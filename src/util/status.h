@@ -24,6 +24,10 @@ enum class StatusCode {
   kResourceExhausted,
   kAborted,
   kInternal,
+  /// Transient condition the caller should retry against a (possibly
+  /// different) endpoint — e.g. a cluster node rejecting a batch whose
+  /// partition has moved to another owner.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
@@ -79,6 +83,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// Rebuilds a Status from a code transported out-of-band (e.g. a status
   /// byte in a wire frame). A kOk code yields OK regardless of `msg`.
@@ -97,6 +104,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

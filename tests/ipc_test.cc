@@ -6,11 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ipc/loopback.h"
+#include "ipc/remote_client.h"
+#include "util/backoff.h"
 #include "ipc/socket_transport.h"
 #include "ipc/transport.h"
 #include "ipc/wire_format.h"
@@ -569,6 +575,114 @@ TEST(LoopbackTest, CloseUnblocksBlockedReader) {
   closer.join();
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 0u);  // EOF
+}
+
+// --- reconnect backoff --------------------------------------------------
+
+TEST(BackoffTest, ExponentialGrowthClampedAtCap) {
+  using std::chrono::milliseconds;
+  // jitter 0 => pure deterministic schedule: 10, 20, 40, 80, 100, 100, ...
+  int64_t expected[] = {10, 20, 40, 80, 100, 100};
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    milliseconds d = BackoffDelay(attempt, milliseconds(10), milliseconds(100),
+                                  2.0, 0.0, nullptr);
+    EXPECT_EQ(d.count(), expected[attempt - 1]) << "attempt " << attempt;
+  }
+  // attempt 0 is coerced to 1.
+  EXPECT_EQ(BackoffDelay(0, milliseconds(10), milliseconds(100), 2.0, 0.0,
+                         nullptr)
+                .count(),
+            10);
+}
+
+TEST(BackoffTest, JitterStaysWithinBoundsAndIsSeedDeterministic) {
+  using std::chrono::milliseconds;
+  const double kJitter = 0.5;
+  Random rng_a(4242), rng_b(4242);
+  bool any_jittered = false;
+  for (uint32_t attempt = 1; attempt <= 10; ++attempt) {
+    milliseconds base = BackoffDelay(attempt, milliseconds(16),
+                                     milliseconds(512), 2.0, 0.0, nullptr);
+    milliseconds a = BackoffDelay(attempt, milliseconds(16), milliseconds(512),
+                                  2.0, kJitter, &rng_a);
+    milliseconds b = BackoffDelay(attempt, milliseconds(16), milliseconds(512),
+                                  2.0, kJitter, &rng_b);
+    EXPECT_EQ(a.count(), b.count()) << "same seed, same schedule";
+    double lo = base.count() * (1.0 - kJitter);
+    double hi = std::min(512.0, base.count() * (1.0 + kJitter));
+    EXPECT_GE(a.count(), static_cast<int64_t>(lo) - 1) << "attempt " << attempt;
+    EXPECT_LE(a.count(), static_cast<int64_t>(hi) + 1) << "attempt " << attempt;
+    if (a != base) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+// The RemoteClient reconnect path follows the configured backoff schedule
+// exactly, asserted against a virtual clock (the reconnect_sleep seam
+// records delays instead of sleeping).
+TEST(BackoffTest, RemoteClientReconnectFollowsBackoffSchedule) {
+  auto [client_end, server_end] = CreateLoopbackPair();
+
+  // Service the initial handshake by hand, then drop the connection.
+  std::thread server([transport = std::move(server_end)]() mutable {
+    auto hello = ReadFrame(transport.get());
+    ASSERT_TRUE(hello.ok());
+    ASSERT_EQ(hello->type, FrameType::kHello);
+    HelloReplyFrame reply;
+    reply.initial_credits = 16;
+    ASSERT_TRUE(
+        WriteFramePayload(transport.get(), FrameType::kHelloReply, reply)
+            .ok());
+    transport->Close();
+  });
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int64_t> delays;
+
+  RemoteClientOptions options;
+  options.client_name = "backoff-probe";
+  options.auto_reconnect = true;
+  options.max_reconnect_attempts = 6;
+  options.reconnect_backoff = std::chrono::milliseconds(10);
+  options.reconnect_backoff_max = std::chrono::milliseconds(80);
+  options.reconnect_backoff_multiplier = 2.0;
+  options.reconnect_jitter = 0.25;
+  options.reconnect_seed = 1234;
+  options.reconnect_sleep = [&](std::chrono::milliseconds d) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delays.push_back(d.count());
+    cv.notify_all();
+  };
+  options.connector = []() -> Result<std::unique_ptr<Transport>> {
+    return Status::Unavailable("endpoint down");
+  };
+
+  RemoteClient client(options);
+  ASSERT_TRUE(client.Connect(std::move(client_end)).ok());
+  server.join();
+
+  {
+    // The server hangup triggers reconnects; every dial fails, so exactly
+    // max_reconnect_attempts sleeps are recorded, then the client goes
+    // terminal.
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return delays.size() >= 6; }));
+    EXPECT_EQ(delays.size(), 6u);
+  }
+  client.Close();
+
+  // Replay the exact schedule: same seed, same jittered delays.
+  Random replay_rng(1234);
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    std::chrono::milliseconds expected = BackoffDelay(
+        attempt, options.reconnect_backoff, options.reconnect_backoff_max,
+        options.reconnect_backoff_multiplier, options.reconnect_jitter,
+        &replay_rng);
+    EXPECT_EQ(delays[attempt - 1], expected.count()) << "attempt " << attempt;
+    EXPECT_LE(delays[attempt - 1], 80 + 80 / 4) << "cap + jitter ceiling";
+  }
 }
 
 }  // namespace
