@@ -28,6 +28,7 @@
 // exactly-once. Every member must be started with the same --partitions /
 // --vnodes (the partition function is cluster-wide configuration).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +75,14 @@ ClusterConfig MakeConfig(uint32_t partitions, uint32_t vnodes,
   return config;
 }
 
+/// Wall-clock milliseconds for the node-side router-liveness lease.
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 int RunNode(const std::string& name, uint16_t port, uint32_t partitions,
             uint32_t vnodes, uint32_t drivers) {
   Database db;
@@ -94,15 +103,27 @@ int RunNode(const std::string& name, uint16_t port, uint32_t partitions,
                  feed.status().ToString().c_str());
     return 1;
   }
+
+  // The node layer must exist before the drivers start: a rebooted member
+  // recovers WAL tokens under a processing hold (Open() paused the task
+  // queue) and only a partition-map install — handled by this ClusterNode
+  // — may release it. Starting drivers first would be safe (they idle on
+  // the paused queue) but keeping construction ahead of Start() makes the
+  // ordering explicit.
+  ClusterNodeOptions node_opts;
+  node_opts.name = name;
+  node_opts.config = MakeConfig(partitions, vnodes, *feed);
+  // Self-hold when the router goes mute for a whole verdict window
+  // (default membership: 100ms heartbeats, 3 misses).
+  node_opts.router_lease_ms =
+      MembershipOptions().heartbeat_interval_ms * MembershipOptions().miss_threshold;
+  ClusterNode node(&tman, node_opts);
+  node.NoteRouterTraffic(NowMs());  // lease epoch starts at boot
+
   if (auto s = tman.Start(); !s.ok()) {
     std::fprintf(stderr, "start drivers: %s\n", s.ToString().c_str());
     return 1;
   }
-
-  ClusterNodeOptions node_opts;
-  node_opts.name = name;
-  node_opts.config = MakeConfig(partitions, vnodes, *feed);
-  ClusterNode node(&tman, node_opts);
 
   auto listener = TcpListener::Bind("0.0.0.0", port);
   if (!listener.ok()) {
@@ -112,7 +133,8 @@ int RunNode(const std::string& name, uint16_t port, uint32_t partitions,
   uint16_t bound = (*listener)->port();
 
   // Hook mode: the stock TmanServer owns the sockets; partition-ownership
-  // checks and map installs route through the ClusterNode.
+  // checks, map installs, router-channel loss and the liveness lease all
+  // route through the ClusterNode.
   TmanServerOptions server_opts;
   server_opts.cluster_admit = [&node](const UpdateDescriptor& token) {
     return node.AdmitToken(token);
@@ -120,6 +142,9 @@ int RunNode(const std::string& name, uint16_t port, uint32_t partitions,
   server_opts.cluster_map = [&node](const PartitionMapFrame& frame) {
     return node.HandlePartitionMap(frame);
   };
+  server_opts.cluster_router_lost = [&node] { node.OnRouterChannelLost(); };
+  server_opts.cluster_activity = [&node] { node.NoteRouterTraffic(NowMs()); };
+  server_opts.cluster_tick = [&node] { node.TickRouterLease(NowMs()); };
   TmanServer server(&tman, std::move(*listener), server_opts);
   if (auto s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
@@ -154,12 +179,62 @@ int RunNode(const std::string& name, uint16_t port, uint32_t partitions,
   return 0;
 }
 
+/// Best-effort file persistence for the router's durable state (epoch +
+/// rejoin fences). Losing this file does not wedge the cluster — nodes
+/// report their durable epoch on refused maps and the router adopts it —
+/// but lost fences cost exactly-once for tokens re-routed at the moment
+/// of a node death, so the demo keeps them on disk.
+bool LoadRouterState(const std::string& path, RouterDurableState* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string blob;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+  auto state = RouterDurableState::Decode(blob);
+  if (!state.ok()) {
+    std::fprintf(stderr, "router state %s corrupt (%s); starting fresh\n",
+                 path.c_str(), state.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*state);
+  return true;
+}
+
+void SaveRouterState(const std::string& path, const RouterDurableState& state) {
+  std::string blob;
+  state.Encode(&blob);
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "router state: cannot write %s\n", tmp.c_str());
+    return;
+  }
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (written != blob.size() ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {  // atomic swap
+    std::fprintf(stderr, "router state: persist to %s failed\n", path.c_str());
+  }
+}
+
 int RunRouter(uint16_t port, const std::vector<Peer>& peers,
-              uint32_t partitions, uint32_t vnodes) {
+              uint32_t partitions, uint32_t vnodes,
+              const std::string& state_path) {
   ClusterRouterOptions opts;
   // Data source ids are assigned per member in definition order; the demo
   // defines "feed" first everywhere, so its id is stable across members.
   opts.config = MakeConfig(partitions, vnodes, /*feed=*/1);
+  if (LoadRouterState(state_path, &opts.initial_state)) {
+    std::printf("router state: resuming at epoch %llu with %zu fences\n",
+                static_cast<unsigned long long>(opts.initial_state.epoch),
+                opts.initial_state.fences.size());
+  }
+  opts.persist_state = [state_path](const RouterDurableState& state) {
+    SaveRouterState(state_path, state);
+  };
   ClusterRouter router(opts);
   for (const Peer& peer : peers) {
     router.AddNode(peer.name,
@@ -212,7 +287,7 @@ int Usage(const char* argv0) {
       "  %s node   --name NAME --port N [--partitions N] [--vnodes N]\n"
       "            [--drivers N]\n"
       "  %s router --port N --node NAME=HOST:PORT [--node ...]\n"
-      "            [--partitions N] [--vnodes N]\n",
+      "            [--partitions N] [--vnodes N] [--state PATH]\n",
       argv0, argv0);
   return 2;
 }
@@ -227,6 +302,7 @@ int main(int argc, char** argv) {
   uint32_t partitions = 32;
   uint32_t vnodes = 64;
   uint32_t drivers = 2;
+  std::string state_path;
   std::vector<Peer> peers;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
@@ -239,6 +315,8 @@ int main(int argc, char** argv) {
       vnodes = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--drivers") == 0 && i + 1 < argc) {
       drivers = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
+      state_path = argv[++i];
     } else if (std::strcmp(argv[i], "--node") == 0 && i + 1 < argc) {
       Peer peer;
       if (!ParsePeer(argv[++i], &peer)) return Usage(argv[0]);
@@ -251,7 +329,10 @@ int main(int argc, char** argv) {
     return RunNode(name, port, partitions, vnodes, drivers);
   }
   if (mode == "router" && port != 0 && !peers.empty()) {
-    return RunRouter(port, peers, partitions, vnodes);
+    if (state_path.empty()) {
+      state_path = "tman-router-" + std::to_string(port) + ".state";
+    }
+    return RunRouter(port, peers, partitions, vnodes, state_path);
   }
   return Usage(argv[0]);
 }

@@ -13,7 +13,12 @@ ClusterNode::ClusterNode(TriggerManager* tman, ClusterNodeOptions options)
   // A node that crashed as a cluster member and recovered pending tokens
   // must wait for the router's fences before processing them: any of them
   // may have been re-routed to another owner while this node was down.
+  // (TriggerManager::Open() already paused the engine for this case; the
+  // ApplyHoldLocked here keeps the node's view and the queue gate in
+  // lockstep either way.)
+  std::lock_guard<std::mutex> lock(mutex_);
   hold_ = durable_epoch_ > 0 && tman_->WalPendingTokens() > 0;
+  ApplyHoldLocked();
 }
 
 uint64_t ClusterNode::epoch() const {
@@ -23,7 +28,56 @@ uint64_t ClusterNode::epoch() const {
 
 bool ClusterNode::processing_held() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return hold_;
+  return hold_ || lease_hold_;
+}
+
+void ClusterNode::ApplyHoldLocked() {
+  if (hold_ || lease_hold_) {
+    tman_->PauseProcessing();
+  } else {
+    tman_->ResumeProcessing();
+  }
+}
+
+void ClusterNode::OnRouterChannelLost() {
+  // Losing the router's channel means it may be declaring us dead and
+  // re-routing our staged-but-unfired tokens right now (false-death
+  // window). Stop firing until it readmits us: the next map install
+  // carries the fences that tell us which staged tokens were re-routed
+  // while we were presumed dead. The router always pushes a map on
+  // reconnect (kFencing state), so the hold is released on rejoin.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.epoch > 0 && !hold_) {
+    hold_ = true;
+    ApplyHoldLocked();
+  }
+}
+
+void ClusterNode::NoteRouterTraffic(uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_router_ms_ = std::max(last_router_ms_, now_ms);
+  // Traffic proves the router had not failed us over as of sending it
+  // (a failover resets the channel first), so a lease self-hold can
+  // lift; a fence-pending hold_ lifts only with the map that carries
+  // the fences.
+  if (lease_hold_) {
+    lease_hold_ = false;
+    ApplyHoldLocked();
+  }
+}
+
+void ClusterNode::TickRouterLease(uint64_t now_ms) {
+  if (options_.router_lease_ms == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.epoch == 0 || lease_hold_) return;  // not an admitted member
+  if (now_ms < last_router_ms_ + options_.router_lease_ms) return;
+  // No router traffic for a whole verdict window: over a mute partition
+  // we would never see the channel close, but the router may already be
+  // re-routing our staged tokens. Self-hold until traffic resumes or a
+  // fresh map readmits us.
+  lease_hold_ = true;
+  ++stats_.lease_holds;
+  ApplyHoldLocked();
 }
 
 Status ClusterNode::AdmitToken(const UpdateDescriptor& token) {
@@ -78,7 +132,11 @@ PartitionMapAckFrame ClusterNode::HandlePartitionMap(
   map_.epoch = frame.epoch;
   map_.owners = frame.owners;
   durable_epoch_ = frame.epoch;
+  // The map carries the authoritative fences: both the fence-pending
+  // hold and a lease self-hold can lift, and processing resumes.
   hold_ = false;
+  lease_hold_ = false;
+  ApplyHoldLocked();
   ++stats_.maps_installed;
   stats_.tokens_fenced += fenced;
   ack.epoch = frame.epoch;
@@ -92,7 +150,7 @@ void ClusterNode::AddConnection(std::unique_ptr<PollableTransport> transport) {
   conns_.push_back(std::move(conn));
 }
 
-bool ClusterNode::Pump() {
+bool ClusterNode::Pump(uint64_t now_ms) {
   bool progress = false;
   for (auto& conn : conns_) {
     if (conn.conn->Pump()) progress = true;
@@ -100,6 +158,7 @@ bool ClusterNode::Pump() {
     while (conn.conn->NextFrame(&frame)) {
       progress = true;
       Status handled = HandleFrame(&conn, frame);
+      if (conn.is_router && now_ms > 0) NoteRouterTraffic(now_ms);
       if (!handled.ok()) {
         conn.conn->Close();
         break;
@@ -116,16 +175,8 @@ bool ClusterNode::Pump() {
                               }),
                conns_.end());
   if (conns_.size() != before) progress = true;
-  if (router_lost) {
-    // Losing the router's channel means it may be declaring us dead and
-    // re-routing our staged-but-unfired tokens right now (false-death
-    // window). Stop firing until it readmits us: the next map install
-    // carries the fences that tell us which staged tokens were re-routed
-    // while we were presumed dead. The router always pushes a map on
-    // reconnect (kFencing state), so the hold is released on rejoin.
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (map_.epoch > 0) hold_ = true;
-  }
+  if (router_lost) OnRouterChannelLost();
+  if (now_ms > 0) TickRouterLease(now_ms);
   return progress;
 }
 

@@ -24,6 +24,15 @@ struct ClusterNodeOptions {
   /// ack, so it is also the per-connection in-flight bound).
   uint32_t initial_credits = 1 << 16;
 
+  /// Router-liveness lease (0 = disabled). When an admitted member sees
+  /// no router traffic for this long, it self-holds processing: in an
+  /// asymmetric (mute) partition the node never observes the channel
+  /// close, yet the router — after its heartbeat-miss verdict — may
+  /// already be re-routing this node's staged tokens. Mirror the
+  /// router's verdict window here (heartbeat_interval * miss_threshold)
+  /// so the node stops firing no later than the router stops waiting.
+  uint64_t router_lease_ms = 0;
+
   /// Frame I/O (payload cap + optional ipc.* fault injector).
   FrameIoOptions io;
 };
@@ -35,6 +44,7 @@ struct ClusterNodeStats {
   uint64_t tokens_deduped = 0;
   uint64_t maps_installed = 0;
   uint64_t tokens_fenced = 0;  // recovered tokens discarded by rejoin fences
+  uint64_t lease_holds = 0;    // self-holds from router-liveness lease expiry
 };
 
 /// One cluster member: partition-ownership enforcement, partition-map
@@ -81,12 +91,32 @@ class ClusterNode {
   /// True while the node must not process staged tokens, because the
   /// router's fences may be about to invalidate some of them: (a) it
   /// crashed with a cluster epoch installed and recovered pending WAL
-  /// tokens, or (b) it lost the router's channel while an admitted member
+  /// tokens, (b) it lost the router's channel while an admitted member
   /// (false-death window: the router may be re-routing its staged work
-  /// right now). Released by the next partition-map install, which
-  /// carries the authoritative fences. The deterministic node actor and
-  /// the threaded node's driver both gate on this.
+  /// right now), or (c) the router-liveness lease expired (mute
+  /// partition — same window, unobservable channel). Released by the
+  /// next partition-map install, which carries the authoritative fences.
+  /// The hold is also enforced inside the engine (the TriggerManager's
+  /// task queue pauses), so every driver — threaded pool or external
+  /// pumper — is bound by it; this accessor remains for introspection.
   bool processing_held() const;
+
+  // --- hook mode (TmanServer owns the sockets) ---------------------------
+
+  /// The router's connection dropped (TmanServerOptions::
+  /// cluster_router_lost): enter the false-death hold if admitted.
+  void OnRouterChannelLost();
+
+  /// A frame arrived on the router's connection at `now_ms`
+  /// (TmanServerOptions::cluster_activity): renews the liveness lease
+  /// and releases a lease self-hold — traffic on the channel means the
+  /// router had not failed over as of sending it.
+  void NoteRouterTraffic(uint64_t now_ms);
+
+  /// Periodic lease check (TmanServerOptions::cluster_tick): self-holds
+  /// when an admitted member has seen no router traffic within
+  /// router_lease_ms.
+  void TickRouterLease(uint64_t now_ms);
 
   // --- pump mode ----------------------------------------------------------
 
@@ -94,7 +124,9 @@ class ClusterNode {
 
   /// Pumps every connection: drains outboxes, decodes and handles
   /// inbound frames, reaps dead connections. Returns true on progress.
-  bool Pump();
+  /// `now_ms` (logical clock, monotonic per caller) feeds the router-
+  /// liveness lease; pass 0 to skip lease accounting for this step.
+  bool Pump(uint64_t now_ms = 0);
 
   size_t active_connections() const { return conns_.size(); }
 
@@ -112,16 +144,24 @@ class ClusterNode {
   Status HandleFrame(NodeConn* conn, const Frame& frame);
   void HandleUpdateBatch(NodeConn* conn, const UpdateBatchFrame& batch);
 
+  /// Pushes the current hold state (hold_ || lease_hold_) into the
+  /// engine: the TriggerManager's task queue pauses while held, so the
+  /// hold binds every driver. Call with mutex_ held after changing
+  /// either flag.
+  void ApplyHoldLocked();
+
   static std::string EncodeEpoch(uint64_t epoch);
   static uint64_t DecodeEpoch(const std::string& blob);
 
   TriggerManager* tman_;
   ClusterNodeOptions options_;
 
-  mutable std::mutex mutex_;  // map_, epoch_, hold_, stats_
+  mutable std::mutex mutex_;  // map_, epoch_, holds, lease, stats_
   PartitionMap map_;
   uint64_t durable_epoch_ = 0;
-  bool hold_ = false;
+  bool hold_ = false;        // fences pending (recovery or channel loss)
+  bool lease_hold_ = false;  // router-liveness lease expired
+  uint64_t last_router_ms_ = 0;
   ClusterNodeStats stats_;
 
   std::vector<NodeConn> conns_;

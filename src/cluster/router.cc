@@ -5,12 +5,43 @@
 #include <sstream>
 #include <utility>
 
+#include "util/codec.h"
 #include "util/logging.h"
 
 namespace tman {
 
+void RouterDurableState::Encode(std::string* out) const {
+  PutU64(out, epoch);
+  PutU32(out, static_cast<uint32_t>(fences.size()));
+  for (const auto& [session, fence] : fences) {
+    PutLengthPrefixed(out, session);
+    PutU64(out, fence);
+  }
+}
+
+Result<RouterDurableState> RouterDurableState::Decode(std::string_view blob) {
+  RouterDurableState state;
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetU64(blob, &pos, &state.epoch) || !GetU32(blob, &pos, &count)) {
+    return Status::Corruption("router state: malformed blob");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view session;
+    uint64_t fence = 0;
+    if (!GetLengthPrefixed(blob, &pos, &session) ||
+        !GetU64(blob, &pos, &fence)) {
+      return Status::Corruption("router state: malformed fence entry");
+    }
+    state.fences[std::string(session)] = fence;
+  }
+  return state;
+}
+
 ClusterRouter::ClusterRouter(ClusterRouterOptions options)
     : options_(std::move(options)), membership_(options_.membership) {
+  epoch_ = options_.initial_state.epoch;
+  fences_ = options_.initial_state.fences;
   if (options_.faults != nullptr) {
     options_.faults->RegisterSite("cluster.route");
     options_.faults->RegisterSite("cluster.connect");
@@ -183,11 +214,26 @@ void ClusterRouter::HandleChannelFrame(const std::string& name,
       }
       ch->map_inflight = false;
       if (ack->status_code != 0) {
-        // A node refusing the map (e.g. it durably holds a newer epoch
-        // than this router) cannot be routed to safely.
         TMAN_LOG(kWarn) << "cluster: " << name << " refused map epoch "
                        << epoch_ << ": " << ack->message;
-        ch->conn->Close();
+        if (ack->prior_epoch > epoch_) {
+          // The node durably installed a newer epoch than this router
+          // remembers — a restarted router behind the cluster's history.
+          // Adopt the node's epoch and rebuild: InstallNewMap bumps to
+          // prior+1, marks every channel unsynced, and the resent map
+          // now clears the node's staleness check. Closing the channel
+          // here (the old behavior) just reconnected and refused again,
+          // forever.
+          ++stats_.epoch_adoptions;
+          TMAN_LOG(kInfo) << "cluster: adopting epoch " << ack->prior_epoch
+                         << " from " << name << " (ours was " << epoch_
+                         << ")";
+          epoch_ = ack->prior_epoch;
+          InstallNewMap();
+        }
+        // Otherwise the refusal was of an older in-flight map (or a
+        // transient node-side persist failure); the current map resends
+        // next pump since map_synced and map_inflight are both false.
         return;
       }
       if (ack->epoch != epoch_) return;  // stale ack; current map resends
@@ -250,13 +296,28 @@ void ClusterRouter::HandleChannelAck(const std::string& name, NodeChannel* ch,
   if (ack.status_code == static_cast<uint8_t>(StatusCode::kUnavailable)) {
     // Partition moved under the batch: the node rejected it whole with no
     // sequence advance. Re-route; the burned sequence numbers are
-    // harmless (node dedup is high-water based).
+    // harmless (node dedup is high-water based). Not counted against the
+    // retry budget — these bounces converge as map installs settle.
     ++stats_.misrouted_retries;
-  } else {
-    TMAN_LOG(kWarn) << "cluster: " << name << " rejected batch: "
-                   << ack.message;
+    for (RoutedToken& token : batch.tokens) Route(std::move(token));
+    return;
   }
-  for (RoutedToken& token : batch.tokens) Route(std::move(token));
+  // A non-retryable node error (e.g. a WAL write failure): re-routing
+  // unconditionally would spin a hot resend loop against the same sick
+  // owner. Give each token a bounded number of attempts, then resolve
+  // its client sequence with the node's error so the session does not
+  // wedge behind it.
+  TMAN_LOG(kWarn) << "cluster: " << name << " rejected batch: "
+                 << ack.message;
+  for (RoutedToken& token : batch.tokens) {
+    if (++token.attempts <= options_.max_token_retries) {
+      Route(std::move(token));
+      continue;
+    }
+    ++stats_.tokens_failed;
+    MarkClientFailed(token.client_session, token.client_seq, ack.status_code,
+                     ack.message);
+  }
 }
 
 void ClusterRouter::FlushChannelBatches(NodeChannel* ch) {
@@ -304,8 +365,12 @@ void ClusterRouter::Failover(const std::string& name, NodeChannel* ch,
 
   // Fence: everything above this backend sequence that the node may have
   // durably accepted (but not acked) is about to be re-routed, and must
-  // not fire from the node's WAL when it rejoins.
+  // not fire from the node's WAL when it rejoins. Persist before
+  // re-routing a single orphan: once a copy is in flight to a new owner,
+  // a router crash that forgot the fence would let the rejoining node
+  // replay the originals.
   fences_[ChannelSession(name)] = ch->acked_seq;
+  PersistStateLocked();
 
   std::vector<RoutedToken> orphans;
   for (ChannelBatch& batch : ch->inflight) {
@@ -357,6 +422,7 @@ void ClusterRouter::InstallNewMap() {
   ++epoch_;
   map_ = BuildPartitionMap(ring_, epoch_, options_.config.num_partitions);
   ++stats_.repartitions;
+  PersistStateLocked();
   // Tokens parked on a channel may now belong elsewhere; re-route them
   // all. (In-flight batches stay — a wrong destination bounces them back
   // with a retryable reject.)
@@ -405,6 +471,29 @@ void ClusterRouter::Route(RoutedToken token) {
   it->second.pending.push_back(std::move(token));
 }
 
+void ClusterRouter::PersistStateLocked() {
+  if (!options_.persist_state) return;
+  RouterDurableState state;
+  state.epoch = epoch_;
+  state.fences = fences_;
+  options_.persist_state(state);
+}
+
+void ClusterRouter::MarkClientFailed(const std::string& session, uint64_t seq,
+                                     uint8_t status_code,
+                                     const std::string& message) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  ClientSession& s = it->second;
+  if (s.error_code == 0) {
+    s.error_code = status_code;
+    s.error = "seq " + std::to_string(seq) + ": " + message;
+  }
+  // Resolve the sequence so the cumulative ack prefix advances past the
+  // failed token; the attached status tells the client it failed.
+  MarkClientAcked(session, seq);
+}
+
 void ClusterRouter::MarkClientAcked(const std::string& session, uint64_t seq) {
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
@@ -436,6 +525,12 @@ uint64_t ClusterRouter::AckedSeq(const std::string& session) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sessions_.find(session);
   return it == sessions_.end() ? 0 : it->second.acked;
+}
+
+uint8_t ClusterRouter::SessionErrorCode(const std::string& session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.error_code;
 }
 
 bool ClusterRouter::IdleLocked() const {
@@ -492,12 +587,20 @@ bool ClusterRouter::PumpClients() {
       progress = true;
       HandleClientFrame(&client, frame);
     }
-    // Push cumulative acks as the contiguous prefix advances.
+    // Push cumulative acks as the contiguous prefix advances; a recorded
+    // token failure rides the next push (and forces one) so the client
+    // learns about it instead of seeing a silently-acked sequence.
     if (client.hello_done && !client.conn->failed()) {
       auto it = sessions_.find(client.session);
-      if (it != sessions_.end() && it->second.acked > client.acked_sent) {
+      if (it != sessions_.end() &&
+          (it->second.acked > client.acked_sent ||
+           it->second.error_code != 0)) {
         UpdateAckFrame ack;
         ack.ack_seq = it->second.acked;
+        ack.status_code = it->second.error_code;
+        ack.message = it->second.error;
+        it->second.error_code = 0;
+        it->second.error.clear();
         client.conn->SendPayload(FrameType::kUpdateAck, ack);
         client.acked_sent = it->second.acked;
       }
@@ -696,9 +799,11 @@ std::string ClusterRouter::StatsStringLocked() const {
   }
   out << "  routed=" << stats_.tokens_routed << " acked=" << stats_.tokens_acked
       << " batches=" << stats_.batches_sent
-      << " misrouted_retries=" << stats_.misrouted_retries << "\n";
+      << " misrouted_retries=" << stats_.misrouted_retries
+      << " failed=" << stats_.tokens_failed << "\n";
   out << "  repartitions=" << stats_.repartitions
       << " failovers=" << stats_.failovers << " rejoins=" << stats_.rejoins
+      << " epoch_adoptions=" << stats_.epoch_adoptions
       << " heartbeats=" << stats_.heartbeats_sent
       << " heartbeat_misses=" << membership_.total_heartbeat_misses();
   return out.str();

@@ -23,6 +23,28 @@
 
 namespace tman {
 
+/// The router state that must survive a router restart for the cluster's
+/// exactly-once guarantees to hold:
+///   * `epoch` — the highest partition-map epoch this router installed.
+///     Nodes persist the epoch they acked and refuse older maps, so a
+///     restarted router that forgot its epoch could never readmit them
+///     (it would push epoch 1 forever). Refused maps also carry the
+///     node's durable epoch and the router adopts it (see
+///     ClusterRouter), so persistence is an optimization for that path —
+///     but it is load-bearing for fences:
+///   * `fences` — per channel session, the highest backend sequence the
+///     router saw acked at that node's last death. Tokens above the
+///     fence were re-routed to new owners; if the fence is lost across a
+///     router restart, a rejoining node replays them from its WAL and
+///     they fire twice.
+struct RouterDurableState {
+  uint64_t epoch = 0;
+  std::map<std::string, uint64_t> fences;
+
+  void Encode(std::string* out) const;
+  static Result<RouterDurableState> Decode(std::string_view blob);
+};
+
 struct ClusterRouterOptions {
   std::string name = "router";
 
@@ -45,6 +67,23 @@ struct ClusterRouterOptions {
 
   /// Send window granted to each front-end client session at hello.
   uint32_t client_initial_credits = 4096;
+
+  /// How many times a token whose batch drew a non-retryable node error
+  /// (anything but the partition-moved Unavailable) is re-routed before
+  /// its client sequence is failed with that error. Unavailable bounces
+  /// are not counted — they converge by map installs.
+  uint32_t max_token_retries = 3;
+
+  /// State recovered from the last incarnation (see RouterDurableState);
+  /// default-empty for a fresh router.
+  RouterDurableState initial_state;
+
+  /// Called (with the router mutex held, so keep it cheap/local) every
+  /// time the durable state changes: after a fence is recorded — before
+  /// the fenced node's tokens are re-routed — and after every epoch
+  /// bump. The callback persists the blob; on restart the caller feeds
+  /// it back through `initial_state`.
+  std::function<void(const RouterDurableState&)> persist_state;
 };
 
 struct ClusterRouterStats {
@@ -58,6 +97,8 @@ struct ClusterRouterStats {
   uint64_t heartbeats_sent = 0;
   uint64_t client_batches = 0;       // front-end update batches received
   uint64_t dedup_client_tokens = 0;  // client resends dropped by session seq
+  uint64_t epoch_adoptions = 0;      // refused maps that raised our epoch
+  uint64_t tokens_failed = 0;        // retry budget exhausted; client told
 };
 
 /// The cluster front end: speaks the TriggerMan framed wire protocol to
@@ -128,6 +169,11 @@ class ClusterRouter {
   /// Highest contiguously-acked sequence for a client session.
   uint64_t AckedSeq(const std::string& session) const;
 
+  /// First recorded-but-unreported token failure for a client session
+  /// (StatusCode; 0 = none). Wire clients get it on their next ack push;
+  /// programmatic submitters (tests, bench) poll it here.
+  uint8_t SessionErrorCode(const std::string& session) const;
+
   /// True when no token is buffered, in flight, or awaiting re-route.
   bool Idle() const;
 
@@ -165,6 +211,8 @@ class ClusterRouter {
     UpdateDescriptor token;
     std::string client_session;
     uint64_t client_seq = 0;
+    uint32_t attempts = 0;  // non-retryable error bounces (see
+                            // max_token_retries); Unavailable not counted
   };
 
   /// A batch written to a node and not yet acked. Backend sequences are
@@ -195,6 +243,12 @@ class ClusterRouter {
     uint64_t high_submitted = 0;
     uint64_t acked = 0;
     std::set<uint64_t> done;  // completed seqs above `acked`
+    // First unreported token failure (retry budget exhausted): attached
+    // to the next cumulative ack pushed to the session's client, then
+    // cleared. The failed sequence still advances the ack prefix —
+    // "acked" means resolved, the status says how.
+    uint8_t error_code = 0;
+    std::string error;
   };
 
   struct ClientConn {
@@ -237,6 +291,9 @@ class ClusterRouter {
   void FinishCommand(uint64_t request_id);
   void Route(RoutedToken token);
   void MarkClientAcked(const std::string& session, uint64_t seq);
+  void MarkClientFailed(const std::string& session, uint64_t seq,
+                        uint8_t status_code, const std::string& message);
+  void PersistStateLocked();
   uint64_t SubmitLocked(const std::string& session,
                         const UpdateDescriptor& token);
   std::string StatsStringLocked() const;

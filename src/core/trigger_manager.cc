@@ -22,7 +22,13 @@ constexpr char kDefaultSetName[] = "default";
 //   u64 ack_seq
 //   u32 token_count, then per token: u64 seq, len-prefixed descriptor
 // WAL kProcessed payload: u64 batch_id, u32 token_index.
-// WAL kCheckpoint payload:
+// WAL kCheckpointV2 payload:
+//   len-prefixed durable meta blob
+//   u32 session_count, per session: len-prefixed name, u64 seq
+//   u32 batch_count, per batch: u64 batch_id, len-prefixed session,
+//     u32 token_count, per token: u32 index, u64 seq,
+//     len-prefixed descriptor
+// WAL kCheckpoint payload (legacy; still replayed, never written):
 //   u32 session_count, per session: len-prefixed name, u64 seq
 //   u32 batch_count, per batch: u64 batch_id, len-prefixed session,
 //     u32 token_count, per token: u32 index, len-prefixed descriptor
@@ -165,6 +171,15 @@ Status TriggerManager::Open() {
     }
     TMAN_ASSIGN_OR_RETURN(wal_, Wal::Open(db_->disk(), *wal_meta));
     TMAN_RETURN_IF_ERROR(RecoverFromWal());
+    // A former cluster member (durable meta carries its partition-map
+    // epoch) that recovered unprocessed tokens must not fire them yet:
+    // the router may have re-routed some while this node was down, and
+    // only the fences on the next partition-map install say which. Pause
+    // dispatch here — before any driver can start — so the hold binds
+    // engine-wide, not just drivers that poll the cluster layer.
+    if (!wal_meta_.empty() && WalPendingTokens() > 0) {
+      task_queue_.Pause();
+    }
   }
   return Status::OK();
 }
@@ -962,7 +977,7 @@ Status TriggerManager::CheckpointWal() {
         PutLengthPrefixed(&payload, token.serialized);
       }
     }
-    auto lsn = wal_->Append(WalRecordType::kCheckpoint, payload);
+    auto lsn = wal_->Append(WalRecordType::kCheckpointV2, payload);
     if (lsn.ok()) {
       end_lsn = *lsn;
     } else {
@@ -1055,6 +1070,51 @@ Status TriggerManager::RecoverFromWal() {
         return Status::OK();
       }
       case WalRecordType::kCheckpoint: {
+        // Legacy layout: no meta blob, no per-token sequence. A log
+        // written by the previous release can only end in records of
+        // this shape; leave `meta` untouched (those logs carry none) and
+        // default each token's seq to 0 (unstamped: replayed
+        // at-least-once, the contract that release gave anyway).
+        sessions.clear();
+        pending.clear();
+        ++info.checkpoints_seen;
+        uint32_t session_count = 0;
+        if (!GetU32(payload, &pos, &session_count)) return WalDecodeError();
+        for (uint32_t i = 0; i < session_count; ++i) {
+          std::string_view name;
+          uint64_t seq = 0;
+          if (!GetLengthPrefixed(payload, &pos, &name) ||
+              !GetU64(payload, &pos, &seq)) {
+            return WalDecodeError();
+          }
+          sessions[std::string(name)] = seq;
+        }
+        uint32_t batch_count = 0;
+        if (!GetU32(payload, &pos, &batch_count)) return WalDecodeError();
+        for (uint32_t b = 0; b < batch_count; ++b) {
+          uint64_t batch_id = 0;
+          std::string_view session;
+          uint32_t token_count = 0;
+          if (!GetU64(payload, &pos, &batch_id) ||
+              !GetLengthPrefixed(payload, &pos, &session) ||
+              !GetU32(payload, &pos, &token_count)) {
+            return WalDecodeError();
+          }
+          ReplayBatch& batch = pending[batch_id];
+          batch.session = std::string(session);
+          for (uint32_t t = 0; t < token_count; ++t) {
+            uint32_t index = 0;
+            std::string_view bytes;
+            if (!GetU32(payload, &pos, &index) ||
+                !GetLengthPrefixed(payload, &pos, &bytes)) {
+              return WalDecodeError();
+            }
+            batch.tokens.emplace(index, ReplayToken{0, std::string(bytes)});
+          }
+        }
+        return Status::OK();
+      }
+      case WalRecordType::kCheckpointV2: {
         sessions.clear();
         pending.clear();
         ++info.checkpoints_seen;
@@ -1169,10 +1229,31 @@ uint64_t TriggerManager::WalPendingTokens() const {
 uint64_t TriggerManager::FenceWalSessions(
     const std::map<std::string, uint64_t>& fences) {
   std::lock_guard<std::mutex> lock(wal_mutex_);
+  // A fence is one-shot: it names the re-route point of ONE death
+  // verdict, and everything staged on the session up to the moment the
+  // fence first arrives (recovered from the dead incarnation's WAL, or
+  // staged live from the dead channel's still-buffered sends) with a seq
+  // above it was re-routed elsewhere and must not fire here. Work staged
+  // AFTER that first application is post-rejoin traffic at higher seqs —
+  // but fences ride every subsequent map install (and survive router
+  // restarts), so re-applying the same fence point later would swallow
+  // acked live tokens that nobody re-routed. Remember what was applied
+  // and only fence forward progress; a reboot clears the memory, which
+  // is exactly right — recovered tokens need the fence again.
+  std::map<std::string, uint64_t> fresh;
+  for (const auto& [session, seq] : fences) {
+    auto applied = wal_fences_applied_.find(session);
+    if (applied != wal_fences_applied_.end() && applied->second >= seq) {
+      continue;
+    }
+    fresh[session] = seq;
+    wal_fences_applied_[session] = seq;
+  }
+  if (fresh.empty()) return 0;
   uint64_t fenced = 0;
   for (auto& [batch_id, batch] : wal_pending_) {
-    auto fence = fences.find(batch.session);
-    if (fence == fences.end()) continue;
+    auto fence = fresh.find(batch.session);
+    if (fence == fresh.end()) continue;
     for (auto& [index, token] : batch.tokens) {
       if (token.seq != 0 && token.seq > fence->second && !token.fenced) {
         token.fenced = true;

@@ -210,7 +210,7 @@ class TriggerManager {
   uint64_t WalPendingTokens() const;
 
   /// Cluster rejoin fencing: for each (session, fence) pair, marks every
-  /// pending (recovered-but-unprocessed) token of that session with
+  /// pending (staged-but-unprocessed) token of that session with
   /// sequence > fence as fenced. A fenced token is never processed — its
   /// task completes by writing the kProcessed marker only. The router
   /// fences a rejoining node at the highest sequence it saw acked on the
@@ -219,7 +219,10 @@ class TriggerManager {
   /// would fire it twice cluster-wide. Returns the number of tokens
   /// fenced. Fences are not durable — the router re-sends them with every
   /// partition-map install, so a crash between fencing and the markers'
-  /// commit just re-fences on the next rejoin.
+  /// commit just re-fences on the next rejoin. Each (session, fence
+  /// point) is applied at most once per process lifetime: later installs
+  /// carrying the same fence must not swallow post-rejoin live traffic
+  /// staged above the old fence point.
   uint64_t FenceWalSessions(const std::map<std::string, uint64_t>& fences);
 
   /// Durable metadata blob riding in the WAL (latest write wins, carried
@@ -230,6 +233,19 @@ class TriggerManager {
 
   /// Last recovered (or set) durable meta blob; empty if none.
   std::string RecoveredMeta() const;
+
+  /// Engine-wide processing hold, enforced inside the task queue: while
+  /// paused no driver (threaded pool or external pumper) pops a task, so
+  /// staged tokens cannot fire. Ingestion, WAL staging and acks continue.
+  /// Open() pauses automatically when a former cluster member (non-empty
+  /// durable meta) recovers unprocessed WAL tokens — the router's rejoin
+  /// fences may invalidate some of them, and the hold must bind before
+  /// any driver starts. The ClusterNode releases it on the next
+  /// partition-map install; a deliberately standalone reopen of an
+  /// ex-member calls ResumeProcessing() itself.
+  void PauseProcessing() { task_queue_.Pause(); }
+  void ResumeProcessing() { task_queue_.Resume(); }
+  bool processing_paused() const { return task_queue_.paused(); }
 
   EventManager& events() { return events_; }
   /// Task-queue depth feeds the remote-ingestion credit window (ipc/);
@@ -389,6 +405,9 @@ class TriggerManager {
   std::condition_variable wal_inflight_cv_;
   // Per-session acknowledged high-water marks (the durable dedup state).
   std::map<std::string, uint64_t> wal_sessions_;
+  // Highest fence point already applied per session (FenceWalSessions);
+  // deliberately NOT durable — a reboot must re-fence recovered tokens.
+  std::map<std::string, uint64_t> wal_fences_applied_;
   // Durable metadata blob (SetDurableMeta); latest record wins on replay.
   std::string wal_meta_;
   std::atomic<bool> wal_checkpointing_{false};

@@ -206,6 +206,7 @@ void TmanServer::CreditLoop() {
       });
     }
     if (!running_.load(std::memory_order_acquire)) return;
+    if (options_.cluster_tick) options_.cluster_tick();
     std::vector<std::shared_ptr<Conn>> snapshot;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -261,6 +262,10 @@ void TmanServer::ConnLoop(std::shared_ptr<Conn> conn) {
     conn->busy.store(true, std::memory_order_release);
     Status s = HandleFrame(conn, *frame);
     conn->busy.store(false, std::memory_order_release);
+    if (conn->is_router.load(std::memory_order_relaxed) &&
+        options_.cluster_activity) {
+      options_.cluster_activity();
+    }
     if (!s.ok()) {
       if (s.code() != StatusCode::kAborted) {
         {
@@ -281,6 +286,10 @@ void TmanServer::ConnLoop(std::shared_ptr<Conn> conn) {
   conn->open.store(false, std::memory_order_relaxed);
   conn->transport->Close();
   if (conn->client != nullptr) conn->client->Close();
+  if (conn->is_router.load(std::memory_order_relaxed) &&
+      options_.cluster_router_lost) {
+    options_.cluster_router_lost();
+  }
   ReleaseCredits(conn);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -560,6 +569,7 @@ Status TmanServer::HandleFrame(const std::shared_ptr<Conn>& conn,
     case FrameType::kPartitionMap: {
       TMAN_ASSIGN_OR_RETURN(PartitionMapFrame map,
                             PartitionMapFrame::Decode(frame.payload));
+      conn->is_router.store(true, std::memory_order_relaxed);
       PartitionMapAckFrame ack;
       if (options_.cluster_map) {
         ack = options_.cluster_map(map);

@@ -52,6 +52,22 @@ struct TmanServerOptions {
   /// Handles a partition-map install from the router; the returned ack is
   /// sent back verbatim.
   std::function<PartitionMapAckFrame(const PartitionMapFrame&)> cluster_map;
+
+  /// A connection that had installed a partition map (the router's) tore
+  /// down. Bound to ClusterNode::OnRouterChannelLost so a member enters
+  /// the false-death processing hold even though the server — not the
+  /// node — owns the sockets.
+  std::function<void()> cluster_router_lost;
+
+  /// A frame arrived on the router's connection. Bound to
+  /// ClusterNode::NoteRouterTraffic (the callback supplies its own
+  /// clock); renews the router-liveness lease.
+  std::function<void()> cluster_activity;
+
+  /// Called once per credit-thread period (~credit_period). Bound to
+  /// ClusterNode::TickRouterLease so a mute partition — no frames, no
+  /// observable close — still expires the lease.
+  std::function<void()> cluster_tick;
 };
 
 struct TmanServerStats {
@@ -131,6 +147,7 @@ class TmanServer {
     std::atomic<bool> done{false};        // worker finished; joinable
     std::atomic<bool> hello_done{false};  // set by worker, read by creditor
     std::atomic<bool> busy{false};        // worker inside HandleFrame (drain)
+    std::atomic<bool> is_router{false};   // sent us a partition map
     std::string name;
     std::unique_ptr<ClientConnection> client;
     std::shared_ptr<Session> session;

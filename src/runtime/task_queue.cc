@@ -122,6 +122,7 @@ bool TaskQueue::TryPop(Task* task) {
 bool TaskQueue::TryPopFromShard(uint32_t home, Task* task) {
   const uint32_t n = static_cast<uint32_t>(shards_.size());
   home %= n;
+  if (paused_.load(std::memory_order_acquire)) return false;
   // Cheap emptiness probe before touching any lock.
   if (size_.load(std::memory_order_acquire) == 0) return false;
   for (uint32_t i = 0; i < n; ++i) {
@@ -157,7 +158,8 @@ bool TaskQueue::WaitPop(Task* task, std::chrono::milliseconds timeout) {
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     bool signaled = sleep_cv_.wait_until(lock, deadline, [this] {
-      return size_.load(std::memory_order_seq_cst) > 0 ||
+      return (!paused_.load(std::memory_order_acquire) &&
+              size_.load(std::memory_order_seq_cst) > 0) ||
              closed_.load(std::memory_order_acquire);
     });
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
@@ -200,6 +202,20 @@ void TaskQueue::WaitIdle() {
             in_flight_.load(std::memory_order_seq_cst) == 0) ||
            closed_.load(std::memory_order_acquire);
   });
+}
+
+void TaskQueue::Pause() {
+  paused_.store(true, std::memory_order_release);
+  Observe("pause");
+}
+
+void TaskQueue::Resume() {
+  if (!paused_.exchange(false, std::memory_order_acq_rel)) return;
+  // Same lost-wakeup guard as WakeSleepers: a driver may have evaluated
+  // the paused predicate but not yet blocked.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
+  Observe("resume");
 }
 
 void TaskQueue::Close() {

@@ -112,6 +112,16 @@ class TaskQueue {
   void Close();
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Pauses dispatch: pops return nothing (WaitPop sleeps) while tasks
+  /// keep accumulating, until Resume(). Tasks already popped finish
+  /// normally. The cluster node holds processing through this gate while
+  /// a router's rejoin fences may still invalidate staged tokens, so the
+  /// hold binds every driver — not just callers that poll a flag. Close()
+  /// overrides a pause (drivers must still exit).
+  void Pause();
+  void Resume();
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
   /// Executors call this after finishing a popped task; WaitIdle uses the
   /// popped-but-unfinished count to define quiescence.
   void MarkDone();
@@ -182,6 +192,7 @@ class TaskQueue {
   std::atomic<size_t> in_flight_{0};
   std::atomic<uint64_t> max_size_{0};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> paused_{false};
 
   // Sleep/wake machinery for WaitPop (used only when drivers run dry).
   mutable std::mutex sleep_mutex_;

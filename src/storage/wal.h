@@ -29,11 +29,14 @@ using Lsn = uint64_t;
 inline constexpr size_t kWalRecordOverhead = 9;
 
 enum class WalRecordType : uint8_t {
-  kBatch = 1,       // a submitted update batch (tokens + session stamp)
-  kProcessed = 2,   // a token of an earlier batch finished processing
-  kCheckpoint = 3,  // snapshot of live state; everything before is dead
-  kMeta = 4,        // opaque durable metadata blob (latest wins; carried
-                    // forward inside checkpoints so truncation keeps it)
+  kBatch = 1,         // a submitted update batch (tokens + session stamp)
+  kProcessed = 2,     // a token of an earlier batch finished processing
+  kCheckpoint = 3,    // legacy checkpoint layout (pre-meta, no per-token
+                      // seq); decoded on replay, never written anymore
+  kMeta = 4,          // opaque durable metadata blob (latest wins; carried
+                      // forward inside checkpoints so truncation keeps it)
+  kCheckpointV2 = 5,  // snapshot of live state (meta blob + sessions +
+                      // pending tokens with seqs); everything before is dead
 };
 
 struct WalStats {

@@ -119,6 +119,7 @@ class Cluster {
     ClusterNodeOptions node_opts;
     node_opts.name = s.name;
     node_opts.config = config_;
+    node_opts.router_lease_ms = router_lease_ms_;
     s.node = std::make_unique<ClusterNode>(s.tman.get(), node_opts);
     s.alive = true;
     s.muted = false;
@@ -177,11 +178,12 @@ class Cluster {
   }
 
   // One bounded deterministic step of node i: pump connections, then run
-  // at most one task (recovered tokens wait out the fencing hold).
-  bool StepNode(size_t i) {
+  // at most one task (recovered tokens wait out the fencing hold). A
+  // non-zero `now_ms` feeds the node's router-liveness lease clock.
+  bool StepNode(size_t i, uint64_t now_ms = 0) {
     NodeSlot& s = *slots_[i];
     if (!s.alive || s.muted) return false;
-    bool progress = s.node->Pump();
+    bool progress = s.node->Pump(now_ms);
     if (!s.node->processing_held()) {
       Task task;
       if (s.tman->task_queue().TryPop(&task)) {
@@ -246,6 +248,10 @@ class Cluster {
     }
   }
 
+  // Opt-in for nodes booted after this call: self-hold when no router
+  // frame arrives within `ms` of logical clock (0 disables, the default).
+  void set_router_lease_ms(uint64_t ms) { router_lease_ms_ = ms; }
+
   const ClusterConfig& config() const { return config_; }
   DataSourceId ds() const { return ds_; }
   size_t size() const { return slots_.size(); }
@@ -255,6 +261,7 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  uint64_t router_lease_ms_ = 0;
   DataSourceId ds_ = 0;
   std::vector<std::unique_ptr<NodeSlot>> slots_;
   std::map<int64_t, int> fired_total_;
@@ -274,7 +281,9 @@ struct ScenarioResult {
 // every queue drained and the maps converge (or the step budget runs out).
 ScenarioResult RunScenario(Cluster* cluster, ClusterRouter* router,
                            uint64_t seed, int total_tokens, int kill_after,
-                           int victim, int rejoin_delay, bool mute_instead) {
+                           int victim, int rejoin_delay, bool mute_instead,
+                           const std::string& session = "client",
+                           int64_t base_id = 1000) {
   ScenarioResult result;
   DeterministicScheduler sched(seed);
   bool done = false;
@@ -307,7 +316,7 @@ ScenarioResult RunScenario(Cluster* cluster, ClusterRouter* router,
     }
     // Completion: everything acked, processed, and the map settled.
     if (submitted == total_tokens &&
-        router->AckedSeq("client") == static_cast<uint64_t>(total_tokens) &&
+        router->AckedSeq(session) == static_cast<uint64_t>(total_tokens) &&
         router->Idle() && cluster->QueuesDrained() &&
         (!killed || rejoined || rejoin_delay < 0) &&
         cluster->MapsConverged(*router)) {
@@ -318,10 +327,10 @@ ScenarioResult RunScenario(Cluster* cluster, ClusterRouter* router,
 
   sched.AddActor("client", [&] {
     if (submitted < total_tokens) {
-      int64_t id = 1000 + submitted;
+      int64_t id = base_id + submitted;
       result.submitted.insert(id);
       id_by_seq.push_back(id);
-      router->Submit("client", cluster->Token(id));
+      router->Submit(session, cluster->Token(id));
       ++submitted;
       if (!killed && kill_after >= 0 && submitted >= kill_after) {
         if (mute_instead) {
@@ -338,7 +347,7 @@ ScenarioResult RunScenario(Cluster* cluster, ClusterRouter* router,
 
   result.steps = sched.Run(400000);
   result.completed = done;
-  uint64_t acked_seq = router->AckedSeq("client");
+  uint64_t acked_seq = router->AckedSeq(session);
   for (uint64_t seq = 1; seq <= acked_seq && seq <= id_by_seq.size(); ++seq) {
     result.acked.insert(id_by_seq[seq - 1]);
   }
@@ -698,6 +707,236 @@ TEST(ClusterTest, WireClientSpeaksFramedProtocolThroughRouter) {
     ++fired;
   }
   EXPECT_EQ(fired, kTokens);
+}
+
+// --- router restart: epoch adoption ------------------------------------
+
+TEST(ClusterTest, RouterRestartAdoptsDurableNodeEpochs) {
+  Cluster cluster(3);
+  cluster.BootAll();
+  ScenarioResult r1;
+  uint64_t old_epoch = 0;
+  {
+    ClusterRouterOptions opts;
+    opts.config = cluster.config();
+    opts.membership = TestMembership();
+    ClusterRouter router(opts);
+    cluster.RegisterNodes(&router);
+    r1 = RunScenario(&cluster, &router, /*seed=*/41, 60, -1, -1, -1, false);
+    ASSERT_TRUE(r1.completed);
+    old_epoch = router.partition_map().epoch;
+    EXPECT_EQ(old_epoch, 3u);
+  }  // the router dies; nothing was persisted
+
+  // Every member durably remembers epoch 3. A replacement router starts
+  // at 0 and its first installs are refused; instead of spinning on the
+  // refusal forever it must adopt the highest epoch the members report
+  // and re-install above it.
+  ClusterRouterOptions opts2;
+  opts2.config = cluster.config();
+  opts2.membership = TestMembership();
+  ClusterRouter router2(opts2);
+  cluster.RegisterNodes(&router2);
+  ScenarioResult r2 = RunScenario(&cluster, &router2, /*seed=*/43, 60, -1, -1,
+                                  -1, false, "client2", /*base_id=*/2000);
+  ASSERT_TRUE(r2.completed) << "replacement router never converged past the "
+                               "members' durable epochs";
+  EXPECT_GE(router2.stats().epoch_adoptions, 1u);
+  EXPECT_GT(router2.partition_map().epoch, old_epoch);
+  ASSERT_TRUE(cluster.MapsConverged(router2));
+
+  std::set<int64_t> submitted = r1.submitted;
+  submitted.insert(r2.submitted.begin(), r2.submitted.end());
+  std::set<int64_t> acked = r1.acked;
+  acked.insert(r2.acked.begin(), r2.acked.end());
+  cluster.CheckExactlyOnce(submitted, acked, /*strict=*/true,
+                           "router-restart");
+}
+
+// --- router restart: persisted fences survive --------------------------
+
+TEST(ClusterTest, RouterRestartRestoresFencesFromPersistedState) {
+  // Phase 1: the victim goes MUTE (alive but silent), the router
+  // declares it dead, persists the fence, and re-routes its unacked
+  // work to the survivors. Then the router itself dies. Phase 2: a
+  // replacement router boots from the persisted snapshot and the victim
+  // comes back. The victim still holds the re-routed tokens — buffered
+  // sends from the dead channel that it stages the moment it wakes up —
+  // and ONLY the restored fence stops it from firing second copies.
+  // Whether any such token exists is interleaving-dependent, so sweep a
+  // few seeds: every one must keep exactly-once, and at least one must
+  // show a nonzero fenced count.
+  uint64_t fences_exercised = 0;
+  for (uint64_t seed : {47u, 101u, 211u, 307u, 401u, 503u}) {
+    Cluster cluster(3);
+    cluster.BootAll();
+    RouterDurableState saved;
+    ScenarioResult r1;
+    {
+      ClusterRouterOptions opts;
+      opts.config = cluster.config();
+      opts.membership = TestMembership();
+      opts.persist_state = [&saved](const RouterDurableState& s) {
+        saved = s;
+      };
+      ClusterRouter router(opts);
+      cluster.RegisterNodes(&router);
+      r1 = RunScenario(&cluster, &router, seed, 120, /*kill_after=*/50,
+                       /*victim=*/1, /*rejoin_delay=*/-1,
+                       /*mute_instead=*/true);
+      ASSERT_TRUE(r1.completed) << "seed " << seed;
+      EXPECT_EQ(router.stats().failovers, 1u) << "seed " << seed;
+    }  // router killed AFTER the failover, BEFORE the victim rejoined
+
+    // The fence for the dead node's channel is in the snapshot: it was
+    // persisted before any orphan was re-routed to a survivor.
+    ASSERT_GT(saved.epoch, 0u) << "seed " << seed;
+    ASSERT_EQ(saved.fences.count("router->n1"), 1u) << "seed " << seed;
+
+    ClusterRouterOptions opts2;
+    opts2.config = cluster.config();
+    opts2.membership = TestMembership();
+    opts2.initial_state = saved;
+    ClusterRouter router2(opts2);
+    cluster.RegisterNodes(&router2);
+    cluster.slot(1).muted = false;  // the silent node wakes up
+    ScenarioResult r2 =
+        RunScenario(&cluster, &router2, seed + 1, 40, -1, -1, -1, false,
+                    "client2", /*base_id=*/3000);
+    ASSERT_TRUE(r2.completed)
+        << "seed " << seed << ": cluster did not settle after restart";
+    EXPECT_GE(router2.partition_map().epoch, saved.epoch);
+    fences_exercised += cluster.slot(1).node->stats().tokens_fenced;
+
+    std::set<int64_t> submitted = r1.submitted;
+    submitted.insert(r2.submitted.begin(), r2.submitted.end());
+    std::set<int64_t> acked = r1.acked;
+    acked.insert(r2.acked.begin(), r2.acked.end());
+    cluster.CheckExactlyOnce(submitted, acked, /*strict=*/false,
+                             "fence-restore seed " + std::to_string(seed));
+  }
+  EXPECT_GT(fences_exercised, 0u)
+      << "no seed left re-routed work staged on the victim; the restored "
+         "fence was never exercised";
+}
+
+// --- node-side lease: self-hold when the router goes mute --------------
+
+TEST(ClusterTest, NodeLeaseSelfHoldsWhenRouterGoesMute) {
+  Cluster cluster(2);
+  // Mirror the production wiring: lease = heartbeat interval x threshold,
+  // the same window after which the router would declare US dead.
+  cluster.set_router_lease_ms(TestMembership().heartbeat_interval_ms *
+                              TestMembership().miss_threshold);
+  cluster.BootAll();
+  ClusterRouterOptions opts;
+  opts.config = cluster.config();
+  opts.membership = TestMembership();
+  ClusterRouter router(opts);
+  cluster.RegisterNodes(&router);
+
+  uint64_t now_ms = 0;
+  auto step_all = [&](bool with_router) {
+    ++now_ms;
+    if (with_router) router.PumpOnce(now_ms);
+    for (size_t i = 0; i < cluster.size(); ++i) cluster.StepNode(i, now_ms);
+  };
+  for (int i = 0; i < 2000 && !(router.partition_map().epoch >= 2 &&
+                                cluster.MapsConverged(router));
+       ++i) {
+    step_all(true);
+  }
+  ASSERT_TRUE(cluster.MapsConverged(router)) << "bootstrap never converged";
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    ASSERT_FALSE(cluster.slot(i).node->processing_held()) << "n" << i;
+  }
+
+  // The router partition goes MUTE: no frames, no observable close. Once
+  // the lease window passes with no router traffic, every member must
+  // stop processing on its own — the router is by now re-routing their
+  // partitions to peers, and a member that kept firing would double-fire.
+  for (int i = 0; i < 60; ++i) step_all(false);
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_TRUE(cluster.slot(i).node->processing_held()) << "n" << i;
+    EXPECT_TRUE(cluster.slot(i).tman->processing_paused()) << "n" << i;
+    EXPECT_GE(cluster.slot(i).node->stats().lease_holds, 1u) << "n" << i;
+  }
+
+  // Router traffic alone renews the lease and releases the self-hold —
+  // no new map install needed (the router never declared anyone dead).
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster.slot(i).node->NoteRouterTraffic(now_ms);
+    EXPECT_FALSE(cluster.slot(i).node->processing_held()) << "n" << i;
+    EXPECT_FALSE(cluster.slot(i).tman->processing_paused()) << "n" << i;
+  }
+}
+
+// --- retry budget: persistent node error surfaces to the client --------
+
+TEST(ClusterTest, RetryBudgetFailsTokensAndSurfacesErrorToClient) {
+  Cluster cluster(2);
+  cluster.BootAll();
+  ClusterRouterOptions opts;
+  opts.config = cluster.config();
+  opts.membership = TestMembership();
+  ClusterRouter router(opts);
+  cluster.RegisterNodes(&router);
+
+  // Converge and warm the channels first, then break n1's WAL for good:
+  // every batch it stages now fails with a real error (not Unavailable),
+  // so its acks reject. The router must retry each token a bounded
+  // number of times, then fail it to the client instead of re-routing
+  // the same batch forever.
+  ScenarioResult warm =
+      RunScenario(&cluster, &router, /*seed=*/59, 10, -1, -1, -1, false);
+  ASSERT_TRUE(warm.completed);
+  cluster.slot(1).db->disk()->fault_injector()->ArmEveryNth(
+      "wal.append", 1, StatusCode::kIoError);
+
+  const int kTokens = 40;
+  DeterministicScheduler sched(61);
+  bool done = false;
+  uint64_t now_ms = 1000;
+  int submitted = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    sched.AddActor(cluster.slot(i).name, [&cluster, i, &done] {
+      cluster.StepNode(i);
+      return !done;
+    });
+  }
+  sched.AddActor("router", [&] {
+    now_ms += 1;
+    router.PumpOnce(now_ms);
+    if (submitted == kTokens &&
+        router.AckedSeq("client2") == static_cast<uint64_t>(kTokens) &&
+        router.Idle()) {
+      done = true;
+    }
+    return !done;
+  });
+  sched.AddActor("client", [&] {
+    if (submitted < kTokens) {
+      router.Submit("client2", cluster.Token(4000 + submitted));
+      ++submitted;
+    }
+    return !done;
+  });
+  sched.Run(400000);
+  ASSERT_TRUE(done) << "acks never completed: a failing token must not "
+                       "stall the session forever";
+
+  cluster.slot(1).db->disk()->fault_injector()->ClearAll();
+  ClusterRouterStats stats = router.stats();
+  EXPECT_GT(stats.tokens_failed, 0u) << "n1 owns partitions; some tokens "
+                                        "must have exhausted the budget";
+  EXPECT_NE(router.SessionErrorCode("client2"), 0);
+  // Tokens owned by the healthy node fired exactly once; failed ones not
+  // at all — never twice.
+  cluster.FinishFirings();
+  for (const auto& [id, n] : cluster.fired_total()) {
+    EXPECT_LE(n, 1) << "token " << id;
+  }
+  EXPECT_GT(stats.tokens_acked, 10u);  // warm phase + n0-owned tokens
 }
 
 // --- determinism of the harness itself ---------------------------------
