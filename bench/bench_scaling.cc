@@ -44,11 +44,18 @@ struct ScalingFixture {
   std::unique_ptr<TriggerManager> tman;
   DataSourceId ds = 0;
 
-  explicit ScalingFixture(uint32_t num_drivers) {
+  /// `token_batch_width` overrides TriggerManagerOptions::batch_size (the
+  /// columnar TokenBatch width, 0 = default); `blocking_consumer` toggles
+  /// the per-event delivery sleep — off for CPU-bound rounds that measure
+  /// the evaluation pipeline itself.
+  explicit ScalingFixture(uint32_t num_drivers,
+                          uint32_t token_batch_width = 0,
+                          bool blocking_consumer = true) {
     TriggerManagerOptions options;
     options.persistent_queue = false;  // hot path: in-memory delivery
     options.driver_config.num_drivers = num_drivers;
     options.driver_config.period = std::chrono::milliseconds(1);
+    if (token_batch_width != 0) options.batch_size = token_batch_width;
     tman = std::make_unique<TriggerManager>(&db, options);
     Check(tman->Open(), "open");
     ds = Check(tman->DefineStreamSource("quotes", QuoteSchema()),
@@ -64,9 +71,11 @@ struct ScalingFixture {
     // The blocking stage: every firing delivers its event to a consumer
     // whose handling takes kDeliveryLatency of wall time (remote push,
     // blocking UDF, engine round trip). Drivers overlap these waits.
-    tman->events().Register("*", [](const Event&) {
-      std::this_thread::sleep_for(kDeliveryLatency);
-    });
+    if (blocking_consumer) {
+      tman->events().Register("*", [](const Event&) {
+        std::this_thread::sleep_for(kDeliveryLatency);
+      });
+    }
     Check(tman->Start(), "start");
   }
 
@@ -93,7 +102,11 @@ struct ScalingFixture {
 
 void BM_DriverScalingTokens(benchmark::State& state) {
   const auto num_drivers = static_cast<uint32_t>(state.range(0));
-  ScalingFixture fx(num_drivers);
+  // Width 1: blocking deliveries overlap best as per-token tasks (a wide
+  // batch would serialize its deliveries inside one driver) — this is
+  // exactly what the batch_size knob is for. BM_TokenBatchWidth measures
+  // the CPU-bound regime where wide batches win.
+  ScalingFixture fx(num_drivers, /*token_batch_width=*/1);
   const int kTokensPerIter = 512;
   for (auto _ : state) {
     fx.RunRound(kTokensPerIter, /*batch_size=*/64);
@@ -170,6 +183,57 @@ void BM_TaskQueuePushBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_TaskQueuePushBatch);
+
+// Consumer-side mirror: drain 256 queued tasks through PopBatch at
+// claim widths 8/64/256 — one shard-lock acquisition per claim instead
+// of one per task.
+void BM_TaskQueuePopBatch(benchmark::State& state) {
+  TaskQueue queue;
+  const auto width = static_cast<size_t>(state.range(0));
+  const int kTasks = 256;
+  std::vector<Task> out;
+  out.reserve(width);
+  for (auto _ : state) {
+    for (int i = 0; i < kTasks; ++i) {
+      Task t;
+      t.kind = TaskKind::kProcessToken;
+      t.work = [] { return Status::OK(); };
+      queue.Push(std::move(t));
+    }
+    size_t n;
+    while ((n = queue.PopBatch(&out, width)) != 0) {
+      for (size_t k = 0; k < n; ++k) queue.MarkDone();
+      out.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_TaskQueuePopBatch)->Arg(8)->Arg(64)->Arg(256);
+
+// --- batched dispatch: columnar token-batch width sweep ---------------------
+
+// End-to-end CPU-bound pipeline (no blocking consumer) at TokenBatch
+// widths 8/64/256: ingestion chunks flow through PushBatchToShard ->
+// PopBatch -> ProcessTokenBatch -> the batched compiled evaluator, so
+// the per-token cost shows the batch width amortizing dispatch and
+// enabling the columnar kernels.
+void BM_TokenBatchWidth(benchmark::State& state) {
+  const auto width = static_cast<uint32_t>(state.range(0));
+  ScalingFixture fx(/*num_drivers=*/2, /*token_batch_width=*/width,
+                    /*blocking_consumer=*/false);
+  const int kTokensPerIter = 2048;
+  for (auto _ : state) {
+    fx.RunRound(kTokensPerIter, /*batch_size=*/256);
+  }
+  state.SetItemsProcessed(state.iterations() * kTokensPerIter);
+  state.counters["batch"] = width;
+}
+BENCHMARK(BM_TokenBatchWidth)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // --- choke point 2: the striped predicate index -----------------------------
 
@@ -250,7 +314,10 @@ BENCHMARK(BM_TriggerCachePinHot)->Threads(1)->Threads(4)->Threads(8);
 
 /// One timed round at a given driver count; returns tokens per second.
 double SmokeRound(uint32_t num_drivers, int tokens) {
-  ScalingFixture fx(num_drivers);
+  // Per-token tasks, as in BM_DriverScalingTokens: the bound asserts
+  // driver overlap of blocking deliveries, so the fixture picks the
+  // batch width that regime calls for.
+  ScalingFixture fx(num_drivers, /*token_batch_width=*/1);
   // Warm the caches and the trigger pins outside the timed region.
   fx.RunRound(/*tokens=*/32, /*batch_size=*/32);
   auto start = std::chrono::steady_clock::now();

@@ -176,19 +176,30 @@ int main(int argc, char** argv) {
       // much of its work was stolen by drivers homed elsewhere.
       auto qs = tman.task_queue().stats();
       std::printf(
-          "  queue: pushed=%llu popped=%llu steals=%llu high-water=%llu\n",
+          "  queue: pushed=%llu popped=%llu steals=%llu high-water=%llu "
+          "batch-pops=%llu avg-batch=%.1f\n",
           static_cast<unsigned long long>(qs.pushed),
           static_cast<unsigned long long>(qs.popped),
           static_cast<unsigned long long>(qs.steals),
-          static_cast<unsigned long long>(qs.max_size));
+          static_cast<unsigned long long>(qs.max_size),
+          static_cast<unsigned long long>(qs.batch_pops),
+          qs.batch_pops == 0
+              ? 0.0
+              : static_cast<double>(qs.batch_pop_tasks) / qs.batch_pops);
       auto shards = tman.task_queue().shard_stats();
       for (size_t i = 0; i < shards.size(); ++i) {
         std::printf(
-            "    shard %zu: depth=%zu pushed=%llu popped=%llu stolen=%llu\n",
+            "    shard %zu: depth=%zu pushed=%llu popped=%llu stolen=%llu "
+            "batch-pops=%llu avg-batch=%.1f\n",
             i, shards[i].depth,
             static_cast<unsigned long long>(shards[i].pushed),
             static_cast<unsigned long long>(shards[i].popped),
-            static_cast<unsigned long long>(shards[i].steals));
+            static_cast<unsigned long long>(shards[i].steals),
+            static_cast<unsigned long long>(shards[i].batch_pops),
+            shards[i].batch_pops == 0
+                ? 0.0
+                : static_cast<double>(shards[i].batch_pop_tasks) /
+                      shards[i].batch_pops);
       }
       uint64_t pins = st.cache.hits + st.cache.misses;
       std::printf(

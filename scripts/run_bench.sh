@@ -46,6 +46,18 @@ echo "Wrote BENCH_scaling.json"
 
 echo "Wrote BENCH_eval.json"
 
+# The batched lanes in isolation: columnar batch widths 8/64/256 through
+# the compiled evaluator (bench_eval) and the token pipeline / task queue
+# (bench_scaling). Kept as a separate artifact so the scalar-vs-batched
+# comparison survives reruns of the main suites.
+./build/bench/bench_eval \
+  --benchmark_filter='Batched' \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_batch.json \
+  --benchmark_out_format=json
+
+echo "Wrote BENCH_batch.json"
+
 ./build/bench/bench_cluster \
   --benchmark_format=json \
   --benchmark_out=BENCH_cluster.json \

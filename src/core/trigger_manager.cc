@@ -678,16 +678,21 @@ Status TriggerManager::SubmitUpdateBatch(
   tasks.reserve(tokens.size());
   const bool persistent =
       options_.persistent_queue && update_queue_ != nullptr;
-  for (const UpdateDescriptor& token : tokens) {
-    Status s = Status::OK();
-    if (persistent) {
-      std::string record;
-      token.Serialize(&record);
-      s = update_queue_->Enqueue(record);
-      if (s.ok()) tasks.push_back(MakePumpTask());
-    } else {
-      AppendTokenTasks(token, &tasks);
+  if (!persistent) {
+    // Memory mode: the batch is chunked into columnar token-batch tasks
+    // so the whole group rides the batched pipeline end-to-end.
+    AppendTokenBatchTasks(tokens, &tasks);
+    if (per_update != nullptr) {
+      per_update->assign(tokens.size(), Status::OK());
     }
+    task_queue_.PushBatch(std::move(tasks));
+    return first_error;
+  }
+  for (const UpdateDescriptor& token : tokens) {
+    std::string record;
+    token.Serialize(&record);
+    Status s = update_queue_->Enqueue(record);
+    if (s.ok()) tasks.push_back(MakePumpTask());
     if (!s.ok() && first_error.ok()) first_error = s;
     if (per_update != nullptr) per_update->push_back(std::move(s));
   }
@@ -716,6 +721,36 @@ void TriggerManager::AppendTokenTasks(const UpdateDescriptor& token,
       return ProcessToken(copy, p, parts);
     };
     out->push_back(std::move(task));
+  }
+}
+
+void TriggerManager::AppendTokenBatchTasks(
+    const std::vector<UpdateDescriptor>& tokens, std::vector<Task>* out) {
+  const size_t chunk = options_.batch_size;
+  if (chunk <= 1) {
+    for (const UpdateDescriptor& token : tokens) AppendTokenTasks(token, out);
+    return;
+  }
+  const uint32_t parts = std::max(1u, options_.condition_partitions);
+  for (size_t begin = 0; begin < tokens.size(); begin += chunk) {
+    const size_t end = std::min(tokens.size(), begin + chunk);
+    if (end - begin == 1) {
+      AppendTokenTasks(tokens[begin], out);
+      continue;
+    }
+    // The group is shared by its partition tasks; each runs the whole
+    // group through the batched pipeline for its partition.
+    auto group = std::make_shared<std::vector<UpdateDescriptor>>(
+        tokens.begin() + begin, tokens.begin() + end);
+    for (uint32_t p = 0; p < parts; ++p) {
+      Task task;
+      task.kind = parts == 1 ? TaskKind::kProcessToken
+                             : TaskKind::kProcessTokenPartition;
+      task.work = [this, group, p, parts]() {
+        return ProcessTokenBatch(*group, p, parts);
+      };
+      out->push_back(std::move(task));
+    }
   }
 }
 
@@ -898,11 +933,14 @@ Task TriggerManager::MakeWalPumpTask() {
             std::string_view(*record).substr(pos)));
     std::vector<Task> tasks;
     AppendWalTokenTasks(t, batch_id, index, &tasks);
-    if (tasks.size() == 1) {
-      task_queue_.Push(std::move(tasks.front()));
-    } else {
-      task_queue_.PushBatch(std::move(tasks));
-    }
+    // One explicit-shard batch push per staged record: recovery replay
+    // runs many pump tasks back to back, and pushing their token tasks
+    // one by one would serialize every pump on its home-shard lock.
+    // Spreading by batch id also scatters a large replay across shards
+    // instead of piling it onto the pumping thread's shard.
+    task_queue_.PushBatchToShard(
+        static_cast<uint32_t>(batch_id % task_queue_.num_shards()),
+        std::move(tasks));
     return Status::OK();
   };
   return task;
@@ -1294,12 +1332,19 @@ std::string TriggerManager::RecoveredMeta() const {
 }
 
 Status TriggerManager::ProcessPending() {
-  Task task;
-  while (task_queue_.TryPop(&task)) {
-    Status s = task.work();
-    task_queue_.MarkDone();
-    if (!s.ok()) {
-      TMAN_LOG(kWarn) << "task failed: " << s.ToString();
+  // Batched pop: one shard-lock acquisition claims a run of tasks, the
+  // same amortization the driver pool gets from DriverConfig::pop_batch.
+  std::vector<Task> tasks;
+  const size_t chunk = std::max<uint32_t>(1, options_.batch_size);
+  for (;;) {
+    tasks.clear();
+    if (task_queue_.PopBatch(&tasks, chunk) == 0) break;
+    for (Task& task : tasks) {
+      Status s = task.work();
+      task_queue_.MarkDone();
+      if (!s.ok()) {
+        TMAN_LOG(kWarn) << "task failed: " << s.ToString();
+      }
     }
   }
   return Status::OK();
@@ -1325,13 +1370,9 @@ bool TriggerManager::IsEnabled(TriggerId id) const {
   return sit == set_enabled_.end() || sit->second;
 }
 
-Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
-                                    uint32_t partition,
-                                    uint32_t num_partitions) {
-  if (partition == 0) {
-    tokens_processed_.fetch_add(1, std::memory_order_relaxed);
-  }
-
+Status TriggerManager::MaintainToken(const UpdateDescriptor& token,
+                                     uint32_t partition,
+                                     uint32_t num_partitions) {
   // Maintenance pass (only when some trigger on this source keeps state:
   // stored alpha memories of multi-variable triggers, or aggregate
   // groups). Matching here ignores event opcodes — state must track the
@@ -1396,6 +1437,16 @@ Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
       TMAN_RETURN_IF_ERROR(maintain(*token.new_tuple, /*add=*/true));
     }
   }
+  return Status::OK();
+}
+
+Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
+                                    uint32_t partition,
+                                    uint32_t num_partitions) {
+  if (partition == 0) {
+    tokens_processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  TMAN_RETURN_IF_ERROR(MaintainToken(token, partition, num_partitions));
 
   // Fire matching: event condition + selection predicate through the
   // predicate index, then joins, then actions.
@@ -1413,6 +1464,71 @@ Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
         if (!s.ok()) inner = s;
       }));
   return inner;
+}
+
+Status TriggerManager::ProcessTokenBatch(
+    const std::vector<UpdateDescriptor>& tokens, uint32_t partition,
+    uint32_t num_partitions) {
+  if (tokens.empty()) return Status::OK();
+  if (partition == 0) {
+    tokens_processed_.fetch_add(tokens.size(), std::memory_order_relaxed);
+  }
+
+  // Maintenance stays per token and in submission order: alpha-memory and
+  // aggregate-group upkeep is stateful, so reordering across tokens would
+  // change join results. A token whose maintenance fails is excluded from
+  // the fire pass (the scalar pipeline would have returned before
+  // matching it) without stopping its batch-mates.
+  std::vector<Status> lane_status(tokens.size());
+  bool any_failed = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    lane_status[i] = MaintainToken(tokens[i], partition, num_partitions);
+    if (!lane_status[i].ok()) any_failed = true;
+  }
+
+  const std::vector<UpdateDescriptor>* match_tokens = &tokens;
+  std::vector<UpdateDescriptor> filtered;
+  std::vector<uint32_t> lane_map;  // filtered lane -> original index
+  if (any_failed) {
+    for (uint32_t i = 0; i < tokens.size(); ++i) {
+      if (!lane_status[i].ok()) continue;
+      filtered.push_back(tokens[i]);
+      lane_map.push_back(i);
+    }
+    match_tokens = &filtered;
+  }
+
+  // One batched fire pass for the whole group: probes hashed per
+  // (stripe, source) group, rest-of-predicates through the batched VM.
+  if (!match_tokens->empty()) {
+    std::vector<Status> match_status;
+    (void)pindex_->MatchBatch(
+        *match_tokens, partition, num_partitions,
+        [&](size_t lane, const PredicateMatch& m) {
+          size_t orig = any_failed ? lane_map[lane] : lane;
+          if (!lane_status[orig].ok()) return;
+          if (!IsEnabled(m.trigger_id)) return;
+          auto pinned = cache_->Pin(m.trigger_id);
+          if (!pinned.ok()) {
+            lane_status[orig] = pinned.status();
+            return;
+          }
+          Status s = RunFiring(m, *pinned, tokens[orig]);
+          if (!s.ok()) lane_status[orig] = s;
+        },
+        &match_status);
+    for (size_t lane = 0; lane < match_status.size(); ++lane) {
+      size_t orig = any_failed ? lane_map[lane] : lane;
+      if (lane_status[orig].ok() && !match_status[lane].ok()) {
+        lane_status[orig] = match_status[lane];
+      }
+    }
+  }
+
+  for (const Status& s : lane_status) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 Status TriggerManager::RunFiring(const PredicateMatch& match,

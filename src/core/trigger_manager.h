@@ -18,6 +18,7 @@
 #include "core/events.h"
 #include "core/trigger.h"
 #include "db/database.h"
+#include "expr/token_batch.h"
 #include "predindex/predicate_index.h"
 #include "runtime/driver.h"
 #include "runtime/task_queue.h"
@@ -49,6 +50,13 @@ struct TriggerManagerOptions {
   /// Condition-level concurrency (Figure 5): fan each token into this
   /// many partition tasks. 1 = token-level concurrency only.
   uint32_t condition_partitions = 1;
+
+  /// Columnar token-batch size: memory-mode batch submissions are chunked
+  /// into groups of up to this many tokens, each group processed as ONE
+  /// task through the batched predicate-index probe and the batched
+  /// bytecode VM. <= 1 disables batching (every token gets its own task
+  /// and runs the scalar pipeline — the differential-testing oracle).
+  uint32_t batch_size = kDefaultTokenBatchSize;
 
   /// Rule-action concurrency: run fired actions as separate tasks
   /// instead of inline with condition testing.
@@ -288,6 +296,21 @@ class TriggerManager {
   Status ProcessToken(const UpdateDescriptor& token, uint32_t partition,
                       uint32_t num_partitions);
 
+  /// Batched token pipeline: the maintenance pass runs per token (alpha
+  /// memory upkeep is stateful and order-sensitive), then ALL tokens go
+  /// through one PredicateIndex::MatchBatch fire pass — grouped probe
+  /// hashing and batched rest-of-predicate eval — with per-lane error
+  /// isolation (a failing token never stops its batch-mates). Firing
+  /// order per token is exactly the scalar order. Returns the first
+  /// per-token error.
+  Status ProcessTokenBatch(const std::vector<UpdateDescriptor>& tokens,
+                           uint32_t partition, uint32_t num_partitions);
+
+  /// The maintenance pass of ProcessToken (stored alpha memories,
+  /// aggregate group state), shared by the scalar and batched pipelines.
+  Status MaintainToken(const UpdateDescriptor& token, uint32_t partition,
+                       uint32_t num_partitions);
+
   Status RunFiring(const PredicateMatch& match, const TriggerHandle& trigger,
                    const UpdateDescriptor& token);
 
@@ -341,6 +364,12 @@ class TriggerManager {
   /// partition) without pushing, so batch submission can hand the whole
   /// set to TaskQueue::PushBatch in one call.
   void AppendTokenTasks(const UpdateDescriptor& token, std::vector<Task>* out);
+
+  /// Chunks `tokens` into groups of options_.batch_size and builds one
+  /// ProcessTokenBatch task per (group, partition). batch_size <= 1
+  /// degrades to per-token AppendTokenTasks (scalar pipeline).
+  void AppendTokenBatchTasks(const std::vector<UpdateDescriptor>& tokens,
+                             std::vector<Task>* out);
 
   /// Builds the pump task that drains one record from the persistent
   /// update queue (§3 staging).

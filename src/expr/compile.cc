@@ -1,6 +1,8 @@
 #include "expr/compile.h"
 
 #include <cmath>
+#include <cstring>
+#include <deque>
 #include <sstream>
 
 #include "expr/eval.h"
@@ -815,6 +817,1036 @@ Result<bool> CompiledPredicate::EvalBool(const Tuple* const* tuples,
   TMAN_ASSIGN_OR_RETURN(const Value* out,
                         Run(tuples, num_tuples, params, num_params));
   return Truthy(*out);
+}
+
+namespace {
+
+/// A lane whose resume counter holds this value has raised an error and
+/// executes nothing further; any taken branch target is smaller.
+constexpr uint32_t kLaneDead = 0xFFFFFFFFu;
+
+// The batched register file is columnar and typed: one tag byte plus one
+// 8-byte payload per (register, lane) instead of a variant Value. Lane
+// reads and writes are plain loads/stores — no variant emplace, no string
+// construction. Strings are borrowed pointers into the tuples, the const
+// pool, the params, or the per-call owned-string pool, all of which
+// outlive the call. Field operands decode into cached columns once per
+// batch; const/param operands broadcast into stride-1 columns, so every
+// inner loop reads plain arrays.
+constexpr uint8_t kTagNull = BatchResult::kTagNull;
+constexpr uint8_t kTagInt = BatchResult::kTagInt;
+constexpr uint8_t kTagFloat = BatchResult::kTagFloat;
+constexpr uint8_t kTagStr = BatchResult::kTagStr;
+/// Column-only sentinel: the lane's tuple was missing or too short. The
+/// first *executing* instruction that reads it raises the scalar VM's
+/// "field out of range" error; decoding alone never errors.
+constexpr uint8_t kTagOob = 4;
+
+using LaneVal = BatchResult::Payload;
+
+[[gnu::always_inline]] inline void DecodeValue(const Value& v, uint8_t* tag,
+                                               LaneVal* val) {
+  if (const int64_t* p = v.if_int()) {
+    *tag = kTagInt;
+    val->i = *p;
+  } else if (const double* p = v.if_float()) {
+    *tag = kTagFloat;
+    val->f = *p;
+  } else if (const std::string* p = v.if_string()) {
+    *tag = kTagStr;
+    val->s = p;
+  } else {
+    *tag = kTagNull;
+  }
+}
+
+/// Rebuilds a Value for the rare mixed-type fallbacks (which reuse the
+/// scalar EvalComparisonOp / EvalArithmeticOp helpers).
+inline Value ToValue(uint8_t tag, const LaneVal& val) {
+  switch (tag) {
+    case kTagInt:
+      return Value::Int(val.i);
+    case kTagFloat:
+      return Value::Float(val.f);
+    case kTagStr:
+      return Value::String(*val.s);
+    default:
+      return Value::Null();
+  }
+}
+
+/// Truthiness of a lane already known to be non-null (and in range);
+/// mirrors the scalar VM's TruthyNonNull.
+inline bool TruthyLane(uint8_t tag, const LaneVal& val) {
+  switch (tag) {
+    case kTagInt:
+      return val.i != 0;
+    case kTagFloat:
+      return val.f != 0.0;
+    case kTagStr:
+      return !val.s->empty();
+    default:
+      return false;
+  }
+}
+
+/// Reusable per-thread scratch for EvalBatch: the column-major typed
+/// register file, the decoded-field column cache, and the broadcast
+/// columns const/param operands expand into. Grown once per thread, never
+/// shrunk — batched evaluation allocates nothing per call in steady state
+/// (the owned-string pool only fills when upper()/lower() or a mixed-type
+/// fallback produces a string).
+struct BatchScratch {
+  std::vector<uint8_t> tag;      // tag[r * lanes + lane]
+  std::vector<LaneVal> val;      // val[r * lanes + lane]
+  std::vector<uint32_t> resume;  // per-lane next-active pc (kLaneDead = dead)
+  std::vector<uint32_t> slow;    // lanes deferred to the scalar fallbacks
+  std::vector<uint32_t> fkeys;   // distinct (slot << 16 | field) operands
+  std::vector<uint8_t> fdecoded;
+  std::vector<uint8_t> fpure;    // per cached column: kTagInt/kTagFloat/0
+  std::vector<uint8_t> regpure;  // per register: purity of its last write
+  std::vector<uint8_t> fct;      // decoded field columns, fkeys-indexed
+  std::vector<LaneVal> fcv;
+  std::vector<uint8_t> bxt, byt;  // broadcast const/param operand columns
+  std::vector<LaneVal> bxv, byv;
+  std::deque<std::string> owned;  // strings created during this call
+};
+
+/// Decodes one (slot, field) operand for every lane. Missing tuples and
+/// short tuples become kTagOob lanes; no error is raised here. `purity`
+/// summarizes the column: kTagInt / kTagFloat when every lane holds that
+/// type, 0 otherwise — downstream ops use it to pick their branch-free
+/// kernels without rescanning the tags.
+[[gnu::noinline]] void DecodeFieldColumn(const Tuple* const* tuples,
+                                         uint16_t field, size_t lanes,
+                                         uint8_t* t, LaneVal* v,
+                                         uint8_t* purity) {
+  uint8_t andt = 0xFF, ort = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    const Tuple* tp = tuples[i];
+    uint8_t tg = kTagOob;
+    if (tp != nullptr && field < tp->size()) {
+      DecodeValue(tp->at(field), &tg, &v[i]);
+    }
+    t[i] = tg;
+    andt &= tg;
+    ort |= tg;
+  }
+  *purity =
+      (andt == ort && (andt == kTagInt || andt == kTagFloat)) ? andt : 0;
+}
+
+/// True if any lane executes the instruction at `pc`.
+inline bool AnyActive(const uint32_t* resume, uint32_t pc, size_t lanes) {
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] <= pc) return true;
+  }
+  return false;
+}
+
+// The hot per-opcode loops live in small noinline functions: each gets
+// its own register allocation (the monolithic dispatch function spilled
+// loop state to the stack on every lane). When the caller's purity
+// metadata proves every lane active and typed alike (tracked per column
+// at decode time and per register at write time — no rescans), the loop
+// runs a flat branch-free kernel the compiler auto-vectorizes; otherwise
+// it falls to a per-lane loop whose branches are predictable for
+// homogeneous batches. Lanes needing the scalar helpers (mixed types,
+// out-of-range fields, zero divisors) are appended to `slow` for the
+// caller.
+
+template <typename ICmp>
+[[gnu::noinline]] size_t CmpIILoop(bool pure, const uint8_t* lt,
+                                   const LaneVal* lv, const uint8_t* rt,
+                                   const LaneVal* rv, const uint32_t* resume,
+                                   uint32_t pc, size_t lanes, uint8_t* dt,
+                                   LaneVal* dv, uint32_t* slow, ICmp icmp) {
+  if (pure) {
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].i = icmp(lv[i].i, rv[i].i) ? 1 : 0;
+    }
+    std::memset(dt, kTagInt, lanes);
+    return 0;
+  }
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagInt && b == kTagInt) {
+      dt[i] = kTagInt;
+      dv[i].i = icmp(lv[i].i, rv[i].i) ? 1 : 0;
+    } else if (a == kTagNull || b == kTagNull) {
+      // OOB outranks null: the scalar VM raises before reading types.
+      if (a == kTagOob || b == kTagOob) {
+        slow[ns++] = static_cast<uint32_t>(i);
+      } else {
+        dt[i] = kTagNull;
+      }
+    } else {
+      slow[ns++] = static_cast<uint32_t>(i);
+    }
+  }
+  return ns;
+}
+
+template <typename ICmp, typename FCmp>
+[[gnu::noinline]] size_t CmpFFLoop(bool all_int, bool all_float,
+                                   const uint8_t* lt, const LaneVal* lv,
+                                   const uint8_t* rt, const LaneVal* rv,
+                                   const uint32_t* resume, uint32_t pc,
+                                   size_t lanes, uint8_t* dt, LaneVal* dv,
+                                   uint32_t* slow, ICmp icmp, FCmp fcmp) {
+  if (all_int) {
+    // Int/int stays an exact 64-bit compare even on the float path,
+    // matching the scalar VM (doubles lose low bits).
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].i = icmp(lv[i].i, rv[i].i) ? 1 : 0;
+    }
+    std::memset(dt, kTagInt, lanes);
+    return 0;
+  }
+  if (all_float) {
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].i = fcmp(lv[i].f, rv[i].f) ? 1 : 0;
+    }
+    std::memset(dt, kTagInt, lanes);
+    return 0;
+  }
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagInt && b == kTagInt) {
+      dt[i] = kTagInt;
+      dv[i].i = icmp(lv[i].i, rv[i].i) ? 1 : 0;
+    } else if (a == kTagOob || b == kTagOob) {
+      slow[ns++] = static_cast<uint32_t>(i);
+    } else if (a == kTagNull || b == kTagNull) {
+      dt[i] = kTagNull;
+    } else if (a != kTagStr && b != kTagStr) {
+      const double x = a == kTagInt ? static_cast<double>(lv[i].i) : lv[i].f;
+      const double y = b == kTagInt ? static_cast<double>(rv[i].i) : rv[i].f;
+      dt[i] = kTagInt;
+      dv[i].i = fcmp(x, y) ? 1 : 0;
+    } else {
+      slow[ns++] = static_cast<uint32_t>(i);
+    }
+  }
+  return ns;
+}
+
+template <typename IOp>
+[[gnu::noinline]] size_t ArithIILoop(bool pure, const uint8_t* lt,
+                                     const LaneVal* lv, const uint8_t* rt,
+                                     const LaneVal* rv, const uint32_t* resume,
+                                     uint32_t pc, size_t lanes, uint8_t* dt,
+                                     LaneVal* dv, uint32_t* slow, IOp iop) {
+  if (pure) {
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].i = iop(lv[i].i, rv[i].i);
+    }
+    std::memset(dt, kTagInt, lanes);
+    return 0;
+  }
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagInt && b == kTagInt) {
+      dt[i] = kTagInt;
+      dv[i].i = iop(lv[i].i, rv[i].i);
+    } else if (a == kTagNull || b == kTagNull) {
+      if (a == kTagOob || b == kTagOob) {
+        slow[ns++] = static_cast<uint32_t>(i);
+      } else {
+        dt[i] = kTagNull;
+      }
+    } else {
+      slow[ns++] = static_cast<uint32_t>(i);
+    }
+  }
+  return ns;
+}
+
+template <typename IOp, typename FOp>
+[[gnu::noinline]] size_t ArithFFLoop(bool all_int, bool all_float,
+                                     const uint8_t* lt, const LaneVal* lv,
+                                     const uint8_t* rt, const LaneVal* rv,
+                                     const uint32_t* resume, uint32_t pc,
+                                     size_t lanes, uint8_t* dt, LaneVal* dv,
+                                     uint32_t* slow, IOp iop, FOp fop) {
+  if (all_int) {
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].i = iop(lv[i].i, rv[i].i);
+    }
+    std::memset(dt, kTagInt, lanes);
+    return 0;
+  }
+  if (all_float) {
+    for (size_t i = 0; i < lanes; ++i) {
+      dv[i].f = fop(lv[i].f, rv[i].f);
+    }
+    std::memset(dt, kTagFloat, lanes);
+    return 0;
+  }
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagInt && b == kTagInt) {
+      dt[i] = kTagInt;
+      dv[i].i = iop(lv[i].i, rv[i].i);
+    } else if (a == kTagOob || b == kTagOob) {
+      slow[ns++] = static_cast<uint32_t>(i);
+    } else if ((a == kTagInt || a == kTagFloat) &&
+               (b == kTagInt || b == kTagFloat)) {
+      const double x = a == kTagInt ? static_cast<double>(lv[i].i) : lv[i].f;
+      const double y = b == kTagInt ? static_cast<double>(rv[i].i) : rv[i].f;
+      dt[i] = kTagFloat;
+      dv[i].f = fop(x, y);
+    } else if (a == kTagNull || b == kTagNull) {
+      dt[i] = kTagNull;
+    } else {
+      slow[ns++] = static_cast<uint32_t>(i);
+    }
+  }
+  return ns;
+}
+
+/// Division (int or numeric): zero divisors and mixed types defer to the
+/// scalar EvalArithmeticOp, which raises exactly the scalar messages
+/// ("integer division by zero" / "division by zero").
+[[gnu::noinline]] size_t DivLoop(bool int_only, const uint8_t* lt,
+                                 const LaneVal* lv, const uint8_t* rt,
+                                 const LaneVal* rv, const uint32_t* resume,
+                                 uint32_t pc, size_t lanes, uint8_t* dt,
+                                 LaneVal* dv, uint32_t* slow) {
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagInt && b == kTagInt) {
+      if (rv[i].i == 0) {
+        slow[ns++] = static_cast<uint32_t>(i);
+      } else {
+        dt[i] = kTagInt;
+        dv[i].i = lv[i].i / rv[i].i;
+      }
+    } else if (a == kTagOob || b == kTagOob) {
+      slow[ns++] = static_cast<uint32_t>(i);
+    } else if (!int_only && (a == kTagInt || a == kTagFloat) &&
+               (b == kTagInt || b == kTagFloat)) {
+      const double y = b == kTagInt ? static_cast<double>(rv[i].i) : rv[i].f;
+      if (y == 0.0) {
+        slow[ns++] = static_cast<uint32_t>(i);
+      } else {
+        const double x = a == kTagInt ? static_cast<double>(lv[i].i) : lv[i].f;
+        dt[i] = kTagFloat;
+        dv[i].f = x / y;
+      }
+    } else if (a == kTagNull || b == kTagNull) {
+      dt[i] = kTagNull;
+    } else {
+      slow[ns++] = static_cast<uint32_t>(i);
+    }
+  }
+  return ns;
+}
+
+/// Short-circuit branch: lanes whose operand truth matches `want` latch
+/// the boolean result and skip to `target`. Out-of-range lanes defer.
+/// `branched` reports how many lanes left the straight line — while it
+/// stays zero the caller keeps its all-lanes-active purity fast paths.
+[[gnu::noinline]] size_t BranchLoop(const uint8_t* t, const LaneVal* v,
+                                    uint32_t* resume, uint32_t pc,
+                                    uint32_t target, bool want, size_t lanes,
+                                    uint8_t* dt, LaneVal* dv, uint32_t* slow,
+                                    size_t* branched) {
+  size_t ns = 0;
+  size_t nb = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t tag = t[i];
+    if (tag == kTagOob) {
+      slow[ns++] = static_cast<uint32_t>(i);
+      continue;
+    }
+    if (tag == kTagNull) continue;
+    if (TruthyLane(tag, v[i]) == want) {
+      dt[i] = kTagInt;
+      dv[i].i = want ? 1 : 0;
+      resume[i] = target;
+      ++nb;
+    }
+  }
+  *branched = nb;
+  return ns;
+}
+
+/// Three-valued AND/OR merge of the latched left side with the evaluated
+/// right side; mirrors the scalar kAndMerge/kOrMerge exactly.
+[[gnu::noinline]] size_t MergeLoop(bool is_and, const uint8_t* lt,
+                                   const LaneVal* lv, const uint8_t* rt,
+                                   const LaneVal* rv, const uint32_t* resume,
+                                   uint32_t pc, size_t lanes, uint8_t* dt,
+                                   LaneVal* dv, uint32_t* slow) {
+  (void)lv;  // left truth is already encoded in its tag (latched or null)
+  size_t ns = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] > pc) continue;
+    const uint8_t a = lt[i], b = rt[i];
+    if (a == kTagOob || b == kTagOob) {
+      slow[ns++] = static_cast<uint32_t>(i);
+      continue;
+    }
+    if (is_and) {
+      if (b != kTagNull && !TruthyLane(b, rv[i])) {
+        dt[i] = kTagInt;
+        dv[i].i = 0;
+      } else if (a == kTagNull || b == kTagNull) {
+        dt[i] = kTagNull;
+      } else {
+        dt[i] = kTagInt;
+        dv[i].i = 1;
+      }
+    } else {
+      if (b != kTagNull && TruthyLane(b, rv[i])) {
+        dt[i] = kTagInt;
+        dv[i].i = 1;
+      } else if (a == kTagNull || b == kTagNull) {
+        dt[i] = kTagNull;
+      } else {
+        dt[i] = kTagInt;
+        dv[i].i = 0;
+      }
+    }
+  }
+  return ns;
+}
+
+}  // namespace
+
+Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
+                                    const Value* params,
+                                    size_t num_params) const {
+  if (batch.num_slots() < num_slots_) {
+    return Status::Internal("compiled predicate: missing tuple bindings");
+  }
+  if (num_params < num_params_) {
+    return Status::Internal("compiled predicate: missing parameters");
+  }
+  const size_t lanes = batch.size();
+  out->Reset(lanes);
+  if (lanes == 0) return Status::OK();
+
+  thread_local BatchScratch scratch;
+  BatchScratch& s = scratch;
+  const size_t cells = static_cast<size_t>(num_regs_) * lanes;
+  if (s.tag.size() < cells) {
+    s.tag.resize(cells);
+    s.val.resize(cells);
+  }
+  if (s.slow.size() < lanes) {
+    s.slow.resize(lanes);
+    s.bxt.resize(lanes);
+    s.bxv.resize(lanes);
+    s.byt.resize(lanes);
+    s.byv.resize(lanes);
+  }
+  s.resume.assign(lanes, 0);
+  s.owned.clear();
+  uint8_t* tags = s.tag.data();
+  LaneVal* vals = s.val.data();
+  uint32_t* resume = s.resume.data();
+  uint32_t* slow = s.slow.data();
+
+  // Collect the distinct field operands; each decodes into a cached
+  // column at most once per batch, however many instructions read it.
+  s.fkeys.clear();
+  auto note_field = [&](const VmOperand& o) {
+    if (o.kind != VmOperand::Kind::kField) return;
+    const uint32_t key = (static_cast<uint32_t>(o.a) << 16) | o.b;
+    for (uint32_t k : s.fkeys) {
+      if (k == key) return;
+    }
+    s.fkeys.push_back(key);
+  };
+  for (const VmInstr& ins : code_) {
+    note_field(ins.x);
+    note_field(ins.y);
+  }
+  note_field(result_);
+  const size_t nfields = s.fkeys.size();
+  if (s.fct.size() < nfields * lanes) {
+    s.fct.resize(nfields * lanes);
+    s.fcv.resize(nfields * lanes);
+  }
+  s.fdecoded.assign(nfields, 0);
+  if (s.fpure.size() < nfields) s.fpure.resize(nfields);
+  s.regpure.assign(num_regs_, 0);
+
+  // While true, every lane is still on the straight-line path (no branch
+  // taken, no error): combined with per-column purity this licenses the
+  // branch-free all-lane kernels with zero per-op scanning.
+  bool all_active = true;
+
+  struct ColRef {
+    const uint8_t* t;
+    const LaneVal* v;
+    uint8_t pure;  // kTagInt / kTagFloat when every lane has that type
+  };
+  auto resolve = [&](const VmOperand& o, uint8_t* bt, LaneVal* bv) -> ColRef {
+    switch (o.kind) {
+      case VmOperand::Kind::kReg:
+        return {tags + static_cast<size_t>(o.a) * lanes,
+                vals + static_cast<size_t>(o.a) * lanes, s.regpure[o.a]};
+      case VmOperand::Kind::kField: {
+        const uint32_t key = (static_cast<uint32_t>(o.a) << 16) | o.b;
+        size_t idx = 0;
+        while (s.fkeys[idx] != key) ++idx;
+        uint8_t* ct = s.fct.data() + idx * lanes;
+        LaneVal* cv = s.fcv.data() + idx * lanes;
+        if (!s.fdecoded[idx]) {
+          s.fdecoded[idx] = 1;
+          DecodeFieldColumn(batch.slot(o.a), o.b, lanes, ct, cv,
+                            &s.fpure[idx]);
+        }
+        return {ct, cv, s.fpure[idx]};
+      }
+      case VmOperand::Kind::kConst:
+      case VmOperand::Kind::kParam: {
+        uint8_t t;
+        LaneVal v{};
+        DecodeValue(o.kind == VmOperand::Kind::kConst ? const_pool_[o.a]
+                                                      : params[o.a],
+                    &t, &v);
+        std::memset(bt, t, lanes);
+        std::fill(bv, bv + lanes, v);
+        return {bt, bv,
+                static_cast<uint8_t>(
+                    t == kTagInt || t == kTagFloat ? t : 0)};
+      }
+    }
+    return {nullptr, nullptr, 0};
+  };
+
+  bool any_dead = false;
+  auto lane_error = [&](size_t lane, Status status) {
+    resume[lane] = kLaneDead;
+    all_active = false;
+    any_dead = true;
+    out->SetError(static_cast<uint32_t>(lane), std::move(status));
+  };
+  auto lane_oob = [&](size_t lane) {
+    lane_error(lane,
+               Status::Internal("compiled predicate: field out of range"));
+  };
+  // Stores a scalar-helper result into a lane; strings move into the
+  // per-call pool so the lane can borrow them.
+  auto store_value = [&](Value v, uint8_t* tag, LaneVal* val) {
+    if (const std::string* p = v.if_string()) {
+      s.owned.push_back(*p);
+      *tag = kTagStr;
+      val->s = &s.owned.back();
+      return;
+    }
+    DecodeValue(v, tag, val);
+  };
+  // Lanes the typed loops could not finish: out-of-range fields raise,
+  // everything else reruns through the scalar helper for byte-identical
+  // values and error messages.
+  auto run_slow = [&](size_t ns, BinOp bop, bool cmp, const ColRef& x,
+                      const ColRef& y, uint8_t* dt, LaneVal* dv) {
+    for (size_t k = 0; k < ns; ++k) {
+      const uint32_t i = slow[k];
+      if (x.t[i] == kTagOob || y.t[i] == kTagOob) {
+        lane_oob(i);
+        continue;
+      }
+      Result<Value> g =
+          cmp ? EvalComparisonOp(bop, ToValue(x.t[i], x.v[i]),
+                                 ToValue(y.t[i], y.v[i]))
+              : EvalArithmeticOp(bop, ToValue(x.t[i], x.v[i]),
+                                 ToValue(y.t[i], y.v[i]));
+      if (!g.ok()) {
+        lane_error(i, g.status());
+      } else {
+        store_value(std::move(g).value(), &dt[i], &dv[i]);
+      }
+    }
+  };
+
+  const size_t n = code_.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const uint32_t pcu = static_cast<uint32_t>(pc);
+    if (!AnyActive(resume, pcu, lanes)) continue;
+    const VmInstr& ins = code_[pc];
+    uint8_t* dt = tags + static_cast<size_t>(ins.dst) * lanes;
+    LaneVal* dv = vals + static_cast<size_t>(ins.dst) * lanes;
+    const BinOp bop = static_cast<BinOp>(ins.imm);
+    // Purity is only claimed by the full-width kernels below; any other
+    // write (partial, mixed-type, latched) makes the register unknown.
+    s.regpure[ins.dst] = 0;
+    switch (ins.op) {
+      case VmOp::kCmpII: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        const bool pure =
+            all_active && x.pure == kTagInt && y.pure == kTagInt;
+        size_t ns;
+        switch (bop) {
+          case BinOp::kEq:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a == b; });
+            break;
+          case BinOp::kNe:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a != b; });
+            break;
+          case BinOp::kLt:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a < b; });
+            break;
+          case BinOp::kLe:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a <= b; });
+            break;
+          case BinOp::kGt:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a > b; });
+            break;
+          case BinOp::kGe:
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a >= b; });
+            break;
+          default:
+            // Unreachable: the compiler only encodes comparisons (the
+            // scalar ApplyComparison returns false the same way).
+            ns = CmpIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t, int64_t) { return false; });
+            break;
+        }
+        if (ns != 0) run_slow(ns, bop, true, x, y, dt, dv);
+        if (pure) s.regpure[ins.dst] = kTagInt;
+        break;
+      }
+      case VmOp::kCmpFF: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        const bool all_int =
+            all_active && x.pure == kTagInt && y.pure == kTagInt;
+        const bool all_float =
+            all_active && x.pure == kTagFloat && y.pure == kTagFloat;
+        size_t ns;
+        switch (bop) {
+          case BinOp::kEq:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a == b; },
+                           [](double a, double b) { return a == b; });
+            break;
+          case BinOp::kNe:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a != b; },
+                           [](double a, double b) { return a != b; });
+            break;
+          case BinOp::kLt:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a < b; },
+                           [](double a, double b) { return a < b; });
+            break;
+          case BinOp::kLe:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a <= b; },
+                           [](double a, double b) { return a <= b; });
+            break;
+          case BinOp::kGt:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a > b; },
+                           [](double a, double b) { return a > b; });
+            break;
+          case BinOp::kGe:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t a, int64_t b) { return a >= b; },
+                           [](double a, double b) { return a >= b; });
+            break;
+          default:
+            ns = CmpFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                           slow, [](int64_t, int64_t) { return false; },
+                           [](double, double) { return false; });
+            break;
+        }
+        if (ns != 0) run_slow(ns, bop, true, x, y, dt, dv);
+        if (all_int || all_float) s.regpure[ins.dst] = kTagInt;
+        break;
+      }
+      case VmOp::kCmpSS:
+      case VmOp::kCmpAny: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t a = x.t[i], b = y.t[i];
+          if (a == kTagOob || b == kTagOob) {
+            lane_oob(i);
+            continue;
+          }
+          if (ins.op == VmOp::kCmpSS) {
+            if (a == kTagStr && b == kTagStr) {
+              int c = x.v[i].s->compare(*y.v[i].s);
+              dt[i] = kTagInt;
+              dv[i].i = ApplyComparison(bop, c) ? 1 : 0;
+              continue;
+            }
+            if (a == kTagNull || b == kTagNull) {
+              dt[i] = kTagNull;
+              continue;
+            }
+          }
+          Result<Value> g = EvalComparisonOp(bop, ToValue(a, x.v[i]),
+                                             ToValue(b, y.v[i]));
+          if (!g.ok()) {
+            lane_error(i, g.status());
+          } else {
+            store_value(std::move(g).value(), &dt[i], &dv[i]);
+          }
+        }
+        break;
+      }
+      case VmOp::kArithII: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        const bool pure =
+            all_active && x.pure == kTagInt && y.pure == kTagInt;
+        size_t ns;
+        switch (bop) {
+          case BinOp::kAdd:
+            ns = ArithIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a + b; });
+            break;
+          case BinOp::kSub:
+            ns = ArithIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a - b; });
+            break;
+          case BinOp::kMul:
+            ns = ArithIILoop(pure, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a * b; });
+            break;
+          case BinOp::kDiv:
+            ns = DivLoop(/*int_only=*/true, x.t, x.v, y.t, y.v, resume, pcu,
+                         lanes, dt, dv, slow);
+            break;
+          default: {
+            // Unreachable: the compiler only encodes arithmetic here.
+            ns = 0;
+            for (size_t i = 0; i < lanes; ++i) {
+              if (resume[i] > pc) continue;
+              slow[ns++] = static_cast<uint32_t>(i);
+            }
+            break;
+          }
+        }
+        if (ns != 0) run_slow(ns, bop, false, x, y, dt, dv);
+        if (pure && (bop == BinOp::kAdd || bop == BinOp::kSub ||
+                     bop == BinOp::kMul)) {
+          s.regpure[ins.dst] = kTagInt;
+        }
+        break;
+      }
+      case VmOp::kArithFF: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        const bool all_int =
+            all_active && x.pure == kTagInt && y.pure == kTagInt;
+        const bool all_float =
+            all_active && x.pure == kTagFloat && y.pure == kTagFloat;
+        size_t ns;
+        switch (bop) {
+          case BinOp::kAdd:
+            ns = ArithFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a + b; },
+                             [](double a, double b) { return a + b; });
+            break;
+          case BinOp::kSub:
+            ns = ArithFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a - b; },
+                             [](double a, double b) { return a - b; });
+            break;
+          case BinOp::kMul:
+            ns = ArithFFLoop(all_int, all_float, x.t, x.v, y.t, y.v, resume, pcu, lanes, dt, dv,
+                             slow, [](int64_t a, int64_t b) { return a * b; },
+                             [](double a, double b) { return a * b; });
+            break;
+          case BinOp::kDiv:
+            ns = DivLoop(/*int_only=*/false, x.t, x.v, y.t, y.v, resume, pcu,
+                         lanes, dt, dv, slow);
+            break;
+          default: {
+            ns = 0;
+            for (size_t i = 0; i < lanes; ++i) {
+              if (resume[i] > pc) continue;
+              slow[ns++] = static_cast<uint32_t>(i);
+            }
+            break;
+          }
+        }
+        if (ns != 0) run_slow(ns, bop, false, x, y, dt, dv);
+        if (bop == BinOp::kAdd || bop == BinOp::kSub || bop == BinOp::kMul) {
+          if (all_int) {
+            s.regpure[ins.dst] = kTagInt;
+          } else if (all_float) {
+            s.regpure[ins.dst] = kTagFloat;
+          }
+        }
+        break;
+      }
+      case VmOp::kArithAny: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          if (x.t[i] == kTagOob || y.t[i] == kTagOob) {
+            lane_oob(i);
+            continue;
+          }
+          Result<Value> g = EvalArithmeticOp(bop, ToValue(x.t[i], x.v[i]),
+                                             ToValue(y.t[i], y.v[i]));
+          if (!g.ok()) {
+            lane_error(i, g.status());
+          } else {
+            store_value(std::move(g).value(), &dt[i], &dv[i]);
+          }
+        }
+        break;
+      }
+      case VmOp::kBrFalse:
+      case VmOp::kBrTrue: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        size_t branched = 0;
+        const size_t ns =
+            BranchLoop(x.t, x.v, resume, pcu, ins.imm,
+                       ins.op == VmOp::kBrTrue, lanes, dt, dv, slow,
+                       &branched);
+        if (branched != 0) all_active = false;
+        for (size_t k = 0; k < ns; ++k) lane_oob(slow[k]);
+        break;
+      }
+      case VmOp::kAndMerge:
+      case VmOp::kOrMerge: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        const size_t ns =
+            MergeLoop(ins.op == VmOp::kAndMerge, x.t, x.v, y.t, y.v, resume,
+                      pcu, lanes, dt, dv, slow);
+        for (size_t k = 0; k < ns; ++k) lane_oob(slow[k]);
+        break;
+      }
+      case VmOp::kNot: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagOob) {
+            lane_oob(i);
+          } else if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else {
+            dt[i] = kTagInt;
+            dv[i].i = TruthyLane(t, x.v[i]) ? 0 : 1;
+          }
+        }
+        break;
+      }
+      case VmOp::kNeg: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagInt) {
+            dt[i] = kTagInt;
+            dv[i].i = -x.v[i].i;
+          } else if (t == kTagFloat) {
+            dt[i] = kTagFloat;
+            dv[i].f = -x.v[i].f;
+          } else if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else if (t == kTagOob) {
+            lane_oob(i);
+          } else {
+            lane_error(i, Status::TypeError("negation of non-numeric value"));
+          }
+        }
+        break;
+      }
+      case VmOp::kAbs: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagInt) {
+            dt[i] = kTagInt;
+            dv[i].i = std::llabs(x.v[i].i);
+          } else if (t == kTagFloat) {
+            dt[i] = kTagFloat;
+            dv[i].f = std::fabs(x.v[i].f);
+          } else if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else if (t == kTagOob) {
+            lane_oob(i);
+          } else {
+            lane_error(i, Status::TypeError("abs of non-numeric value"));
+          }
+        }
+        break;
+      }
+      case VmOp::kLength: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagStr) {
+            dt[i] = kTagInt;
+            dv[i].i = static_cast<int64_t>(x.v[i].s->size());
+          } else if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else if (t == kTagOob) {
+            lane_oob(i);
+          } else {
+            lane_error(i, Status::TypeError("length of non-string"));
+          }
+        }
+        break;
+      }
+      case VmOp::kUpper:
+      case VmOp::kLower: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else if (t == kTagStr) {
+            s.owned.push_back(ins.op == VmOp::kUpper ? ToUpper(*x.v[i].s)
+                                                     : ToLower(*x.v[i].s));
+            dt[i] = kTagStr;
+            dv[i].s = &s.owned.back();
+          } else if (t == kTagOob) {
+            lane_oob(i);
+          } else {
+            lane_error(
+                i, Status::TypeError(
+                       std::string(ins.op == VmOp::kUpper ? "upper"
+                                                          : "lower") +
+                       " of non-string"));
+          }
+        }
+        break;
+      }
+      case VmOp::kRound: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t t = x.t[i];
+          if (t == kTagInt) {
+            dt[i] = kTagInt;
+            dv[i].i = static_cast<int64_t>(
+                std::llround(static_cast<double>(x.v[i].i)));
+          } else if (t == kTagFloat) {
+            dt[i] = kTagInt;
+            dv[i].i = static_cast<int64_t>(std::llround(x.v[i].f));
+          } else if (t == kTagNull) {
+            dt[i] = kTagNull;
+          } else if (t == kTagOob) {
+            lane_oob(i);
+          } else {
+            lane_error(i, Status::TypeError("round non-numeric"));
+          }
+        }
+        break;
+      }
+      case VmOp::kMod: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          const uint8_t a = x.t[i], b = y.t[i];
+          if (a == kTagOob || b == kTagOob) {
+            lane_oob(i);
+            continue;
+          }
+          if (a == kTagInt && b == kTagInt) {
+            if (y.v[i].i == 0) {
+              lane_error(i, Status::EvalError("mod by zero"));
+            } else {
+              dt[i] = kTagInt;
+              dv[i].i = x.v[i].i % y.v[i].i;
+            }
+          } else if (a == kTagNull || b == kTagNull) {
+            dt[i] = kTagNull;
+          } else {
+            lane_error(i, Status::TypeError("mod expects integers"));
+          }
+        }
+        break;
+      }
+      case VmOp::kMove: {
+        const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
+        for (size_t i = 0; i < lanes; ++i) {
+          if (resume[i] > pc) continue;
+          if (x.t[i] == kTagOob) {
+            lane_oob(i);
+            continue;
+          }
+          dt[i] = x.t[i];
+          dv[i] = x.v[i];
+        }
+        if (all_active) s.regpure[ins.dst] = x.pure;
+        break;
+      }
+    }
+  }
+
+  const ColRef rv = resolve(result_, s.bxt.data(), s.bxv.data());
+  if (!any_dead) {
+    // No lane erred: if no string or out-of-range lane exists either, the
+    // result rows copy straight across (the common all-live boolean batch).
+    uint8_t mx = rv.pure;
+    if (mx == 0) {
+      for (size_t i = 0; i < lanes; ++i) mx = std::max(mx, rv.t[i]);
+    }
+    if (mx <= kTagFloat) {
+      std::memcpy(out->tags_.data(), rv.t, lanes);
+      std::memcpy(out->vals_.data(), rv.v, lanes * sizeof(LaneVal));
+      return Status::OK();
+    }
+  }
+  for (size_t i = 0; i < lanes; ++i) {
+    if (resume[i] == kLaneDead) continue;
+    uint8_t t = rv.t[i];
+    if (t == kTagOob) {
+      lane_oob(i);
+      continue;
+    }
+    LaneVal v = rv.v[i];
+    // String lanes borrow scratch or tuple storage; copy into the
+    // result's own pool so the BatchResult outlives this call.
+    if (t == kTagStr) v.s = out->Intern(*v.s);
+    out->tags_[i] = t;
+    out->vals_[i] = v;
+  }
+  return Status::OK();
+}
+
+Status CompiledPredicate::EvalBoolBatch(const TokenBatch& batch,
+                                        BatchResult* out,
+                                        std::vector<uint32_t>* selection,
+                                        const Value* params,
+                                        size_t num_params) const {
+  TMAN_RETURN_IF_ERROR(EvalBatch(batch, out, params, num_params));
+  const size_t lanes = out->size();
+  for (size_t i = 0; i < lanes; ++i) {
+    if (out->Truth(i)) selection->push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
 }
 
 std::string CompiledPredicate::Disassemble() const {

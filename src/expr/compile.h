@@ -2,16 +2,114 @@
 #define TRIGGERMAN_EXPR_COMPILE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "expr/expr.h"
+#include "expr/token_batch.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 #include "util/result.h"
 
 namespace tman {
+
+/// Per-lane outcome of one batched evaluation. Values and errors are lane
+/// addressed: lane i holds exactly what the scalar EvalValue over lane i's
+/// tuples would have produced — same value, or same status code and
+/// message. Errors are stored sparsely (the hot path has none); the dense
+/// failed-bit vector keeps ok() O(1).
+class BatchResult {
+ public:
+  /// Columnar lane storage: one tag byte plus one 8-byte payload per lane
+  /// instead of a variant Value, so the batched VM's result extraction and
+  /// Truth scans are plain byte/word loads. String lanes point into the
+  /// result's own pool and stay valid as long as the BatchResult.
+  enum Tag : uint8_t { kTagNull = 0, kTagInt = 1, kTagFloat = 2, kTagStr = 3 };
+  union Payload {
+    int64_t i;
+    double f;
+    const std::string* s;
+  };
+
+  size_t size() const { return failed_.size(); }
+
+  bool ok(size_t lane) const { return failed_[lane] == 0; }
+
+  /// Lane value materialized as a Value; meaningful only when ok(lane).
+  Value value(size_t lane) const {
+    switch (tags_[lane]) {
+      case kTagInt:
+        return Value::Int(vals_[lane].i);
+      case kTagFloat:
+        return Value::Float(vals_[lane].f);
+      case kTagStr:
+        return Value::String(*vals_[lane].s);
+      default:
+        return Value::Null();
+    }
+  }
+
+  /// Lane status: OK, or the scalar error this lane would have raised.
+  Status status(size_t lane) const {
+    if (failed_[lane] == 0) return Status::OK();
+    for (const auto& [l, s] : errors_) {
+      if (l == lane) return s;
+    }
+    return Status::Internal("batch eval: lost lane error");
+  }
+
+  /// SQL truth of the lane: ok, non-null, and truthy.
+  bool Truth(size_t lane) const {
+    if (failed_[lane] != 0) return false;
+    switch (tags_[lane]) {
+      case kTagInt:
+        return vals_[lane].i != 0;
+      case kTagFloat:
+        return vals_[lane].f != 0.0;
+      case kTagStr:
+        return !vals_[lane].s->empty();
+      default:
+        return false;
+    }
+  }
+
+  size_t num_errors() const { return errors_.size(); }
+  const std::vector<std::pair<uint32_t, Status>>& errors() const {
+    return errors_;
+  }
+
+ private:
+  friend class CompiledPredicate;
+
+  void Reset(size_t n) {
+    tags_.assign(n, kTagNull);
+    if (vals_.size() < n) vals_.resize(n);
+    failed_.assign(n, 0);
+    errors_.clear();
+    owned_.clear();
+  }
+
+  void SetError(uint32_t lane, Status status) {
+    if (failed_[lane]) return;  // first error wins, as in the scalar VM
+    failed_[lane] = 1;
+    errors_.emplace_back(lane, std::move(status));
+  }
+
+  /// Copies a string into the result's pool; the returned pointer lives
+  /// as long as this BatchResult (deque growth never relocates elements).
+  const std::string* Intern(const std::string& sv) {
+    owned_.push_back(sv);
+    return &owned_.back();
+  }
+
+  std::vector<uint8_t> tags_;
+  std::vector<Payload> vals_;
+  std::vector<uint8_t> failed_;
+  std::vector<std::pair<uint32_t, Status>> errors_;
+  std::deque<std::string> owned_;
+};
 
 /// Ordered tuple-variable -> schema map a predicate is compiled against.
 /// Slot order is the calling convention: at eval time the caller passes
@@ -132,6 +230,29 @@ class CompiledPredicate {
   Result<bool> EvalBool(const Tuple* const* tuples, size_t num_tuples,
                         const Value* params = nullptr,
                         size_t num_params = 0) const;
+
+  /// Batched evaluation: runs the program over every lane of `batch` with
+  /// one dispatch per instruction instead of one per (instruction, token).
+  /// Comparison and arithmetic opcodes gather their int/float lanes into
+  /// contiguous arrays and run branchless selection-vector kernels the
+  /// compiler auto-vectorizes; short-circuit branches deactivate lanes via
+  /// a per-lane resume counter (sound because branch targets are forward
+  /// and properly nested). Per-lane values and errors land in `out`, each
+  /// lane byte-identical to what EvalValue over that lane's tuples returns
+  /// — an erroring lane is isolated, the rest of the batch completes.
+  /// Returns non-OK only for whole-batch misuse (missing slots or
+  /// parameters), mirroring the scalar entry's Internal errors.
+  Status EvalBatch(const TokenBatch& batch, BatchResult* out,
+                   const Value* params = nullptr,
+                   size_t num_params = 0) const;
+
+  /// EvalBatch + Truthy: appends the ascending lane indices whose result
+  /// is SQL-true to `selection`. Erroring lanes are never selected;
+  /// callers that care read their statuses from `out`.
+  Status EvalBoolBatch(const TokenBatch& batch, BatchResult* out,
+                       std::vector<uint32_t>* selection,
+                       const Value* params = nullptr,
+                       size_t num_params = 0) const;
 
   size_t num_slots() const { return num_slots_; }
   size_t num_instrs() const { return code_.size(); }

@@ -150,6 +150,80 @@ Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
   return true;
 }
 
+Status GatorNetwork::JoinsSatisfiedBatch(
+    const std::vector<const Row*>& prefixes, size_t var,
+    const std::vector<const Tuple*>& candidates,
+    std::vector<uint8_t>* pass) const {
+  const size_t n = prefixes.size();
+  pass->assign(n, 1);
+  TokenBatch batch(2);
+  BatchResult result;
+  std::vector<uint32_t> live, sel;
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
+    size_t hi = std::max(e.a, e.b);
+    size_t lo = std::min(e.a, e.b);
+    if (hi != var) continue;
+    if (std::none_of(pass->begin(), pass->end(),
+                     [](uint8_t b) { return b != 0; })) {
+      return Status::OK();
+    }
+    for (size_t ci = 0; ci < e.join_conjuncts.size(); ++ci) {
+      // Lanes still passing and subject to this edge (a prefix too short
+      // for `lo` skips the edge, as in the scalar path).
+      live.clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        if ((*pass)[i] != 0 && lo < prefixes[i]->size()) live.push_back(i);
+      }
+      if (live.empty()) break;
+      const CompiledPredicate* prog = edge_programs_[ei][ci].get();
+      if (prog != nullptr) {
+        batch.Clear();
+        for (uint32_t i : live) {
+          batch.Append(&(*prefixes[i])[lo], candidates[i]);
+        }
+        sel.clear();
+        TMAN_RETURN_IF_ERROR(prog->EvalBoolBatch(batch, &result, &sel));
+        for (size_t k = 0; k < live.size(); ++k) {
+          if (!result.ok(k)) return result.status(k);
+        }
+        for (uint32_t i : live) (*pass)[i] = 0;
+        for (uint32_t k : sel) (*pass)[live[k]] = 1;
+        continue;
+      }
+      for (uint32_t i : live) {
+        Bindings fallback;
+        const Row& prefix = *prefixes[i];
+        for (size_t j = 0; j < prefix.size(); ++j) {
+          fallback.Bind(graph_.nodes()[j].info.var, &schemas_[j], &prefix[j]);
+        }
+        fallback.Bind(graph_.nodes()[var].info.var, &schemas_[var],
+                      candidates[i]);
+        TMAN_ASSIGN_OR_RETURN(bool ok,
+                              EvalPredicate(e.join_conjuncts[ci], fallback));
+        if (!ok) (*pass)[i] = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GatorNetwork::FilterJoinCandidates(
+    const std::vector<const Row*>& prefixes, size_t var,
+    const std::vector<const Tuple*>& candidates,
+    std::vector<uint8_t>* pass) const {
+  if (prefixes.size() <= 1) {
+    pass->assign(prefixes.size(), 0);
+    if (!prefixes.empty()) {
+      TMAN_ASSIGN_OR_RETURN(bool ok,
+                            JoinsSatisfied(*prefixes[0], var, *candidates[0]));
+      (*pass)[0] = ok ? 1 : 0;
+    }
+    return Status::OK();
+  }
+  return JoinsSatisfiedBatch(prefixes, var, candidates, pass);
+}
+
 Result<bool> GatorNetwork::CatchAllSatisfied(const Row& row) const {
   if (graph_.catch_all().empty()) return true;
   std::vector<const Tuple*> tuples(row.size());
@@ -183,29 +257,36 @@ Status GatorNetwork::Propagate(size_t node, const Tuple& tuple,
                                const FiringFn& fn) {
   size_t n = graph_.nodes().size();
   std::vector<Row> delta;
+  // Join candidates are gathered first (hash probes only), then filtered
+  // in one batched pass per level: compiled conjuncts see all pairs at
+  // once instead of re-dispatching per pair. Collection is row-major in
+  // memory order, so surviving rows — and therefore firings — appear in
+  // exactly the scalar order.
+  std::vector<const Row*> prefixes;
+  std::vector<const Tuple*> cands;
+  std::vector<uint8_t> pass;
   if (node == 0) {
     delta.push_back(Row{tuple});
   } else {
     const Probe& p = probes_[node];
-    auto try_row = [&](const Row& row) -> Status {
-      TMAN_ASSIGN_OR_RETURN(bool pass, JoinsSatisfied(row, node, tuple));
-      if (pass) {
-        Row extended = row;
-        extended.push_back(tuple);
-        delta.push_back(std::move(extended));
-      }
-      return Status::OK();
-    };
     if (p.found && p.cand_field < tuple.size()) {
       auto range =
           betas_[node - 1].equal_range(tuple.at(p.cand_field).Hash());
       for (auto it = range.first; it != range.second; ++it) {
-        TMAN_RETURN_IF_ERROR(try_row(it->second));
+        prefixes.push_back(&it->second);
       }
     } else {
       for (const auto& [key, row] : betas_[node - 1]) {
-        TMAN_RETURN_IF_ERROR(try_row(row));
+        prefixes.push_back(&row);
       }
+    }
+    cands.assign(prefixes.size(), &tuple);
+    TMAN_RETURN_IF_ERROR(FilterJoinCandidates(prefixes, node, cands, &pass));
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      if (pass[i] == 0) continue;
+      Row extended = *prefixes[i];
+      extended.push_back(tuple);
+      delta.push_back(std::move(extended));
     }
   }
   for (const Row& row : delta) {
@@ -214,29 +295,31 @@ Status GatorNetwork::Propagate(size_t node, const Tuple& tuple,
 
   for (size_t level = node + 1; level < n && !delta.empty(); ++level) {
     const Probe& p = probes_[level];
-    std::vector<Row> next;
+    prefixes.clear();
+    cands.clear();
     for (const Row& row : delta) {
-      auto try_cand = [&](const Tuple& cand) -> Status {
-        TMAN_ASSIGN_OR_RETURN(bool pass, JoinsSatisfied(row, level, cand));
-        if (pass) {
-          Row extended = row;
-          extended.push_back(cand);
-          next.push_back(std::move(extended));
-        }
-        return Status::OK();
-      };
       if (p.found && p.prefix_var < row.size() &&
           p.prefix_field < row[p.prefix_var].size()) {
         auto range = alphas_[level].equal_range(
             row[p.prefix_var].at(p.prefix_field).Hash());
         for (auto it = range.first; it != range.second; ++it) {
-          TMAN_RETURN_IF_ERROR(try_cand(it->second));
+          prefixes.push_back(&row);
+          cands.push_back(&it->second);
         }
       } else {
         for (const auto& [key, cand] : alphas_[level]) {
-          TMAN_RETURN_IF_ERROR(try_cand(cand));
+          prefixes.push_back(&row);
+          cands.push_back(&cand);
         }
       }
+    }
+    TMAN_RETURN_IF_ERROR(FilterJoinCandidates(prefixes, level, cands, &pass));
+    std::vector<Row> next;
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      if (pass[i] == 0) continue;
+      Row extended = *prefixes[i];
+      extended.push_back(*cands[i]);
+      next.push_back(std::move(extended));
     }
     for (const Row& row : next) {
       betas_[level].emplace(BetaKey(level, row), row);
@@ -260,6 +343,32 @@ Status GatorNetwork::AddTuple(NetworkNodeId node, const Tuple& tuple,
   }
   alphas_[node].emplace(AlphaKey(node, tuple), tuple);
   return Propagate(node, tuple, fn);
+}
+
+Status GatorNetwork::AddTupleBatch(NetworkNodeId node,
+                                   const std::vector<Tuple>& tuples,
+                                   const BatchFiringFn& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= graph_.nodes().size()) {
+    return Status::InvalidArgument("bad network node id");
+  }
+  // Alpha keys for the whole batch in one tight pass; the hash work is
+  // hoisted out of the insert+propagate loop.
+  std::vector<uint64_t> keys(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    keys[i] = AlphaKey(node, tuples[i]);
+  }
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    alphas_[node].emplace(keys[i], tuples[i]);
+    FiringFn wrapped;
+    if (fn) {
+      wrapped = [&fn, i](const std::vector<Tuple>& bindings) {
+        fn(i, bindings);
+      };
+    }
+    TMAN_RETURN_IF_ERROR(Propagate(node, tuples[i], wrapped));
+  }
+  return Status::OK();
 }
 
 Status GatorNetwork::RemoveTuple(NetworkNodeId node, const Tuple& tuple) {

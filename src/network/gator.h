@@ -51,6 +51,20 @@ class GatorNetwork {
   Status AddTuple(NetworkNodeId node, const Tuple& tuple,
                   const FiringFn& fn);
 
+  /// Firing callback for batched arrival: `lane` is the index of the
+  /// arriving tuple within the batch that produced the row.
+  using BatchFiringFn =
+      std::function<void(size_t lane, const std::vector<Tuple>& bindings)>;
+
+  /// Batched arrival at one node: one mutex acquisition for the whole
+  /// batch, alpha keys hashed in a tight pass up front, then each tuple
+  /// inserted and propagated in order — firings and memory contents are
+  /// exactly those of the equivalent AddTuple sequence (including the
+  /// state left behind when a propagation errors mid-batch: the error is
+  /// returned and later tuples stay un-inserted, as if the loop stopped).
+  Status AddTupleBatch(NetworkNodeId node, const std::vector<Tuple>& tuples,
+                       const BatchFiringFn& fn);
+
   /// Removes a tuple; all join rows containing it disappear.
   Status RemoveTuple(NetworkNodeId node, const Tuple& tuple);
 
@@ -92,6 +106,26 @@ class GatorNetwork {
   /// plus (at the top level) the catch-all conjuncts.
   Result<bool> JoinsSatisfied(const Row& prefix, size_t var,
                               const Tuple& candidate) const;
+
+  /// Batched join-edge filter over many (prefix, candidate) pairs at
+  /// `var`: compiled conjuncts run once per conjunct over the
+  /// still-passing lanes via the batched VM (selection-vector
+  /// short-circuit), interpreter conjuncts fall back per lane.
+  /// `pass` is resized to the pair count; lane i survives iff its pair
+  /// satisfies every applicable conjunct. Any lane's eval error aborts
+  /// the call, matching the scalar path's error propagation.
+  Status JoinsSatisfiedBatch(const std::vector<const Row*>& prefixes,
+                             size_t var,
+                             const std::vector<const Tuple*>& candidates,
+                             std::vector<uint8_t>* pass) const;
+
+  /// Dispatches between the scalar and batched join filters: single-pair
+  /// calls stay on JoinsSatisfied (no batch setup cost), larger sets go
+  /// through JoinsSatisfiedBatch.
+  Status FilterJoinCandidates(const std::vector<const Row*>& prefixes,
+                              size_t var,
+                              const std::vector<const Tuple*>& candidates,
+                              std::vector<uint8_t>* pass) const;
   Result<bool> CatchAllSatisfied(const Row& row) const;
 
   /// Compiles join and catch-all conjuncts against the node schemas.

@@ -193,6 +193,47 @@ Status PredicateIndex::MatchPartitioned(
   return s;
 }
 
+Status PredicateIndex::MatchBatch(
+    const std::vector<UpdateDescriptor>& tokens, uint32_t partition,
+    uint32_t num_partitions,
+    const std::function<void(size_t, const PredicateMatch&)>& fn,
+    std::vector<Status>* per_token) const {
+  std::vector<Status> statuses(tokens.size());
+  // Group lanes by data source so each (stripe, source) group pays one
+  // shared-lock acquisition and one probe pass for all its tokens.
+  // Lane order is preserved within a group, so per-token match order is
+  // the scalar order.
+  std::unordered_map<DataSourceId, std::vector<uint32_t>> groups;
+  for (uint32_t lane = 0; lane < tokens.size(); ++lane) {
+    groups[tokens[lane].data_source].push_back(lane);
+  }
+  for (auto& [source_id, lanes] : groups) {
+    Stripe& stripe = StripeFor(source_id);
+    std::shared_lock lock(stripe.mutex);
+    tokens_processed_.fetch_add(lanes.size(), std::memory_order_relaxed);
+    auto it = stripe.sources.find(source_id);
+    if (it == stripe.sources.end()) continue;  // no triggers here
+    uint64_t emitted = 0;
+    it->second->MatchBatch(tokens.data(), lanes.data(), lanes.size(),
+                           partition, num_partitions,
+                           [&](size_t lane, const PredicateMatch& m) {
+                             ++emitted;
+                             fn(lane, m);
+                           },
+                           statuses.data());
+    matches_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+  }
+  Status first;
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      first = s;
+      break;
+    }
+  }
+  if (per_token != nullptr) *per_token = std::move(statuses);
+  return first;
+}
+
 Status PredicateIndex::MatchMaintenance(
     DataSourceId data_source, const Tuple& tuple, uint32_t partition,
     uint32_t num_partitions,

@@ -93,6 +93,23 @@ class PredicateIndex {
       uint32_t num_partitions,
       const std::function<void(const PredicateMatch&)>& fn) const;
 
+  /// Batched matching: one call covers a whole token batch. Tokens are
+  /// grouped by data source, so each (stripe, source) group pays one
+  /// shared-lock acquisition and one probe-key pass instead of one per
+  /// token, and rest-of-predicate tests run through the batched VM.
+  /// `fn(lane, match)` receives the token's index in `tokens` with each
+  /// match. Per-token outcomes land in `per_token` (optional; resized to
+  /// tokens.size()): lane i's status is exactly what the scalar
+  /// MatchPartitioned call for tokens[i] would have returned, and a
+  /// failing token stops matching (as in the scalar path) without
+  /// disturbing the rest of the batch. Returns the first per-token error
+  /// for callers that only need one.
+  Status MatchBatch(
+      const std::vector<UpdateDescriptor>& tokens, uint32_t partition,
+      uint32_t num_partitions,
+      const std::function<void(size_t, const PredicateMatch&)>& fn,
+      std::vector<Status>* per_token = nullptr) const;
+
   /// Maintenance matching: selection predicates only (no event filters),
   /// against a bare tuple of the given source. Drives A-TREAT alpha
   /// memory upkeep for updates and deletes.

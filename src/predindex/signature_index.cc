@@ -162,6 +162,174 @@ Status SignatureIndexEntry::MatchTuple(
   return inner;
 }
 
+void SignatureIndexEntry::MatchBatch(
+    const UpdateDescriptor* tokens, const uint32_t* lanes, size_t num_lanes,
+    uint32_t partition, uint32_t num_partitions,
+    const std::function<void(size_t, const PredicateMatch&)>& fn,
+    Status* lane_status) const {
+  // Pass 1: event-condition filter (opcode + changed columns), per lane.
+  std::vector<uint32_t> survivors;
+  survivors.reserve(num_lanes);
+  for (size_t i = 0; i < num_lanes; ++i) {
+    const uint32_t lane = lanes[i];
+    const UpdateDescriptor& token = tokens[lane];
+    if (!OpMatches(ctx_.signature.op, token.op)) continue;
+    if (!update_col_fields_.empty() && token.op == OpCode::kUpdate) {
+      if (!token.old_tuple.has_value() || !token.new_tuple.has_value()) {
+        continue;
+      }
+      bool changed = false;
+      for (size_t f : update_col_fields_) {
+        if (f < token.old_tuple->size() && f < token.new_tuple->size() &&
+            token.old_tuple->at(f) != token.new_tuple->at(f)) {
+          changed = true;
+          break;
+        }
+      }
+      if (!changed) continue;
+    }
+    survivors.push_back(lane);
+  }
+  if (survivors.empty()) return;
+
+  // Pass 2: build every surviving lane's probe keys in one tight pass
+  // before the organization sees any of them. A lane whose tuple is
+  // narrower than the indexed fields silently drops out, as in the
+  // scalar path.
+  std::vector<Probe> probes(survivors.size());
+  std::vector<uint8_t> viable(survivors.size(), 1);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    const Tuple& tuple = tokens[survivors[i]].EffectiveTuple();
+    Probe& probe = probes[i];
+    for (size_t f : eq_fields_) {
+      if (f >= tuple.size()) {
+        viable[i] = 0;
+        break;
+      }
+      probe.eq_key.push_back(tuple.at(f));
+    }
+    if (viable[i] && range_field_ >= 0) {
+      size_t f = static_cast<size_t>(range_field_);
+      if (f >= tuple.size()) {
+        viable[i] = 0;
+      } else {
+        probe.range_value = tuple.at(f);
+        probe.has_range_value = true;
+      }
+    }
+  }
+
+  // Pass 3: consult the organization per lane, collecting candidates in
+  // organization order. Candidates of one lane are contiguous and
+  // ordered, which is what lets pass 5 replay the scalar path's emission
+  // and error order exactly.
+  // Owning copies of the program / rest expression: database
+  // organizations materialize transient PredicateEntry objects per
+  // candidate, so borrowed pointers would dangle once testing is
+  // deferred past the org callback.
+  struct Candidate {
+    uint32_t lane = 0;
+    PredicateMatch match;
+    std::shared_ptr<const CompiledPredicate> prog;  // batched rest test
+    ExprPtr rest;                                   // interpreter fallback
+    const Tuple* tuple = nullptr;
+    int8_t verdict = 1;  // 1 = pass, 0 = fail; -1 = error (see errors)
+    uint32_t error_at = 0;
+  };
+  std::vector<Candidate> cands;
+  std::vector<Status> errors;
+  // Rare per-lane organization failures (database orgs only), applied
+  // after the lane's already-collected candidates are processed — the
+  // scalar path, too, emits matches streamed before the org error.
+  std::vector<std::pair<uint32_t, Status>> org_errors;
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    if (!viable[i]) continue;
+    const uint32_t lane = survivors[i];
+    const Tuple* tuple = &tokens[lane].EffectiveTuple();
+    auto collect = [&](const PredicateEntry& e) {
+      Candidate c;
+      c.lane = lane;
+      c.match = PredicateMatch{e.trigger_id, e.expr_id, e.next_node};
+      c.tuple = tuple;
+      if (e.rest != nullptr) {
+        c.prog = e.compiled_rest;
+        if (c.prog == nullptr) {
+          auto it = compiled_rest_.find(e.expr_id);
+          if (it != compiled_rest_.end()) c.prog = it->second;
+        }
+        if (c.prog == nullptr) c.rest = e.rest;
+        c.verdict = 0;  // pending: pass 4 decides
+      }
+      cands.push_back(std::move(c));
+    };
+    Status s = num_partitions <= 1
+                   ? org_->Match(probes[i], collect)
+                   : org_->MatchPartition(probes[i], partition,
+                                          num_partitions, collect);
+    if (!s.ok()) org_errors.emplace_back(lane, std::move(s));
+  }
+
+  // Pass 4: test rest-of-predicates. Candidates sharing a compiled
+  // program are grouped into one EvalBatch (their tuples become the
+  // batch's lanes); uncompilable rests fall back to the interpreter per
+  // candidate, exactly as the scalar path does.
+  std::unordered_map<const CompiledPredicate*, std::vector<uint32_t>> groups;
+  for (uint32_t ci = 0; ci < cands.size(); ++ci) {
+    Candidate& c = cands[ci];
+    if (c.prog != nullptr) {
+      groups[c.prog.get()].push_back(ci);
+    } else if (c.rest != nullptr) {
+      Bindings b;
+      b.Bind(std::string(SignatureVarName()), &schema_, c.tuple);
+      auto pass = EvalPredicate(c.rest, b);
+      if (!pass.ok()) {
+        c.verdict = -1;
+        c.error_at = static_cast<uint32_t>(errors.size());
+        errors.push_back(pass.status());
+      } else {
+        c.verdict = *pass ? 1 : 0;
+      }
+    }
+  }
+  TokenBatch batch(1);
+  BatchResult result;
+  for (auto& [prog, members] : groups) {
+    batch.Clear();
+    for (uint32_t ci : members) batch.Append(cands[ci].tuple);
+    Status s = prog->EvalBatch(batch, &result);
+    for (size_t k = 0; k < members.size(); ++k) {
+      Candidate& c = cands[members[k]];
+      if (!s.ok()) {
+        c.verdict = -1;
+        c.error_at = static_cast<uint32_t>(errors.size());
+        errors.push_back(s);
+      } else if (!result.ok(k)) {
+        c.verdict = -1;
+        c.error_at = static_cast<uint32_t>(errors.size());
+        errors.push_back(result.status(k));
+      } else {
+        c.verdict = result.Truth(k) ? 1 : 0;
+      }
+    }
+  }
+
+  // Pass 5: emit in collection order. Each lane streams its matches until
+  // its first error, which stops that lane — the candidate that errors is
+  // still counted as tested, matching the scalar counter.
+  for (const Candidate& c : cands) {
+    if (!lane_status[c.lane].ok()) continue;
+    candidates_tested_.fetch_add(1, std::memory_order_relaxed);
+    if (c.verdict < 0) {
+      lane_status[c.lane] = errors[c.error_at];
+    } else if (c.verdict > 0) {
+      fn(c.lane, c.match);
+    }
+  }
+  for (auto& [lane, s] : org_errors) {
+    if (lane_status[lane].ok()) lane_status[lane] = std::move(s);
+  }
+}
+
 Result<SignatureIndexEntry*> DataSourcePredicateIndex::FindOrCreate(
     const ExpressionSignature& signature, const IndexableSplit& split,
     uint64_t sig_id, bool* created) {
@@ -196,6 +364,27 @@ Status DataSourcePredicateIndex::Match(
     TMAN_RETURN_IF_ERROR(entry->Match(token, partition, num_partitions, fn));
   }
   return Status::OK();
+}
+
+void DataSourcePredicateIndex::MatchBatch(
+    const UpdateDescriptor* tokens, const uint32_t* lanes, size_t num_lanes,
+    uint32_t partition, uint32_t num_partitions,
+    const std::function<void(size_t, const PredicateMatch&)>& fn,
+    Status* lane_status) const {
+  // The scalar path stops a token at its first failing entry; lanes that
+  // error drop out of the scan for the remaining signatures.
+  std::vector<uint32_t> active(lanes, lanes + num_lanes);
+  std::vector<uint32_t> still_ok;
+  for (const auto& entry : entries_) {
+    if (active.empty()) return;
+    entry->MatchBatch(tokens, active.data(), active.size(), partition,
+                      num_partitions, fn, lane_status);
+    still_ok.clear();
+    for (uint32_t lane : active) {
+      if (lane_status[lane].ok()) still_ok.push_back(lane);
+    }
+    active.swap(still_ok);
+  }
 }
 
 Status DataSourcePredicateIndex::MatchTuple(

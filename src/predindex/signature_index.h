@@ -63,6 +63,22 @@ class SignatureIndexEntry {
                     const std::function<void(const PredicateMatch&)>& fn)
       const;
 
+  /// Batched Match over `lanes[0..num_lanes)` of `tokens`: filters the
+  /// event condition per lane, builds every surviving lane's probe in one
+  /// tight pass before the organization is consulted, gathers candidates
+  /// in organization order, then tests rest-of-predicates with the
+  /// batched VM — one EvalBatch per distinct compiled program covering
+  /// all lanes that reached it. Emission order and error behavior per
+  /// lane are exactly the scalar Match's: a lane's matches stream in
+  /// candidate order until its first eval error, which lands in
+  /// `lane_status[lane]` and stops that lane (others continue).
+  /// `fn(lane, match)` receives the token index alongside each match.
+  void MatchBatch(const UpdateDescriptor* tokens, const uint32_t* lanes,
+                  size_t num_lanes, uint32_t partition,
+                  uint32_t num_partitions,
+                  const std::function<void(size_t, const PredicateMatch&)>& fn,
+                  Status* lane_status) const;
+
   const SignatureContext& context() const { return ctx_; }
   const ConstantSetOrganization* organization() const { return org_.get(); }
   size_t size() const { return org_ == nullptr ? 0 : org_->size(); }
@@ -119,6 +135,15 @@ class DataSourcePredicateIndex {
   Status Match(const UpdateDescriptor& token, uint32_t partition,
                uint32_t num_partitions,
                const std::function<void(const PredicateMatch&)>& fn) const;
+
+  /// Batched Match: runs every signature's MatchBatch over the lanes
+  /// still error-free, mirroring the scalar behavior that a token's first
+  /// entry error stops its matching while other tokens continue.
+  void MatchBatch(const UpdateDescriptor* tokens, const uint32_t* lanes,
+                  size_t num_lanes, uint32_t partition,
+                  uint32_t num_partitions,
+                  const std::function<void(size_t, const PredicateMatch&)>& fn,
+                  Status* lane_status) const;
 
   /// Maintenance matching (see SignatureIndexEntry::MatchTuple).
   Status MatchTuple(const Tuple& tuple, uint32_t partition,

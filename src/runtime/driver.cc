@@ -39,17 +39,24 @@ uint32_t ComputeNumDrivers(const DriverConfig& config) {
 
 TmanTestResult TmanTest(TaskQueue* queue, std::chrono::milliseconds threshold,
                         ExecutorStats* stats, Clock* clock,
-                        FaultInjector* fault_injector) {
+                        FaultInjector* fault_injector, uint32_t pop_batch) {
   if (clock == nullptr) clock = Clock::Real();
+  if (pop_batch == 0) pop_batch = 1;
   auto start = clock->Now();
   ++stats->invocations;
   // Paper pseudocode: while (elapsed < THRESHOLD and work left) { run one
-  // task; yield }.
+  // task; yield }. Tasks are claimed pop_batch at a time (one queue-lock
+  // acquisition per batch); a claimed batch always runs to completion —
+  // the THRESHOLD check moves between batches, so the worst-case overrun
+  // is one batch of tasks, and claimed work is never re-queued.
+  std::vector<Task> tasks;
   while (clock->Now() - start < threshold) {
-    Task task;
-    if (!queue->TryPop(&task)) break;
-    RunOneTask(queue, &task, stats, fault_injector);
-    clock->Yield();  // mi_yield: let other engine work run
+    tasks.clear();
+    if (queue->PopBatch(&tasks, pop_batch) == 0) break;
+    for (Task& task : tasks) {
+      RunOneTask(queue, &task, stats, fault_injector);
+      clock->Yield();  // mi_yield: let other engine work run
+    }
   }
   return queue->empty() ? TmanTestResult::kTaskQueueEmpty
                         : TmanTestResult::kTasksRemaining;
@@ -90,8 +97,9 @@ void DriverPool::DriverLoop(uint32_t driver_index) {
   (void)driver_index;
   ExecutorStats local;
   while (running_.load(std::memory_order_acquire)) {
-    TmanTestResult result = TmanTest(queue_, config_.threshold, &local,
-                                     config_.clock, config_.fault_injector);
+    TmanTestResult result =
+        TmanTest(queue_, config_.threshold, &local, config_.clock,
+                 config_.fault_injector, config_.pop_batch);
     if (result == TmanTestResult::kTaskQueueEmpty) {
       // Wait up to the driver period T for new work (waking early on
       // Push, which strictly improves on fixed-period polling).

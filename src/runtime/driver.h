@@ -45,6 +45,12 @@ struct DriverConfig {
   /// error: the task is dropped without executing, mirroring a TmanTest
   /// UDR invocation dying mid-batch.
   FaultInjector* fault_injector = nullptr;
+
+  /// How many tasks one TmanTest iteration claims per queue access
+  /// (TaskQueue::PopBatch): one shard-lock acquisition amortized over the
+  /// batch. A claimed batch runs to completion, so larger values trade
+  /// THRESHOLD precision and steal granularity for lock traffic. 0 = 1.
+  uint32_t pop_batch = 16;
 };
 
 /// Computes N = ⌈NUM_CPUS · TMAN_CONCURRENCY_LEVEL⌉.
@@ -65,10 +71,13 @@ struct ExecutorStats {
 /// std::this_thread::yield on the real clock). THRESHOLD is measured on
 /// `clock` (null = the real clock) so tests can expire it mid-batch
 /// deterministically; `fault_injector` (optional) is checked at
-/// "executor.task" before each task.
+/// "executor.task" before each task. `pop_batch` is the number of tasks
+/// claimed per TaskQueue::PopBatch call (0 behaves as 1); the THRESHOLD
+/// check runs between batches because claimed tasks always execute.
 TmanTestResult TmanTest(TaskQueue* queue, std::chrono::milliseconds threshold,
                         ExecutorStats* stats, Clock* clock = nullptr,
-                        FaultInjector* fault_injector = nullptr);
+                        FaultInjector* fault_injector = nullptr,
+                        uint32_t pop_batch = 1);
 
 /// The pool of driver "processes": each periodically invokes TmanTest()
 /// and calls back immediately when work remains.

@@ -149,6 +149,59 @@ bool TaskQueue::TryPopFromShard(uint32_t home, Task* task) {
   return false;
 }
 
+size_t TaskQueue::PopBatch(std::vector<Task>* out, size_t max_tasks) {
+  return PopBatchFromShard(home_shard(), out, max_tasks);
+}
+
+size_t TaskQueue::PopBatchFromShard(uint32_t home, std::vector<Task>* out,
+                                    size_t max_tasks) {
+  if (max_tasks == 0) return 0;
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
+  home %= n;
+  if (paused_.load(std::memory_order_acquire)) return 0;
+  // Cheap emptiness probe before touching any lock.
+  if (size_.load(std::memory_order_acquire) == 0) return 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t index = (home + i) % n;
+    Shard& shard = *shards_[index];
+    bool stolen = i > 0;
+    size_t taken = 0;
+    const size_t first = out->size();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      size_t available = shard.tasks.size();
+      if (available == 0) continue;
+      size_t take = std::min(available, max_tasks);
+      if (stolen) {
+        // Steal-aware fallback: leave the owner at least half its queue.
+        take = std::min(take, std::max<size_t>(1, available / 2));
+      }
+      for (size_t t = 0; t < take; ++t) {
+        out->push_back(std::move(shard.tasks.front()));
+        shard.tasks.pop_front();
+      }
+      shard.popped += take;
+      if (stolen) shard.steals += take;
+      ++shard.batch_pops;
+      shard.batch_pop_tasks += take;
+      taken = take;
+    }
+    // Same conservative overlap as TryPop: everything taken is counted in
+    // flight before it stops counting as queued, so WaitIdle can never
+    // observe a vanished task.
+    in_flight_.fetch_add(taken, std::memory_order_seq_cst);
+    size_.fetch_sub(taken, std::memory_order_seq_cst);
+    if (observer_) {
+      for (size_t t = 0; t < taken; ++t) {
+        Observe((stolen ? "steal:" : "pop:") +
+                std::string(TaskKindName((*out)[first + t].kind)));
+      }
+    }
+    return taken;
+  }
+  return 0;
+}
+
 bool TaskQueue::WaitPop(Task* task, std::chrono::milliseconds timeout) {
   const uint32_t home = home_shard();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -234,6 +287,8 @@ TaskQueueStats TaskQueue::stats() const {
     stats.pushed += shard->pushed;
     stats.popped += shard->popped;
     stats.steals += shard->steals;
+    stats.batch_pops += shard->batch_pops;
+    stats.batch_pop_tasks += shard->batch_pop_tasks;
     for (int k = 0; k < kNumTaskKinds; ++k) {
       stats.per_kind[k] += shard->per_kind[k];
     }
@@ -252,6 +307,8 @@ std::vector<TaskQueueShardStats> TaskQueue::shard_stats() const {
     s.pushed = shard->pushed;
     s.popped = shard->popped;
     s.steals = shard->steals;
+    s.batch_pops = shard->batch_pops;
+    s.batch_pop_tasks = shard->batch_pop_tasks;
     out.push_back(s);
   }
   return out;

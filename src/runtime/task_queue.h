@@ -52,6 +52,8 @@ struct TaskQueueStats {
   uint64_t steals = 0;
   uint64_t max_size = 0;
   uint64_t per_kind[kNumTaskKinds] = {0, 0, 0, 0};
+  uint64_t batch_pops = 0;       // PopBatch calls that returned >= 1 task
+  uint64_t batch_pop_tasks = 0;  // tasks delivered through PopBatch
 };
 
 /// Per-shard snapshot for introspection (console `stats`, tests).
@@ -60,6 +62,8 @@ struct TaskQueueShardStats {
   uint64_t pushed = 0;
   uint64_t popped = 0;    // pops that drained this shard
   uint64_t steals = 0;    // pops by threads homed elsewhere
+  uint64_t batch_pops = 0;       // non-empty PopBatch drains of this shard
+  uint64_t batch_pop_tasks = 0;  // tasks those drains delivered
 };
 
 /// The shared task queue of §6: "a task queue kept in shared memory to
@@ -103,6 +107,17 @@ class TaskQueue {
   /// every shard is empty.
   bool TryPop(Task* task);
   bool TryPopFromShard(uint32_t home_shard, Task* task);
+
+  /// Batched pop: drains up to `max_tasks` from the front of one shard
+  /// under a single lock acquisition — the consumer-side mirror of
+  /// PushBatch. The home shard is drained first; when it is empty the
+  /// scan steals from the first non-empty victim, but takes at most half
+  /// of that shard's queue (min 1) so a thief never strips an owner bare.
+  /// Appends to `*out` and returns the number of tasks delivered (0 when
+  /// every shard is empty or the queue is paused).
+  size_t PopBatch(std::vector<Task>* out, size_t max_tasks);
+  size_t PopBatchFromShard(uint32_t home_shard, std::vector<Task>* out,
+                           size_t max_tasks);
 
   /// Blocking pop with timeout (the driver period T: a driver sleeps at
   /// most this long when the queue is empty, waking early on new work).
@@ -166,6 +181,8 @@ class TaskQueue {
     uint64_t pushed = 0;
     uint64_t popped = 0;
     uint64_t steals = 0;
+    uint64_t batch_pops = 0;
+    uint64_t batch_pop_tasks = 0;
     uint64_t per_kind[kNumTaskKinds] = {0, 0, 0, 0};
   };
 
