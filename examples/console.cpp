@@ -12,7 +12,12 @@
 //   sql <statement>         run SQL against MiniDB (local mode only)
 //   process                 process staged updates now (local mode only)
 //   events                  show recently raised events (local mode only)
-//   stats                   show system statistics (local mode only)
+//   stats                   show system statistics — per-stage latencies,
+//                           per-signature organizations, queue deltas
+//                           since the previous call (remote mode returns
+//                           the manager's portion of the report)
+//   adapt [status|run|log|on|off]
+//                           adaptive re-optimization control (both modes)
 //   ping                    round-trip probe (remote mode only)
 //   cluster                 cluster stats — ring ownership, per-node
 //                           health, repartitions (remote mode, when
@@ -111,6 +116,10 @@ int main(int argc, char** argv) {
   }
   std::printf("TriggerMan console. 'help' for commands, 'quit' to exit.\n");
 
+  // Queue counters as of the previous `stats` call, so repeated polls show
+  // steal and batch-pop *deltas* — what happened since you last looked —
+  // next to the lifetime totals.
+  TaskQueueStats last_qs;
   std::string line;
   while (true) {
     std::printf("tman> ");
@@ -128,6 +137,7 @@ int main(int argc, char** argv) {
           "  create trigger set <name> ['comments']\n"
           "  drop trigger <name> | enable/disable trigger [set] <name>\n"
           "  define data source <name> (<attr> <type>, ...)\n"
+          "  adapt [status|run|log|on|off]   adaptive re-optimization\n"
           "  sql <statement>   process   triggers   events   stats   "
           "quit\n");
       continue;
@@ -163,29 +173,34 @@ int main(int argc, char** argv) {
     }
     if (lower == "stats") {
       auto st = tman.stats();
+      // Core counters, per-stage latencies, adaptation state, and
+      // per-signature organizations come from the manager's own report
+      // (the same text a remote `stats` returns).
+      if (auto r = tman.ExecuteCommand("stats"); r.ok()) {
+        std::printf("%s\n", r->c_str());
+      }
       std::printf(
-          "  updates=%llu tokens=%llu firings=%llu actions=%llu\n"
-          "  signatures=%llu predicates=%llu\n",
-          static_cast<unsigned long long>(st.updates_submitted),
-          static_cast<unsigned long long>(st.tokens_processed),
-          static_cast<unsigned long long>(st.rule_firings),
-          static_cast<unsigned long long>(st.actions.actions_executed),
-          static_cast<unsigned long long>(st.predicates.num_signatures),
-          static_cast<unsigned long long>(st.predicates.num_predicates));
-      // Task queue: the global ledger, then each shard's depth and how
+          "  actions=%llu\n",
+          static_cast<unsigned long long>(st.actions.actions_executed));
+      // Task queue: the global ledger (lifetime totals plus what changed
+      // since the last `stats` call), then each shard's depth and how
       // much of its work was stolen by drivers homed elsewhere.
       auto qs = tman.task_queue().stats();
       std::printf(
-          "  queue: pushed=%llu popped=%llu steals=%llu high-water=%llu "
-          "batch-pops=%llu avg-batch=%.1f\n",
+          "  queue: pushed=%llu popped=%llu steals=%llu (+%llu) "
+          "high-water=%llu batch-pops=%llu (+%llu) avg-batch=%.1f\n",
           static_cast<unsigned long long>(qs.pushed),
           static_cast<unsigned long long>(qs.popped),
           static_cast<unsigned long long>(qs.steals),
+          static_cast<unsigned long long>(qs.steals - last_qs.steals),
           static_cast<unsigned long long>(qs.max_size),
           static_cast<unsigned long long>(qs.batch_pops),
+          static_cast<unsigned long long>(qs.batch_pops -
+                                          last_qs.batch_pops),
           qs.batch_pops == 0
               ? 0.0
               : static_cast<double>(qs.batch_pop_tasks) / qs.batch_pops);
+      last_qs = qs;
       auto shards = tman.task_queue().shard_stats();
       for (size_t i = 0; i < shards.size(); ++i) {
         std::printf(

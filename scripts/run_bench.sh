@@ -20,15 +20,16 @@ cd "$(dirname "$0")/.."
 MODE="${1:-}"
 
 if ! [ -x build/bench/bench_scaling ] || ! [ -x build/bench/bench_eval ] ||
-   ! [ -x build/bench/bench_cluster ]; then
+   ! [ -x build/bench/bench_cluster ] || ! [ -x build/bench/bench_adapt ]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j --target bench_scaling --target bench_eval \
-    --target bench_cluster
+    --target bench_cluster --target bench_adapt
 fi
 
 if [ "$MODE" = "--smoke" ]; then
   ./build/bench/bench_eval --smoke
   ./build/bench/bench_cluster --smoke
+  ./build/bench/bench_adapt --smoke
   exec ./build/bench/bench_scaling --smoke
 fi
 
@@ -65,6 +66,13 @@ echo "Wrote BENCH_batch.json"
 
 echo "Wrote BENCH_cluster.json"
 
+./build/bench/bench_adapt \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_adapt.json \
+  --benchmark_out_format=json
+
+echo "Wrote BENCH_adapt.json"
+
 if [ "$MODE" = "--all" ]; then
   cmake --build build -j >/dev/null
   for b in build/bench/bench_*; do
@@ -73,6 +81,7 @@ if [ "$MODE" = "--all" ]; then
     [ "$name" = "bench_scaling" ] && continue
     [ "$name" = "bench_eval" ] && continue
     [ "$name" = "bench_cluster" ] && continue
+    [ "$name" = "bench_adapt" ] && continue
     echo "===== $name ====="
     "$b"
   done

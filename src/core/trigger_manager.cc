@@ -48,6 +48,12 @@ TriggerManager::TriggerManager(Database* db, TriggerManagerOptions options)
       [this](TriggerId id) { return LoadTrigger(id); });
   actions_ = std::make_unique<ActionExecutor>(db_, &events_);
   drivers_ = std::make_unique<DriverPool>(&task_queue_, options_.driver_config);
+  ReoptimizerOptions ropt;
+  ropt.cost = options_.cost_model;
+  ropt.policy = options_.adapt_policy;
+  ropt.faults = options_.driver_config.fault_injector;
+  reopt_ = std::make_unique<ConstantSetReoptimizer>(pindex_.get(), &adapt_log_,
+                                                    ropt);
 }
 
 TriggerManager::~TriggerManager() { Stop(); }
@@ -578,6 +584,17 @@ Status TriggerManager::SetTriggerSetEnabled(const std::string& name,
 // ---------------------------------------------------------------------------
 
 Result<std::string> TriggerManager::ExecuteCommand(std::string_view text) {
+  // Introspection commands sit outside the SQL-ish grammar: handled here
+  // so the console AND the wire protocol (ipc ClientConnection routes
+  // Command frames through ExecuteCommand) both get them.
+  std::string_view trimmed = Trim(text);
+  std::string lowered = ToLower(std::string(trimmed));
+  if (lowered == "stats") return StatsText();
+  if (lowered == "adapt" || lowered.rfind("adapt ", 0) == 0) {
+    std::string_view args = trimmed.size() > 5 ? Trim(trimmed.substr(5))
+                                               : std::string_view();
+    return AdaptCommand(args);
+  }
   TMAN_ASSIGN_OR_RETURN(Command cmd, ParseCommand(text));
   if (auto* create = std::get_if<CreateTriggerCmd>(&cmd)) {
     TMAN_RETURN_IF_ERROR(CreateTrigger(*create));
@@ -651,6 +668,7 @@ Task TriggerManager::MakePumpTask() {
 }
 
 Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
+  StageTimer ingest_timer(&stage_metrics_, Stage::kIngest, 1);
   if (wal_ != nullptr) {
     // Durable mode: every submission goes through the logged batch path
     // (a single-token batch still amortizes its sync across whatever
@@ -671,6 +689,7 @@ Status TriggerManager::SubmitUpdate(const UpdateDescriptor& token) {
 Status TriggerManager::SubmitUpdateBatch(
     const std::vector<UpdateDescriptor>& tokens,
     std::vector<Status>* per_update, const BatchStamp* stamp) {
+  StageTimer ingest_timer(&stage_metrics_, Stage::kIngest, tokens.size());
   if (wal_ != nullptr) return SubmitDurableBatch(tokens, per_update, stamp);
   updates_submitted_.fetch_add(tokens.size(), std::memory_order_relaxed);
   Status first_error = Status::OK();
@@ -1352,11 +1371,43 @@ Status TriggerManager::ProcessPending() {
 
 Status TriggerManager::Start() {
   drivers_->Start();
+  if (options_.adaptive && !adapt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(adapt_thread_mutex_);
+      adapt_stop_ = false;
+    }
+    adapt_thread_ = std::thread([this]() {
+      std::unique_lock<std::mutex> lock(adapt_thread_mutex_);
+      while (!adapt_stop_) {
+        adapt_thread_cv_.wait_for(lock, options_.adapt_interval);
+        if (adapt_stop_) break;
+        if (!adaptive_enabled()) continue;
+        lock.unlock();
+        RunAdaptationRound();
+        lock.lock();
+      }
+    });
+  }
   return Status::OK();
 }
 
 void TriggerManager::Stop() {
+  if (adapt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(adapt_thread_mutex_);
+      adapt_stop_ = true;
+    }
+    adapt_thread_cv_.notify_all();
+    adapt_thread_.join();
+  }
   if (drivers_ != nullptr) drivers_->Stop();
+}
+
+AdaptRoundReport TriggerManager::RunAdaptationRound() {
+  std::lock_guard<std::mutex> lock(adapt_run_mutex_);
+  AdaptRoundReport report = reopt_->RunOnce();
+  adapt_rounds_.fetch_add(1, std::memory_order_relaxed);
+  return report;
 }
 
 void TriggerManager::Drain() { task_queue_.WaitIdle(); }
@@ -1446,10 +1497,16 @@ Status TriggerManager::ProcessToken(const UpdateDescriptor& token,
   if (partition == 0) {
     tokens_processed_.fetch_add(1, std::memory_order_relaxed);
   }
-  TMAN_RETURN_IF_ERROR(MaintainToken(token, partition, num_partitions));
+  {
+    StageTimer maintain_timer(&stage_metrics_, Stage::kMaintain, 1);
+    TMAN_RETURN_IF_ERROR(MaintainToken(token, partition, num_partitions));
+  }
 
   // Fire matching: event condition + selection predicate through the
-  // predicate index, then joins, then actions.
+  // predicate index, then joins, then actions. (The kMatch span covers
+  // the whole pass; firing work inside it is also timed separately as
+  // kFire sub-spans.)
+  StageTimer match_timer(&stage_metrics_, Stage::kMatch, 1);
   Status inner = Status::OK();
   TMAN_RETURN_IF_ERROR(pindex_->MatchPartitioned(
       token, partition, num_partitions, [&](const PredicateMatch& m) {
@@ -1481,9 +1538,13 @@ Status TriggerManager::ProcessTokenBatch(
   // matching it) without stopping its batch-mates.
   std::vector<Status> lane_status(tokens.size());
   bool any_failed = false;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    lane_status[i] = MaintainToken(tokens[i], partition, num_partitions);
-    if (!lane_status[i].ok()) any_failed = true;
+  {
+    StageTimer maintain_timer(&stage_metrics_, Stage::kMaintain,
+                              tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      lane_status[i] = MaintainToken(tokens[i], partition, num_partitions);
+      if (!lane_status[i].ok()) any_failed = true;
+    }
   }
 
   const std::vector<UpdateDescriptor>* match_tokens = &tokens;
@@ -1501,6 +1562,8 @@ Status TriggerManager::ProcessTokenBatch(
   // One batched fire pass for the whole group: probes hashed per
   // (stripe, source) group, rest-of-predicates through the batched VM.
   if (!match_tokens->empty()) {
+    StageTimer match_timer(&stage_metrics_, Stage::kMatch,
+                           match_tokens->size());
     std::vector<Status> match_status;
     (void)pindex_->MatchBatch(
         *match_tokens, partition, num_partitions,
@@ -1541,10 +1604,13 @@ Status TriggerManager::RunFiring(const PredicateMatch& match,
     std::shared_lock lock(meta_mutex_);
     if (aggregates_.count(trigger->id) > 0) return Status::OK();
   }
+  StageTimer fire_timer(&stage_metrics_, Stage::kFire, 0);
+  uint64_t fired = 0;
   return trigger->network->MatchJoins(
       match.next_node, token.EffectiveTuple(),
       [&](const std::vector<Tuple>& bindings) {
         rule_firings_.fetch_add(1, std::memory_order_relaxed);
+        fire_timer.set_items(++fired);
         ActionContext ctx;
         ctx.trigger = trigger.get();
         ctx.bindings = bindings;
@@ -1644,7 +1710,84 @@ TriggerManagerStats TriggerManager::stats() const {
     st.wal = wal_->stats();
     st.wal_pending_tokens = WalPendingTokens();
   }
+  st.stages = stage_metrics_.Snapshot();
+  st.stages.queue_depth = task_queue_.size();
+  st.stages.queue_in_flight = task_queue_.in_flight();
+  st.adapt_rounds = adapt_rounds_.load(std::memory_order_relaxed);
+  st.adapt_switches = reopt_->total_switches();
+  st.adapt_events = adapt_log_.total();
   return st;
+}
+
+std::string TriggerManager::StatsText() const {
+  TriggerManagerStats st = stats();
+  std::string out;
+  out += "submitted=" + std::to_string(st.updates_submitted) +
+         " processed=" + std::to_string(st.tokens_processed) +
+         " firings=" + std::to_string(st.rule_firings) + "\n";
+  out += "signatures=" + std::to_string(st.predicates.num_signatures) +
+         " predicates=" + std::to_string(st.predicates.num_predicates) +
+         " matches=" + std::to_string(st.predicates.matches_emitted) + "\n";
+  out += st.stages.ToString();
+  out += "adapt: rounds=" + std::to_string(st.adapt_rounds) +
+         " switches=" + std::to_string(st.adapt_switches) +
+         " events=" + std::to_string(st.adapt_events) + "\n";
+  // Per-signature runtime stats, the raw feed of the re-optimizer.
+  for (const SignatureStatsReport& r : pindex_->SignatureStats()) {
+    const SignatureRuntimeStats& s = r.stats;
+    double selectivity =
+        s.probes > 0 ? static_cast<double>(s.matches) / s.probes : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "sig %llu src=%u org=%s size=%zu probes=%llu "
+                  "matches=%llu sel=%.4f switches=%u %s\n",
+                  static_cast<unsigned long long>(s.sig_id),
+                  static_cast<unsigned>(r.source),
+                  std::string(OrgTypeName(s.org)).c_str(), s.class_size,
+                  static_cast<unsigned long long>(s.probes),
+                  static_cast<unsigned long long>(s.matches), selectivity,
+                  s.org_switches, s.description.c_str());
+    out += line;
+  }
+  return out;
+}
+
+Result<std::string> TriggerManager::AdaptCommand(std::string_view args) {
+  std::string sub = ToLower(std::string(Trim(args)));
+  if (sub.empty() || sub == "status") {
+    std::string out;
+    out += std::string("adaptive=") + (options_.adaptive ? "on" : "off") +
+           " gate=" + (adaptive_enabled() ? "open" : "closed") +
+           " rounds=" + std::to_string(adapt_rounds_.load()) +
+           " switches=" + std::to_string(reopt_->total_switches()) +
+           " events=" + std::to_string(adapt_log_.total()) + "\n";
+    const AdaptPolicy& p = reopt_->policy();
+    out += "policy: min_probes=" + std::to_string(p.min_probes) +
+           " min_gain=" + std::to_string(p.min_gain_ratio) +
+           " cooldown=" + std::to_string(p.cooldown_rounds) + "\n";
+    return out;
+  }
+  if (sub == "run") {
+    AdaptRoundReport report = RunAdaptationRound();
+    return report.ToString();
+  }
+  if (sub == "log") {
+    std::vector<AdaptationRecord> tail = adapt_log_.Tail(32);
+    if (tail.empty()) return std::string("adaptation log empty");
+    std::string out;
+    for (const AdaptationRecord& rec : tail) out += rec.ToString() + "\n";
+    return out;
+  }
+  if (sub == "on") {
+    set_adaptive_enabled(true);
+    return std::string("adaptation enabled");
+  }
+  if (sub == "off") {
+    set_adaptive_enabled(false);
+    return std::string("adaptation disabled");
+  }
+  return Status::InvalidArgument(
+      "usage: adapt [status|run|log|on|off]");
 }
 
 }  // namespace tman

@@ -2,12 +2,14 @@
 #define TRIGGERMAN_CORE_TRIGGER_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/trigger_cache.h"
@@ -20,7 +22,9 @@
 #include "db/database.h"
 #include "expr/token_batch.h"
 #include "predindex/predicate_index.h"
+#include "predindex/reoptimizer.h"
 #include "runtime/driver.h"
+#include "runtime/stage_metrics.h"
 #include "runtime/task_queue.h"
 #include "storage/table_queue.h"
 #include "storage/wal.h"
@@ -71,6 +75,19 @@ struct TriggerManagerOptions {
   /// Checkpoint the WAL (snapshot live state, truncate the dead prefix)
   /// once it retains more than this many bytes.
   uint64_t wal_checkpoint_bytes = 256 * 1024;
+
+  /// Online adaptive re-optimization: Start() also spawns a background
+  /// thread that runs one ConstantSetReoptimizer round every
+  /// adapt_interval, switching constant-set organizations whose observed
+  /// traffic says the install-time choice is wrong (see
+  /// predindex/reoptimizer.h). Rounds can always be driven manually via
+  /// RunAdaptationRound() / the `adapt run` command, even when false.
+  bool adaptive = false;
+  std::chrono::milliseconds adapt_interval{200};
+
+  /// Hysteresis knobs and cost-model calibration for the re-optimizer.
+  AdaptPolicy adapt_policy;
+  CostModelParams cost_model;
 };
 
 /// Durable identity of a submitted batch: the session it came from and
@@ -102,6 +119,13 @@ struct TriggerManagerStats {
   PredicateIndexStats predicates;
   WalStats wal;                      // zeroes when durable_wal is off
   uint64_t wal_pending_tokens = 0;   // durable tokens not yet processed
+  /// Live per-stage latency/throughput + queue depth (tentpole part a).
+  StageMetricsSnapshot stages;
+  /// Adaptation counters: rounds run, organization switches installed,
+  /// and total log events (applied + failed attempts).
+  uint64_t adapt_rounds = 0;
+  uint64_t adapt_switches = 0;
+  uint64_t adapt_events = 0;
 };
 
 /// TriggerMan: the asynchronous trigger processor. Owns the predicate
@@ -195,6 +219,26 @@ class TriggerManager {
   // --- introspection -----------------------------------------------------------
 
   TriggerManagerStats stats() const;
+
+  // --- adaptive re-optimization ------------------------------------------------
+
+  /// One observation + adaptation round over the predicate index,
+  /// serialized against the background thread. Callable whether or not
+  /// options_.adaptive is set (tests and the `adapt run` command).
+  AdaptRoundReport RunAdaptationRound();
+
+  /// Gates the background thread's rounds without stopping it (`adapt
+  /// on` / `adapt off`). Manual RunAdaptationRound calls are unaffected.
+  void set_adaptive_enabled(bool enabled) {
+    adapt_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool adaptive_enabled() const {
+    return adapt_enabled_.load(std::memory_order_relaxed);
+  }
+
+  AdaptationLog& adaptation_log() { return adapt_log_; }
+  ConstantSetReoptimizer& reoptimizer() { return *reopt_; }
+  StageMetrics& stage_metrics() { return stage_metrics_; }
 
   // --- durability ------------------------------------------------------------
 
@@ -360,6 +404,13 @@ class TriggerManager {
 
   void MaybeCheckpointWal();
 
+  /// Human-readable stats for the `stats` console/wire command.
+  std::string StatsText() const;
+
+  /// The `adapt <subcommand>` console/wire command: status | log | run |
+  /// on | off.
+  Result<std::string> AdaptCommand(std::string_view args);
+
   /// Builds the token task(s) for one descriptor (one per condition
   /// partition) without pushing, so batch submission can hand the whole
   /// set to TaskQueue::PushBatch in one call.
@@ -406,6 +457,22 @@ class TriggerManager {
   std::atomic<uint64_t> updates_submitted_{0};
   std::atomic<uint64_t> tokens_processed_{0};
   std::atomic<uint64_t> rule_firings_{0};
+
+  // --- adaptive re-optimization ---------------------------------------------
+  AdaptationLog adapt_log_;
+  std::unique_ptr<ConstantSetReoptimizer> reopt_;
+  StageMetrics stage_metrics_;
+  // Serializes RunOnce (the reoptimizer keeps per-round deltas and is not
+  // itself thread-safe; the background thread and `adapt run` may race).
+  std::mutex adapt_run_mutex_;
+  std::atomic<uint64_t> adapt_rounds_{0};
+  std::atomic<bool> adapt_enabled_{true};
+  // Background round thread (options_.adaptive): started by Start(),
+  // joined by Stop().
+  std::thread adapt_thread_;
+  std::mutex adapt_thread_mutex_;
+  std::condition_variable adapt_thread_cv_;
+  bool adapt_stop_ = false;
 
   /// True when cluster fencing marked this pending token as not-to-run.
   bool IsWalTokenFenced(uint64_t batch_id, uint32_t index) const;

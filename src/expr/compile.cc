@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "expr/eval.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace tman {
@@ -178,6 +179,12 @@ class PredicateCompiler {
     CompiledPredicate p;
     p.code_ = std::move(code_);
     p.const_pool_ = std::move(pool_);
+    p.const_str_hash_.assign(p.const_pool_.size(), 0);
+    for (size_t i = 0; i < p.const_pool_.size(); ++i) {
+      if (const std::string* sp = p.const_pool_[i].if_string()) {
+        p.const_str_hash_[i] = HashString(*sp);
+      }
+    }
     p.result_ = root.op;
     p.num_regs_ = static_cast<uint16_t>(next_reg_);
     p.num_slots_ = static_cast<uint16_t>(layout_.size());
@@ -907,8 +914,11 @@ struct BatchScratch {
   std::vector<uint8_t> regpure;  // per register: purity of its last write
   std::vector<uint8_t> fct;      // decoded field columns, fkeys-indexed
   std::vector<LaneVal> fcv;
+  std::vector<uint64_t> fhash;   // per-column string-lane hashes, lazy
+  std::vector<uint8_t> fhashed;
   std::vector<uint8_t> bxt, byt;  // broadcast const/param operand columns
   std::vector<LaneVal> bxv, byv;
+  std::vector<uint64_t> bxh, byh;  // broadcast operand hash columns
   std::deque<std::string> owned;  // strings created during this call
 };
 
@@ -1252,6 +1262,8 @@ Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
     s.bxv.resize(lanes);
     s.byt.resize(lanes);
     s.byv.resize(lanes);
+    s.bxh.resize(lanes);
+    s.byh.resize(lanes);
   }
   s.resume.assign(lanes, 0);
   s.owned.clear();
@@ -1283,6 +1295,8 @@ Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
   }
   s.fdecoded.assign(nfields, 0);
   if (s.fpure.size() < nfields) s.fpure.resize(nfields);
+  if (s.fhash.size() < nfields * lanes) s.fhash.resize(nfields * lanes);
+  s.fhashed.assign(nfields, 0);
   s.regpure.assign(num_regs_, 0);
 
   // While true, every lane is still on the straight-line path (no branch
@@ -1328,6 +1342,44 @@ Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
       }
     }
     return {nullptr, nullptr, 0};
+  };
+
+  // Hash columns for the string-equality fast path: constants carry their
+  // compile-time hash (the pool is interned, so equal literals also share
+  // a pointer), parameters hash once per instruction, field columns hash
+  // their string lanes at most once per batch however many equality
+  // compares read them. Registers can't supply hashes — returns nullptr
+  // and the compare stays byte-wise.
+  auto hash_col = [&](const VmOperand& o, const ColRef& c,
+                      uint64_t* bh) -> const uint64_t* {
+    switch (o.kind) {
+      case VmOperand::Kind::kConst: {
+        if (const_pool_[o.a].if_string() == nullptr) return nullptr;
+        std::fill(bh, bh + lanes, const_str_hash_[o.a]);
+        return bh;
+      }
+      case VmOperand::Kind::kParam: {
+        const std::string* sp = params[o.a].if_string();
+        if (sp == nullptr) return nullptr;
+        std::fill(bh, bh + lanes, HashString(*sp));
+        return bh;
+      }
+      case VmOperand::Kind::kField: {
+        const uint32_t key = (static_cast<uint32_t>(o.a) << 16) | o.b;
+        size_t idx = 0;
+        while (s.fkeys[idx] != key) ++idx;
+        uint64_t* ch = s.fhash.data() + idx * lanes;
+        if (!s.fhashed[idx]) {
+          s.fhashed[idx] = 1;
+          for (size_t i = 0; i < lanes; ++i) {
+            ch[i] = c.t[i] == kTagStr ? HashString(*c.v[i].s) : 0;
+          }
+        }
+        return ch;
+      }
+      default:
+        return nullptr;
+    }
   };
 
   bool any_dead = false;
@@ -1483,6 +1535,16 @@ Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
       case VmOp::kCmpAny: {
         const ColRef x = resolve(ins.x, s.bxt.data(), s.bxv.data());
         const ColRef y = resolve(ins.y, s.byt.data(), s.byv.data());
+        // Equality/inequality over string lanes first tries pointer
+        // identity (interned constants), then rejects on the cached
+        // 8-byte hashes; bytes are touched only to confirm a hash match.
+        const bool want_hash = ins.op == VmOp::kCmpSS &&
+                               (bop == BinOp::kEq || bop == BinOp::kNe);
+        const uint64_t* xh =
+            want_hash ? hash_col(ins.x, x, s.bxh.data()) : nullptr;
+        const uint64_t* yh =
+            want_hash ? hash_col(ins.y, y, s.byh.data()) : nullptr;
+        const bool hashed = xh != nullptr && yh != nullptr;
         for (size_t i = 0; i < lanes; ++i) {
           if (resume[i] > pc) continue;
           const uint8_t a = x.t[i], b = y.t[i];
@@ -1492,6 +1554,13 @@ Status CompiledPredicate::EvalBatch(const TokenBatch& batch, BatchResult* out,
           }
           if (ins.op == VmOp::kCmpSS) {
             if (a == kTagStr && b == kTagStr) {
+              if (hashed) {
+                const bool eq = x.v[i].s == y.v[i].s ||
+                                (xh[i] == yh[i] && *x.v[i].s == *y.v[i].s);
+                dt[i] = kTagInt;
+                dv[i].i = (eq == (bop == BinOp::kEq)) ? 1 : 0;
+                continue;
+              }
               int c = x.v[i].s->compare(*y.v[i].s);
               dt[i] = kTagInt;
               dv[i].i = ApplyComparison(bop, c) ? 1 : 0;

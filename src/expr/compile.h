@@ -270,6 +270,12 @@ class CompiledPredicate {
 
   std::vector<VmInstr> code_;
   std::vector<Value> const_pool_;
+  /// FNV-1a of each *string* entry in const_pool_ (0 for other types).
+  /// ConstOperand interns the pool — equal string literals share one
+  /// entry — so these compile-time hashes let batched string equality
+  /// reject mismatched lanes on an 8-byte compare (and accept
+  /// pointer-equal ones) instead of walking bytes.
+  std::vector<uint64_t> const_str_hash_;
   VmOperand result_;        // where the root value lives after the run
   uint16_t num_regs_ = 0;
   uint16_t num_slots_ = 0;

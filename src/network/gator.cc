@@ -1,6 +1,7 @@
 #include "network/gator.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace tman {
 
@@ -62,6 +63,15 @@ Result<std::unique_ptr<GatorNetwork>> GatorNetwork::Build(
       if (net->probes_[level].found) break;
     }
   }
+  net->order_.resize(n);
+  net->pos_of_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    net->order_[i] = i;
+    net->pos_of_[i] = i;
+  }
+  net->identity_ = true;
+  net->edge_attempts_.assign(graph.edges().size(), 0);
+  net->edge_passes_.assign(graph.edges().size(), 0);
   net->CompilePredicates();
   return net;
 }
@@ -121,11 +131,13 @@ Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
   // the common case without them.
   Bindings fallback;
   bool fallback_ready = false;
+  const bool track = runtime_stats::enabled();
   for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
     const ConditionGraph::Edge& e = graph_.edges()[ei];
     size_t hi = std::max(e.a, e.b);
     size_t lo = std::min(e.a, e.b);
     if (hi != var || lo >= prefix.size()) continue;
+    if (track) ++edge_attempts_[ei];
     const Tuple* pair[2] = {&prefix[lo], &candidate};
     for (size_t ci = 0; ci < e.join_conjuncts.size(); ++ci) {
       const CompiledPredicate* prog = edge_programs_[ei][ci].get();
@@ -146,6 +158,7 @@ Result<bool> GatorNetwork::JoinsSatisfied(const Row& prefix, size_t var,
                             EvalPredicate(e.join_conjuncts[ci], fallback));
       if (!pass) return false;
     }
+    if (track) ++edge_passes_[ei];
   }
   return true;
 }
@@ -159,6 +172,7 @@ Status GatorNetwork::JoinsSatisfiedBatch(
   TokenBatch batch(2);
   BatchResult result;
   std::vector<uint32_t> live, sel;
+  const bool track = runtime_stats::enabled();
   for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
     const ConditionGraph::Edge& e = graph_.edges()[ei];
     size_t hi = std::max(e.a, e.b);
@@ -167,6 +181,13 @@ Status GatorNetwork::JoinsSatisfiedBatch(
     if (std::none_of(pass->begin(), pass->end(),
                      [](uint8_t b) { return b != 0; })) {
       return Status::OK();
+    }
+    if (track) {
+      uint64_t entered = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        if ((*pass)[i] != 0 && lo < prefixes[i]->size()) ++entered;
+      }
+      edge_attempts_[ei] += entered;
     }
     for (size_t ci = 0; ci < e.join_conjuncts.size(); ++ci) {
       // Lanes still passing and subject to this edge (a prefix too short
@@ -203,6 +224,13 @@ Status GatorNetwork::JoinsSatisfiedBatch(
                               EvalPredicate(e.join_conjuncts[ci], fallback));
         if (!ok) (*pass)[i] = 0;
       }
+    }
+    if (track) {
+      uint64_t exited = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        if ((*pass)[i] != 0 && lo < prefixes[i]->size()) ++exited;
+      }
+      edge_passes_[ei] += exited;
     }
   }
   return Status::OK();
@@ -330,7 +358,17 @@ Status GatorNetwork::Propagate(size_t node, const Tuple& tuple,
   for (const Row& row : delta) {
     if (row.size() != n) continue;
     TMAN_ASSIGN_OR_RETURN(bool pass, CatchAllSatisfied(row));
-    if (pass && fn) fn(row);
+    if (pass && fn) {
+      if (identity_) {
+        fn(row);
+      } else {
+        // Internal rows are in join-order positions; callers always see
+        // the original declaration order.
+        Row mapped(n);
+        for (size_t p = 0; p < n; ++p) mapped[order_[p]] = row[p];
+        fn(mapped);
+      }
+    }
   }
   return Status::OK();
 }
@@ -341,8 +379,10 @@ Status GatorNetwork::AddTuple(NetworkNodeId node, const Tuple& tuple,
   if (node >= graph_.nodes().size()) {
     return Status::InvalidArgument("bad network node id");
   }
-  alphas_[node].emplace(AlphaKey(node, tuple), tuple);
-  return Propagate(node, tuple, fn);
+  ++version_;
+  const size_t pos = pos_of_[node];
+  alphas_[pos].emplace(AlphaKey(pos, tuple), tuple);
+  return Propagate(pos, tuple, fn);
 }
 
 Status GatorNetwork::AddTupleBatch(NetworkNodeId node,
@@ -352,21 +392,23 @@ Status GatorNetwork::AddTupleBatch(NetworkNodeId node,
   if (node >= graph_.nodes().size()) {
     return Status::InvalidArgument("bad network node id");
   }
+  ++version_;
+  const size_t pos = pos_of_[node];
   // Alpha keys for the whole batch in one tight pass; the hash work is
   // hoisted out of the insert+propagate loop.
   std::vector<uint64_t> keys(tuples.size());
   for (size_t i = 0; i < tuples.size(); ++i) {
-    keys[i] = AlphaKey(node, tuples[i]);
+    keys[i] = AlphaKey(pos, tuples[i]);
   }
   for (size_t i = 0; i < tuples.size(); ++i) {
-    alphas_[node].emplace(keys[i], tuples[i]);
+    alphas_[pos].emplace(keys[i], tuples[i]);
     FiringFn wrapped;
     if (fn) {
       wrapped = [&fn, i](const std::vector<Tuple>& bindings) {
         fn(i, bindings);
       };
     }
-    TMAN_RETURN_IF_ERROR(Propagate(node, tuples[i], wrapped));
+    TMAN_RETURN_IF_ERROR(Propagate(pos, tuples[i], wrapped));
   }
   return Status::OK();
 }
@@ -375,10 +417,12 @@ Status GatorNetwork::RemoveTuple(NetworkNodeId node, const Tuple& tuple) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t n = graph_.nodes().size();
   if (node >= n) return Status::InvalidArgument("bad network node id");
+  ++version_;
+  const size_t pos = pos_of_[node];
 
   // Remove one instance from the alpha memory.
-  auto& alpha = alphas_[node];
-  auto range = alpha.equal_range(AlphaKey(node, tuple));
+  auto& alpha = alphas_[pos];
+  auto range = alpha.equal_range(AlphaKey(pos, tuple));
   bool erased = false;
   for (auto it = range.first; it != range.second; ++it) {
     if (it->second == tuple) {
@@ -389,16 +433,16 @@ Status GatorNetwork::RemoveTuple(NetworkNodeId node, const Tuple& tuple) {
   }
   if (!erased) return Status::OK();
   size_t remaining = 0;
-  range = alpha.equal_range(AlphaKey(node, tuple));
+  range = alpha.equal_range(AlphaKey(pos, tuple));
   for (auto it = range.first; it != range.second; ++it) {
     if (it->second == tuple) ++remaining;
   }
 
   // Drop every materialized row carrying the tuple at this position...
-  for (size_t level = node; level < n; ++level) {
+  for (size_t level = pos; level < n; ++level) {
     auto& rows = betas_[level];
     for (auto it = rows.begin(); it != rows.end();) {
-      if (it->second[node] == tuple) {
+      if (it->second[pos] == tuple) {
         it = rows.erase(it);
       } else {
         ++it;
@@ -408,14 +452,15 @@ Status GatorNetwork::RemoveTuple(NetworkNodeId node, const Tuple& tuple) {
   // ...then re-derive the rows owed to identical duplicates still stored
   // (duplicates are rare; correctness over cleverness).
   for (size_t dup = 0; dup < remaining; ++dup) {
-    TMAN_RETURN_IF_ERROR(Propagate(node, tuple, nullptr));
+    TMAN_RETURN_IF_ERROR(Propagate(pos, tuple, nullptr));
   }
   return Status::OK();
 }
 
 size_t GatorNetwork::alpha_size(NetworkNodeId node) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return node < alphas_.size() ? alphas_[node].size() : 0;
+  if (node >= pos_of_.size()) return 0;
+  return alphas_[pos_of_[node]].size();
 }
 
 size_t GatorNetwork::beta_size(size_t level) const {
@@ -428,6 +473,211 @@ size_t GatorNetwork::total_beta_rows() const {
   size_t total = 0;
   for (size_t i = 1; i < betas_.size(); ++i) total += betas_[i].size();
   return total;
+}
+
+std::vector<GatorEdgeStats> GatorNetwork::EdgeStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GatorEdgeStats> out(graph_.edges().size());
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
+    out[ei].a = order_[e.a];
+    out[ei].b = order_[e.b];
+    out[ei].attempts = edge_attempts_[ei];
+    out[ei].passes = edge_passes_[ei];
+  }
+  return out;
+}
+
+std::vector<size_t> GatorNetwork::current_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
+uint64_t GatorNetwork::reorganizations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reorgs_;
+}
+
+double GatorNetwork::OrderCost(const std::vector<size_t>& order,
+                               const std::vector<size_t>& sizes,
+                               const std::vector<std::vector<double>>& sel,
+                               const std::vector<std::vector<uint8_t>>& has_edge) {
+  if (order.empty()) return 0;
+  // Estimated rows at each level of the left-deep chain; the cost is
+  // their sum — the work every arriving token's delta join walks over.
+  double est = static_cast<double>(std::max<size_t>(sizes[order[0]], 1));
+  double cost = est;
+  for (size_t s = 1; s < order.size(); ++s) {
+    size_t v = order[s];
+    double width = static_cast<double>(std::max<size_t>(sizes[v], 1));
+    double reduction = 1.0;
+    for (size_t t = 0; t < s; ++t) {
+      if (has_edge[v][order[t]] != 0) reduction *= sel[v][order[t]];
+    }
+    est = est * width * reduction;
+    cost += est;
+  }
+  return cost;
+}
+
+std::vector<size_t> GatorNetwork::RecommendOrderLocked(
+    double* current_cost, double* recommended_cost,
+    uint64_t* total_attempts) const {
+  const size_t n = graph_.nodes().size();
+  std::vector<size_t> sizes(n);
+  for (size_t v = 0; v < n; ++v) sizes[v] = alphas_[pos_of_[v]].size();
+
+  // Pairwise observed selectivities in original ids; unobserved edges
+  // default to 1.0 (no reduction claimed), so reordering is driven only
+  // by evidence.
+  std::vector<std::vector<double>> sel(n, std::vector<double>(n, 1.0));
+  std::vector<std::vector<uint8_t>> has_edge(n, std::vector<uint8_t>(n, 0));
+  uint64_t attempts_total = 0;
+  for (size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+    const ConditionGraph::Edge& e = graph_.edges()[ei];
+    size_t a = order_[e.a];
+    size_t b = order_[e.b];
+    has_edge[a][b] = has_edge[b][a] = 1;
+    attempts_total += edge_attempts_[ei];
+    if (edge_attempts_[ei] > 0) {
+      double s = static_cast<double>(edge_passes_[ei]) /
+                 static_cast<double>(edge_attempts_[ei]);
+      sel[a][b] = sel[b][a] = std::max(s, 1e-6);
+    }
+  }
+  if (total_attempts != nullptr) *total_attempts = attempts_total;
+
+  std::vector<size_t> best_order = order_;
+  double best_cost = OrderCost(order_, sizes, sel, has_edge);
+  if (current_cost != nullptr) *current_cost = best_cost;
+
+  // Greedy from every possible first variable; keep the cheapest order.
+  for (size_t first = 0; first < n; ++first) {
+    std::vector<size_t> cand{first};
+    std::vector<uint8_t> used(n, 0);
+    used[first] = 1;
+    while (cand.size() < n) {
+      size_t pick = n;
+      double pick_cost = std::numeric_limits<double>::infinity();
+      for (size_t v = 0; v < n; ++v) {
+        if (used[v] != 0) continue;
+        cand.push_back(v);
+        double c = OrderCost(cand, sizes, sel, has_edge);
+        cand.pop_back();
+        if (c < pick_cost) {
+          pick_cost = c;
+          pick = v;
+        }
+      }
+      cand.push_back(pick);
+      used[pick] = 1;
+    }
+    double c = OrderCost(cand, sizes, sel, has_edge);
+    if (c < best_cost) {
+      best_cost = c;
+      best_order = cand;
+    }
+  }
+  if (recommended_cost != nullptr) *recommended_cost = best_cost;
+  return best_order;
+}
+
+std::vector<size_t> GatorNetwork::RecommendOrder() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RecommendOrderLocked(nullptr, nullptr, nullptr);
+}
+
+Status GatorNetwork::Reorganize(const std::vector<size_t>& order) {
+  uint64_t version = 0;
+  std::vector<std::vector<Tuple>> by_pos;  // snapshot, already permuted
+  ConditionGraph permuted;
+  std::vector<Schema> pschemas;
+  {
+    // Stage 1: snapshot the alpha contents and version.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t n = graph_.nodes().size();
+    if (order.size() != n) {
+      return Status::InvalidArgument("order size does not match network");
+    }
+    if (order == order_) return Status::OK();
+    // rel[p] = current position of the variable moving to position p;
+    // Permuted(rel) composes the new order over the active graph (and
+    // validates that `order` is a permutation).
+    std::vector<size_t> rel(n);
+    for (size_t p = 0; p < n; ++p) {
+      if (order[p] >= n) {
+        return Status::InvalidArgument("order is not a permutation");
+      }
+      rel[p] = pos_of_[order[p]];
+    }
+    TMAN_ASSIGN_OR_RETURN(permuted, graph_.Permuted(rel));
+    pschemas.resize(n);
+    by_pos.resize(n);
+    for (size_t p = 0; p < n; ++p) {
+      pschemas[p] = schemas_[rel[p]];
+      by_pos[p].reserve(alphas_[rel[p]].size());
+      for (const auto& [key, t] : alphas_[rel[p]]) by_pos[p].push_back(t);
+    }
+    version = version_;
+  }
+
+  // Stage 2: build the permuted network off to the side — probe
+  // analysis, predicate compilation and the full beta replay run with no
+  // lock held, so matching continues on the old order meanwhile.
+  // Firings stay suppressed: every replayed tuple already fired on
+  // arrival.
+  TMAN_ASSIGN_OR_RETURN(std::unique_ptr<GatorNetwork> fresh,
+                        Build(permuted, std::move(pschemas)));
+  for (size_t p = 0; p < by_pos.size(); ++p) {
+    for (const Tuple& t : by_pos[p]) {
+      TMAN_RETURN_IF_ERROR(fresh->AddTuple(p, t, nullptr));
+    }
+  }
+
+  {
+    // Stage 3: install iff nothing changed since the snapshot.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (version_ != version) {
+      return Status::Aborted("gator network mutated during reorganization");
+    }
+    graph_ = std::move(fresh->graph_);
+    schemas_ = std::move(fresh->schemas_);
+    probes_ = std::move(fresh->probes_);
+    edge_programs_ = std::move(fresh->edge_programs_);
+    catch_all_programs_ = std::move(fresh->catch_all_programs_);
+    alphas_ = std::move(fresh->alphas_);
+    betas_ = std::move(fresh->betas_);
+    order_ = order;
+    identity_ = true;
+    for (size_t p = 0; p < order.size(); ++p) {
+      pos_of_[order[p]] = p;
+      if (order[p] != p) identity_ = false;
+    }
+    ++reorgs_;
+    // edge_attempts_/edge_passes_ carry over: permutation preserves the
+    // edge list order, so index ei still names the same join edge.
+  }
+  return Status::OK();
+}
+
+Result<bool> GatorNetwork::MaybeReorganize(double min_gain_ratio,
+                                           uint64_t min_attempts) {
+  std::vector<size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    double current = 0;
+    double recommended = 0;
+    uint64_t attempts = 0;
+    order = RecommendOrderLocked(&current, &recommended, &attempts);
+    if (attempts < min_attempts) return false;
+    if (order == order_) return false;
+    if (recommended <= 0 || current / recommended < min_gain_ratio) {
+      return false;
+    }
+  }
+  Status s = Reorganize(order);
+  if (!s.ok()) return s;
+  return true;
 }
 
 }  // namespace tman

@@ -11,8 +11,20 @@
 #include "expr/eval.h"
 #include "network/alpha_memory.h"
 #include "predindex/predicate_entry.h"
+#include "util/sharded_counter.h"
 
 namespace tman {
+
+/// Observed traffic on one join edge, in *original* variable ids (stable
+/// across reorganizations): how many (prefix, candidate) pairs reached
+/// the edge and how many passed all its conjuncts. passes/attempts is
+/// the observed join selectivity the reorganizer feeds its cost model.
+struct GatorEdgeStats {
+  size_t a = 0;
+  size_t b = 0;
+  uint64_t attempts = 0;
+  uint64_t passes = 0;
+};
 
 /// A Gator-style discrimination network ([Hans97b]; §3 of the paper:
 /// "In the future, we plan to implement an optimized type of
@@ -70,12 +82,59 @@ class GatorNetwork {
 
   size_t alpha_size(NetworkNodeId node) const;
   /// Rows materialized at beta level i (1..n-1); level n-1 is the
-  /// complete-match memory.
+  /// complete-match memory. Levels are *positions in the current join
+  /// order* (they name intermediate results, which only exist relative
+  /// to an order), unlike node ids, which always mean the original
+  /// variables.
   size_t beta_size(size_t level) const;
   /// Total tuples held in beta memories (the space cost vs A-TREAT).
   size_t total_beta_rows() const;
 
+  /// The *active* (possibly reorganized) graph.
   const ConditionGraph& graph() const { return graph_; }
+
+  // --- adaptive join-order reorganization -------------------------------
+  //
+  // The left-deep chain's cost hangs on its variable order: joining the
+  // selective edges first keeps every beta small. The initial order is
+  // the declaration order; these methods let the re-optimizer replace it
+  // at runtime from *observed* per-edge selectivities, under the same
+  // snapshot/build-offside/version-checked-install protocol the
+  // constant-set swap uses. Node ids in the public API always mean the
+  // original declaration order, and firing bindings are always delivered
+  // in it — callers never see the internal permutation.
+
+  /// Per-edge observed traffic (original variable ids; order matches the
+  /// original graph's edge list, which every permutation preserves).
+  std::vector<GatorEdgeStats> EdgeStats() const;
+
+  /// Current join order: position -> original variable id.
+  std::vector<size_t> current_order() const;
+
+  uint64_t reorganizations() const;
+
+  /// Greedy cost-based order from current alpha sizes and observed edge
+  /// selectivities: tries each variable first, then repeatedly appends
+  /// the variable minimizing the estimated intermediate result, and
+  /// keeps the cheapest full order. Returns original variable ids.
+  std::vector<size_t> RecommendOrder() const;
+
+  /// Rebuilds the network in `order` (original variable ids, a
+  /// permutation of 0..n-1): snapshots the alpha memories and version
+  /// under the lock, builds a fresh permuted network off to the side
+  /// (replaying tuples with firings suppressed — arrival firings already
+  /// happened), then re-locks and installs it iff the version is
+  /// unchanged; a concurrent Add/RemoveTuple aborts the install
+  /// (Status::Aborted) rather than losing the mutation. A no-op when
+  /// `order` is already active.
+  Status Reorganize(const std::vector<size_t>& order);
+
+  /// RecommendOrder + hysteresis: reorganizes only when the edges have
+  /// seen `min_attempts` join attempts and the modeled cost ratio of the
+  /// current order over the recommended one clears `min_gain_ratio`.
+  /// Returns whether a reorganization was installed.
+  Result<bool> MaybeReorganize(double min_gain_ratio = 1.5,
+                               uint64_t min_attempts = 256);
 
  private:
   GatorNetwork(ConditionGraph graph, std::vector<Schema> schemas)
@@ -131,9 +190,25 @@ class GatorNetwork {
   /// Compiles join and catch-all conjuncts against the node schemas.
   void CompilePredicates();
 
-  ConditionGraph graph_;
-  std::vector<Schema> schemas_;
-  std::vector<Probe> probes_;  // per variable; [0] unused
+  /// Estimated total intermediate rows of a left-deep order (original
+  /// ids) given per-variable alpha sizes and the pairwise selectivity /
+  /// connectivity matrices. Requires mutex_ held (reads nothing mutable,
+  /// but callers derive sel/sizes under it).
+  static double OrderCost(const std::vector<size_t>& order,
+                          const std::vector<size_t>& sizes,
+                          const std::vector<std::vector<double>>& sel,
+                          const std::vector<std::vector<uint8_t>>& has_edge);
+
+  /// RecommendOrder body; requires mutex_ held. Also reports the modeled
+  /// cost of the current and recommended orders and the total join
+  /// attempts observed (the hysteresis inputs).
+  std::vector<size_t> RecommendOrderLocked(double* current_cost,
+                                           double* recommended_cost,
+                                           uint64_t* total_attempts) const;
+
+  ConditionGraph graph_;           // active (permuted) graph
+  std::vector<Schema> schemas_;    // aligned with graph_ positions
+  std::vector<Probe> probes_;      // per position; [0] unused
 
   /// Compiled join conjuncts aligned with graph_.edges(); layout is
   /// [min(a,b), max(a,b)]. Null entries use the interpreter fallback.
@@ -144,9 +219,25 @@ class GatorNetwork {
 
   mutable std::mutex mutex_;
   // Hash-keyed memories: alphas by their own probe field, beta level L by
-  // the field level L+1 probes with (0 when no equijoin exists).
+  // the field level L+1 probes with (0 when no equijoin exists). Indexed
+  // by *position* in the current order.
   std::vector<std::unordered_multimap<uint64_t, Tuple>> alphas_;
   std::vector<std::unordered_multimap<uint64_t, Row>> betas_;
+
+  // Join-order bookkeeping (all under mutex_). order_[pos] = original
+  // variable id at position pos; pos_of_ is its inverse; identity_
+  // short-circuits the firing remap on never-reorganized networks.
+  std::vector<size_t> order_;
+  std::vector<size_t> pos_of_;
+  bool identity_ = true;
+  uint64_t version_ = 0;  // bumped by every mutation; swap validates it
+  uint64_t reorgs_ = 0;
+
+  // Per-edge observed traffic, aligned with graph_.edges() (stable
+  // across permutations — Permuted preserves edge list order). Written
+  // under mutex_ when runtime_stats::enabled().
+  mutable std::vector<uint64_t> edge_attempts_;
+  mutable std::vector<uint64_t> edge_passes_;
 };
 
 }  // namespace tman

@@ -67,4 +67,65 @@ double EstimateMemoryBytes(size_t class_size, const CostModelParams& p) {
   return static_cast<double>(class_size) * p.memory_per_entry;
 }
 
+namespace {
+
+double CostOf(const OrgCostEstimate& est, OrgType t) {
+  switch (t) {
+    case OrgType::kMemoryList:
+      return est.memory_list_ns;
+    case OrgType::kMemoryIndex:
+      return est.memory_index_ns;
+    case OrgType::kDbTable:
+      return est.db_table_ns;
+    case OrgType::kDbIndexedTable:
+      return est.db_indexed_ns;
+  }
+  return est.memory_list_ns;
+}
+
+}  // namespace
+
+AdaptDecision DecideOrganization(OrgType current,
+                                 const ObservedSignatureLoad& load,
+                                 const AdaptPolicy& policy,
+                                 const CostModelParams& params) {
+  AdaptDecision d;
+  d.current = current;
+  d.recommended = current;
+  if (load.probes == 0) return d;
+
+  // Observed per-probe selectivity replaces the install-time guess. The
+  // list organization tests the whole class per probe regardless, so the
+  // interesting number is how many entries a keyed organization would
+  // touch — the true matches per probe bound it from below.
+  double expected_matches = static_cast<double>(load.matches) /
+                            static_cast<double>(load.probes);
+  OrgCostEstimate est = EstimateMatchCost(load.class_size, expected_matches,
+                                          policy.buffer_hit_ratio, params);
+
+  OrgType candidates[] = {OrgType::kMemoryList, OrgType::kMemoryIndex,
+                          OrgType::kDbTable, OrgType::kDbIndexedTable};
+  OrgType best = current;
+  double best_ns = CostOf(est, current);
+  for (OrgType t : candidates) {
+    if (!policy.allow_db_orgs &&
+        (t == OrgType::kDbTable || t == OrgType::kDbIndexedTable)) {
+      continue;
+    }
+    double c = CostOf(est, t);
+    if (c < best_ns) {
+      best = t;
+      best_ns = c;
+    }
+  }
+
+  d.current_ns = CostOf(est, current);
+  d.recommended = best;
+  d.recommended_ns = best_ns;
+  d.gain_ratio = best_ns > 0 ? d.current_ns / best_ns : 1.0;
+  d.beneficial = best != current && load.probes >= policy.min_probes &&
+                 d.gain_ratio >= policy.min_gain_ratio;
+  return d;
+}
+
 }  // namespace tman

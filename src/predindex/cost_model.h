@@ -47,6 +47,52 @@ OrgCostEstimate EstimateMatchCost(size_t class_size, double expected_matches,
 /// argue when organizations 3/4 become mandatory).
 double EstimateMemoryBytes(size_t class_size, const CostModelParams& params);
 
+// --- runtime-statistics-driven re-optimization -----------------------------
+
+/// Hysteresis knobs for the online re-optimizer. A structure is only
+/// rebuilt when it has seen real traffic (min_probes in the observation
+/// window), the modeled win clears min_gain_ratio, and the structure has
+/// not been switched within the last cooldown_rounds rounds — three
+/// independent brakes against thrashing on noisy or drifting estimates.
+struct AdaptPolicy {
+  uint64_t min_probes = 256;     // observation window floor, per round
+  double min_gain_ratio = 1.5;   // modeled current/recommended cost ratio
+  uint32_t cooldown_rounds = 2;  // rounds a freshly switched class rests
+  double buffer_hit_ratio = 0.9; // page-read discount fed to the model
+  bool allow_db_orgs = false;    // adaptive switching stays in memory
+                                 // tiers; DB tiers keep static thresholds
+  uint32_t max_switches_per_round = 64;  // bound per-round swap work
+};
+
+/// What one signature's counters said during the observation window
+/// (deltas since the previous round, not lifetime totals).
+struct ObservedSignatureLoad {
+  size_t class_size = 0;
+  uint64_t probes = 0;
+  uint64_t candidates = 0;  // entries tested: fan-out numerator
+  uint64_t matches = 0;     // true matches: selectivity numerator
+};
+
+/// Outcome of the cost comparison for one signature class.
+struct AdaptDecision {
+  OrgType current = OrgType::kMemoryList;
+  OrgType recommended = OrgType::kMemoryList;
+  double current_ns = 0;      // modeled per-probe cost of staying
+  double recommended_ns = 0;  // modeled per-probe cost after switching
+  double gain_ratio = 1.0;    // current_ns / recommended_ns
+  bool beneficial = false;    // clears every hysteresis brake
+};
+
+/// Consults EstimateMatchCost with the *observed* selectivity
+/// (matches/probes) instead of a static guess, and applies the
+/// AdaptPolicy hysteresis. The recommended organization is the cheapest
+/// tier the policy allows; `beneficial` is false when traffic is too
+/// thin, the gain is under the threshold, or current == recommended.
+AdaptDecision DecideOrganization(OrgType current,
+                                 const ObservedSignatureLoad& load,
+                                 const AdaptPolicy& policy,
+                                 const CostModelParams& params);
+
 }  // namespace tman
 
 #endif  // TRIGGERMAN_PREDINDEX_COST_MODEL_H_

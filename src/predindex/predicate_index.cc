@@ -275,6 +275,45 @@ std::vector<PredicateIndexStripeStats> PredicateIndex::stripe_stats() const {
   return out;
 }
 
+std::vector<SignatureStatsReport> PredicateIndex::SignatureStats() const {
+  std::vector<SignatureStatsReport> out;
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lock(stripe->mutex);
+    for (const auto& [id, src] : stripe->sources) {
+      for (const auto& e : src->entries()) {
+        SignatureStatsReport r;
+        r.source = id;
+        r.stats = e->RuntimeStats();
+        out.push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+SignatureIndexEntry* PredicateIndex::FindSignature(DataSourceId source,
+                                                   uint64_t sig_id) const {
+  Stripe& stripe = StripeFor(source);
+  std::shared_lock lock(stripe.mutex);
+  auto it = stripe.sources.find(source);
+  if (it == stripe.sources.end()) return nullptr;
+  return it->second->FindBySigId(sig_id);
+}
+
+Status PredicateIndex::WithStripeShared(
+    DataSourceId source, const std::function<Status()>& fn) const {
+  Stripe& stripe = StripeFor(source);
+  std::shared_lock lock(stripe.mutex);
+  return fn();
+}
+
+Status PredicateIndex::WithStripeExclusive(
+    DataSourceId source, const std::function<Status()>& fn) {
+  Stripe& stripe = StripeFor(source);
+  std::unique_lock lock(stripe.mutex);
+  return fn();
+}
+
 const DataSourcePredicateIndex* PredicateIndex::source(DataSourceId id) const {
   Stripe& stripe = StripeFor(id);
   std::shared_lock lock(stripe.mutex);

@@ -28,6 +28,13 @@ struct PredicateIndexStripeStats {
   size_t num_predicates = 0;
 };
 
+/// One signature's runtime statistics with its home data source — the
+/// unit the adaptive re-optimizer reasons about.
+struct SignatureStatsReport {
+  DataSourceId source = 0;
+  SignatureRuntimeStats stats;
+};
+
 /// What to register for one selection predicate of a trigger (§5.1 step 5).
 struct PredicateSpec {
   DataSourceId data_source = 0;
@@ -128,6 +135,29 @@ class PredicateIndex {
 
   /// Per-source access for tests, benches and the catalog.
   const DataSourcePredicateIndex* source(DataSourceId id) const;
+
+  // --- adaptive re-optimization surface ---------------------------------
+
+  /// Runtime statistics of every signature (one shared-lock pass per
+  /// stripe).
+  std::vector<SignatureStatsReport> SignatureStats() const;
+
+  /// Entry lookup by (source, sig id). The returned pointer is stable
+  /// (entries are heap-allocated and never dropped); null when unknown.
+  /// Reading or mutating through it still requires the stripe lock —
+  /// use WithStripeShared / WithStripeExclusive.
+  SignatureIndexEntry* FindSignature(DataSourceId source,
+                                     uint64_t sig_id) const;
+
+  /// Runs `fn` under the stripe lock that guards `source`'s signature
+  /// entries: shared for snapshotting (concurrent matching continues),
+  /// exclusive for the organization swap (matchers on the old
+  /// organization have drained once it is acquired — the epoch barrier
+  /// of the swap protocol).
+  Status WithStripeShared(DataSourceId source,
+                          const std::function<Status()>& fn) const;
+  Status WithStripeExclusive(DataSourceId source,
+                             const std::function<Status()>& fn);
 
  private:
   struct Stripe {

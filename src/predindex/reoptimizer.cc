@@ -1,0 +1,173 @@
+#include "predindex/reoptimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace tman {
+
+std::string AdaptationRecord::ToString() const {
+  const std::string from_name(OrgTypeName(from));
+  const std::string to_name(OrgTypeName(to));
+  const std::string suffix = note.empty() ? std::string() : ": " + note;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "round=%llu src=%u sig=%llu %s -> %s gain=%.2fx size=%zu %s%s",
+                static_cast<unsigned long long>(round),
+                static_cast<unsigned>(source),
+                static_cast<unsigned long long>(sig_id), from_name.c_str(),
+                to_name.c_str(), gain_ratio, class_size,
+                applied ? "applied" : "failed", suffix.c_str());
+  return buf;
+}
+
+void AdaptationLog::Append(AdaptationRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (rec.applied) ++applied_;
+  ring_.push_back(std::move(rec));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<AdaptationRecord> AdaptationLog::Tail(size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = std::min(max_records, ring_.size());
+  return std::vector<AdaptationRecord>(ring_.end() - n, ring_.end());
+}
+
+uint64_t AdaptationLog::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+uint64_t AdaptationLog::total_applied() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return applied_;
+}
+
+std::string AdaptRoundReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "round=%llu examined=%zu switched=%zu aborted=%zu errors=%zu",
+                static_cast<unsigned long long>(round), examined, switched,
+                aborted, errors);
+  return buf;
+}
+
+ConstantSetReoptimizer::ConstantSetReoptimizer(PredicateIndex* index,
+                                               AdaptationLog* log,
+                                               ReoptimizerOptions options)
+    : index_(index), log_(log), opt_(std::move(options)) {
+  if (opt_.faults != nullptr) {
+    opt_.faults->RegisterSite("adapt.snapshot");
+    opt_.faults->RegisterSite("adapt.build");
+    opt_.faults->RegisterSite("adapt.swap");
+  }
+}
+
+AdaptRoundReport ConstantSetReoptimizer::RunOnce() {
+  AdaptRoundReport report;
+  report.round = ++round_;
+
+  std::vector<SignatureStatsReport> stats = index_->SignatureStats();
+  for (const SignatureStatsReport& sig : stats) {
+    SigState& state = states_[sig.stats.sig_id];
+
+    // Counters are lifetime totals; the observation window is the delta
+    // since our previous round.
+    ObservedSignatureLoad load;
+    load.class_size = sig.stats.class_size;
+    load.probes = sig.stats.probes - state.probes;
+    load.candidates = sig.stats.candidates - state.candidates;
+    load.matches = sig.stats.matches - state.matches;
+    state.probes = sig.stats.probes;
+    state.candidates = sig.stats.candidates;
+    state.matches = sig.stats.matches;
+
+    if (state.cooldown > 0) {
+      --state.cooldown;
+      continue;
+    }
+    if (load.probes == 0) continue;
+    ++report.examined;
+
+    // Database organizations are size-mandated ([Hans98b] organizations
+    // 3/4); adaptation stays within the main-memory tiers.
+    OrgType current = sig.stats.org;
+    if (current != OrgType::kMemoryList && current != OrgType::kMemoryIndex) {
+      continue;
+    }
+
+    AdaptDecision decision =
+        DecideOrganization(current, load, opt_.policy, opt_.cost);
+    if (!decision.beneficial) continue;
+    if (report.switched >= opt_.policy.max_switches_per_round) break;
+
+    AdaptationRecord rec;
+    rec.round = report.round;
+    rec.source = sig.source;
+    rec.sig_id = sig.stats.sig_id;
+    rec.description = sig.stats.description;
+    rec.from = current;
+    rec.to = decision.recommended;
+    rec.gain_ratio = decision.gain_ratio;
+    rec.class_size = load.class_size;
+
+    Status s = TrySwitch(sig, decision.recommended);
+    if (s.ok()) {
+      rec.applied = true;
+      ++report.switched;
+      ++total_switches_;
+      state.cooldown = opt_.policy.cooldown_rounds;
+    } else {
+      rec.applied = false;
+      rec.note = s.ToString();
+      if (s.code() == StatusCode::kAborted) {
+        ++report.aborted;
+      } else {
+        ++report.errors;
+      }
+    }
+    if (log_ != nullptr) log_->Append(std::move(rec));
+  }
+  return report;
+}
+
+Status ConstantSetReoptimizer::TrySwitch(const SignatureStatsReport& report,
+                                         OrgType to) {
+  SignatureIndexEntry* entry =
+      index_->FindSignature(report.source, report.stats.sig_id);
+  if (entry == nullptr) {
+    return Status::NotFound("signature vanished before reorganization");
+  }
+
+  // Stage 1: copy the class and read its version under the stripe's
+  // shared lock — matching proceeds concurrently.
+  std::vector<PredicateEntry> snapshot;
+  uint64_t version = 0;
+  TMAN_RETURN_IF_ERROR(index_->WithStripeShared(report.source, [&]() {
+    if (opt_.faults != nullptr) {
+      TMAN_RETURN_IF_ERROR(opt_.faults->Check("adapt.snapshot"));
+    }
+    version = entry->version();
+    return entry->SnapshotEntries(&snapshot);
+  }));
+
+  // Stage 2: build the replacement offside, no lock held.
+  if (opt_.faults != nullptr) {
+    TMAN_RETURN_IF_ERROR(opt_.faults->Check("adapt.build"));
+  }
+  TMAN_ASSIGN_OR_RETURN(std::unique_ptr<ConstantSetOrganization> built,
+                        entry->BuildOrganization(to, snapshot));
+
+  // Stage 3: install under the exclusive lock — the epoch barrier. A
+  // concurrent Insert/Remove since stage 1 surfaces as Aborted.
+  return index_->WithStripeExclusive(report.source, [&]() {
+    if (opt_.faults != nullptr) {
+      TMAN_RETURN_IF_ERROR(opt_.faults->Check("adapt.swap"));
+    }
+    return entry->InstallOrganization(std::move(built), version);
+  });
+}
+
+}  // namespace tman

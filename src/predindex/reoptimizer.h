@@ -1,0 +1,129 @@
+#ifndef TRIGGERMAN_PREDINDEX_REOPTIMIZER_H_
+#define TRIGGERMAN_PREDINDEX_REOPTIMIZER_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predindex/cost_model.h"
+#include "predindex/predicate_index.h"
+#include "util/fault_injector.h"
+
+namespace tman {
+
+/// One adaptation event: a constant-set organization switch the
+/// re-optimizer attempted, applied or not.
+struct AdaptationRecord {
+  uint64_t round = 0;
+  DataSourceId source = 0;
+  uint64_t sig_id = 0;
+  std::string description;  // signature text, for the console log
+  OrgType from = OrgType::kMemoryList;
+  OrgType to = OrgType::kMemoryList;
+  double gain_ratio = 1.0;  // modeled current/recommended cost
+  size_t class_size = 0;
+  bool applied = false;
+  std::string note;  // failure text when !applied
+
+  std::string ToString() const;
+};
+
+/// Bounded, thread-safe ring of adaptation events — the observable
+/// history behind the `adapt log` console command. Appends past the
+/// capacity evict the oldest record; `total()` keeps counting.
+class AdaptationLog {
+ public:
+  explicit AdaptationLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Append(AdaptationRecord rec);
+
+  /// Newest-last tail of at most `max_records` events.
+  std::vector<AdaptationRecord> Tail(size_t max_records) const;
+
+  uint64_t total() const;
+  uint64_t total_applied() const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  uint64_t total_ = 0;
+  uint64_t applied_ = 0;
+  std::deque<AdaptationRecord> ring_;
+};
+
+struct ReoptimizerOptions {
+  CostModelParams cost;
+  AdaptPolicy policy;
+  /// Optional: arms adapt.snapshot / adapt.build / adapt.swap so tests
+  /// can fail each stage of the swap protocol.
+  FaultInjector* faults = nullptr;
+};
+
+/// What one RunOnce round did.
+struct AdaptRoundReport {
+  uint64_t round = 0;
+  size_t examined = 0;  // signatures with fresh traffic this round
+  size_t switched = 0;  // organizations swapped
+  size_t aborted = 0;   // version-check aborts (class mutated mid-swap)
+  size_t errors = 0;    // snapshot/build/install failures
+
+  std::string ToString() const;
+};
+
+/// The background constant-set re-optimizer (tentpole part b). Each
+/// round reads every signature's runtime statistics, diffs them against
+/// the previous round to get the observation window, consults the cost
+/// model, and — when a switch clears the AdaptPolicy hysteresis —
+/// rebuilds the class's organization off to the side and installs it
+/// under the epoch swap protocol (see SignatureIndexEntry). Database
+/// organizations are never adaptively switched; they keep the static
+/// size thresholds.
+///
+/// Not itself thread-safe: one driver (the TriggerManager's adaptation
+/// thread, a test, or the console's `adapt run`) calls RunOnce at a
+/// time. All interaction with the index goes through its stripe locks.
+class ConstantSetReoptimizer {
+ public:
+  ConstantSetReoptimizer(PredicateIndex* index, AdaptationLog* log,
+                         ReoptimizerOptions options);
+
+  /// One observation + adaptation round over every signature.
+  AdaptRoundReport RunOnce();
+
+  uint64_t rounds() const { return round_.load(std::memory_order_relaxed); }
+  uint64_t total_switches() const {
+    return total_switches_.load(std::memory_order_relaxed);
+  }
+
+  const AdaptPolicy& policy() const { return opt_.policy; }
+
+ private:
+  /// Per-signature memory between rounds: last-seen counter totals (the
+  /// next round's deltas) and the post-switch cooldown.
+  struct SigState {
+    uint64_t probes = 0;
+    uint64_t candidates = 0;
+    uint64_t matches = 0;
+    uint32_t cooldown = 0;
+  };
+
+  /// Runs the three-stage epoch swap for one signature.
+  Status TrySwitch(const SignatureStatsReport& report, OrgType to);
+
+  PredicateIndex* index_;
+  AdaptationLog* log_;
+  ReoptimizerOptions opt_;
+
+  std::unordered_map<uint64_t, SigState> states_;  // by (globally unique) sig_id
+  // Written by the (single) RunOnce driver, read concurrently by stats
+  // reporting — relaxed atomics, not a claim of RunOnce thread-safety.
+  std::atomic<uint64_t> round_{0};
+  std::atomic<uint64_t> total_switches_{0};
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_PREDINDEX_REOPTIMIZER_H_

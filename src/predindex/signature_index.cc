@@ -32,6 +32,14 @@ Status SignatureIndexEntry::Open(const Schema& schema) {
 
 OrgType SignatureIndexEntry::PickOrgType(size_t size) const {
   if (policy_.forced) return policy_.forced_type;
+  // An adaptive pin overrides the static size thresholds between the
+  // memory organizations (otherwise the next Insert would migrate a
+  // freshly swapped class right back); database promotion at memory_max
+  // still wins — it is about footprint, not probe cost.
+  int pin = adaptive_pin_.load(std::memory_order_relaxed);
+  if (pin != 0 && size <= policy_.memory_max) {
+    return static_cast<OrgType>(pin);
+  }
   if (size <= policy_.list_max) return OrgType::kMemoryList;
   if (size <= policy_.memory_max) return OrgType::kMemoryIndex;
   return policy_.use_db_index ? OrgType::kDbIndexedTable : OrgType::kDbTable;
@@ -59,6 +67,7 @@ Status SignatureIndexEntry::Insert(const PredicateEntry& entry) {
     TMAN_RETURN_IF_ERROR(MigrateTo(wanted));
   }
   TMAN_RETURN_IF_ERROR(org_->Insert(entry));
+  version_.fetch_add(1, std::memory_order_relaxed);
   if (entry.rest != nullptr) {
     // Keep a program in the side table even when the entry carries one:
     // database organizations and migrations strip the embedded copy.
@@ -76,6 +85,7 @@ Status SignatureIndexEntry::Insert(const PredicateEntry& entry) {
 Status SignatureIndexEntry::Remove(ExprId expr_id) {
   TMAN_RETURN_IF_ERROR(org_->Remove(expr_id));
   compiled_rest_.erase(expr_id);
+  version_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
   // Organizations are not downgraded on shrink: migration down would buy
   // little (the class already paid the upgrade) and churns on workloads
@@ -111,6 +121,8 @@ Status SignatureIndexEntry::Match(
 Status SignatureIndexEntry::MatchTuple(
     const Tuple& tuple, uint32_t partition, uint32_t num_partitions,
     const std::function<void(const PredicateMatch&)>& fn) const {
+  const bool track = runtime_stats::enabled();
+  if (track) probes_.Increment();
   Probe probe;
   for (size_t f : eq_fields_) {
     if (f >= tuple.size()) return Status::OK();
@@ -126,7 +138,7 @@ Status SignatureIndexEntry::MatchTuple(
   Status inner = Status::OK();
   auto test = [&](const PredicateEntry& e) {
     if (!inner.ok()) return;
-    candidates_tested_.fetch_add(1, std::memory_order_relaxed);
+    candidates_tested_.Increment();
     if (e.rest != nullptr) {
       const CompiledPredicate* prog = e.compiled_rest.get();
       if (prog == nullptr) {
@@ -153,6 +165,7 @@ Status SignatureIndexEntry::MatchTuple(
         if (!*pass) return;
       }
     }
+    if (track) matches_.Increment();
     fn(PredicateMatch{e.trigger_id, e.expr_id, e.next_node});
   };
   TMAN_RETURN_IF_ERROR(num_partitions <= 1
@@ -242,6 +255,12 @@ void SignatureIndexEntry::MatchBatch(
   // after the lane's already-collected candidates are processed — the
   // scalar path, too, emits matches streamed before the org error.
   std::vector<std::pair<uint32_t, Status>> org_errors;
+  const bool track = runtime_stats::enabled();
+  if (track) {
+    uint64_t viable_lanes = 0;
+    for (uint8_t v : viable) viable_lanes += v;
+    if (viable_lanes != 0) probes_.Add(viable_lanes);
+  }
   for (size_t i = 0; i < survivors.size(); ++i) {
     if (!viable[i]) continue;
     const uint32_t lane = survivors[i];
@@ -316,18 +335,94 @@ void SignatureIndexEntry::MatchBatch(
   // Pass 5: emit in collection order. Each lane streams its matches until
   // its first error, which stops that lane — the candidate that errors is
   // still counted as tested, matching the scalar counter.
+  // Counter writes amortize to one Add per batch — at per-candidate
+  // granularity the two sharded-counter RMWs cost a measurable few
+  // percent of the ~200ns/token hash path (bench_adapt's overhead gate).
+  uint64_t tested = 0;
+  uint64_t matched = 0;
   for (const Candidate& c : cands) {
     if (!lane_status[c.lane].ok()) continue;
-    candidates_tested_.fetch_add(1, std::memory_order_relaxed);
+    ++tested;
     if (c.verdict < 0) {
       lane_status[c.lane] = errors[c.error_at];
     } else if (c.verdict > 0) {
+      ++matched;
       fn(c.lane, c.match);
     }
   }
+  if (tested != 0) candidates_tested_.Add(tested);
+  if (track && matched != 0) matches_.Add(matched);
   for (auto& [lane, s] : org_errors) {
     if (lane_status[lane].ok()) lane_status[lane] = std::move(s);
   }
+}
+
+SignatureRuntimeStats SignatureIndexEntry::RuntimeStats() const {
+  SignatureRuntimeStats st;
+  st.sig_id = ctx_.sig_id;
+  st.description = ctx_.signature.Description();
+  st.org = org_->type();
+  st.class_size = org_->size();
+  st.has_range = ctx_.split.has_range;
+  st.probes = probes_.Read();
+  st.candidates = candidates_tested_.Read();
+  st.matches = matches_.Read();
+  st.version = version_.load(std::memory_order_relaxed);
+  st.org_switches = org_switches_.load(std::memory_order_relaxed);
+  return st;
+}
+
+Status SignatureIndexEntry::SnapshotEntries(
+    std::vector<PredicateEntry>* out) const {
+  out->clear();
+  out->reserve(org_->size());
+  return org_->ForEach(
+      [out](const PredicateEntry& e) { out->push_back(e); });
+}
+
+Result<std::unique_ptr<ConstantSetOrganization>>
+SignatureIndexEntry::BuildOrganization(
+    OrgType type, const std::vector<PredicateEntry>& entries) const {
+  if (type != OrgType::kMemoryList && type != OrgType::kMemoryIndex) {
+    return Status::InvalidArgument(
+        "adaptive rebuild supports main-memory organizations only");
+  }
+  TMAN_ASSIGN_OR_RETURN(std::unique_ptr<ConstantSetOrganization> fresh,
+                        CreateOrganization(type, &ctx_, db_));
+  for (const PredicateEntry& e : entries) {
+    TMAN_RETURN_IF_ERROR(fresh->Insert(e));
+  }
+  return fresh;
+}
+
+Status SignatureIndexEntry::InstallOrganization(
+    std::unique_ptr<ConstantSetOrganization> org, uint64_t expected_version) {
+  if (org == nullptr) {
+    return Status::InvalidArgument("null organization");
+  }
+  if (version_.load(std::memory_order_relaxed) != expected_version) {
+    return Status::Aborted(
+        "signature class changed during offside rebuild");
+  }
+  // Version match implies the class content is exactly the snapshot the
+  // rebuild consumed; the size check is a defensive invariant.
+  if (org->size() != org_->size()) {
+    return Status::Internal("offside organization size mismatch");
+  }
+  org_ = std::move(org);
+  adaptive_pin_.store(static_cast<int>(org_->type()),
+                      std::memory_order_relaxed);
+  org_switches_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+SignatureIndexEntry* DataSourcePredicateIndex::FindBySigId(
+    uint64_t sig_id) const {
+  for (const auto& e : entries_) {
+    if (e->context().sig_id == sig_id) return e.get();
+  }
+  return nullptr;
 }
 
 Result<SignatureIndexEntry*> DataSourcePredicateIndex::FindOrCreate(

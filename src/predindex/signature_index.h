@@ -12,6 +12,7 @@
 #include "predindex/predicate_entry.h"
 #include "types/schema.h"
 #include "types/update_descriptor.h"
+#include "util/sharded_counter.h"
 
 namespace tman {
 
@@ -26,6 +27,26 @@ struct OrgPolicy {
   bool use_db_index = true;    // false: organization 3 instead of 4
   bool forced = false;         // pin `forced_type` regardless of size
   OrgType forced_type = OrgType::kMemoryList;
+};
+
+/// Runtime statistics of one signature's equivalence class, read by the
+/// adaptive re-optimizer. probes/candidates/matches are collected with
+/// sharded relaxed-atomic counters on the match path (candidates/probes
+/// is the observed constant-set fan-out, matches/probes the observed
+/// selectivity); `version` is the class mutation counter the epoch-style
+/// organization swap validates against.
+struct SignatureRuntimeStats {
+  uint64_t sig_id = 0;
+  std::string description;
+  OrgType org = OrgType::kMemoryList;
+  size_t class_size = 0;
+  bool has_range = false;       // range signature: MemoryIndex promotion
+                                // engages the interval skip index
+  uint64_t probes = 0;          // tokens probed against this class
+  uint64_t candidates = 0;      // entries tested (fan-out numerator)
+  uint64_t matches = 0;         // predicate matches emitted
+  uint64_t version = 0;
+  uint32_t org_switches = 0;    // adaptive swaps installed so far
 };
 
 /// One entry of a data source's expression signature list (Figure 3):
@@ -86,9 +107,45 @@ class SignatureIndexEntry {
 
   /// Candidate entries produced by the last Match calls (monotonic
   /// counter; used by tests/benches to observe selectivity).
-  uint64_t candidates_tested() const {
-    return candidates_tested_.load(std::memory_order_relaxed);
-  }
+  uint64_t candidates_tested() const { return candidates_tested_.Read(); }
+
+  // --- adaptive re-optimization surface ---------------------------------
+  //
+  // The epoch-style swap protocol: the re-optimizer (1) copies the class
+  // and reads `version()` under the owning stripe's SHARED lock, (2)
+  // builds a fresh organization from the copy with NO lock held, and (3)
+  // installs it under the stripe's EXCLUSIVE lock iff the version is
+  // unchanged — readers of the old organization have drained (the
+  // exclusive acquisition is the epoch barrier), the swap itself is one
+  // pointer move, and a concurrent Insert/Remove aborts the install
+  // (Status::Aborted) instead of losing the mutation.
+
+  /// Class mutation counter: bumped by Insert, Remove and a successful
+  /// InstallOrganization.
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+
+  /// Snapshot counters + organization shape (call under the stripe's
+  /// shared lock so org type/size are consistent).
+  SignatureRuntimeStats RuntimeStats() const;
+
+  /// Copies every entry of the class (call under the stripe's shared
+  /// lock).
+  Status SnapshotEntries(std::vector<PredicateEntry>* out) const;
+
+  /// Builds a fresh organization of `type` from a snapshot, touching no
+  /// shared state — safe to run with no lock held. Only the main-memory
+  /// organizations are adaptively rebuilt (database organizations keep
+  /// the static size-threshold path).
+  Result<std::unique_ptr<ConstantSetOrganization>> BuildOrganization(
+      OrgType type, const std::vector<PredicateEntry>& entries) const;
+
+  /// Swaps in an offside-built organization (call under the stripe's
+  /// exclusive lock). Fails with Aborted when the class mutated since the
+  /// snapshot (`expected_version` mismatch); on success the entry is
+  /// pinned to the new type so the size-threshold migration in Insert
+  /// does not immediately undo the adaptive decision.
+  Status InstallOrganization(std::unique_ptr<ConstantSetOrganization> org,
+                             uint64_t expected_version);
 
  private:
   OrgType PickOrgType(size_t size) const;
@@ -114,7 +171,19 @@ class SignatureIndexEntry {
   int range_field_ = -1;
   std::vector<size_t> update_col_fields_;
 
-  mutable std::atomic<uint64_t> candidates_tested_{0};
+  // Runtime statistics (sharded so concurrent matchers on one hot
+  // signature do not serialize on a counter cache line). candidates is
+  // always on (tests observe selectivity through it); probes/matches are
+  // gated on runtime_stats::enabled().
+  mutable ShardedCounter candidates_tested_;
+  mutable ShardedCounter probes_;
+  mutable ShardedCounter matches_;
+
+  // Adaptive-swap bookkeeping. Mutated under the stripe's exclusive
+  // lock; atomics so RuntimeStats can read them under the shared lock.
+  std::atomic<uint64_t> version_{0};
+  std::atomic<int> adaptive_pin_{0};  // 0 = none, else OrgType value
+  std::atomic<uint32_t> org_switches_{0};
 };
 
 /// Per-data-source predicate index: the expression signature list of
@@ -154,6 +223,9 @@ class DataSourcePredicateIndex {
   const std::vector<std::unique_ptr<SignatureIndexEntry>>& entries() const {
     return entries_;
   }
+  /// Entry by signature id (stable heap pointer; entries are never
+  /// dropped), or null. The re-optimizer addresses classes this way.
+  SignatureIndexEntry* FindBySigId(uint64_t sig_id) const;
   const Schema& schema() const { return schema_; }
   DataSourceId id() const { return id_; }
 

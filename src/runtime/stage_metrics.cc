@@ -1,0 +1,56 @@
+#include "runtime/stage_metrics.h"
+
+#include <sstream>
+
+namespace tman {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kMaintain:
+      return "maintain";
+    case Stage::kMatch:
+      return "match";
+    case Stage::kFire:
+      return "fire";
+  }
+  return "?";
+}
+
+StageMetricsSnapshot StageMetrics::Snapshot() const {
+  StageMetricsSnapshot snap;
+  for (int i = 0; i < kNumStages; ++i) {
+    const Counters& c = counters_[i];
+    StageSnapshot& s = snap.stages[i];
+    s.batches = c.batches.Read();
+    s.items = c.items.Read();
+    s.total_ns = c.total_ns.Read();
+    s.max_ns = c.max_ns.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::string StageMetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "stage        batches      items   mean_us    max_us\n";
+  for (int i = 0; i < kNumStages; ++i) {
+    const StageSnapshot& s = stages[i];
+    double mean_us =
+        s.batches == 0 ? 0.0
+                       : static_cast<double>(s.total_ns) /
+                             static_cast<double>(s.batches) / 1000.0;
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-10s %10llu %10llu %9.1f %9.1f\n",
+                  std::string(StageName(static_cast<Stage>(i))).c_str(),
+                  static_cast<unsigned long long>(s.batches),
+                  static_cast<unsigned long long>(s.items), mean_us,
+                  static_cast<double>(s.max_ns) / 1000.0);
+    os << line;
+  }
+  os << "queue depth=" << queue_depth << " in_flight=" << queue_in_flight
+     << "\n";
+  return os.str();
+}
+
+}  // namespace tman

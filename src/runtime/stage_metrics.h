@@ -1,0 +1,126 @@
+#ifndef TRIGGERMAN_RUNTIME_STAGE_METRICS_H_
+#define TRIGGERMAN_RUNTIME_STAGE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sharded_counter.h"
+
+namespace tman {
+
+/// The pipeline stages the adaptive layer observes. One enum value per
+/// distinct latency population: staging a submitted batch, the stateful
+/// maintenance pass, the predicate-index fire-matching pass, and rule
+/// firing (joins + action execution).
+enum class Stage : uint8_t {
+  kIngest = 0,
+  kMaintain = 1,
+  kMatch = 2,
+  kFire = 3,
+};
+
+inline constexpr int kNumStages = 4;
+
+std::string_view StageName(Stage stage);
+
+/// Point-in-time view of one stage's counters. `items` is the unit the
+/// stage works in (tokens for ingest/maintain/match, firings for fire);
+/// `batches` counts timed invocations, so total_ns / batches is the mean
+/// per-invocation latency.
+struct StageSnapshot {
+  uint64_t batches = 0;
+  uint64_t items = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+struct StageMetricsSnapshot {
+  StageSnapshot stages[kNumStages];
+  /// Queue signals sampled at snapshot time (filled by the owner — the
+  /// metrics object itself has no queue reference).
+  uint64_t queue_depth = 0;
+  uint64_t queue_in_flight = 0;
+
+  const StageSnapshot& stage(Stage s) const {
+    return stages[static_cast<size_t>(s)];
+  }
+  std::string ToString() const;
+};
+
+/// Per-stage latency and volume counters, collected with sharded relaxed
+/// atomics so the batched hot path records one steady_clock pair and a
+/// few uncontended adds per stage per batch. Collection is gated on
+/// runtime_stats::enabled(); when the gate is off, Record() is one
+/// relaxed load.
+class StageMetrics {
+ public:
+  void Record(Stage stage, uint64_t items, uint64_t elapsed_ns) {
+    if (!runtime_stats::enabled()) return;
+    Counters& c = counters_[static_cast<size_t>(stage)];
+    c.batches.Increment();
+    c.items.Add(items);
+    c.total_ns.Add(elapsed_ns);
+    uint64_t prev = c.max_ns.load(std::memory_order_relaxed);
+    while (prev < elapsed_ns &&
+           !c.max_ns.compare_exchange_weak(prev, elapsed_ns,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  StageMetricsSnapshot Snapshot() const;
+
+ private:
+  struct Counters {
+    ShardedCounter batches;
+    ShardedCounter items;
+    ShardedCounter total_ns;
+    std::atomic<uint64_t> max_ns{0};
+  };
+  Counters counters_[kNumStages];
+};
+
+/// Scoped stage timer: records (items, elapsed) on destruction. Reads the
+/// clock only while the stats gate is on, so a disabled gate costs two
+/// relaxed loads per scope.
+class StageTimer {
+ public:
+  StageTimer(StageMetrics* metrics, Stage stage, uint64_t items)
+      : metrics_(metrics), stage_(stage), items_(items) {
+    if (metrics_ != nullptr && runtime_stats::enabled()) {
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+
+  ~StageTimer() {
+    if (!armed_) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    metrics_->Record(
+        stage_, items_,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Adjusts the item count after the fact (e.g. firings discovered while
+  /// the scope ran).
+  void set_items(uint64_t items) { items_ = items; }
+
+ private:
+  StageMetrics* metrics_;
+  Stage stage_;
+  uint64_t items_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TRIGGERMAN_RUNTIME_STAGE_METRICS_H_

@@ -80,9 +80,11 @@ void TaskQueue::PushToShard(uint32_t shard_index, Task task) {
   TaskKind kind = task.kind;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    ++shard.pushed;
-    ++shard.per_kind[TaskKindIndex(kind)];
+    shard.pushed.fetch_add(1, std::memory_order_relaxed);
+    shard.per_kind[TaskKindIndex(kind)].fetch_add(1,
+                                                  std::memory_order_relaxed);
     shard.tasks.push_back(std::move(task));
+    shard.depth.store(shard.tasks.size(), std::memory_order_relaxed);
   }
   NoteQueued(1);
   WakeSleepers(1);
@@ -102,9 +104,13 @@ void TaskQueue::PushBatchToShard(uint32_t shard_index,
   for (const Task& t : tasks) kinds.push_back(t.kind);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.pushed += tasks.size();
-    for (TaskKind kind : kinds) ++shard.per_kind[TaskKindIndex(kind)];
+    shard.pushed.fetch_add(tasks.size(), std::memory_order_relaxed);
+    for (TaskKind kind : kinds) {
+      shard.per_kind[TaskKindIndex(kind)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
     for (Task& t : tasks) shard.tasks.push_back(std::move(t));
+    shard.depth.store(shard.tasks.size(), std::memory_order_relaxed);
   }
   NoteQueued(kinds.size());
   WakeSleepers(kinds.size());
@@ -134,8 +140,9 @@ bool TaskQueue::TryPopFromShard(uint32_t home, Task* task) {
       if (shard.tasks.empty()) continue;
       *task = std::move(shard.tasks.front());
       shard.tasks.pop_front();
-      ++shard.popped;
-      if (stolen) ++shard.steals;
+      shard.depth.store(shard.tasks.size(), std::memory_order_relaxed);
+      shard.popped.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) shard.steals.fetch_add(1, std::memory_order_relaxed);
     }
     // Keep size + in_flight conservatively overlapping: the task is
     // counted in flight before it stops counting as queued, so WaitIdle
@@ -180,10 +187,11 @@ size_t TaskQueue::PopBatchFromShard(uint32_t home, std::vector<Task>* out,
         out->push_back(std::move(shard.tasks.front()));
         shard.tasks.pop_front();
       }
-      shard.popped += take;
-      if (stolen) shard.steals += take;
-      ++shard.batch_pops;
-      shard.batch_pop_tasks += take;
+      shard.depth.store(shard.tasks.size(), std::memory_order_relaxed);
+      shard.popped.fetch_add(take, std::memory_order_relaxed);
+      if (stolen) shard.steals.fetch_add(take, std::memory_order_relaxed);
+      shard.batch_pops.fetch_add(1, std::memory_order_relaxed);
+      shard.batch_pop_tasks.fetch_add(take, std::memory_order_relaxed);
       taken = take;
     }
     // Same conservative overlap as TryPop: everything taken is counted in
@@ -281,16 +289,18 @@ void TaskQueue::Close() {
 }
 
 TaskQueueStats TaskQueue::stats() const {
+  // Lock-free aggregation: each counter is one atomic load, so a stats
+  // poll never blocks a pushing or popping driver thread.
   TaskQueueStats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    stats.pushed += shard->pushed;
-    stats.popped += shard->popped;
-    stats.steals += shard->steals;
-    stats.batch_pops += shard->batch_pops;
-    stats.batch_pop_tasks += shard->batch_pop_tasks;
+    stats.pushed += shard->pushed.load(std::memory_order_relaxed);
+    stats.popped += shard->popped.load(std::memory_order_relaxed);
+    stats.steals += shard->steals.load(std::memory_order_relaxed);
+    stats.batch_pops += shard->batch_pops.load(std::memory_order_relaxed);
+    stats.batch_pop_tasks +=
+        shard->batch_pop_tasks.load(std::memory_order_relaxed);
     for (int k = 0; k < kNumTaskKinds; ++k) {
-      stats.per_kind[k] += shard->per_kind[k];
+      stats.per_kind[k] += shard->per_kind[k].load(std::memory_order_relaxed);
     }
   }
   stats.max_size = max_size_.load(std::memory_order_relaxed);
@@ -301,14 +311,14 @@ std::vector<TaskQueueShardStats> TaskQueue::shard_stats() const {
   std::vector<TaskQueueShardStats> out;
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
     TaskQueueShardStats s;
-    s.depth = shard->tasks.size();
-    s.pushed = shard->pushed;
-    s.popped = shard->popped;
-    s.steals = shard->steals;
-    s.batch_pops = shard->batch_pops;
-    s.batch_pop_tasks = shard->batch_pop_tasks;
+    s.depth = shard->depth.load(std::memory_order_relaxed);
+    s.pushed = shard->pushed.load(std::memory_order_relaxed);
+    s.popped = shard->popped.load(std::memory_order_relaxed);
+    s.steals = shard->steals.load(std::memory_order_relaxed);
+    s.batch_pops = shard->batch_pops.load(std::memory_order_relaxed);
+    s.batch_pop_tasks =
+        shard->batch_pop_tasks.load(std::memory_order_relaxed);
     out.push_back(s);
   }
   return out;

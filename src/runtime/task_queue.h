@@ -178,12 +178,18 @@ class TaskQueue {
   struct Shard {
     mutable std::mutex mutex;
     std::deque<Task> tasks;
-    uint64_t pushed = 0;
-    uint64_t popped = 0;
-    uint64_t steals = 0;
-    uint64_t batch_pops = 0;
-    uint64_t batch_pop_tasks = 0;
-    uint64_t per_kind[kNumTaskKinds] = {0, 0, 0, 0};
+    // Written (relaxed) under the shard mutex alongside the deque, but
+    // read lock-free by stats()/shard_stats(): a stats poll (console,
+    // adaptive re-optimizer round) never contends with the hot push/pop
+    // path, and every value is one whole 64-bit atomic load — no torn
+    // reads for tsan to flag.
+    std::atomic<size_t> depth{0};
+    std::atomic<uint64_t> pushed{0};
+    std::atomic<uint64_t> popped{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> batch_pops{0};
+    std::atomic<uint64_t> batch_pop_tasks{0};
+    std::atomic<uint64_t> per_kind[kNumTaskKinds] = {{0}, {0}, {0}, {0}};
   };
 
   void Observe(std::string_view event) {
